@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestConvertDfir(t *testing.T) {
+	path := writeTemp(t, "g.dfir", `graph g
+const x = 2
+const y = 3
+arith mul *
+edge a x:0 -> mul:0
+edge b y:0 -> mul:1
+edge p mul:0 -> out
+`)
+	if err := run(path, false, false, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvertCompiledWithReduce(t *testing.T) {
+	src := writeTemp(t, "ex1.vn", `
+int x = 1; int y = 5; int k = 3; int j = 2; int m;
+m = (x + y) - (k * j);
+`)
+	if err := run(src, true, true, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvertErrors(t *testing.T) {
+	if err := run("/nonexistent", false, false, false); err == nil {
+		t.Error("missing file should error")
+	}
+	bad := writeTemp(t, "bad.dfir", "junk")
+	if err := run(bad, false, false, false); err == nil {
+		t.Error("bad dfir should error")
+	}
+	badSrc := writeTemp(t, "bad.vn", "q = 1;")
+	if err := run(badSrc, true, false, false); err == nil {
+		t.Error("bad source should error")
+	}
+}

@@ -1,0 +1,85 @@
+// Command dfrun executes a dynamic dataflow graph and prints its outputs.
+//
+// Usage:
+//
+//	dfrun [-workers N] [-maxfirings N] [-dot out.dot] [-compile] file
+//
+// The input is a .dfir graph description by default; with -compile it is a
+// source file in the paper's von Neumann mini language, translated first.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/compiler"
+	"repro/internal/dataflow"
+	"repro/internal/dfir"
+	"repro/internal/profile"
+)
+
+func main() {
+	workers := flag.Int("workers", 1, "processing elements (1 = sequential deterministic)")
+	maxFirings := flag.Int64("maxfirings", 1_000_000, "abort after this many vertex activations (0 = unlimited)")
+	dot := flag.String("dot", "", "also write the graph as Graphviz DOT to this file")
+	compile := flag.Bool("compile", false, "treat the input as von Neumann source, not .dfir")
+	prof := flag.Bool("profile", false, "print work/span/parallelism of the execution")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: dfrun [flags] file")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *workers, *maxFirings, *dot, *compile, *prof); err != nil {
+		fmt.Fprintln(os.Stderr, "dfrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, workers int, maxFirings int64, dot string, compile, prof bool) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var g *dataflow.Graph
+	if compile {
+		g, err = compiler.Compile(path, string(src))
+	} else {
+		g, err = dfir.Unmarshal(string(src))
+	}
+	if err != nil {
+		return err
+	}
+	if dot != "" {
+		if err := os.WriteFile(dot, []byte(dfir.ToDOT(g)), 0o644); err != nil {
+			return err
+		}
+	}
+	opt := dataflow.Options{Workers: workers, MaxFirings: maxFirings}
+	var col *profile.Collector
+	if prof {
+		col = profile.NewCollector()
+		opt.Tracer = col
+	}
+	res, err := dataflow.Run(g, opt)
+	if err != nil {
+		return err
+	}
+	labels := make([]string, 0, len(res.Outputs))
+	for l := range res.Outputs {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		for _, tv := range res.Outputs[l] {
+			fmt.Printf("%s = %s (tag %d)\n", l, tv.Val, tv.Tag)
+		}
+	}
+	fmt.Printf("firings=%d pending=%d workers=%d [%s]\n", res.Firings, res.Pending, res.Workers, dfir.Stats(g))
+	if col != nil {
+		fmt.Println("profile:", col.Report())
+	}
+	return nil
+}

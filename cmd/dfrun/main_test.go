@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const fig1ish = `graph g
+const x = 1
+const y = 5
+arith add +
+edge a x:0 -> add:0
+edge b y:0 -> add:1
+edge m add:0 -> out
+`
+
+func TestRunDfir(t *testing.T) {
+	path := writeTemp(t, "g.dfir", fig1ish)
+	if err := run(path, 1, 1000, "", false, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, 4, 1000, "", false, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, 1, 1000, "", false, true); err != nil {
+		t.Fatalf("profile mode: %v", err)
+	}
+}
+
+func TestRunCompileAndDot(t *testing.T) {
+	src := writeTemp(t, "p.vn", `int a = 2; int b; b = a * a + 1;`)
+	dot := filepath.Join(t.TempDir(), "out.dot")
+	if err := run(src, 1, 1000, dot, true, false); err != nil {
+		t.Fatal(err)
+	}
+	content, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(content), "digraph") {
+		t.Error("DOT file malformed")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("/nonexistent", 1, 0, "", false, false); err == nil {
+		t.Error("missing file should error")
+	}
+	bad := writeTemp(t, "bad.dfir", "nonsense")
+	if err := run(bad, 1, 0, "", false, false); err == nil {
+		t.Error("bad dfir should error")
+	}
+	badSrc := writeTemp(t, "bad.vn", "x = 1;")
+	if err := run(badSrc, 1, 0, "", true, false); err == nil {
+		t.Error("bad source should error")
+	}
+	good := writeTemp(t, "g.dfir", fig1ish)
+	if err := run(good, 1, 0, "/no/such/dir/out.dot", false, false); err == nil {
+		t.Error("unwritable DOT path should error")
+	}
+}

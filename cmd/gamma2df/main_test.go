@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestWholeProgram(t *testing.T) {
+	path := writeTemp(t, "p.gamma", `
+init {[1, 'A1', 0], [5, 'B1', 0]}
+R1 = replace [id1, 'A1', v], [id2, 'B1', v] by [id1 + id2, 'S', v]
+`)
+	dot := filepath.Join(t.TempDir(), "p.dot")
+	if err := run(path, false, dot); err != nil {
+		t.Fatal(err)
+	}
+	content, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(content), "digraph") {
+		t.Error("DOT malformed")
+	}
+}
+
+func TestSingleReaction(t *testing.T) {
+	path := writeTemp(t, "r.gamma", `R = replace (x, y) by x where x < y`)
+	if err := run(path, true, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run("/nonexistent", false, ""); err == nil {
+		t.Error("missing file should error")
+	}
+	bad := writeTemp(t, "bad.gamma", "replace")
+	if err := run(bad, false, ""); err == nil {
+		t.Error("parse error should surface")
+	}
+	if err := run(bad, true, ""); err == nil {
+		t.Error("parse error should surface in reaction mode")
+	}
+	// Whole-program mode without producers for consumed labels.
+	orphan := writeTemp(t, "orphan.gamma", "R = replace [x, 'IN', v] by [x, 'OUT', v]")
+	if err := run(orphan, false, ""); err == nil {
+		t.Error("missing producers should error")
+	}
+	two := writeTemp(t, "two.gamma", `
+A = replace [x, 'a', v] by [x, 'b', v]
+B = replace [x, 'b', v] by [x, 'c', v]
+`)
+	if err := run(two, true, ""); err == nil {
+		t.Error("reaction mode with two reactions should error")
+	}
+	// Multi-stage composition cannot become one program.
+	staged := writeTemp(t, "staged.gamma", `
+init {[1, 'a', 0]}
+A = replace [x, 'a', v] by [x, 'b', v]
+B = replace [x, 'b', v] by [x, 'c', v]
+A ; B
+`)
+	if err := run(staged, false, ""); err == nil {
+		t.Error("multi-stage file should error in whole-program mode")
+	}
+}

@@ -1,0 +1,114 @@
+// Command gammarun executes a Gamma source file (Fig. 3 grammar) to its
+// stable state and prints the resulting multiset and execution statistics.
+//
+// Usage:
+//
+//	gammarun [-workers N] [-seed S] [-maxsteps N] [-stats] file.gamma
+//
+// The file may declare its initial multiset with an init { ... } statement
+// and a composition expression (R1 | R2 ; R3); otherwise all reactions run
+// in parallel composition over the multiset given with -init.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/gamma"
+	"repro/internal/gammalang"
+	"repro/internal/multiset"
+	"repro/internal/profile"
+	"repro/internal/schema"
+)
+
+func main() {
+	workers := flag.Int("workers", 1, "parallel reaction executors (1 = sequential deterministic)")
+	seed := flag.Int64("seed", 0, "seed for nondeterministic matching")
+	maxSteps := flag.Int64("maxsteps", 1_000_000, "abort after this many reaction firings (0 = unlimited)")
+	initSet := flag.String("init", "", "initial multiset, e.g. \"{[1,'A1'],[5,'B1']}\" (overrides the file's init)")
+	stats := flag.Bool("stats", false, "print per-reaction firing counts")
+	typecheck := flag.Bool("typecheck", false, "infer a Structured-Gamma-style schema, check the program and print it")
+	prof := flag.Bool("profile", false, "print work/span/parallelism of the execution")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: gammarun [flags] file.gamma")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *workers, *seed, *maxSteps, *initSet, *stats, *typecheck, *prof); err != nil {
+		fmt.Fprintln(os.Stderr, "gammarun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, workers int, seed, maxSteps int64, initSet string, stats, typecheck, prof bool) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	file, err := gammalang.ParseFile(string(src))
+	if err != nil {
+		return err
+	}
+	m := file.Init
+	if initSet != "" {
+		m, err = multiset.Parse(initSet)
+		if err != nil {
+			return err
+		}
+	}
+	if m == nil {
+		return fmt.Errorf("no initial multiset: declare init {...} in the file or pass -init")
+	}
+	plan, err := file.Plan(path)
+	if err != nil {
+		return err
+	}
+	if typecheck {
+		all, err := gamma.NewProgram(path, file.Reactions...)
+		if err != nil {
+			return err
+		}
+		sch, err := schema.Infer(all, m)
+		if err != nil {
+			return fmt.Errorf("typecheck: %w", err)
+		}
+		if err := sch.Check(all, m); err != nil {
+			return fmt.Errorf("typecheck: %w", err)
+		}
+		fmt.Print(sch)
+		hint, why := gamma.AnalyzeTermination(all)
+		fmt.Printf("termination: %s (%s)\n", hint, why)
+		if dead := gamma.DeadReactions(all, m); len(dead) > 0 {
+			fmt.Printf("warning: reactions that can never fire: %v\n", dead)
+		}
+	}
+	opt := gamma.Options{Workers: workers, Seed: seed, MaxSteps: maxSteps}
+	var col *profile.Collector
+	if prof {
+		col = profile.NewCollector()
+		opt.Tracer = col
+	}
+	st, err := plan.Run(m, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Println(m)
+	fmt.Printf("steps=%d conflicts=%d workers=%d\n", st.Steps, st.Conflicts, st.Workers)
+	if col != nil {
+		fmt.Println("profile:", col.Report())
+	}
+	if stats {
+		names := make([]string, 0, len(st.Fired))
+		for name := range st.Fired {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("  %s fired %d\n", name, st.Fired[name])
+		}
+	}
+	return nil
+}

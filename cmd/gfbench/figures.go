@@ -1,0 +1,63 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/dfir"
+	"repro/internal/gammalang"
+	"repro/internal/paper"
+)
+
+// writeFigures regenerates the paper's figures as files: Graphviz DOT with
+// the paper's shape conventions, the dfir text form, and the Gamma listings
+// Algorithm 1 derives from them.
+func writeFigures(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	graphs := map[string]*dataflow.Graph{
+		"fig1":            paper.Fig1Graph(),
+		"fig2":            paper.Fig2Graph(),
+		"fig2-observable": paper.Fig2GraphObservable(10, 4, 3),
+	}
+	write := func(name, content string) error {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+		return nil
+	}
+	for name, g := range graphs {
+		if err := write(name+".dot", dfir.ToDOT(g)); err != nil {
+			return err
+		}
+		if err := write(name+".dfir", dfir.Marshal(g)); err != nil {
+			return err
+		}
+		prog, init, err := core.ToGamma(g)
+		if err != nil {
+			return err
+		}
+		if err := write(name+".gamma", gammalang.FormatFile(gammalang.NewFile(prog, init))); err != nil {
+			return err
+		}
+	}
+	// Fig. 4: the single reaction's subgraph, which the mapper replicates.
+	r, err := gammalang.ParseReaction(`R = replace [x, 'a'], [y, 'a'] by [x + y, 'b']`)
+	if err != nil {
+		return err
+	}
+	sub, err := core.ReactionToGraph(r)
+	if err != nil {
+		return err
+	}
+	if err := write("fig4-reaction.dot", dfir.ToDOT(sub)); err != nil {
+		return err
+	}
+	return write("fig4-reaction.dfir", dfir.Marshal(sub))
+}

@@ -1,0 +1,63 @@
+// Command gfbench regenerates the paper's experiments (DESIGN.md §3,
+// E1–E13): it executes every figure, listing and claim and prints
+// paper-vs-measured tables. EXPERIMENTS.md is written from this output.
+//
+// Usage:
+//
+//	gfbench [-exp e1|e3|e4|e5|e7|e8|e9|e11|e12|e13|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+var experiments = []struct {
+	id   string
+	desc string
+	run  func() error
+}{
+	{"e1", "Fig. 1 / Example 1: expression in both models", expE1},
+	{"e3", "Fig. 2 / Example 2: dynamic loop in both models", expE3},
+	{"e4", "Eq. 2: min element", expE4},
+	{"e5", "§III-A3 reductions (Rd1): granularity trade-off", expE5},
+	{"e7", "Fig. 3 grammar: all paper listings parse", expE7},
+	{"e8", "Fig. 4: multiset-to-instances mapping", expE8},
+	{"e9", "Algorithm 1 equivalence on random graphs", expE9},
+	{"e11", "§III-C correspondence: firings = reaction steps", expE11},
+	{"e12", "parallel execution scaling (both runtimes)", expE12},
+	{"e13", "trace reuse (DF-DTM) across both models", expE13},
+	{"e14", "future work: Gamma over a distributed multiset (IoT)", expE14},
+	{"e15", "work/span/parallelism profiles across both models", expE15},
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (e1, e3, ...) or all")
+	figures := flag.String("figures", "", "write the paper's figures (DOT + dfir + gamma) into this directory and exit")
+	flag.Parse()
+	if *figures != "" {
+		if err := writeFigures(*figures); err != nil {
+			fmt.Fprintln(os.Stderr, "gfbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	ran := false
+	for _, e := range experiments {
+		if *exp != "all" && *exp != e.id {
+			continue
+		}
+		ran = true
+		fmt.Printf("### %s — %s\n\n", e.id, e.desc)
+		if err := e.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "gfbench: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "gfbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+// TestFastExperiments executes the cheap experiment drivers end to end; the
+// timing-heavy ones (e12, e13) run only outside -short.
+func TestFastExperiments(t *testing.T) {
+	fast := map[string]func() error{
+		"e1": expE1, "e3": expE3, "e4": expE4, "e5": expE5,
+		"e7": expE7, "e8": expE8, "e9": expE9, "e11": expE11, "e15": expE15,
+	}
+	for id, fn := range fast {
+		if err := fn(); err != nil {
+			t.Errorf("%s: %v", id, err)
+		}
+	}
+}
+
+func TestSlowExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiments")
+	}
+	for id, fn := range map[string]func() error{"e12": expE12, "e13": expE13, "e14": expE14} {
+		if err := fn(); err != nil {
+			t.Errorf("%s: %v", id, err)
+		}
+	}
+}

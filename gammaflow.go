@@ -1,0 +1,259 @@
+// Package gammaflow is the public API of the reproduction of "Exploring the
+// Equivalence between Dynamic Dataflow Model and Gamma — General Abstract
+// Model for Multiset mAnipulation" (Mello Jr et al., IPPS 2019,
+// arXiv:1811.00607).
+//
+// It re-exports the stable surface of the internal packages:
+//
+//   - the Gamma runtime (multiset rewriting with sequential and parallel
+//     execution) and the Gamma source language of the paper's Fig. 3 grammar;
+//   - the dynamic dataflow runtime (tagged tokens, steer/inctag vertices,
+//     sequential and parallel PE schedulers);
+//   - Algorithm 1 (dataflow → Gamma) and Algorithm 2 (Gamma → dataflow),
+//     the reaction classifier, the multiset mapper of Fig. 4, and the
+//     §III-A3 reduction engine;
+//   - the mini imperative compiler that derives graphs from the paper's
+//     von Neumann sources, and the equivalence checking harness.
+//
+// Quick start — run the paper's Example 1 in both models:
+//
+//	g, _ := gammaflow.CompileSource("ex1", `
+//	    int x = 1; int y = 5; int k = 3; int j = 2; int m;
+//	    m = (x + y) - (k * j);`)
+//	res, _ := gammaflow.RunGraph(g, gammaflow.GraphOptions{})
+//	prog, init, _ := gammaflow.ToGamma(g)
+//	gammaflow.RunProgram(prog, init, gammaflow.ProgramOptions{})
+//	// res.Output("m") and init now both hold m = 0.
+package gammaflow
+
+import (
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/dfir"
+	"repro/internal/dist"
+	"repro/internal/equiv"
+	"repro/internal/expr"
+	"repro/internal/gamma"
+	"repro/internal/gammalang"
+	"repro/internal/multiset"
+	"repro/internal/profile"
+	"repro/internal/reuse"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// Scalar values and tuples.
+type (
+	// Value is the scalar operand domain shared by both models.
+	Value = value.Value
+	// Tuple is one multiset element.
+	Tuple = multiset.Tuple
+	// Multiset is the Gamma model's single database.
+	Multiset = multiset.Multiset
+)
+
+// Value constructors.
+var (
+	Int        = value.Int
+	Float      = value.Float
+	Bool       = value.Bool
+	Str        = value.Str
+	ParseValue = value.Parse
+)
+
+// Tuple constructors following the paper's element shapes.
+var (
+	NewMultiset   = multiset.New
+	ParseMultiset = multiset.Parse
+	Elem          = multiset.Elem
+	IntElem       = multiset.IntElem
+	PairElem      = multiset.Pair
+	ScalarElem    = multiset.New1
+)
+
+// Gamma model.
+type (
+	// Reaction is one (condition, action) pair of the Γ operator.
+	Reaction = gamma.Reaction
+	// Program is a set of reactions composed in parallel.
+	Program = gamma.Program
+	// Plan is a sequential composition of parallel reaction groups.
+	Plan = gamma.Plan
+	// ProgramOptions configures Gamma execution.
+	ProgramOptions = gamma.Options
+	// ProgramStats reports a Gamma execution.
+	ProgramStats = gamma.Stats
+)
+
+// Termination hints from the static analysis.
+const (
+	TerminationUnknown    = gamma.TerminationUnknown
+	TerminationGuaranteed = gamma.TerminationGuaranteed
+	TerminationNever      = gamma.TerminationNever
+)
+
+var (
+	// RunProgram executes a Gamma program to its stable state (Eq. 1).
+	RunProgram = gamma.Run
+	// AnalyzeTermination applies the syntactic termination criteria
+	// (size-decreasing reactions terminate; unconditional self-feeding
+	// growth diverges).
+	AnalyzeTermination = gamma.AnalyzeTermination
+	// DeadReactions lists reactions that can never fire from an initial
+	// multiset (label-reachability fixpoint).
+	DeadReactions = gamma.DeadReactions
+	// NewProgram builds and validates a program.
+	NewProgram = gamma.NewProgram
+	// SequencePrograms composes programs with the paper's ';' operator.
+	SequencePrograms = gamma.Sequence
+	// ParseProgram parses Gamma source in the Fig. 3 grammar.
+	ParseProgram = gammalang.ParseProgram
+	// ParseReaction parses a single reaction.
+	ParseReaction = gammalang.ParseReaction
+	// ParseGammaFile parses a full source file (init multiset, reactions,
+	// composition).
+	ParseGammaFile = gammalang.ParseFile
+	// FormatProgram renders a program in the paper's listing style.
+	FormatProgram = gammalang.Format
+	// FormatGammaFile renders a full source file.
+	FormatGammaFile = gammalang.FormatFile
+)
+
+// Dynamic dataflow model.
+type (
+	// Graph is a dynamic dataflow program.
+	Graph = dataflow.Graph
+	// GraphOptions configures dataflow execution.
+	GraphOptions = dataflow.Options
+	// GraphResult reports a dataflow execution.
+	GraphResult = dataflow.Result
+	// NodeKind enumerates vertex types.
+	NodeKind = dataflow.NodeKind
+	// TaggedValue is an output token (value plus iteration tag).
+	TaggedValue = dataflow.TaggedValue
+)
+
+var (
+	// NewGraph returns an empty graph to build with its Add/Connect methods.
+	NewGraph = dataflow.NewGraph
+	// RunGraph executes a graph until no token is in flight.
+	RunGraph = dataflow.Run
+	// MarshalGraph and UnmarshalGraph read/write the dfir text format.
+	MarshalGraph   = dfir.Marshal
+	UnmarshalGraph = dfir.Unmarshal
+	// GraphToDOT renders a graph with the paper's figure conventions.
+	GraphToDOT = dfir.ToDOT
+)
+
+// The paper's primary contribution: the conversions.
+var (
+	// ToGamma is Algorithm 1: dataflow graph → Gamma program + initial
+	// multiset.
+	ToGamma = core.ToGamma
+	// ReactionToGraph is Algorithm 2 step 1: one reaction → dataflow
+	// subgraph.
+	ReactionToGraph = core.ReactionToGraph
+	// MapMultiset is Algorithm 2 step 2: the Fig. 4 multiset-to-instances
+	// mapping.
+	MapMultiset = core.MapMultiset
+	// ProgramToGraph reconstructs a whole graph from a Gamma program using
+	// the reaction classifier (the paper's future work).
+	ProgramToGraph = core.ProgramToGraph
+	// ClassifyReaction maps a reaction to the dataflow vertex it behaves as.
+	ClassifyReaction = core.ClassifyReaction
+	// Reduce fuses reaction chains (§III-A3 reductions, Rd1).
+	Reduce = core.Reduce
+	// OutputsFromMultiset extracts program outputs from a stable multiset.
+	OutputsFromMultiset = core.OutputsFromMultiset
+)
+
+// Compilation from the paper's von Neumann mini language.
+var (
+	// CompileSource translates imperative source into a dataflow graph.
+	CompileSource = compiler.Compile
+)
+
+// Equivalence checking.
+type (
+	// EquivOptions configures an equivalence check.
+	EquivOptions = equiv.Options
+	// EquivReport is the outcome of an equivalence check.
+	EquivReport = equiv.Report
+)
+
+var (
+	// CheckEquivalence runs a graph natively and through Algorithm 1 and
+	// compares outputs, stuck operands and firing counts.
+	CheckEquivalence = equiv.Check
+	// RandomGraph generates seeded random graphs for property testing.
+	RandomGraph = equiv.RandomGraph
+)
+
+// Trace reuse (DF-DTM-style memoization, usable by both runtimes).
+type (
+	// ReuseTable memoizes vertex firings and reaction applications.
+	ReuseTable = reuse.Table
+	// ReuseStats reports a table's hit/miss counters.
+	ReuseStats = reuse.Stats
+)
+
+// NewReuseTable returns a memoization table (capacity 0 = unbounded).
+var NewReuseTable = reuse.NewTable
+
+// Expression language shared by reactions and the compiler.
+type Expr = expr.Expr
+
+// ParseExpr parses an arithmetic/boolean expression.
+var ParseExpr = expr.Parse
+
+// Structured-Gamma-style static typing (the paper's §II-B: "type checking at
+// compile time").
+type (
+	// Schema declares element arities and field types per label.
+	Schema = schema.Schema
+	// ElementType is one label's declared shape.
+	ElementType = schema.ElementType
+	// Type is a static scalar type (IntType, BoolType, ... or AnyType).
+	Type = expr.Type
+)
+
+var (
+	// NewSchema returns an empty schema (strict = undeclared labels error).
+	NewSchema = schema.New
+	// InferSchema derives a schema from a program and initial multiset.
+	InferSchema = schema.Infer
+	// The static scalar types.
+	IntType    = expr.IntType
+	FloatType  = expr.FloatType
+	BoolType   = expr.BoolType
+	StringType = expr.StringType
+	AnyType    = expr.AnyType
+)
+
+// Execution profiling: work/span/parallelism analysis over either runtime
+// (the §I benefit of studying Gamma programs with dataflow analyses [2]).
+type (
+	// ProfileCollector implements both runtimes' Tracer interfaces.
+	ProfileCollector = profile.Collector
+	// ProfileReport holds work, span, parallelism and the depth profile.
+	ProfileReport = profile.Report
+)
+
+// NewProfileCollector returns an empty trace collector; pass it as
+// GraphOptions.Tracer or ProgramOptions.Tracer.
+var NewProfileCollector = profile.NewCollector
+
+// Distributed multiset execution (the paper's §IV future work: Gamma over
+// distributed multisets for IoT-style deployments).
+type (
+	// Cluster is a simulated distributed Gamma machine.
+	Cluster = dist.Cluster
+	// ClusterOptions configures node count, diffusion and seeds.
+	ClusterOptions = dist.Options
+	// ClusterStats reports rounds, migrations and per-node firings.
+	ClusterStats = dist.Stats
+)
+
+// NewCluster builds a distributed Gamma machine for a program.
+var NewCluster = dist.NewCluster

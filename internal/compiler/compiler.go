@@ -1,0 +1,613 @@
+// Package compiler translates a small imperative language — the "high level
+// language based on von Neumann paradigm" of the paper's examples — into
+// dynamic dataflow graphs. It reproduces mechanically how the paper derives
+// Fig. 1 from
+//
+//	int x = 1; int y = 5; int k = 3; int j = 2; int m;
+//	m = (x + y) - (k * j);
+//
+// and Fig. 2 from
+//
+//	for (i = z; i > 0; i--) x = x + y;
+//
+// Straight-line code becomes an expression dag; each for loop becomes the
+// Fig. 2 structure: one inctag vertex per live variable (merging the initial
+// and loop-back edges), the loop condition as a comparison vertex fanning its
+// control operand to one steer per live variable, the body wired from the
+// steer true ports back to the inctags, and the steer false ports carrying
+// the loop's final values onward.
+//
+// Grammar:
+//
+//	program := (funcdecl | stmt)*
+//	funcdecl:= 'func' IDENT '(' [IDENT {',' IDENT}] ')'
+//	           '{' fstmt* 'return' expr ';' '}'
+//	fstmt   := 'int' IDENT ['=' expr] ';' | IDENT '=' expr ';'
+//	stmt    := 'int' IDENT ['=' expr] ';'
+//	         | IDENT '=' expr ';'
+//	         | 'for' '(' assign ';' expr ';' step ')' body
+//	         | 'output' IDENT ';'
+//	step    := assign | IDENT '--' | IDENT '++'
+//	body    := '{' stmt* '}' | stmt            (assignments only inside)
+//
+// Variables assigned but never read become program outputs, unless explicit
+// output statements name them.
+//
+// Function calls compile by graph instantiation: each call site inlines a
+// fresh copy of the function's subgraph wired to the argument edges — the
+// static form of the tag-based function calling the paper mentions as the
+// TALM approach [5]. Functions must be declared before use and may not
+// recurse (recursion needs dynamic call tags, which single-level iteration
+// tags cannot express; the same limitation applies to nested loops).
+package compiler
+
+import (
+	"fmt"
+
+	"repro/internal/dataflow"
+	"repro/internal/expr"
+)
+
+// Compile translates source into a validated dataflow graph.
+func Compile(name, src string) (*dataflow.Graph, error) {
+	stmts, err := parse(src)
+	if err != nil {
+		return nil, err
+	}
+	c := &compiler{
+		g:   dataflow.NewGraph(name),
+		env: make(map[string]outPort),
+	}
+	if err := c.compile(stmts); err != nil {
+		return nil, err
+	}
+	if err := c.g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := c.g.CheckLoops(); err != nil {
+		// Unreachable for compiler output (loops are built around inctags);
+		// defensive so generated graphs always satisfy the tag discipline.
+		return nil, err
+	}
+	return c.g, nil
+}
+
+// MustCompile is Compile that panics on error, for fixtures.
+func MustCompile(name, src string) *dataflow.Graph {
+	g, err := Compile(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// ---- AST ----
+
+type stmt interface{ isStmt() }
+
+type declStmt struct {
+	name string
+	init expr.Expr // nil for bare declarations
+}
+
+type assignStmt struct {
+	name string
+	rhs  expr.Expr
+}
+
+type forStmt struct {
+	init assignStmt
+	cond expr.Expr
+	step assignStmt
+	body []assignStmt
+}
+
+type outputStmt struct{ name string }
+
+// funcDecl is a user function: assignments over parameters and locals plus a
+// final return expression. Inlined per call site.
+type funcDecl struct {
+	name   string
+	params []string
+	body   []stmt // declStmt and assignStmt only
+	ret    expr.Expr
+}
+
+func (declStmt) isStmt()   {}
+func (assignStmt) isStmt() {}
+func (forStmt) isStmt()    {}
+func (outputStmt) isStmt() {}
+func (funcDecl) isStmt()   {}
+
+// ---- code generation ----
+
+type outPort struct {
+	node dataflow.NodeID
+	port int
+}
+
+type compiler struct {
+	g          *dataflow.Graph
+	env        map[string]outPort // current value of each variable
+	decl       map[string]bool
+	reads      map[string]bool
+	writeOrder []string
+	outputs    []string
+	funcs      map[string]*funcDecl
+	inlining   map[string]bool // recursion guard
+	edgeN      int
+	nodeN      int
+}
+
+func (c *compiler) freshEdge(hint string) string {
+	c.edgeN++
+	return fmt.Sprintf("%s%d", hint, c.edgeN)
+}
+
+func (c *compiler) freshNode(hint string) string {
+	c.nodeN++
+	return fmt.Sprintf("%s%d", hint, c.nodeN)
+}
+
+func (c *compiler) connect(from outPort, to dataflow.NodeID, port int, hint string) error {
+	_, err := c.g.Connect(from.node, from.port, to, port, c.freshEdge(hint))
+	return err
+}
+
+func (c *compiler) compile(stmts []stmt) error {
+	c.decl = make(map[string]bool)
+	c.reads = make(map[string]bool)
+	c.funcs = make(map[string]*funcDecl)
+	c.inlining = make(map[string]bool)
+	for _, s := range stmts {
+		if err := c.stmt(s); err != nil {
+			return err
+		}
+	}
+	// Implicit outputs: assigned but never read, unless explicit outputs
+	// were declared.
+	if len(c.outputs) == 0 {
+		for _, name := range c.writeOrder {
+			if !c.reads[name] {
+				c.outputs = append(c.outputs, name)
+			}
+		}
+	}
+	seen := make(map[string]bool)
+	for _, name := range c.outputs {
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		p, ok := c.env[name]
+		if !ok {
+			return fmt.Errorf("compiler: output variable %s has no value", name)
+		}
+		if _, err := c.g.Connect(p.node, p.port, dataflow.NoNode, 0, name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *compiler) stmt(s stmt) error {
+	switch st := s.(type) {
+	case declStmt:
+		if c.decl[st.name] {
+			return fmt.Errorf("compiler: %s declared twice", st.name)
+		}
+		c.decl[st.name] = true
+		if st.init == nil {
+			return nil
+		}
+		return c.assign(st.name, st.init)
+	case assignStmt:
+		if !c.decl[st.name] {
+			return fmt.Errorf("compiler: assignment to undeclared variable %s", st.name)
+		}
+		return c.assign(st.name, st.rhs)
+	case outputStmt:
+		c.outputs = append(c.outputs, st.name)
+		return nil
+	case forStmt:
+		return c.forLoop(st)
+	case funcDecl:
+		if _, dup := c.funcs[st.name]; dup {
+			return fmt.Errorf("compiler: function %s declared twice", st.name)
+		}
+		fn := st
+		c.funcs[st.name] = &fn
+		return nil
+	}
+	return fmt.Errorf("compiler: unknown statement %T", s)
+}
+
+func (c *compiler) assign(name string, rhs expr.Expr) error {
+	prepared, err := c.prepare(rhs)
+	if err != nil {
+		return err
+	}
+	p, err := c.build(prepared, c.env)
+	if err != nil {
+		return err
+	}
+	c.env[name] = p
+	c.noteWrite(name)
+	return nil
+}
+
+// prepare expands user function calls symbolically and constant-folds the
+// result. Folding is what keeps literal subtrees out of the graph: a fully
+// literal expression becomes a single literal, which the binary build path
+// fuses into its consumer as an immediate — essential inside loop bodies,
+// where a const vertex would fire at tag 0 only and never meet iteration
+// operands.
+func (c *compiler) prepare(e expr.Expr) (expr.Expr, error) {
+	expanded, err := c.expandCalls(e)
+	if err != nil {
+		return nil, err
+	}
+	return expr.Fold(expanded), nil
+}
+
+// expandCalls inlines user function calls at the expression level: the
+// function body's declarations and assignments reduce, by substitution, to a
+// single expression over the (already expanded) argument expressions. Each
+// call site gets its own copy — the static instantiation of the tag-based
+// function calling the paper mentions [5].
+func (c *compiler) expandCalls(e expr.Expr) (expr.Expr, error) {
+	switch n := e.(type) {
+	case expr.Lit, expr.Var:
+		return e, nil
+	case expr.Unary:
+		x, err := c.expandCalls(n.X)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Unary{Op: n.Op, X: x}, nil
+	case expr.Binary:
+		l, err := c.expandCalls(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.expandCalls(n.R)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Binary{Op: n.Op, L: l, R: r}, nil
+	case expr.Call:
+		fn, ok := c.funcs[n.Name]
+		if !ok {
+			return nil, fmt.Errorf("compiler: call to undeclared function %s", n.Name)
+		}
+		if c.inlining[n.Name] {
+			return nil, fmt.Errorf("compiler: function %s is recursive; recursion needs dynamic call tags", n.Name)
+		}
+		if len(n.Args) != len(fn.params) {
+			return nil, fmt.Errorf("compiler: %s takes %d arguments, got %d", n.Name, len(fn.params), len(n.Args))
+		}
+		// Arguments belong to the caller's scope: expand them before the
+		// recursion guard engages, so affine(affine(x)) is nesting, not
+		// recursion.
+		bindings := make(map[string]expr.Expr, len(fn.params))
+		declared := make(map[string]bool, len(fn.params))
+		for i, p := range fn.params {
+			arg, err := c.expandCalls(n.Args[i])
+			if err != nil {
+				return nil, err
+			}
+			bindings[p] = arg
+			declared[p] = true
+		}
+		c.inlining[n.Name] = true
+		defer delete(c.inlining, n.Name)
+		// checkScope validates a body expression BEFORE substitution: every
+		// free name must be a bound parameter or already-assigned local.
+		// (After substitution, caller names flow in via argument
+		// expressions, which must not be mistaken for body names — nor may
+		// an unassigned local capture a same-named caller variable.)
+		checkScope := func(e expr.Expr) error {
+			for _, v := range expr.FreeVars(e) {
+				if !declared[v] {
+					return fmt.Errorf("compiler: function %s reads %s, which is not a parameter or local", n.Name, v)
+				}
+				if _, bound := bindings[v]; !bound {
+					return fmt.Errorf("compiler: function %s uses %s before assigning it", n.Name, v)
+				}
+			}
+			return nil
+		}
+		for _, s := range fn.body {
+			switch st := s.(type) {
+			case declStmt:
+				if declared[st.name] {
+					return nil, fmt.Errorf("compiler: %s declared twice in function %s", st.name, n.Name)
+				}
+				if st.init != nil {
+					rhs, err := c.expandCalls(st.init)
+					if err != nil {
+						return nil, err
+					}
+					if err := checkScope(rhs); err != nil {
+						return nil, err
+					}
+					declared[st.name] = true
+					bindings[st.name] = expr.Subst(rhs, bindings)
+				} else {
+					declared[st.name] = true
+				}
+			case assignStmt:
+				if !declared[st.name] {
+					return nil, fmt.Errorf("compiler: assignment to undeclared %s in function %s", st.name, n.Name)
+				}
+				rhs, err := c.expandCalls(st.rhs)
+				if err != nil {
+					return nil, err
+				}
+				if err := checkScope(rhs); err != nil {
+					return nil, err
+				}
+				bindings[st.name] = expr.Subst(rhs, bindings)
+			default:
+				return nil, fmt.Errorf("compiler: function %s may only contain declarations and assignments", n.Name)
+			}
+		}
+		ret, err := c.expandCalls(fn.ret)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkScope(ret); err != nil {
+			return nil, err
+		}
+		return expr.Subst(ret, bindings), nil
+	}
+	return nil, fmt.Errorf("compiler: unknown expression %T", e)
+}
+
+func (c *compiler) noteWrite(name string) {
+	for _, w := range c.writeOrder {
+		if w == name {
+			return
+		}
+	}
+	c.writeOrder = append(c.writeOrder, name)
+}
+
+// build compiles an expression under an environment, emitting const vertices
+// for literals and operator vertices for the tree. Immediate operands fold
+// into their consumer, matching how Fig. 2 renders i > 0 and i - 1 as
+// single-input vertices.
+func (c *compiler) build(e expr.Expr, env map[string]outPort) (outPort, error) {
+	switch n := e.(type) {
+	case expr.Lit:
+		id := c.g.AddConst(c.freshNode("c"), n.Val)
+		return outPort{id, 0}, nil
+	case expr.Var:
+		c.reads[n.Name] = true
+		p, ok := env[n.Name]
+		if !ok {
+			return outPort{}, fmt.Errorf("compiler: variable %s read before assignment", n.Name)
+		}
+		return p, nil
+	case expr.Unary:
+		x, err := c.build(n.X, env)
+		if err != nil {
+			return outPort{}, err
+		}
+		id := c.g.AddUnary(c.freshNode("u"), n.Op)
+		if err := c.connect(x, id, 0, "u"); err != nil {
+			return outPort{}, err
+		}
+		return outPort{id, 0}, nil
+	case expr.Binary:
+		arith := isArith(n.Op)
+		if !arith && !isCompare(n.Op) {
+			return outPort{}, fmt.Errorf("compiler: operator %q is not supported in dataflow", n.Op)
+		}
+		// Immediate folding when one side is a literal.
+		if lit, ok := n.R.(expr.Lit); ok {
+			if _, alsoLit := n.L.(expr.Lit); !alsoLit {
+				x, err := c.build(n.L, env)
+				if err != nil {
+					return outPort{}, err
+				}
+				var id dataflow.NodeID
+				if arith {
+					id = c.g.AddArithImm(c.freshNode("op"), n.Op, lit.Val)
+				} else {
+					id = c.g.AddCompareImm(c.freshNode("cmp"), n.Op, lit.Val)
+				}
+				if err := c.connect(x, id, 0, "e"); err != nil {
+					return outPort{}, err
+				}
+				return outPort{id, 0}, nil
+			}
+		}
+		if lit, ok := n.L.(expr.Lit); ok {
+			if _, alsoLit := n.R.(expr.Lit); !alsoLit {
+				x, err := c.build(n.R, env)
+				if err != nil {
+					return outPort{}, err
+				}
+				var id dataflow.NodeID
+				if arith {
+					id = c.g.AddArithImmLeft(c.freshNode("op"), n.Op, lit.Val)
+				} else {
+					id = c.g.AddCompareImmLeft(c.freshNode("cmp"), n.Op, lit.Val)
+				}
+				if err := c.connect(x, id, 0, "e"); err != nil {
+					return outPort{}, err
+				}
+				return outPort{id, 0}, nil
+			}
+		}
+		l, err := c.build(n.L, env)
+		if err != nil {
+			return outPort{}, err
+		}
+		r, err := c.build(n.R, env)
+		if err != nil {
+			return outPort{}, err
+		}
+		var id dataflow.NodeID
+		if arith {
+			id = c.g.AddArith(c.freshNode("op"), n.Op)
+		} else {
+			id = c.g.AddCompare(c.freshNode("cmp"), n.Op)
+		}
+		if err := c.connect(l, id, 0, "e"); err != nil {
+			return outPort{}, err
+		}
+		if err := c.connect(r, id, 1, "e"); err != nil {
+			return outPort{}, err
+		}
+		return outPort{id, 0}, nil
+	case expr.Call:
+		// User calls are expanded by prepare before building; anything left
+		// is an unsupported builtin (min/max/abs have no dataflow vertex).
+		return outPort{}, fmt.Errorf("compiler: call %s has no dataflow form", n)
+	}
+	return outPort{}, fmt.Errorf("compiler: expression %s is not supported", e)
+}
+
+// forLoop emits the Fig. 2 structure for one loop.
+func (c *compiler) forLoop(st forStmt) error {
+	// Run the init assignment in the enclosing environment.
+	if !c.decl[st.init.name] {
+		return fmt.Errorf("compiler: loop variable %s is not declared", st.init.name)
+	}
+	if err := c.assign(st.init.name, st.init.rhs); err != nil {
+		return err
+	}
+
+	// Live variables: everything the condition, body or step reads or
+	// writes. Each must have a value entering the loop.
+	liveSet := make(map[string]bool)
+	addVars := func(e expr.Expr) {
+		for _, v := range expr.FreeVars(e) {
+			liveSet[v] = true
+		}
+	}
+	addVars(st.cond)
+	addVars(st.step.rhs)
+	liveSet[st.step.name] = true
+	for _, a := range st.body {
+		addVars(a.rhs)
+		liveSet[a.name] = true
+	}
+	var live []string
+	for _, name := range c.writeOrder {
+		if liveSet[name] {
+			live = append(live, name)
+		}
+	}
+	for name := range liveSet {
+		if _, ok := c.env[name]; !ok {
+			return fmt.Errorf("compiler: loop uses %s before it has a value", name)
+		}
+		found := false
+		for _, l := range live {
+			if l == name {
+				found = true
+			}
+		}
+		if !found {
+			live = append(live, name)
+		}
+	}
+
+	// Entry: one inctag per live variable, fed by the current value; the
+	// loop-back edge is attached after the body is compiled.
+	inctags := make(map[string]dataflow.NodeID, len(live))
+	incEnv := make(map[string]outPort, len(live))
+	for _, v := range live {
+		id := c.g.AddIncTag(c.freshNode("inc_" + v))
+		if err := c.connect(c.env[v], id, 0, v+"_in"); err != nil {
+			return err
+		}
+		inctags[v] = id
+		incEnv[v] = outPort{id, 0}
+	}
+
+	// Condition over the inctag outputs, control fanned to one steer per
+	// live variable.
+	cond, err := c.prepare(st.cond)
+	if err != nil {
+		return err
+	}
+	if len(expr.FreeVars(cond)) == 0 {
+		return fmt.Errorf("compiler: loop condition %s is constant", cond)
+	}
+	ctl, err := c.build(cond, incEnv)
+	if err != nil {
+		return err
+	}
+	trueEnv := make(map[string]outPort, len(live))
+	for _, v := range live {
+		steer := c.g.AddSteer(c.freshNode("st_" + v))
+		if err := c.connect(incEnv[v], steer, 0, v+"_d"); err != nil {
+			return err
+		}
+		if err := c.connect(ctl, steer, 1, v+"_c"); err != nil {
+			return err
+		}
+		trueEnv[v] = outPort{steer, dataflow.PortTrue}
+		// The loop's final value continues from the false port, with its
+		// iteration tag reset to 0 so it can meet tag-0 operands in the
+		// code after the loop.
+		rst := c.g.AddSetTag(c.freshNode("rst_" + v))
+		if err := c.connect(outPort{steer, dataflow.PortFalse}, rst, 0, v+"_x"); err != nil {
+			return err
+		}
+		c.env[v] = outPort{rst, 0}
+		c.noteWrite(v)
+	}
+
+	// Body and step execute on the true side; their final values loop back.
+	bodyEnv := make(map[string]outPort, len(live))
+	for v, p := range trueEnv {
+		bodyEnv[v] = p
+	}
+	for _, a := range append(append([]assignStmt{}, st.body...), st.step) {
+		if !c.decl[a.name] {
+			return fmt.Errorf("compiler: assignment to undeclared variable %s in loop", a.name)
+		}
+		rhs, err := c.prepare(a.rhs)
+		if err != nil {
+			return err
+		}
+		if len(expr.FreeVars(rhs)) == 0 {
+			// A constant assignment inside a loop would emit a const vertex,
+			// which fires once at tag 0 and cannot supply every iteration.
+			return fmt.Errorf("compiler: loop body assigns the constant %s to %s; express it outside the loop", rhs, a.name)
+		}
+		p, err := c.build(rhs, bodyEnv)
+		if err != nil {
+			return err
+		}
+		bodyEnv[a.name] = p
+		c.noteWrite(a.name)
+	}
+	for _, v := range live {
+		if err := c.connect(bodyEnv[v], inctags[v], 0, v+"_bk"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func isArith(op string) bool {
+	switch op {
+	case "+", "-", "*", "/", "%":
+		return true
+	}
+	return false
+}
+
+func isCompare(op string) bool {
+	switch op {
+	case "==", "!=", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,277 @@
+package compiler
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/value"
+)
+
+// parse tokenizes and parses the mini language into statements.
+func parse(src string) ([]stmt, error) {
+	ep, err := expr.NewParser(expr.NewLexer(src))
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{ep: ep}
+	var stmts []stmt
+	for p.ep.Tok().Kind != expr.TokEOF {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	return stmts, nil
+}
+
+type parser struct {
+	ep *expr.Parser
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.ep.Tok()
+	return &expr.SyntaxError{Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) at(kind expr.TokenKind, text string) bool {
+	t := p.ep.Tok()
+	return t.Kind == kind && (text == "" || t.Text == text)
+}
+
+func (p *parser) expect(kind expr.TokenKind, text string) error {
+	if !p.at(kind, text) {
+		if text != "" {
+			return p.errf("expected %q, found %s", text, p.ep.Tok())
+		}
+		return p.errf("expected %s, found %s", kind, p.ep.Tok())
+	}
+	return p.ep.Advance()
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.ep.Tok()
+	if t.Kind != expr.TokIdent {
+		return "", p.errf("expected identifier, found %s", t)
+	}
+	switch t.Text {
+	case "int", "for", "output", "func", "return":
+		return "", p.errf("keyword %q cannot be an identifier", t.Text)
+	}
+	return t.Text, p.ep.Advance()
+}
+
+func (p *parser) stmt() (stmt, error) {
+	switch {
+	case p.at(expr.TokIdent, "int"):
+		if err := p.ep.Advance(); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		d := declStmt{name: name}
+		if p.at(expr.TokOp, "=") {
+			if err := p.ep.Advance(); err != nil {
+				return nil, err
+			}
+			e, err := p.ep.ParseExpr()
+			if err != nil {
+				return nil, err
+			}
+			d.init = e
+		}
+		return d, p.expect(expr.TokSemi, "")
+	case p.at(expr.TokIdent, "for") || p.at(expr.TokIdent, "For"):
+		return p.forStmt()
+	case p.at(expr.TokIdent, "output"):
+		if err := p.ep.Advance(); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return outputStmt{name: name}, p.expect(expr.TokSemi, "")
+	case p.at(expr.TokIdent, "func"):
+		return p.funcDecl()
+	default:
+		a, err := p.assign()
+		if err != nil {
+			return nil, err
+		}
+		return a, p.expect(expr.TokSemi, "")
+	}
+}
+
+// assign parses "name = expr", "name++" or "name--" (without the semicolon).
+func (p *parser) assign() (assignStmt, error) {
+	name, err := p.ident()
+	if err != nil {
+		return assignStmt{}, err
+	}
+	// Increment/decrement sugar: the lexer yields two operator tokens.
+	if p.at(expr.TokOp, "-") || p.at(expr.TokOp, "+") {
+		op := p.ep.Tok().Text
+		if err := p.ep.Advance(); err != nil {
+			return assignStmt{}, err
+		}
+		if !p.at(expr.TokOp, op) {
+			return assignStmt{}, p.errf("expected %q%q or an assignment", op, op)
+		}
+		if err := p.ep.Advance(); err != nil {
+			return assignStmt{}, err
+		}
+		return assignStmt{name: name, rhs: expr.Binary{
+			Op: op, L: expr.Var{Name: name}, R: expr.Lit{Val: value.Int(1)},
+		}}, nil
+	}
+	if err := p.expect(expr.TokOp, "="); err != nil {
+		return assignStmt{}, err
+	}
+	e, err := p.ep.ParseExpr()
+	if err != nil {
+		return assignStmt{}, err
+	}
+	return assignStmt{name: name, rhs: e}, nil
+}
+
+// funcDecl parses "func name(p1, p2) { fstmts; return expr; }".
+func (p *parser) funcDecl() (stmt, error) {
+	if err := p.ep.Advance(); err != nil { // 'func'
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(expr.TokLParen, ""); err != nil {
+		return nil, err
+	}
+	f := funcDecl{name: name}
+	if !p.at(expr.TokRParen, "") {
+		for {
+			param, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			f.params = append(f.params, param)
+			if !p.at(expr.TokComma, "") {
+				break
+			}
+			if err := p.ep.Advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := p.expect(expr.TokRParen, ""); err != nil {
+		return nil, err
+	}
+	if err := p.expect(expr.TokLBrace, ""); err != nil {
+		return nil, err
+	}
+	for !p.at(expr.TokIdent, "return") {
+		switch {
+		case p.at(expr.TokIdent, "int"):
+			if err := p.ep.Advance(); err != nil {
+				return nil, err
+			}
+			dn, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			d := declStmt{name: dn}
+			if p.at(expr.TokOp, "=") {
+				if err := p.ep.Advance(); err != nil {
+					return nil, err
+				}
+				e, err := p.ep.ParseExpr()
+				if err != nil {
+					return nil, err
+				}
+				d.init = e
+			}
+			if err := p.expect(expr.TokSemi, ""); err != nil {
+				return nil, err
+			}
+			f.body = append(f.body, d)
+		case p.at(expr.TokIdent, ""):
+			a, err := p.assign()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(expr.TokSemi, ""); err != nil {
+				return nil, err
+			}
+			f.body = append(f.body, a)
+		default:
+			return nil, p.errf("expected statement or 'return' in function %s, found %s", name, p.ep.Tok())
+		}
+	}
+	if err := p.ep.Advance(); err != nil { // 'return'
+		return nil, err
+	}
+	ret, err := p.ep.ParseExpr()
+	if err != nil {
+		return nil, err
+	}
+	f.ret = ret
+	if err := p.expect(expr.TokSemi, ""); err != nil {
+		return nil, err
+	}
+	return f, p.expect(expr.TokRBrace, "")
+}
+
+func (p *parser) forStmt() (stmt, error) {
+	if err := p.ep.Advance(); err != nil { // 'for'
+		return nil, err
+	}
+	if err := p.expect(expr.TokLParen, ""); err != nil {
+		return nil, err
+	}
+	init, err := p.assign()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(expr.TokSemi, ""); err != nil {
+		return nil, err
+	}
+	cond, err := p.ep.ParseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(expr.TokSemi, ""); err != nil {
+		return nil, err
+	}
+	step, err := p.assign()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(expr.TokRParen, ""); err != nil {
+		return nil, err
+	}
+	f := forStmt{init: init, cond: cond, step: step}
+	if p.at(expr.TokLBrace, "") {
+		if err := p.ep.Advance(); err != nil {
+			return nil, err
+		}
+		for !p.at(expr.TokRBrace, "") {
+			a, err := p.assign()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(expr.TokSemi, ""); err != nil {
+				return nil, err
+			}
+			f.body = append(f.body, a)
+		}
+		return f, p.ep.Advance()
+	}
+	a, err := p.assign()
+	if err != nil {
+		return nil, err
+	}
+	f.body = append(f.body, a)
+	return f, p.expect(expr.TokSemi, "")
+}

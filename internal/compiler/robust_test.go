@@ -1,0 +1,55 @@
+package compiler
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestCompilerNeverPanics mutates valid sources and feeds token soup; every
+// input must compile or error, never panic.
+func TestCompilerNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	corpus := []string{
+		Example1Source,
+		Example2Source,
+		`func f(a, b) { int t = a * b; return t + 1; } int x; x = f(2, 3); output x;`,
+		`int i; int s = 0; for (i = 0; i < 5; i++) { s = s + i; } output s;`,
+	}
+	tokens := []string{"int", "for", "func", "return", "output", "{", "}", "(", ")",
+		";", ",", "=", "==", "<", "+", "-", "--", "++", "x", "i", "0", "1"}
+	compileQuietly := func(src string) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("compiler panicked on %q: %v", src, r)
+			}
+		}()
+		_, _ = Compile("fuzz", src)
+	}
+	for i := 0; i < 300; i++ {
+		src := corpus[rng.Intn(len(corpus))]
+		switch rng.Intn(3) {
+		case 0:
+			if len(src) > 10 {
+				a := rng.Intn(len(src) - 5)
+				b := a + rng.Intn(len(src)-a)
+				src = src[:a] + src[b:]
+			}
+		case 1:
+			pos := rng.Intn(len(src))
+			src = src[:pos] + " " + tokens[rng.Intn(len(tokens))] + " " + src[pos:]
+		case 2:
+			mid := rng.Intn(len(src))
+			src = src[mid:] + src[:mid]
+		}
+		compileQuietly(src)
+	}
+	for i := 0; i < 200; i++ {
+		var b strings.Builder
+		for j := 0; j < rng.Intn(25); j++ {
+			b.WriteString(tokens[rng.Intn(len(tokens))])
+			b.WriteByte(' ')
+		}
+		compileQuietly(b.String())
+	}
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/dataflow"
+	"repro/internal/gamma"
+	"repro/internal/gammalang"
+	"repro/internal/multiset"
+	"repro/internal/paper"
+	"repro/internal/value"
+)
+
+// runBoth executes a graph natively and through Algorithm 1, returning both
+// output maps for comparison.
+func runBoth(t *testing.T, g *dataflow.Graph, maxSteps int64) (map[string][]dataflow.TaggedValue, map[string][]dataflow.TaggedValue) {
+	t.Helper()
+	res, err := dataflow.Run(g, dataflow.Options{MaxFirings: maxSteps})
+	if err != nil {
+		t.Fatalf("dataflow run: %v", err)
+	}
+	prog, init, err := ToGamma(g)
+	if err != nil {
+		t.Fatalf("ToGamma: %v", err)
+	}
+	if _, err := gamma.Run(prog, init, gamma.Options{MaxSteps: maxSteps * 4}); err != nil {
+		t.Fatalf("gamma run: %v\nprogram:\n%s", err, gammalang.Format(prog))
+	}
+	return res.Outputs, OutputsFromMultiset(init, g.OutputLabels())
+}
+
+func TestAlgorithm1Fig1(t *testing.T) {
+	g := paper.Fig1Graph()
+	prog, init, err := ToGamma(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three reactions (R1, R2, R3) as in the paper's Example 1.
+	if len(prog.Reactions) != 3 {
+		t.Errorf("reactions = %d, want 3", len(prog.Reactions))
+	}
+	// Initial multiset mirrors {[1,A1,0],[5,B1,0],[3,C1,0],[2,D1,0]}.
+	if init.Len() != 4 || !init.Contains(multiset.IntElem(1, "A1", 0)) ||
+		!init.Contains(multiset.IntElem(5, "B1", 0)) ||
+		!init.Contains(multiset.IntElem(3, "C1", 0)) ||
+		!init.Contains(multiset.IntElem(2, "D1", 0)) {
+		t.Errorf("initial multiset = %s", init)
+	}
+	// The emitted source contains the paper's R1 reaction shape.
+	text := gammalang.Format(prog)
+	for _, want := range []string{
+		"R1 = replace [id1, 'A1', v], [id2, 'B1', v]",
+		"by [id1 + id2, 'B2', v]",
+		"R3 = replace [id1, 'B2', v], [id2, 'C2', v]",
+		"by [id1 - id2, 'm', v]",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("emitted program missing %q:\n%s", want, text)
+		}
+	}
+	// And it runs to the paper's result.
+	if _, err := gamma.Run(prog, init, gamma.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if init.Len() != 1 || !init.Contains(multiset.IntElem(0, "m", 0)) {
+		t.Errorf("stable multiset = %s, want {[0, 'm', 0]}", init)
+	}
+}
+
+func TestAlgorithm1Fig1Equivalence(t *testing.T) {
+	for _, in := range [][4]int64{{1, 5, 3, 2}, {0, 0, 0, 0}, {-7, 3, 2, 9}, {50, -20, 6, 6}} {
+		g := paper.Fig1GraphWith(in[0], in[1], in[2], in[3])
+		df, gm := runBoth(t, g, 1000)
+		if !reflect.DeepEqual(df, gm) {
+			t.Errorf("inputs %v: dataflow %v vs gamma %v", in, df, gm)
+		}
+	}
+}
+
+func TestAlgorithm1Fig2Observable(t *testing.T) {
+	cases := []struct{ x, y, z int64 }{
+		{10, 4, 3}, {0, 1, 6}, {5, 7, 0}, {5, 7, -2},
+	}
+	for _, c := range cases {
+		g := paper.Fig2GraphObservable(c.x, c.y, c.z)
+		df, gm := runBoth(t, g, 100000)
+		if !reflect.DeepEqual(df, gm) {
+			t.Errorf("loop(%d,%d,%d): dataflow %v vs gamma %v", c.x, c.y, c.z, df, gm)
+		}
+		want := paper.Example2Result(c.x, c.y, c.z)
+		if len(df["xout"]) != 1 || df["xout"][0].Val != value.Int(want) {
+			t.Errorf("loop(%d,%d,%d) xout = %v, want %d", c.x, c.y, c.z, df["xout"], want)
+		}
+	}
+}
+
+func TestAlgorithm1Fig2Faithful(t *testing.T) {
+	// The faithful Fig. 2 graph discards everything; its conversion must
+	// produce a program whose stable multiset is empty, like the paper's
+	// Example-2 listing.
+	g := paper.Fig2Graph()
+	prog, init, err := ToGamma(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Reactions) != 9 {
+		t.Errorf("reactions = %d, want 9 (R11–R19)", len(prog.Reactions))
+	}
+	// The merge ports produce the paper's label-disjunction conditions.
+	text := gammalang.Format(prog)
+	if !strings.Contains(text, "x1 == 'A1'") || !strings.Contains(text, "x1 == 'A11'") {
+		t.Errorf("expected label-disjunction conditions in:\n%s", text)
+	}
+	if _, err := gamma.Run(prog, init, gamma.Options{MaxSteps: 100000}); err != nil {
+		t.Fatal(err)
+	}
+	if init.Len() != 0 {
+		t.Errorf("stable multiset = %s, want empty", init)
+	}
+}
+
+func TestAlgorithm1Fig2Parallel(t *testing.T) {
+	g := paper.Fig2GraphObservable(10, 4, 8)
+	prog, init, err := ToGamma(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gamma.Run(prog, init, gamma.Options{Workers: 4, Seed: 3, MaxSteps: 1000000}); err != nil {
+		t.Fatal(err)
+	}
+	out := OutputsFromMultiset(init, []string{"xout"})
+	if len(out["xout"]) != 1 || out["xout"][0].Val != value.Int(42) {
+		t.Errorf("parallel xout = %v, want 42", out["xout"])
+	}
+}
+
+func TestAlgorithm1EmittedSourceParses(t *testing.T) {
+	// The emitted Gamma source for Fig. 2 must parse under the Fig. 3
+	// grammar and behave identically.
+	g := paper.Fig2GraphObservable(3, 5, 4)
+	prog, init, err := ToGamma(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := gammalang.Format(prog)
+	prog2, err := gammalang.ParseProgram("reparsed", text)
+	if err != nil {
+		t.Fatalf("emitted source does not parse: %v\n%s", err, text)
+	}
+	m := init.Clone()
+	if _, err := gamma.Run(prog2, m, gamma.Options{MaxSteps: 100000}); err != nil {
+		t.Fatal(err)
+	}
+	out := OutputsFromMultiset(m, []string{"xout"})
+	if len(out["xout"]) != 1 || out["xout"][0].Val != value.Int(23) {
+		t.Errorf("xout = %v, want 23", out["xout"])
+	}
+}
+
+func TestAlgorithm1UnaryAndCopy(t *testing.T) {
+	g := dataflow.NewGraph("uc")
+	c := g.AddConst("c", value.Int(5))
+	cp := g.AddCopy("cp")
+	neg := g.AddUnary("neg", "-")
+	must := func(_ dataflow.EdgeID, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(g.Connect(c, 0, cp, 0, "in"))
+	must(g.Connect(cp, 0, neg, 0, "a"))
+	must(g.ConnectOut(cp, 0, "b"))
+	must(g.ConnectOut(neg, 0, "negout"))
+	df, gm := runBoth(t, g, 100)
+	if !reflect.DeepEqual(df, gm) {
+		t.Errorf("dataflow %v vs gamma %v", df, gm)
+	}
+	if df["negout"][0].Val != value.Int(-5) {
+		t.Errorf("negout = %v", df["negout"])
+	}
+}
+
+func TestAlgorithm1InvalidGraph(t *testing.T) {
+	g := dataflow.NewGraph("bad")
+	g.AddArith("a", "+")
+	if _, _, err := ToGamma(g); err == nil {
+		t.Error("invalid graph should not convert")
+	}
+}
+
+func TestOutputsFromMultisetOrdering(t *testing.T) {
+	m := multiset.New(
+		multiset.IntElem(30, "o", 3),
+		multiset.IntElem(10, "o", 1),
+		multiset.IntElem(20, "o", 2),
+	)
+	m.Add(multiset.IntElem(10, "o", 1)) // multiplicity 2
+	out := OutputsFromMultiset(m, []string{"o", "missing"})
+	if len(out["o"]) != 4 {
+		t.Fatalf("out = %v", out)
+	}
+	for i := 1; i < len(out["o"]); i++ {
+		if out["o"][i-1].Tag > out["o"][i].Tag {
+			t.Errorf("not sorted by tag: %v", out["o"])
+		}
+	}
+	if len(out["missing"]) != 0 {
+		t.Errorf("missing label should be empty: %v", out["missing"])
+	}
+}

@@ -1,0 +1,518 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+
+	"repro/internal/dataflow"
+	"repro/internal/expr"
+	"repro/internal/gamma"
+	"repro/internal/value"
+)
+
+// NodeSpec is the classifier's verdict on a reaction: the dataflow vertex it
+// behaves as, with the edge labels it consumes per input port and produces
+// per output port. This implements the transformation the paper leaves as
+// future work in §IV: "identify kinds of dataflow nodes (steer, inctag, etc)
+// via the analysis of the behavior of Gamma reactions".
+type NodeSpec struct {
+	Name    string
+	Kind    dataflow.NodeKind
+	Op      string
+	Imm     value.Value
+	ImmLeft bool
+	// InLabels lists, per input port, the edge labels the port accepts (a
+	// merge port accepts several, like R11's A1/A11).
+	InLabels [][]string
+	// OutLabels lists, per output port, the labels produced. For steer
+	// vertices index 0 is the true port and 1 the false port.
+	OutLabels [][]string
+}
+
+// ClassifyError reports a reaction the classifier cannot map to a single
+// dataflow vertex.
+type ClassifyError struct {
+	Reaction string
+	Reason   string
+}
+
+func (e *ClassifyError) Error() string {
+	return fmt.Sprintf("core: reaction %s is not vertex-shaped: %s", e.Reaction, e.Reason)
+}
+
+// patternShape is the decomposed form of an Algorithm-1-style pattern
+// [valueVar, label, tagVar].
+type patternShape struct {
+	valueVar string
+	labelVar string   // set when the label field is a variable
+	labels   []string // literal label, or merge labels recovered from conds
+}
+
+// ClassifyReaction analyzes a reaction's replace list, conditions and
+// products and returns the dataflow vertex it is equivalent to. Reactions
+// must follow the triplet element convention [value, label, tag]; anything
+// else is reported as a ClassifyError (such reactions are still executable by
+// the Gamma runtime and convertible per-reaction by ReactionToGraph — they
+// just do not correspond to a single vertex).
+func ClassifyReaction(r *gamma.Reaction) (*NodeSpec, error) {
+	fail := func(reason string) (*NodeSpec, error) {
+		return nil, &ClassifyError{Reaction: r.Name, Reason: reason}
+	}
+	if err := r.Validate(); err != nil {
+		return fail(err.Error())
+	}
+
+	// 1. Decompose patterns.
+	shapes := make([]patternShape, len(r.Patterns))
+	tagVar := ""
+	for i, p := range r.Patterns {
+		if len(p) != 3 {
+			return fail(fmt.Sprintf("pattern %d has arity %d, want 3 ([value, label, tag])", i, len(p)))
+		}
+		if p[0].Var == "" {
+			return fail(fmt.Sprintf("pattern %d value field is not a variable", i))
+		}
+		shapes[i].valueVar = p[0].Var
+		switch {
+		case p[1].Var != "":
+			shapes[i].labelVar = p[1].Var
+		case p[1].Lit.Kind() == value.KindString:
+			shapes[i].labels = []string{p[1].Lit.AsString()}
+		default:
+			return fail(fmt.Sprintf("pattern %d label field is not a string or variable", i))
+		}
+		if p[2].Var == "" {
+			return fail(fmt.Sprintf("pattern %d tag field is not a variable", i))
+		}
+		if tagVar == "" {
+			tagVar = p[2].Var
+		} else if p[2].Var != tagVar {
+			return fail("patterns do not share one tag variable")
+		}
+	}
+
+	// 2. Decompose branch conditions into merge-label constraints and one
+	// operative condition per branch.
+	type branchInfo struct {
+		operative expr.Expr // nil for unconditional/else
+		products  []productShape
+	}
+	branches := make([]branchInfo, len(r.Branches))
+	mergeSeen := make(map[string][]string) // labelVar -> labels (must agree across branches)
+	for bi, b := range r.Branches {
+		var operative expr.Expr
+		for _, conjunct := range splitConjuncts(b.Cond) {
+			if lv, labels, ok := labelDisjunction(conjunct, shapes); ok {
+				sort.Strings(labels)
+				if prev, seen := mergeSeen[lv]; seen && !reflect.DeepEqual(prev, labels) {
+					return fail(fmt.Sprintf("branches disagree on labels for %s", lv))
+				}
+				mergeSeen[lv] = labels
+				continue
+			}
+			if operative != nil {
+				return fail("more than one operative condition conjunct")
+			}
+			operative = conjunct
+		}
+		branches[bi].operative = operative
+		for _, tpl := range b.Products {
+			ps, err := decomposeProduct(tpl, tagVar)
+			if err != nil {
+				return fail(err.Error())
+			}
+			branches[bi].products = append(branches[bi].products, ps)
+		}
+	}
+	for i := range shapes {
+		if shapes[i].labelVar != "" {
+			labels, ok := mergeSeen[shapes[i].labelVar]
+			if !ok {
+				return fail(fmt.Sprintf("label variable %s is unconstrained", shapes[i].labelVar))
+			}
+			shapes[i].labels = labels
+		}
+	}
+
+	spec := &NodeSpec{Name: r.Name}
+	for _, s := range shapes {
+		spec.InLabels = append(spec.InLabels, s.labels)
+	}
+
+	// 3. Case analysis over branch count and product shapes.
+	switch len(branches) {
+	case 1:
+		return classifySingleBranch(r, spec, shapes, tagVar, branches[0].operative, branches[0].products)
+	case 2:
+		return classifyTwoBranch(r, spec, shapes, tagVar,
+			branches[0].operative, branches[0].products,
+			branches[1].operative, branches[1].products)
+	}
+	return fail(fmt.Sprintf("%d branches; vertex-shaped reactions have 1 or 2", len(branches)))
+}
+
+// productShape is the decomposed form of a product template
+// [valueExpr, 'label', tagExpr].
+type productShape struct {
+	valueExpr expr.Expr
+	label     string
+	// tagDelta is 0 when the tag expression is the tag variable itself, 1
+	// for tag+1 (the inctag signature).
+	tagDelta int64
+	// tagReset marks the literal-0 tag of a settag vertex's products.
+	tagReset bool
+}
+
+func decomposeProduct(tpl gamma.Template, tagVar string) (productShape, error) {
+	var ps productShape
+	if len(tpl) != 3 {
+		return ps, fmt.Errorf("product has arity %d, want 3", len(tpl))
+	}
+	lit, ok := tpl[1].(expr.Lit)
+	if !ok || lit.Val.Kind() != value.KindString {
+		return ps, fmt.Errorf("product label %s is not a string literal", tpl[1])
+	}
+	ps.label = lit.Val.AsString()
+	ps.valueExpr = tpl[0]
+	switch tagE := tpl[2].(type) {
+	case expr.Var:
+		if tagE.Name != tagVar {
+			return ps, fmt.Errorf("product tag %s is not the tag variable", tagE.Name)
+		}
+	case expr.Lit:
+		if tagE.Val != value.Int(0) {
+			return ps, fmt.Errorf("product tag literal %s is not 0", tagE.Val)
+		}
+		ps.tagReset = true
+	case expr.Binary:
+		l, lok := tagE.L.(expr.Var)
+		r, rok := tagE.R.(expr.Lit)
+		if tagE.Op != "+" || !lok || l.Name != tagVar || !rok || r.Val != value.Int(1) {
+			return ps, fmt.Errorf("product tag expression %s is neither v, v + 1 nor 0", tpl[2])
+		}
+		ps.tagDelta = 1
+	default:
+		return ps, fmt.Errorf("product tag expression %s is neither v, v + 1 nor 0", tpl[2])
+	}
+	return ps, nil
+}
+
+// splitConjuncts flattens nested "and" into a list; nil yields nil.
+func splitConjuncts(e expr.Expr) []expr.Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(expr.Binary); ok && (b.Op == "and" || b.Op == "&&") {
+		return append(splitConjuncts(b.L), splitConjuncts(b.R)...)
+	}
+	return []expr.Expr{e}
+}
+
+// labelDisjunction recognizes (x=='L1') or (x=='L2') or ... over a pattern
+// label variable, returning the variable and the label set.
+func labelDisjunction(e expr.Expr, shapes []patternShape) (string, []string, bool) {
+	isLabelVar := func(name string) bool {
+		for _, s := range shapes {
+			if s.labelVar == name {
+				return true
+			}
+		}
+		return false
+	}
+	var walk func(e expr.Expr) (string, []string, bool)
+	walk = func(e expr.Expr) (string, []string, bool) {
+		b, ok := e.(expr.Binary)
+		if !ok {
+			return "", nil, false
+		}
+		switch b.Op {
+		case "or", "||":
+			lv1, l1, ok1 := walk(b.L)
+			lv2, l2, ok2 := walk(b.R)
+			if !ok1 || !ok2 || lv1 != lv2 {
+				return "", nil, false
+			}
+			return lv1, append(l1, l2...), true
+		case "==":
+			v, vok := b.L.(expr.Var)
+			lit, lok := b.R.(expr.Lit)
+			if !vok || !lok || lit.Val.Kind() != value.KindString || !isLabelVar(v.Name) {
+				return "", nil, false
+			}
+			return v.Name, []string{lit.Val.AsString()}, true
+		}
+		return "", nil, false
+	}
+	return walk(e)
+}
+
+// uniformProducts reports whether every product in ps forwards the identical
+// value and tag behaviour, returning the labels. The second result encodes
+// the tag: 0 unchanged, 1 incremented, -1 reset to 0.
+func uniformProducts(ps []productShape) (expr.Expr, int64, []string, bool) {
+	if len(ps) == 0 {
+		return nil, 0, nil, true
+	}
+	tagCode := func(p productShape) int64 {
+		if p.tagReset {
+			return -1
+		}
+		return p.tagDelta
+	}
+	labels := []string{ps[0].label}
+	for _, p := range ps[1:] {
+		if !expr.Equal(p.valueExpr, ps[0].valueExpr) || tagCode(p) != tagCode(ps[0]) {
+			return nil, 0, nil, false
+		}
+		labels = append(labels, p.label)
+	}
+	return ps[0].valueExpr, tagCode(ps[0]), labels, true
+}
+
+func classifySingleBranch(r *gamma.Reaction, spec *NodeSpec, shapes []patternShape, tagVar string, operative expr.Expr, products []productShape) (*NodeSpec, error) {
+	fail := func(reason string) (*NodeSpec, error) {
+		return nil, &ClassifyError{Reaction: r.Name, Reason: reason}
+	}
+	if operative != nil {
+		return fail("single-branch reaction with an operative condition is not one vertex")
+	}
+	valueExpr, tagDelta, labels, ok := uniformProducts(products)
+	if !ok {
+		return fail("products disagree on value or tag")
+	}
+	if len(products) == 0 {
+		// Unconditional consumers with no products are drains: vertices with
+		// no out edges (the operands are consumed, nothing is emitted).
+		// Algorithm 1 emits these for dead vertices — an unread loop-exit
+		// settag, or an arithmetic node whose value is overwritten before
+		// any use. Arity 1 reconstructs as an out-edge-less copy, arity 2 as
+		// an out-edge-less addition; both fire and discard, which is the
+		// drain's entire observable behaviour.
+		switch len(shapes) {
+		case 1:
+			spec.Kind = dataflow.KindCopy
+			spec.OutLabels = [][]string{nil}
+			return spec, nil
+		case 2:
+			spec.Kind = dataflow.KindArith
+			spec.Op = "+"
+			spec.OutLabels = [][]string{nil}
+			return spec, nil
+		}
+		return fail("unconditional reaction consuming 3+ elements and producing nothing is not one vertex")
+	}
+	spec.OutLabels = [][]string{labels}
+
+	if tagDelta == 1 || tagDelta == -1 {
+		v, ok := valueExpr.(expr.Var)
+		if len(shapes) != 1 || !ok || v.Name != shapes[0].valueVar {
+			return fail("tag-changing products must forward a single pattern's value (inctag/settag)")
+		}
+		if tagDelta == 1 {
+			spec.Kind = dataflow.KindIncTag
+		} else {
+			spec.Kind = dataflow.KindSetTag
+		}
+		return spec, nil
+	}
+	switch ve := valueExpr.(type) {
+	case expr.Var:
+		if len(shapes) != 1 || ve.Name != shapes[0].valueVar {
+			return fail("identity product must forward the single pattern's value (copy)")
+		}
+		spec.Kind = dataflow.KindCopy
+		return spec, nil
+	case expr.Unary:
+		x, ok := ve.X.(expr.Var)
+		if len(shapes) != 1 || !ok || x.Name != shapes[0].valueVar {
+			return fail("unary product must apply to the single pattern's value")
+		}
+		spec.Kind = dataflow.KindUnaryOp
+		spec.Op = ve.Op
+		return spec, nil
+	case expr.Binary:
+		if !isArithOp(ve.Op) {
+			return fail(fmt.Sprintf("operator %q in product is not arithmetic", ve.Op))
+		}
+		spec.Kind = dataflow.KindArith
+		spec.Op = ve.Op
+		return classifyBinaryOperands(r, spec, shapes, ve)
+	}
+	return fail("unsupported product value expression")
+}
+
+// classifyBinaryOperands fills in operand order and immediates for an Arith
+// or Compare spec whose expression is ve, reordering InLabels so port 0 is
+// the left operand.
+func classifyBinaryOperands(r *gamma.Reaction, spec *NodeSpec, shapes []patternShape, ve expr.Binary) (*NodeSpec, error) {
+	fail := func(reason string) (*NodeSpec, error) {
+		return nil, &ClassifyError{Reaction: r.Name, Reason: reason}
+	}
+	varIndex := func(e expr.Expr) int {
+		v, ok := e.(expr.Var)
+		if !ok {
+			return -1
+		}
+		for i, s := range shapes {
+			if s.valueVar == v.Name {
+				return i
+			}
+		}
+		return -1
+	}
+	l, lok := ve.L.(expr.Lit)
+	rl, rok := ve.R.(expr.Lit)
+	switch {
+	case lok && !rok:
+		ri := varIndex(ve.R)
+		if len(shapes) != 1 || ri != 0 {
+			return fail("immediate-left operation must consume exactly its variable operand")
+		}
+		spec.Imm, spec.ImmLeft = l.Val, true
+		return spec, nil
+	case rok && !lok:
+		li := varIndex(ve.L)
+		if len(shapes) != 1 || li != 0 {
+			return fail("immediate-right operation must consume exactly its variable operand")
+		}
+		spec.Imm = rl.Val
+		return spec, nil
+	case !lok && !rok:
+		li, ri := varIndex(ve.L), varIndex(ve.R)
+		if len(shapes) != 2 || li < 0 || ri < 0 || li == ri {
+			return fail("binary operation must consume its two pattern values")
+		}
+		if li == 1 { // reorder ports so port 0 is the left operand
+			spec.InLabels[0], spec.InLabels[1] = spec.InLabels[1], spec.InLabels[0]
+		}
+		return spec, nil
+	}
+	return fail("binary operation over two literals")
+}
+
+func classifyTwoBranch(r *gamma.Reaction, spec *NodeSpec, shapes []patternShape, tagVar string,
+	cond1 expr.Expr, prods1 []productShape, cond2 expr.Expr, prods2 []productShape) (*NodeSpec, error) {
+	fail := func(reason string) (*NodeSpec, error) {
+		return nil, &ClassifyError{Reaction: r.Name, Reason: reason}
+	}
+	if cond1 == nil {
+		return fail("first of two branches must carry the operative condition")
+	}
+	v1, d1, labels1, ok1 := uniformProducts(prods1)
+	v2, d2, labels2, ok2 := uniformProducts(prods2)
+	if !ok1 || !ok2 || d1 != 0 || d2 != 0 {
+		return fail("two-branch products must be uniform with unchanged tag")
+	}
+
+	// Compare vertex: products are the control literals 1 and 0 and the
+	// condition is a comparison (R14's shape).
+	if isLit(v1, value.Int(1)) && (len(prods2) == 0 || isLit(v2, value.Int(0))) {
+		cmp, ok := cond1.(expr.Binary)
+		if ok && isCompareOp(cmp.Op) && complementOK(cond2, cmp) {
+			if len(prods2) > 0 && !reflect.DeepEqual(sortedCopy(labels1), sortedCopy(labels2)) {
+				return fail("comparison branches must produce the same labels")
+			}
+			spec.Kind = dataflow.KindCompare
+			spec.Op = cmp.Op
+			spec.OutLabels = [][]string{labels1}
+			return classifyBinaryOperands(r, spec, shapes, cmp)
+		}
+	}
+
+	// Steer vertex: two patterns, condition ctl == 1, both branches forward
+	// the data value (or produce nothing).
+	if len(shapes) == 2 {
+		ctlIdx, ok := steerControl(cond1, shapes)
+		if ok && complementSteerOK(cond2, shapes, ctlIdx) {
+			dataIdx := 1 - ctlIdx
+			forwards := func(ve expr.Expr, n int) bool {
+				if ve == nil {
+					return n == 0
+				}
+				v, ok := ve.(expr.Var)
+				return ok && v.Name == shapes[dataIdx].valueVar
+			}
+			if forwards(v1, len(prods1)) && forwards(v2, len(prods2)) {
+				spec.Kind = dataflow.KindSteer
+				spec.OutLabels = [][]string{labels1, labels2}
+				if ctlIdx == 0 { // reorder so port 0 is data, port 1 control
+					spec.InLabels[0], spec.InLabels[1] = spec.InLabels[1], spec.InLabels[0]
+				}
+				return spec, nil
+			}
+		}
+	}
+	return fail("two-branch reaction is neither a comparison nor a steer")
+}
+
+// steerControl recognizes "ctl == 1" over a pattern value variable and
+// returns that pattern's index.
+func steerControl(cond expr.Expr, shapes []patternShape) (int, bool) {
+	b, ok := cond.(expr.Binary)
+	if !ok || b.Op != "==" {
+		return 0, false
+	}
+	v, vok := b.L.(expr.Var)
+	lit, lok := b.R.(expr.Lit)
+	if !vok || !lok || lit.Val != value.Int(1) {
+		return 0, false
+	}
+	for i, s := range shapes {
+		if s.valueVar == v.Name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// complementSteerOK accepts an else branch (nil) or "ctl == 0".
+func complementSteerOK(cond expr.Expr, shapes []patternShape, ctlIdx int) bool {
+	if cond == nil {
+		return true
+	}
+	b, ok := cond.(expr.Binary)
+	if !ok || b.Op != "==" {
+		return false
+	}
+	v, vok := b.L.(expr.Var)
+	lit, lok := b.R.(expr.Lit)
+	return vok && lok && v.Name == shapes[ctlIdx].valueVar && lit.Val == value.Int(0)
+}
+
+// complementOK accepts an else branch (nil) or the structural negation
+// !(cmp) of the first branch's comparison.
+func complementOK(cond expr.Expr, cmp expr.Binary) bool {
+	if cond == nil {
+		return true
+	}
+	u, ok := cond.(expr.Unary)
+	return ok && u.Op == "!" && expr.Equal(u.X, cmp)
+}
+
+func isLit(e expr.Expr, v value.Value) bool {
+	l, ok := e.(expr.Lit)
+	return ok && l.Val == v
+}
+
+func isArithOp(op string) bool {
+	switch op {
+	case "+", "-", "*", "/", "%":
+		return true
+	}
+	return false
+}
+
+func isCompareOp(op string) bool {
+	switch op {
+	case "==", "!=", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+func sortedCopy(s []string) []string {
+	c := append([]string(nil), s...)
+	sort.Strings(c)
+	return c
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataflow"
+	"repro/internal/value"
+)
+
+func TestClassifyErrorMessage(t *testing.T) {
+	r := mustReaction(t, `R = replace [x], [y] by [x] if x < y`)
+	_, err := ClassifyReaction(r)
+	if err == nil {
+		t.Fatal("pair reaction should not classify")
+	}
+	ce, ok := err.(*ClassifyError)
+	if !ok {
+		t.Fatalf("want *ClassifyError, got %T", err)
+	}
+	if !strings.Contains(ce.Error(), "R") || !strings.Contains(ce.Error(), "arity") {
+		t.Errorf("message = %q", ce.Error())
+	}
+}
+
+func TestClassifySteerVariants(t *testing.T) {
+	// Explicit ctl == 0 second branch instead of else.
+	st := mustReaction(t, `S = replace [d, 'D', v], [c, 'C', v]
+		by [d, 'T', v] if c == 1
+		by [d, 'F', v] if c == 0`)
+	spec, err := ClassifyReaction(st)
+	if err != nil || spec.Kind != dataflow.KindSteer {
+		t.Errorf("== 0 complement: %v %v", spec, err)
+	}
+	// Wrong complement (c == 2): not a steer.
+	bad := mustReaction(t, `S = replace [d, 'D', v], [c, 'C', v]
+		by [d, 'T', v] if c == 1
+		by [d, 'F', v] if c == 2`)
+	if _, err := ClassifyReaction(bad); err == nil {
+		t.Error("c == 2 complement should not classify")
+	}
+	// Complement on the wrong variable.
+	bad2 := mustReaction(t, `S = replace [d, 'D', v], [c, 'C', v]
+		by [d, 'T', v] if c == 1
+		by [d, 'F', v] if d == 0`)
+	if _, err := ClassifyReaction(bad2); err == nil {
+		t.Error("complement on data variable should not classify")
+	}
+	// Steer discarding on both ports ("by 0" twice) is degenerate but legal
+	// for the runtime; it classifies as a steer with empty out labels.
+	drop := mustReaction(t, `S = replace [d, 'D', v], [c, 'C', v]
+		by 0 if c == 1
+		by 0 else`)
+	spec, err = ClassifyReaction(drop)
+	if err != nil || spec.Kind != dataflow.KindSteer {
+		t.Errorf("double-drop steer: %v %v", spec, err)
+	}
+	if len(spec.OutLabels[0]) != 0 || len(spec.OutLabels[1]) != 0 {
+		t.Errorf("out labels = %v", spec.OutLabels)
+	}
+}
+
+func TestClassifyCompareVariants(t *testing.T) {
+	// Structural negation as the second branch.
+	neg := mustReaction(t, `C = replace [x, 'I', v]
+		by [1, 'O', v] if x >= 10
+		by [0, 'O', v] if !(x >= 10)`)
+	spec, err := ClassifyReaction(neg)
+	if err != nil || spec.Kind != dataflow.KindCompare || spec.Op != ">=" {
+		t.Errorf("negated complement: %+v %v", spec, err)
+	}
+	// Mismatched negation: rejected.
+	bad := mustReaction(t, `C = replace [x, 'I', v]
+		by [1, 'O', v] if x >= 10
+		by [0, 'O', v] if !(x > 10)`)
+	if _, err := ClassifyReaction(bad); err == nil {
+		t.Error("mismatched negation should not classify")
+	}
+	// Branches producing different labels: rejected.
+	bad2 := mustReaction(t, `C = replace [x, 'I', v]
+		by [1, 'O', v] if x >= 10
+		by [0, 'P', v] else`)
+	if _, err := ClassifyReaction(bad2); err == nil {
+		t.Error("label mismatch across branches should not classify")
+	}
+	// Two-variable comparison.
+	two := mustReaction(t, `C = replace [a, 'L', v], [b, 'R', v]
+		by [1, 'O', v] if a != b
+		by [0, 'O', v] else`)
+	spec, err = ClassifyReaction(two)
+	if err != nil || spec.Kind != dataflow.KindCompare || spec.Op != "!=" || spec.Imm.IsValid() {
+		t.Errorf("two-var compare: %+v %v", spec, err)
+	}
+}
+
+func TestReactionToGraphOrCondition(t *testing.T) {
+	// Disjunctive condition lowers to a+b-a*b over 1/0 controls.
+	r := mustReaction(t, `R = replace [x, 'X', v]
+		by [x, 'OK', v] if (x < 0) or (x > 10)
+		by 0 else`)
+	g, err := ReactionToGraph(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(x int64, wantOK bool) {
+		if err := g.SetConst(g.NodeByName("x").ID, value.Int(x)); err != nil {
+			t.Fatal(err)
+		}
+		res, err := dataflow.Run(g, dataflow.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, ok := res.Output("OK")
+		if ok != wantOK {
+			t.Errorf("x=%d: OK fired=%v, want %v", x, ok, wantOK)
+		}
+	}
+	check(-3, true)
+	check(5, false)
+	check(20, true)
+}
+
+func TestReactionToGraphNotCondition(t *testing.T) {
+	// Negated condition lowers to 1-x.
+	r := mustReaction(t, `R = replace [x, 'X', v]
+		by [x, 'OK', v] if !(x == 7)
+		by 0 else`)
+	g, err := ReactionToGraph(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		x    int64
+		want bool
+	}{{7, false}, {8, true}} {
+		if err := g.SetConst(g.NodeByName("x").ID, value.Int(c.x)); err != nil {
+			t.Fatal(err)
+		}
+		res, err := dataflow.Run(g, dataflow.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := res.Output("OK"); ok != c.want {
+			t.Errorf("x=%d: fired=%v, want %v", c.x, ok, c.want)
+		}
+	}
+}
+
+func TestReactionToGraphUnaryInProduct(t *testing.T) {
+	r := mustReaction(t, `R = replace [x, 'X', v] by [-x, 'N', v], [!(x > 0), 'B', v]`)
+	g, err := ReactionToGraph(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetConst(g.NodeByName("x").ID, value.Int(4)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := dataflow.Run(g, dataflow.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := res.Output("N"); v != value.Int(-4) {
+		t.Errorf("N = %v", v)
+	}
+	// !(4 > 0): the comparison emits 1, the lowered not emits 1-1 = 0.
+	if v, _ := res.Output("B"); v != value.Int(0) {
+		t.Errorf("B = %v", v)
+	}
+}

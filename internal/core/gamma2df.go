@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dataflow"
+	"repro/internal/gamma"
+	"repro/internal/multiset"
+	"repro/internal/value"
+)
+
+// ProgramToGraph converts a whole Gamma program back into one dynamic
+// dataflow graph. It is the program-level inverse of Algorithm 1: each
+// reaction is classified into the vertex it behaves as (ClassifyReaction —
+// the paper's future-work analysis), the initial multiset's elements become
+// root vertices, and element labels become the edges wiring producers to
+// consumers. Labels produced but never consumed become terminal (output)
+// edges.
+//
+// Requirements, each reported as an error when violated: every reaction must
+// be vertex-shaped; every label must have exactly one producer (a reaction
+// product or an initial element, not both) and at most one consumer port; and
+// initial elements must carry tag 0 with one element per label — exactly the
+// invariants Algorithm 1's output satisfies, so ToGamma followed by
+// ProgramToGraph is a semantic round trip.
+func ProgramToGraph(name string, p *gamma.Program, init *multiset.Multiset) (*dataflow.Graph, error) {
+	specs := make([]*NodeSpec, 0, len(p.Reactions))
+	for _, r := range p.Reactions {
+		spec, err := ClassifyReaction(r)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, spec)
+	}
+
+	g := dataflow.NewGraph(name)
+	producers := make(map[string]outPort)
+
+	// Root vertices from the initial multiset.
+	if init != nil {
+		type rootElem struct {
+			label string
+			val   value.Value
+		}
+		var roots []rootElem
+		var badErr error
+		init.ForEach(func(t multiset.Tuple, n int) bool {
+			label, ok := t.Label()
+			if !ok {
+				badErr = fmt.Errorf("core: initial element %s has no label field", t)
+				return false
+			}
+			if tag, ok := t.Tag(); !ok || tag != 0 {
+				badErr = fmt.Errorf("core: initial element %s must carry tag 0", t)
+				return false
+			}
+			if n != 1 {
+				badErr = fmt.Errorf("core: initial label %s has multiplicity %d; roots fire once", label, n)
+				return false
+			}
+			roots = append(roots, rootElem{label: label, val: t.Value()})
+			return true
+		})
+		if badErr != nil {
+			return nil, badErr
+		}
+		sort.Slice(roots, func(i, j int) bool { return roots[i].label < roots[j].label })
+		for _, re := range roots {
+			if _, dup := producers[re.label]; dup {
+				return nil, fmt.Errorf("core: two initial elements carry label %s", re.label)
+			}
+			id := g.AddConst("root_"+re.label, re.val)
+			producers[re.label] = outPort{node: id, port: 0}
+		}
+	}
+
+	// Vertices from the classified reactions, registering their products.
+	nodes := make([]dataflow.NodeID, len(specs))
+	for i, spec := range specs {
+		var id dataflow.NodeID
+		switch spec.Kind {
+		case dataflow.KindArith:
+			if spec.Imm.IsValid() {
+				if spec.ImmLeft {
+					id = g.AddArithImmLeft(spec.Name, spec.Op, spec.Imm)
+				} else {
+					id = g.AddArithImm(spec.Name, spec.Op, spec.Imm)
+				}
+			} else {
+				id = g.AddArith(spec.Name, spec.Op)
+			}
+		case dataflow.KindCompare:
+			if spec.Imm.IsValid() {
+				if spec.ImmLeft {
+					id = g.AddCompareImmLeft(spec.Name, spec.Op, spec.Imm)
+				} else {
+					id = g.AddCompareImm(spec.Name, spec.Op, spec.Imm)
+				}
+			} else {
+				id = g.AddCompare(spec.Name, spec.Op)
+			}
+		case dataflow.KindSteer:
+			id = g.AddSteer(spec.Name)
+		case dataflow.KindIncTag:
+			id = g.AddIncTag(spec.Name)
+		case dataflow.KindSetTag:
+			id = g.AddSetTag(spec.Name)
+		case dataflow.KindCopy:
+			id = g.AddCopy(spec.Name)
+		case dataflow.KindUnaryOp:
+			id = g.AddUnary(spec.Name, spec.Op)
+		default:
+			return nil, fmt.Errorf("core: reaction %s classified to unsupported kind %s", spec.Name, spec.Kind)
+		}
+		nodes[i] = id
+		for port, labels := range spec.OutLabels {
+			for _, label := range labels {
+				if _, dup := producers[label]; dup {
+					return nil, fmt.Errorf("core: label %s has two producers", label)
+				}
+				producers[label] = outPort{node: id, port: port}
+			}
+		}
+	}
+
+	// Wire consumers; whatever stays unconsumed becomes a program output.
+	consumed := make(map[string]bool)
+	for i, spec := range specs {
+		for port, labels := range spec.InLabels {
+			for _, label := range labels {
+				src, ok := producers[label]
+				if !ok {
+					return nil, fmt.Errorf("core: reaction %s consumes label %s, which nothing produces", spec.Name, label)
+				}
+				if consumed[label] {
+					return nil, fmt.Errorf("core: label %s is consumed twice", label)
+				}
+				consumed[label] = true
+				if _, err := g.Connect(src.node, src.port, nodes[i], port, label); err != nil {
+					return nil, fmt.Errorf("core: wiring %s: %w", label, err)
+				}
+			}
+		}
+	}
+	var outputs []string
+	for label := range producers {
+		if !consumed[label] {
+			outputs = append(outputs, label)
+		}
+	}
+	sort.Strings(outputs)
+	for _, label := range outputs {
+		src := producers[label]
+		if _, err := g.Connect(src.node, src.port, dataflow.NoNode, 0, label); err != nil {
+			return nil, fmt.Errorf("core: output %s: %w", label, err)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("core: reconstructed graph is malformed: %w", err)
+	}
+	return g, nil
+}

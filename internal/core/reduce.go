@@ -1,0 +1,221 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/gamma"
+	"repro/internal/value"
+)
+
+// Reduce implements the §III-A3 reductions: it fuses producer reactions into
+// their consumers, shrinking the reaction count at the cost of match
+// opportunities ("the opportunity to explore the parallelism of reactions
+// decreases", as the paper puts it). Applied to the Example-1 program it
+// derives Rd1: one reaction consuming A1, B1, C1, D1 and producing
+// (id1+id2)-(id3*id4) directly.
+//
+// A fusion step folds reaction A into reaction B when:
+//
+//   - A has a single unconditional branch with a single product, whose label
+//     is a string literal L and whose tag is unchanged (inctag-style
+//     reactions change iteration structure and are never fused);
+//   - A's patterns use literal labels (no merge ports);
+//   - L is produced only by A and consumed only by B, in exactly one pattern.
+//
+// Under those conditions the intermediate element L is linear: every firing
+// of B at some tag consumes exactly the element a firing of A produced at
+// that tag, so substituting A's product expression for L's value variable in
+// B (and splicing in A's patterns) preserves the stable multiset. Steps
+// repeat until no fusion applies; the second return value is the number of
+// fusions performed.
+func Reduce(p *gamma.Program) (*gamma.Program, int, error) {
+	reactions := append([]*gamma.Reaction(nil), p.Reactions...)
+	fused := 0
+	for {
+		ai, bi, pi, ok := findFusion(reactions)
+		if !ok {
+			out, err := gamma.NewProgram(p.Name+"-reduced", reactions...)
+			return out, fused, err
+		}
+		merged, err := fuse(reactions[ai], reactions[bi], pi)
+		if err != nil {
+			return nil, fused, err
+		}
+		var next []*gamma.Reaction
+		for i, r := range reactions {
+			switch i {
+			case ai:
+				// dropped
+			case bi:
+				next = append(next, merged)
+			default:
+				next = append(next, r)
+			}
+		}
+		reactions = next
+		fused++
+	}
+}
+
+// fusible reports whether r can act as producer A, returning its product.
+func fusible(r *gamma.Reaction) (label string, prod gamma.Template, ok bool) {
+	if len(r.Branches) != 1 || r.Branches[0].Cond != nil || len(r.Branches[0].Products) != 1 {
+		return "", nil, false
+	}
+	for _, p := range r.Patterns {
+		if len(p) < 2 || p[1].Var != "" || p[1].Lit.Kind() != value.KindString {
+			return "", nil, false
+		}
+	}
+	tpl := r.Branches[0].Products[0]
+	if len(tpl) < 2 {
+		return "", nil, false
+	}
+	lit, isLit := tpl[1].(expr.Lit)
+	if !isLit || lit.Val.Kind() != value.KindString {
+		return "", nil, false
+	}
+	// Tag must be unchanged (a bare variable or absent).
+	if len(tpl) >= 3 {
+		if _, isVar := tpl[2].(expr.Var); !isVar {
+			return "", nil, false
+		}
+	}
+	return lit.Val.AsString(), tpl, true
+}
+
+// findFusion locates a producer/consumer pair: indices of A and B and the
+// index of B's pattern consuming A's product label.
+func findFusion(reactions []*gamma.Reaction) (ai, bi, pi int, ok bool) {
+	// Count producers and consumers per label.
+	producedBy := make(map[string][]int)
+	for i, r := range reactions {
+		for _, b := range r.Branches {
+			for _, tpl := range b.Products {
+				if len(tpl) >= 2 {
+					if lit, isLit := tpl[1].(expr.Lit); isLit && lit.Val.Kind() == value.KindString {
+						producedBy[lit.Val.AsString()] = append(producedBy[lit.Val.AsString()], i)
+					}
+				}
+			}
+		}
+	}
+	type consumer struct{ reaction, pattern int }
+	consumedBy := make(map[string][]consumer)
+	for i, r := range reactions {
+		for j, p := range r.Patterns {
+			if len(p) >= 2 && p[1].Var == "" && p[1].Lit.Kind() == value.KindString {
+				l := p[1].Lit.AsString()
+				consumedBy[l] = append(consumedBy[l], consumer{i, j})
+			}
+		}
+	}
+	for i, r := range reactions {
+		label, _, can := fusible(r)
+		if !can {
+			continue
+		}
+		if len(producedBy[label]) != 1 || len(consumedBy[label]) != 1 {
+			continue
+		}
+		c := consumedBy[label][0]
+		if c.reaction == i {
+			continue // self-loop
+		}
+		return i, c.reaction, c.pattern, true
+	}
+	return 0, 0, 0, false
+}
+
+// fuse folds producer a into consumer b at b's pattern index pi.
+func fuse(a, b *gamma.Reaction, pi int) (*gamma.Reaction, error) {
+	_, prod, ok := fusible(a)
+	if !ok {
+		return nil, fmt.Errorf("core: reaction %s is not fusible", a.Name)
+	}
+	// Variables already used in b, to keep renamed a-variables fresh.
+	used := make(map[string]bool)
+	for _, p := range b.Patterns {
+		for _, f := range p {
+			if f.Var != "" {
+				used[f.Var] = true
+			}
+		}
+	}
+	freshen := func(name string) string {
+		if !used[name] {
+			used[name] = true
+			return name
+		}
+		for i := 1; ; i++ {
+			cand := fmt.Sprintf("%s_%d", name, i)
+			if !used[cand] {
+				used[cand] = true
+				return cand
+			}
+		}
+	}
+
+	// Rename a's variables, mapping a's tag variable onto b's consumed tag.
+	rename := make(map[string]expr.Expr)
+	bTagField := gamma.Field{}
+	if len(b.Patterns[pi]) >= 3 {
+		bTagField = b.Patterns[pi][2]
+	}
+	var aPatterns []gamma.Pattern
+	for _, p := range a.Patterns {
+		np := make(gamma.Pattern, len(p))
+		copy(np, p)
+		if np[0].Var != "" {
+			nv := freshen(np[0].Var)
+			rename[np[0].Var] = expr.Var{Name: nv}
+			np[0] = gamma.FVar(nv)
+		}
+		if len(np) >= 3 && np[2].Var != "" {
+			// Unify iteration tags: a's elements must carry the tag b
+			// consumes at.
+			if _, mapped := rename[np[2].Var]; !mapped {
+				if bTagField.Var != "" {
+					rename[np[2].Var] = expr.Var{Name: bTagField.Var}
+				}
+			}
+			if bTagField.Var != "" {
+				np[2] = gamma.FVar(bTagField.Var)
+			}
+		}
+		aPatterns = append(aPatterns, np)
+	}
+
+	// The expression a produces, in fused-variable terms.
+	prodExpr := expr.Subst(prod[0], rename)
+	consumedVar := b.Patterns[pi][0].Var
+	subst := map[string]expr.Expr{consumedVar: prodExpr}
+
+	merged := &gamma.Reaction{Name: b.Name}
+	for j, p := range b.Patterns {
+		if j == pi {
+			merged.Patterns = append(merged.Patterns, aPatterns...)
+			continue
+		}
+		merged.Patterns = append(merged.Patterns, p)
+	}
+	for _, br := range b.Branches {
+		nb := gamma.Branch{}
+		if br.Cond != nil {
+			nb.Cond = expr.Subst(br.Cond, subst)
+		}
+		for _, tpl := range br.Products {
+			ntpl := make(gamma.Template, len(tpl))
+			for k, e := range tpl {
+				ntpl[k] = expr.Subst(e, subst)
+			}
+			nb.Products = append(nb.Products, ntpl)
+		}
+		merged.Branches = append(merged.Branches, nb)
+	}
+	if err := merged.Validate(); err != nil {
+		return nil, fmt.Errorf("core: fusion of %s into %s is invalid: %w", a.Name, b.Name, err)
+	}
+	return merged, nil
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gamma"
+	"repro/internal/gammalang"
+	"repro/internal/multiset"
+	"repro/internal/paper"
+	"repro/internal/value"
+)
+
+// TestReduceExample1DerivesRd1 is experiment E5: the reducer mechanically
+// derives the paper's Rd1 from R1–R3 — a single reaction consuming all four
+// inputs and producing m in one step.
+func TestReduceExample1DerivesRd1(t *testing.T) {
+	prog, err := gammalang.ParseProgram("ex1", paper.Example1GammaListing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, fused, err := Reduce(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fused != 2 || len(reduced.Reactions) != 1 {
+		t.Fatalf("fused=%d reactions=%d, want 2 fusions into 1 reaction:\n%s",
+			fused, len(reduced.Reactions), gammalang.Format(reduced))
+	}
+	rd := reduced.Reactions[0]
+	if rd.Arity() != 4 {
+		t.Errorf("arity = %d, want 4 (A1, B1, C1, D1)", rd.Arity())
+	}
+	// Behavioural check across inputs: reduced and original agree, and the
+	// reduced run takes exactly one step (the granularity trade-off).
+	for _, in := range [][4]int64{{1, 5, 3, 2}, {7, -2, 4, 4}, {0, 0, 1, 1}} {
+		mk := func() *multiset.Multiset {
+			return multiset.New(
+				multiset.Pair(value.Int(in[0]), "A1"),
+				multiset.Pair(value.Int(in[1]), "B1"),
+				multiset.Pair(value.Int(in[2]), "C1"),
+				multiset.Pair(value.Int(in[3]), "D1"),
+			)
+		}
+		m1, m2 := mk(), mk()
+		s1, err := gamma.Run(prog, m1, gamma.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := gamma.Run(reduced, m2, gamma.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m1.Equal(m2) {
+			t.Errorf("inputs %v: original %s vs reduced %s", in, m1, m2)
+		}
+		if s1.Steps != 3 || s2.Steps != 1 {
+			t.Errorf("inputs %v: steps %d/%d, want 3/1", in, s1.Steps, s2.Steps)
+		}
+	}
+}
+
+// TestReduceMatchesPaperRd1Result checks the reducer output against the
+// paper's hand-written Rd1 listing on the paper's inputs.
+func TestReduceMatchesPaperRd1Result(t *testing.T) {
+	orig, err := gammalang.ParseProgram("ex1", paper.Example1GammaListing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, _, err := Reduce(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paperRd1, err := gammalang.ParseProgram("rd1", paper.ReducedExample1Listing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := multiset.Parse(paper.Example1InitialMultiset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := m1.Clone()
+	if _, err := gamma.Run(reduced, m1, gamma.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gamma.Run(paperRd1, m2, gamma.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !m1.Equal(m2) {
+		t.Errorf("derived Rd1 %s vs paper Rd1 %s", m1, m2)
+	}
+}
+
+func TestReduceConvertedFig1(t *testing.T) {
+	// The reducer also collapses Algorithm 1's output for Fig. 1 (triplet
+	// elements with tags).
+	prog, init, err := ToGamma(paper.Fig1Graph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, fused, err := Reduce(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fused != 2 || len(reduced.Reactions) != 1 {
+		t.Fatalf("fused=%d reactions=%d:\n%s", fused, len(reduced.Reactions), gammalang.Format(reduced))
+	}
+	if _, err := gamma.Run(reduced, init, gamma.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if init.Len() != 1 || !init.Contains(multiset.IntElem(0, "m", 0)) {
+		t.Errorf("reduced run result = %s", init)
+	}
+}
+
+func TestReduceLeavesLoopsAlone(t *testing.T) {
+	// Example 2's loop reactions must not fuse: inctags change tags, steers
+	// are conditional, and loop-carried labels are produced and consumed in
+	// ways that break linearity. The program must be returned unchanged.
+	prog, err := gammalang.ParseProgram("ex2", paper.Example2GammaListing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, fused, err := Reduce(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fused != 0 || len(reduced.Reactions) != 9 {
+		t.Errorf("fused=%d reactions=%d, want no fusion", fused, len(reduced.Reactions))
+	}
+}
+
+func TestReducePartialChain(t *testing.T) {
+	// A chain a→b→c with a branch point (label 'mid' consumed twice) only
+	// fuses the linear part.
+	src := `
+P1 = replace [x, 'in'] by [x + 1, 'mid']
+P2 = replace [x, 'mid'] by [x * 2, 'out1']
+`
+	prog, err := gammalang.ParseProgram("p", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, fused, err := Reduce(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fused != 1 || len(reduced.Reactions) != 1 {
+		t.Fatalf("fused=%d:\n%s", fused, gammalang.Format(reduced))
+	}
+	m := multiset.New(multiset.Pair(value.Int(5), "in"))
+	if _, err := gamma.Run(reduced, m, gamma.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Contains(multiset.Pair(value.Int(12), "out1")) {
+		t.Errorf("result = %s, want {[12, 'out1']}", m)
+	}
+
+	// Now with two consumers of 'mid': no fusion.
+	src2 := src + `P3 = replace [y, 'mid'] by [y - 1, 'out2']`
+	prog2, err := gammalang.ParseProgram("p2", src2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fused2, err := Reduce(prog2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fused2 != 0 {
+		t.Errorf("branch point fused %d times, want 0", fused2)
+	}
+}
+
+func TestReduceFusesIntoConditionalConsumer(t *testing.T) {
+	// The consumer may be conditional: the producer's expression is
+	// substituted into the condition too.
+	src := `
+P1 = replace [x, 'in'] by [x * x, 'sq']
+P2 = replace [y, 'sq'] by [y, 'big'] if y > 100
+     by 0 else
+`
+	prog, err := gammalang.ParseProgram("p", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, fused, err := Reduce(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fused != 1 || len(reduced.Reactions) != 1 {
+		t.Fatalf("fused=%d:\n%s", fused, gammalang.Format(reduced))
+	}
+	run := func(v int64) *multiset.Multiset {
+		m := multiset.New(multiset.Pair(value.Int(v), "in"))
+		if _, err := gamma.Run(reduced, m, gamma.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	if m := run(11); !m.Contains(multiset.Pair(value.Int(121), "big")) {
+		t.Errorf("11: %s", m)
+	}
+	if m := run(3); m.Len() != 0 {
+		t.Errorf("3: %s, want empty", m)
+	}
+}
+
+func TestReduceRenamesCollidingVariables(t *testing.T) {
+	// Producer and consumer both use id1; fusion must freshen.
+	src := `
+P1 = replace [id1, 'a'], [id2, 'b'] by [id1 - id2, 'mid']
+P2 = replace [id1, 'mid'], [id2, 'c'] by [id1 * id2, 'out']
+`
+	prog, err := gammalang.ParseProgram("p", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, fused, err := Reduce(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fused != 1 {
+		t.Fatalf("fused = %d", fused)
+	}
+	m := multiset.New(
+		multiset.Pair(value.Int(10), "a"),
+		multiset.Pair(value.Int(4), "b"),
+		multiset.Pair(value.Int(3), "c"),
+	)
+	if _, err := gamma.Run(reduced, m, gamma.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Contains(multiset.Pair(value.Int(18), "out")) { // (10-4)*3
+		t.Errorf("result = %s, want {[18, 'out']}", m)
+	}
+}

@@ -1,0 +1,110 @@
+package core_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/equiv"
+	"repro/internal/gammalang"
+)
+
+// TestClassifierInvertsAlgorithm1 is the property backing the paper's future
+// work: for random graphs, every reaction Algorithm 1 emits classifies back
+// to the vertex kind (and operator) it came from.
+func TestClassifierInvertsAlgorithm1(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		g := equiv.RandomGraph(seed*3, 4, 12+int(seed))
+		prog, _, err := core.ToGamma(g)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		byName := make(map[string]*dataflow.Node)
+		for _, n := range g.Nodes {
+			byName[n.Name] = n
+		}
+		for _, r := range prog.Reactions {
+			spec, err := core.ClassifyReaction(r)
+			if err != nil {
+				t.Errorf("seed %d: reaction %s: %v\n%s", seed, r.Name, err, gammalang.FormatReaction(r))
+				continue
+			}
+			orig := byName[r.Name]
+			if orig == nil {
+				t.Errorf("seed %d: reaction %s has no source vertex", seed, r.Name)
+				continue
+			}
+			if spec.Kind != orig.Kind {
+				t.Errorf("seed %d: %s classified %s, want %s", seed, r.Name, spec.Kind, orig.Kind)
+			}
+			if spec.Op != orig.Op {
+				t.Errorf("seed %d: %s operator %q, want %q", seed, r.Name, spec.Op, orig.Op)
+			}
+			if spec.Imm != orig.Imm || spec.ImmLeft != orig.ImmLeft {
+				t.Errorf("seed %d: %s immediate %v/%v, want %v/%v",
+					seed, r.Name, spec.Imm, spec.ImmLeft, orig.Imm, orig.ImmLeft)
+			}
+		}
+	}
+}
+
+// TestRoundTripRandomGraphs: graph → Gamma → graph preserves behaviour and
+// firing counts on random graphs.
+func TestRoundTripRandomGraphs(t *testing.T) {
+	for seed := int64(1); seed <= 15; seed++ {
+		g := equiv.RandomGraph(seed*7+1, 3, 10+int(seed)*2)
+		prog, init, err := core.ToGamma(g)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		back, err := core.ProgramToGraph("back", prog, init)
+		if err != nil {
+			t.Fatalf("seed %d: reconstruct: %v\n%s", seed, err, gammalang.Format(prog))
+		}
+		r1, err := dataflow.Run(g, dataflow.Options{MaxFirings: 100000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := dataflow.Run(back, dataflow.Options{MaxFirings: 100000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(r1.Outputs, r2.Outputs) {
+			t.Errorf("seed %d: outputs differ\n%v\nvs\n%v", seed, r1.Outputs, r2.Outputs)
+		}
+		// Compare operator (non-root) firings: a fanout root in the original
+		// becomes one root per initial element in the reconstruction, so the
+		// const census legitimately differs.
+		op1 := r1.Firings - int64(len(g.RootNodes()))
+		op2 := r2.Firings - int64(len(back.RootNodes()))
+		if op1 != op2 || r1.Pending != r2.Pending {
+			t.Errorf("seed %d: operator firings %d/%d pending %d/%d",
+				seed, op1, op2, r1.Pending, r2.Pending)
+		}
+	}
+}
+
+// TestDoubleConversionIsStable: converting the reconstructed graph again
+// yields a program with the same reaction census.
+func TestDoubleConversionIsStable(t *testing.T) {
+	g := equiv.RandomGraph(99, 4, 24)
+	prog1, init1, err := core.ToGamma(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := core.ProgramToGraph("back", prog1, init1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog2, init2, err := core.ToGamma(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog1.Reactions) != len(prog2.Reactions) {
+		t.Errorf("reaction counts differ: %d vs %d", len(prog1.Reactions), len(prog2.Reactions))
+	}
+	if !init1.Equal(init2) {
+		t.Errorf("initial multisets differ: %s vs %s", init1, init2)
+	}
+}

@@ -1,0 +1,118 @@
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CheckLoops verifies the tag discipline on cycles: every cycle in the graph
+// must pass through at least one inctag vertex. A cycle without an inctag
+// feeds tokens back at an unchanged iteration tag, so a vertex on it would
+// need two operands with the same tag produced at different "iterations" —
+// the structural error behind same-tag livelocks and store pile-ups. The
+// Fig. 2 loop satisfies the discipline (all three back edges pass R11–R13),
+// and the compiler emits it by construction; hand-built graphs can violate
+// it, which this analysis reports statically.
+//
+// The check finds strongly connected components (Tarjan) and requires each
+// nontrivial SCC — more than one vertex, or a self-loop — to contain an
+// inctag.
+func (g *Graph) CheckLoops() error {
+	t := &tarjan{
+		g:     g,
+		index: make([]int, len(g.Nodes)),
+		low:   make([]int, len(g.Nodes)),
+		onSt:  make([]bool, len(g.Nodes)),
+	}
+	for i := range t.index {
+		t.index[i] = -1
+	}
+	for v := range g.Nodes {
+		if t.index[v] == -1 {
+			t.strongconnect(v)
+		}
+	}
+	for _, scc := range t.sccs {
+		nontrivial := len(scc) > 1
+		if len(scc) == 1 {
+			// Self-loop?
+			v := scc[0]
+			for _, outs := range g.Nodes[v].Out {
+				for _, e := range outs {
+					if g.Edges[e].To == NodeID(v) {
+						nontrivial = true
+					}
+				}
+			}
+		}
+		if !nontrivial {
+			continue
+		}
+		hasIncTag := false
+		var names []string
+		for _, v := range scc {
+			if g.Nodes[v].Kind == KindIncTag {
+				hasIncTag = true
+			}
+			names = append(names, g.Nodes[v].Name)
+		}
+		if !hasIncTag {
+			sort.Strings(names)
+			return fmt.Errorf("dataflow: cycle through {%s} has no inctag vertex; tokens would recirculate at an unchanged tag",
+				strings.Join(names, ", "))
+		}
+	}
+	return nil
+}
+
+// tarjan is the classic iteration-free recursive SCC algorithm; graphs here
+// are small (thousands of vertices at most), so recursion depth is fine.
+type tarjan struct {
+	g       *Graph
+	counter int
+	index   []int
+	low     []int
+	stack   []int
+	onSt    []bool
+	sccs    [][]int
+}
+
+func (t *tarjan) strongconnect(v int) {
+	t.index[v] = t.counter
+	t.low[v] = t.counter
+	t.counter++
+	t.stack = append(t.stack, v)
+	t.onSt[v] = true
+
+	for _, outs := range t.g.Nodes[v].Out {
+		for _, e := range outs {
+			to := t.g.Edges[e].To
+			if to == NoNode {
+				continue
+			}
+			w := int(to)
+			if t.index[w] == -1 {
+				t.strongconnect(w)
+				if t.low[w] < t.low[v] {
+					t.low[v] = t.low[w]
+				}
+			} else if t.onSt[w] && t.index[w] < t.low[v] {
+				t.low[v] = t.index[w]
+			}
+		}
+	}
+	if t.low[v] == t.index[v] {
+		var scc []int
+		for {
+			w := t.stack[len(t.stack)-1]
+			t.stack = t.stack[:len(t.stack)-1]
+			t.onSt[w] = false
+			scc = append(scc, w)
+			if w == v {
+				break
+			}
+		}
+		t.sccs = append(t.sccs, scc)
+	}
+}

@@ -1,0 +1,90 @@
+package dataflow
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestCheckLoopsAcyclic(t *testing.T) {
+	g := buildFig1(1, 5, 3, 2)
+	if err := g.CheckLoops(); err != nil {
+		t.Errorf("acyclic graph flagged: %v", err)
+	}
+}
+
+func TestCheckLoopsWithIncTag(t *testing.T) {
+	g := buildLoop(0, 1, 5)
+	if err := g.CheckLoops(); err != nil {
+		t.Errorf("disciplined loop flagged: %v", err)
+	}
+}
+
+func TestCheckLoopsMissingIncTag(t *testing.T) {
+	// A cycle through a copy and an adder, no inctag.
+	g := NewGraph("badloop")
+	c := g.AddConst("seed", value.Int(1))
+	add := g.AddArithImm("add", "+", value.Int(1))
+	cp := g.AddCopy("cp")
+	must := func(_ EdgeID, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(g.Connect(c, 0, add, 0, "in"))
+	must(g.Connect(add, 0, cp, 0, "fwd"))
+	must(g.Connect(cp, 0, add, 0, "back"))
+	err := g.CheckLoops()
+	if err == nil {
+		t.Fatal("undisciplined cycle should be flagged")
+	}
+	if !strings.Contains(err.Error(), "add") || !strings.Contains(err.Error(), "cp") {
+		t.Errorf("error should name the cycle members: %v", err)
+	}
+}
+
+func TestCheckLoopsSelfLoop(t *testing.T) {
+	// A vertex feeding itself directly.
+	g := NewGraph("self")
+	c := g.AddConst("seed", value.Int(1))
+	add := g.AddArith("add", "+")
+	must := func(_ EdgeID, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(g.Connect(c, 0, add, 0, "in"))
+	must(g.Connect(add, 0, add, 1, "self"))
+	if err := g.CheckLoops(); err == nil {
+		t.Error("self-loop without inctag should be flagged")
+	}
+	// A self-looping inctag is disciplined (it advances the tag).
+	g2 := NewGraph("selfinc")
+	c2 := g2.AddConst("seed", value.Int(1))
+	inc := g2.AddIncTag("inc")
+	must(g2.Connect(c2, 0, inc, 0, "in"))
+	must(g2.Connect(inc, 0, inc, 0, "self"))
+	if err := g2.CheckLoops(); err != nil {
+		t.Errorf("self-looping inctag flagged: %v", err)
+	}
+}
+
+func TestCheckLoopsMultipleCycles(t *testing.T) {
+	// One disciplined loop plus one undisciplined loop: flagged.
+	g := buildLoop(0, 1, 3)
+	add := g.AddArithImm("rogue", "+", value.Int(1))
+	cp := g.AddCopy("roguecp")
+	c := g.AddConst("rogueseed", value.Int(0))
+	must := func(_ EdgeID, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(g.Connect(c, 0, add, 0, "rg_in"))
+	must(g.Connect(add, 0, cp, 0, "rg_fwd"))
+	must(g.Connect(cp, 0, add, 0, "rg_back"))
+	if err := g.CheckLoops(); err == nil {
+		t.Error("rogue cycle should be flagged even alongside a good one")
+	}
+}

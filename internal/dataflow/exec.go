@@ -1,0 +1,398 @@
+package dataflow
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/value"
+)
+
+// Token is one operand in flight: a value on an edge with an iteration tag.
+// This is the paper's triplet [value, label, tag] in motion.
+type Token struct {
+	Val  value.Value
+	Edge EdgeID
+	Tag  int64
+}
+
+// TaggedValue is a program output: the value and the iteration tag it carried.
+type TaggedValue struct {
+	Tag int64
+	Val value.Value
+}
+
+// Result reports one execution.
+type Result struct {
+	// Outputs collects tokens that arrived on terminal edges, keyed by edge
+	// label, sorted by tag (then arrival) for determinism.
+	Outputs map[string][]TaggedValue
+	// Firings is the total number of vertex activations.
+	Firings int64
+	// PerNode counts activations per vertex name.
+	PerNode map[string]int64
+	// MemoHits counts firings answered from Options.Memo.
+	MemoHits int64
+	// Pending counts operands left waiting in vertex matching stores when
+	// the program terminated: tokens that arrived on some port but whose
+	// partner operands never did (typically because a steer dropped the
+	// other path). In the Gamma translation these are exactly the non-output
+	// elements of the stable multiset.
+	Pending int
+	// Workers echoes the PE count used.
+	Workers int
+}
+
+// Output returns the single output value for label, for the common case of
+// one token per terminal edge (Fig. 1's 'm').
+func (r *Result) Output(label string) (value.Value, bool) {
+	vs := r.Outputs[label]
+	if len(vs) == 0 {
+		return value.Value{}, false
+	}
+	return vs[len(vs)-1].Val, true
+}
+
+// ErrMaxFirings is returned when execution exceeds Options.MaxFirings vertex
+// activations; like Gamma programs, dynamic dataflow graphs with loops need
+// not terminate.
+var ErrMaxFirings = errors.New("dataflow: maximum firing count exceeded")
+
+// Memo caches pure vertex computations — the instruction-reuse mechanism the
+// paper cites as a benefit of mapping Gamma onto dataflow (DF-DTM [3]). Keys
+// identify a vertex and its operand values; implementations must be safe for
+// concurrent use when Workers > 1.
+type Memo interface {
+	LookupFiring(key string) (value.Value, bool)
+	StoreFiring(key string, v value.Value)
+}
+
+// Tracer observes the dependency structure of an execution: one call per
+// vertex firing, with opaque keys identifying the tokens it consumed and
+// produced (a consumed key always equals some earlier firing's produced key,
+// or names an initial token). Package profile implements this to compute
+// work, span and average parallelism — the model-level parallelism analysis
+// the paper motivates (§I, [2]). Implementations must be safe for concurrent
+// use when Workers > 1.
+type Tracer interface {
+	RecordFiring(name string, consumed, produced []string)
+}
+
+// Options configures an execution.
+type Options struct {
+	// Workers is the number of processing elements (PEs). 0 or 1 selects the
+	// deterministic sequential scheduler; more selects the parallel runtime
+	// where vertices are partitioned over PE goroutines.
+	Workers int
+	// MaxFirings bounds total vertex activations; 0 means no bound.
+	MaxFirings int64
+	// Memo, when set, caches the results of pure vertices (arithmetic,
+	// comparison, unary): a hit skips the computation and its WorkFactor.
+	Memo Memo
+	// Tracer, when set, receives every firing with its consumed/produced
+	// token keys for dependency analysis.
+	Tracer Tracer
+	// WorkFactor emulates instruction cost: each pure-vertex firing spins
+	// this many iterations before computing. 0 means no extra work. It
+	// exists so reuse and scaling benchmarks measure a realistic
+	// computation-to-overhead ratio rather than nanosecond additions.
+	WorkFactor int
+}
+
+// Run executes the graph until no token is in flight and returns the outputs.
+// Const vertices inject their value with tag 0 at start; execution then
+// follows the dataflow firing rule only.
+func Run(g *Graph, opt Options) (*Result, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Workers <= 1 {
+		return runSequential(g, opt)
+	}
+	return runParallel(g, opt)
+}
+
+// operand is one queued token in a matching store: its value plus the token
+// key used for dependency tracing (empty when no tracer is attached).
+type operand struct {
+	val value.Value
+	key string
+}
+
+// waiting is the tag-matching store entry for one (vertex, tag): a token
+// queue per input port. The vertex fires when every port has a token with
+// this tag — the dynamic dataflow firing rule.
+type waiting struct {
+	ports [][]operand
+}
+
+// store is the per-vertex matching store. In the parallel runtime each store
+// is owned by exactly one PE, so no locking is needed.
+type store map[int64]*waiting
+
+// deliver adds a token to the store; when the vertex becomes fireable it
+// returns the consumed operand values and keys.
+func (s store) deliver(n *Node, port int, tag int64, v value.Value, key string) ([]value.Value, []string, bool) {
+	w, ok := s[tag]
+	if !ok {
+		w = &waiting{ports: make([][]operand, len(n.In))}
+		s[tag] = w
+	}
+	w.ports[port] = append(w.ports[port], operand{val: v, key: key})
+	for _, q := range w.ports {
+		if len(q) == 0 {
+			return nil, nil, false
+		}
+	}
+	operands := make([]value.Value, len(w.ports))
+	keys := make([]string, len(w.ports))
+	empty := true
+	for i := range w.ports {
+		operands[i] = w.ports[i][0].val
+		keys[i] = w.ports[i][0].key
+		w.ports[i] = w.ports[i][1:]
+		if len(w.ports[i]) > 0 {
+			empty = false
+		}
+	}
+	if empty {
+		delete(s, tag)
+	}
+	return operands, keys, true
+}
+
+// tokenKey names a token for the tracer: its edge and tag.
+func tokenKey(g *Graph, t Token) string {
+	return fmt.Sprintf("%s@%d", g.Edges[t.Edge].Label, t.Tag)
+}
+
+// traceFiring reports one firing to the tracer, if any.
+func traceFiring(g *Graph, opt Options, name string, consumed []string, out []Token) {
+	if opt.Tracer == nil {
+		return
+	}
+	produced := make([]string, len(out))
+	for i, t := range out {
+		produced[i] = tokenKey(g, t)
+	}
+	opt.Tracer.RecordFiring(name, consumed, produced)
+}
+
+// workSink defeats any optimization of the WorkFactor spin loop.
+var workSink atomic.Uint64
+
+// spin emulates the cost of an expensive instruction.
+func spin(n int) {
+	if n <= 0 {
+		return
+	}
+	acc := workSink.Load()
+	for i := 0; i < n; i++ {
+		acc = acc*1664525 + 1013904223
+	}
+	workSink.Store(acc)
+}
+
+// memoKey identifies a pure firing: the vertex and its operand values.
+func memoKey(n *Node, operands []value.Value) string {
+	key := fmt.Sprintf("%d|%s|%s", n.ID, n.Kind, n.Op)
+	for _, v := range operands {
+		key += "|" + v.String()
+	}
+	return key
+}
+
+// isPure reports whether the vertex kind computes a value from operands
+// alone, making it memoizable.
+func (k NodeKind) isPure() bool {
+	return k == KindArith || k == KindCompare || k == KindUnaryOp
+}
+
+// fire computes a vertex activation: given the matched operands and their
+// tag, it returns the emitted tokens. opt supplies the memo table and work
+// factor; res accounts memo hits.
+func fire(g *Graph, n *Node, tag int64, operands []value.Value, opt Options, res *Result) ([]Token, error) {
+	if n.Kind.isPure() {
+		if opt.Memo != nil {
+			key := memoKey(n, operands)
+			if v, ok := opt.Memo.LookupFiring(key); ok {
+				res.MemoHits++
+				return emitAll(g, n, 0, v, tag), nil
+			}
+			spin(opt.WorkFactor)
+			v, err := pureResult(n, operands)
+			if err != nil {
+				return nil, err
+			}
+			opt.Memo.StoreFiring(key, v)
+			return emitAll(g, n, 0, v, tag), nil
+		}
+		spin(opt.WorkFactor)
+		v, err := pureResult(n, operands)
+		if err != nil {
+			return nil, err
+		}
+		return emitAll(g, n, 0, v, tag), nil
+	}
+	return fireRouting(g, n, tag, operands)
+}
+
+// pureResult computes the value of an Arith, Compare or UnaryOp vertex.
+func pureResult(n *Node, operands []value.Value) (value.Value, error) {
+	switch n.Kind {
+	case KindArith, KindCompare:
+		a, b := operands[0], value.Value{}
+		if n.Imm.IsValid() {
+			if n.ImmLeft {
+				a, b = n.Imm, operands[0]
+			} else {
+				b = n.Imm
+			}
+		} else {
+			b = operands[1]
+		}
+		v, err := value.Binary(n.Op, a, b)
+		if err != nil {
+			return value.Value{}, fmt.Errorf("dataflow: node %s: %w", n.Name, err)
+		}
+		if n.Kind == KindCompare {
+			// Algorithm 1 (lines 25-27): comparisons produce 1 or 0 control
+			// operands, not booleans.
+			if v.AsBool() {
+				return value.Int(1), nil
+			}
+			return value.Int(0), nil
+		}
+		return v, nil
+	case KindUnaryOp:
+		v, err := value.Unary(n.Op, operands[0])
+		if err != nil {
+			return value.Value{}, fmt.Errorf("dataflow: node %s: %w", n.Name, err)
+		}
+		return v, nil
+	}
+	return value.Value{}, fmt.Errorf("dataflow: node %s is not pure", n.Name)
+}
+
+// emitAll fans a value out to every edge of an output port.
+func emitAll(g *Graph, n *Node, port int, v value.Value, tag int64) []Token {
+	outs := n.Out[port]
+	toks := make([]Token, 0, len(outs))
+	for _, e := range outs {
+		toks = append(toks, Token{Val: v, Edge: e, Tag: tag})
+	}
+	return toks
+}
+
+// fireRouting handles the non-pure kinds: const, steer, inctag, copy.
+func fireRouting(g *Graph, n *Node, tag int64, operands []value.Value) ([]Token, error) {
+	switch n.Kind {
+	case KindConst:
+		return emitAll(g, n, 0, n.Init, tag), nil
+	case KindSteer:
+		ctl, err := operands[1].Truthy()
+		if err != nil {
+			return nil, fmt.Errorf("dataflow: steer %s control: %w", n.Name, err)
+		}
+		if ctl {
+			return emitAll(g, n, PortTrue, operands[0], tag), nil
+		}
+		return emitAll(g, n, PortFalse, operands[0], tag), nil
+	case KindIncTag:
+		return emitAll(g, n, 0, operands[0], tag+1), nil
+	case KindCopy:
+		return emitAll(g, n, 0, operands[0], tag), nil
+	case KindSetTag:
+		return emitAll(g, n, 0, operands[0], 0), nil
+	}
+	return nil, fmt.Errorf("dataflow: node %s has invalid kind", n.Name)
+}
+
+// initialTokens fires every const vertex once with tag 0.
+func initialTokens(g *Graph, opt Options, res *Result) []Token {
+	var toks []Token
+	for _, n := range g.Nodes {
+		if n.Kind != KindConst {
+			continue
+		}
+		out, _ := fireRouting(g, n, 0, nil) // const firing cannot fail
+		traceFiring(g, opt, n.Name, nil, out)
+		toks = append(toks, out...)
+		res.Firings++
+		res.PerNode[n.Name]++
+	}
+	return toks
+}
+
+func newResult(workers int) *Result {
+	return &Result{
+		Outputs: make(map[string][]TaggedValue),
+		PerNode: make(map[string]int64),
+		Workers: workers,
+	}
+}
+
+// sortOutputs orders each output series by tag for deterministic reporting.
+func sortOutputs(res *Result) {
+	for _, vs := range res.Outputs {
+		sort.SliceStable(vs, func(i, j int) bool { return vs[i].Tag < vs[j].Tag })
+	}
+}
+
+// countPending totals the operands still waiting in the matching stores.
+func countPending(stores []store) int {
+	n := 0
+	for _, s := range stores {
+		for _, w := range s {
+			for _, q := range w.ports {
+				n += len(q)
+			}
+		}
+	}
+	return n
+}
+
+// runSequential is the deterministic single-PE scheduler: a FIFO worklist of
+// tokens, each delivered to its destination vertex's matching store, firing
+// vertices as their operand sets complete.
+func runSequential(g *Graph, opt Options) (*Result, error) {
+	res := newResult(1)
+	stores := make([]store, len(g.Nodes))
+	for i := range stores {
+		stores[i] = make(store)
+	}
+	queue := initialTokens(g, opt, res)
+	for len(queue) > 0 {
+		tok := queue[0]
+		queue = queue[1:]
+		e := g.Edges[tok.Edge]
+		if e.To == NoNode {
+			res.Outputs[e.Label] = append(res.Outputs[e.Label], TaggedValue{Tag: tok.Tag, Val: tok.Val})
+			continue
+		}
+		n := g.Nodes[e.To]
+		key := ""
+		if opt.Tracer != nil {
+			key = tokenKey(g, tok)
+		}
+		operands, keys, ready := stores[e.To].deliver(n, e.ToPort, tok.Tag, tok.Val, key)
+		if !ready {
+			continue
+		}
+		out, err := fire(g, n, tok.Tag, operands, opt, res)
+		if err != nil {
+			return res, err
+		}
+		traceFiring(g, opt, n.Name, keys, out)
+		res.Firings++
+		res.PerNode[n.Name]++
+		if opt.MaxFirings > 0 && res.Firings > opt.MaxFirings {
+			return res, ErrMaxFirings
+		}
+		queue = append(queue, out...)
+	}
+	res.Pending = countPending(stores)
+	sortOutputs(res)
+	return res, nil
+}

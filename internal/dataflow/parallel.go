@@ -1,0 +1,218 @@
+package dataflow
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// runParallel executes the graph on a pool of processing elements. Each PE
+// owns the vertices whose id hashes to it — mirroring how dataflow runtimes
+// virtualize PEs over cores (§II-A) — so a vertex's matching store is only
+// ever touched by its owner and needs no lock. Tokens are routed between PEs
+// through unbounded mailboxes.
+//
+// Termination is detected by in-flight accounting: the counter is incremented
+// before a token is enqueued and decremented only after the token's delivery
+// (including enqueueing any tokens the firing produced). When the counter
+// reaches zero no token exists or can appear, which is the dataflow analogue
+// of Gamma's stable state.
+func runParallel(g *Graph, opt Options) (*Result, error) {
+	workers := opt.Workers
+	eng := &parEngine{
+		g:     g,
+		opt:   opt,
+		boxes: make([]*mailbox, workers),
+		done:  make(chan struct{}),
+	}
+	for i := range eng.boxes {
+		eng.boxes[i] = newMailbox()
+	}
+	stores := make([]store, len(g.Nodes))
+	for i := range stores {
+		stores[i] = make(store)
+	}
+
+	results := make([]*Result, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		results[w] = newResult(workers)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			eng.peLoop(w, stores, results[w])
+		}(w)
+	}
+
+	// Inject the const tokens. Count them first so the in-flight counter
+	// cannot transiently hit zero between sends.
+	seed := newResult(workers)
+	toks := initialTokens(g, opt, seed)
+	if len(toks) == 0 {
+		eng.shutdown()
+	} else {
+		eng.inflight.Add(int64(len(toks)))
+		for _, t := range toks {
+			eng.route(t)
+		}
+	}
+	wg.Wait()
+
+	total := seed
+	total.Pending = countPending(stores)
+	for _, r := range results {
+		total.Firings += r.Firings
+		total.MemoHits += r.MemoHits
+		for k, v := range r.PerNode {
+			total.PerNode[k] += v
+		}
+		for k, vs := range r.Outputs {
+			total.Outputs[k] = append(total.Outputs[k], vs...)
+		}
+	}
+	sortOutputs(total)
+	if err := eng.err.Load(); err != nil {
+		return total, err.(error)
+	}
+	return total, nil
+}
+
+type parEngine struct {
+	g        *Graph
+	opt      Options
+	boxes    []*mailbox
+	inflight atomic.Int64
+	firings  atomic.Int64
+	err      atomic.Value // error
+	done     chan struct{}
+	closed   sync.Once
+}
+
+func (e *parEngine) shutdown() {
+	e.closed.Do(func() {
+		close(e.done)
+		for _, b := range e.boxes {
+			b.close()
+		}
+	})
+}
+
+func (e *parEngine) fail(err error) {
+	e.err.CompareAndSwap(nil, err)
+	e.shutdown()
+}
+
+// owner maps a vertex to its PE.
+func (e *parEngine) owner(n NodeID) int { return int(n) % len(e.boxes) }
+
+// route enqueues a token whose in-flight slot is already counted. Tokens for
+// a vertex go to its owning PE; terminal tokens have no destination vertex,
+// so they are spread over PEs by edge id.
+func (e *parEngine) route(t Token) {
+	edge := e.g.Edges[t.Edge]
+	var pe int
+	if edge.To == NoNode {
+		pe = int(edge.ID) % len(e.boxes)
+	} else {
+		pe = e.owner(edge.To)
+	}
+	e.boxes[pe].push(t)
+}
+
+func (e *parEngine) peLoop(id int, stores []store, res *Result) {
+	box := e.boxes[id]
+	for {
+		tok, ok := box.pop()
+		if !ok {
+			return
+		}
+		e.process(tok, stores, res)
+	}
+}
+
+func (e *parEngine) process(tok Token, stores []store, res *Result) {
+	defer func() {
+		if e.inflight.Add(-1) == 0 {
+			e.shutdown()
+		}
+	}()
+	edge := e.g.Edges[tok.Edge]
+	if edge.To == NoNode {
+		res.Outputs[edge.Label] = append(res.Outputs[edge.Label], TaggedValue{Tag: tok.Tag, Val: tok.Val})
+		return
+	}
+	n := e.g.Nodes[edge.To]
+	key := ""
+	if e.opt.Tracer != nil {
+		key = tokenKey(e.g, tok)
+	}
+	operands, keys, ready := stores[edge.To].deliver(n, edge.ToPort, tok.Tag, tok.Val, key)
+	if !ready {
+		return
+	}
+	out, err := fire(e.g, n, tok.Tag, operands, e.opt, res)
+	if err != nil {
+		e.fail(err)
+		return
+	}
+	traceFiring(e.g, e.opt, n.Name, keys, out)
+	res.Firings++
+	res.PerNode[n.Name]++
+	if e.opt.MaxFirings > 0 && e.firings.Add(1) > e.opt.MaxFirings {
+		e.fail(ErrMaxFirings)
+		return
+	}
+	if len(out) > 0 {
+		e.inflight.Add(int64(len(out)))
+		for _, t := range out {
+			e.route(t)
+		}
+	}
+}
+
+// mailbox is an unbounded MPSC token queue with blocking pop. Unbounded
+// buffering is essential: cyclic graphs (loops through inctag) would deadlock
+// bounded channels when a PE blocks sending to itself.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []Token
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	b := &mailbox{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *mailbox) push(t Token) {
+	b.mu.Lock()
+	if !b.closed {
+		b.q = append(b.q, t)
+		b.cond.Signal()
+	}
+	b.mu.Unlock()
+}
+
+// pop blocks until a token is available or the mailbox is closed. Remaining
+// tokens are drained even after close so in-flight accounting stays exact.
+func (b *mailbox) pop() (Token, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(b.q) == 0 && !b.closed {
+		b.cond.Wait()
+	}
+	if len(b.q) == 0 {
+		return Token{}, false
+	}
+	t := b.q[0]
+	b.q = b.q[1:]
+	return t, true
+}
+
+func (b *mailbox) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}

@@ -1,0 +1,244 @@
+// Package dist implements the distributed multiset execution environment the
+// paper leaves as future work (§IV: "the implementation of Gamma distributed
+// multisets", motivated by IoT deployments). A Cluster simulates a set of
+// nodes, each owning a shard of the multiset and running the Gamma runtime
+// locally; elements migrate between nodes through counted message channels
+// (the stand-in for the paper's interest-based network — see DESIGN.md §4 on
+// substitutions).
+//
+// Execution proceeds in rounds:
+//
+//  1. react: every node runs its shard to a local stable state concurrently
+//     (the full gamma runtime, so a node may itself be multi-worker);
+//  2. diffuse: each node ships a batch of randomly chosen elements to a
+//     random peer, creating new cross-node match opportunities;
+//  3. terminate: when a whole round fires nothing anywhere, the coordinator
+//     gathers all shards and checks Eq. 1's global stability condition; if
+//     some reaction is still enabled the elements are redistributed and
+//     execution continues, otherwise the union is the result.
+//
+// The gather step makes termination exact: a cluster never stops while any
+// cross-shard combination of elements could react, and never runs forever
+// after true stability.
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/gamma"
+	"repro/internal/multiset"
+)
+
+// Topology selects which peers a node may diffuse elements to.
+type Topology int
+
+const (
+	// TopologyFull lets every node reach every other node directly (a
+	// datacenter-style fabric).
+	TopologyFull Topology = iota
+	// TopologyRing restricts diffusion to the two ring neighbours — the
+	// constrained connectivity of edge/IoT deployments. Convergence takes
+	// more rounds because elements random-walk around the ring; the gather
+	// step keeps termination exact regardless.
+	TopologyRing
+)
+
+func (t Topology) String() string {
+	if t == TopologyRing {
+		return "ring"
+	}
+	return "full"
+}
+
+// Options configures a cluster run.
+type Options struct {
+	// Nodes is the number of simulated nodes (≥ 1).
+	Nodes int
+	// Topology constrains diffusion peers (default TopologyFull).
+	Topology Topology
+	// WorkersPerNode is each node's local Gamma worker count.
+	WorkersPerNode int
+	// Seed drives element placement, diffusion and local nondeterminism.
+	Seed int64
+	// DiffusionBatch is how many elements a node ships per round (default 4).
+	DiffusionBatch int
+	// MaxRounds bounds the react-diffuse rounds; 0 means 10000 (a cluster
+	// that diffuses forever without firing indicates a bug, not progress).
+	MaxRounds int
+	// MaxStepsPerRound bounds each node's local execution per round.
+	MaxStepsPerRound int64
+}
+
+// Stats reports a cluster execution.
+type Stats struct {
+	// Steps is the total number of reaction firings across all nodes.
+	Steps int64
+	// Rounds is the number of react-diffuse rounds executed.
+	Rounds int
+	// Migrations counts elements shipped between nodes (diffusion and
+	// redistribution alike).
+	Migrations int64
+	// Gathers counts global stability checks.
+	Gathers int
+	// PerNode is the firing count of each node.
+	PerNode []int64
+}
+
+// ErrMaxRounds is returned when the round bound is exceeded.
+var ErrMaxRounds = errors.New("dist: maximum rounds exceeded")
+
+// Cluster is a simulated distributed Gamma machine.
+type Cluster struct {
+	prog *gamma.Program
+	opt  Options
+}
+
+// NewCluster validates the program and options.
+func NewCluster(prog *gamma.Program, opt Options) (*Cluster, error) {
+	if opt.Nodes < 1 {
+		return nil, fmt.Errorf("dist: need at least 1 node, got %d", opt.Nodes)
+	}
+	for _, r := range prog.Reactions {
+		if err := r.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if opt.DiffusionBatch <= 0 {
+		opt.DiffusionBatch = 4
+	}
+	if opt.MaxRounds <= 0 {
+		opt.MaxRounds = 10000
+	}
+	return &Cluster{prog: prog, opt: opt}, nil
+}
+
+// Run executes the program over m distributed across the cluster and returns
+// the stable union multiset. m itself is consumed.
+func (c *Cluster) Run(m *multiset.Multiset) (*multiset.Multiset, *Stats, error) {
+	rng := rand.New(rand.NewSource(c.opt.Seed + 1))
+	stats := &Stats{PerNode: make([]int64, c.opt.Nodes)}
+
+	// Initial placement: elements scatter uniformly, the no-locality
+	// worst case for a distributed multiset.
+	shards := make([]*multiset.Multiset, c.opt.Nodes)
+	for i := range shards {
+		shards[i] = multiset.New()
+	}
+	scatter(m, shards, rng, &stats.Migrations)
+
+	for round := 0; ; round++ {
+		if round >= c.opt.MaxRounds {
+			return nil, stats, ErrMaxRounds
+		}
+		stats.Rounds++
+
+		// React phase: all nodes to their local stable state, concurrently.
+		roundSteps := make([]int64, c.opt.Nodes)
+		errs := make([]error, c.opt.Nodes)
+		var wg sync.WaitGroup
+		for n := 0; n < c.opt.Nodes; n++ {
+			wg.Add(1)
+			go func(n int) {
+				defer wg.Done()
+				st, err := gamma.Run(c.prog, shards[n], gamma.Options{
+					Workers:  c.opt.WorkersPerNode,
+					Seed:     c.opt.Seed + int64(round)*31 + int64(n) + 1,
+					MaxSteps: c.opt.MaxStepsPerRound,
+				})
+				if st != nil {
+					roundSteps[n] = st.Steps
+				}
+				errs[n] = err
+			}(n)
+		}
+		wg.Wait()
+		fired := int64(0)
+		for n := 0; n < c.opt.Nodes; n++ {
+			if errs[n] != nil {
+				return nil, stats, fmt.Errorf("dist: node %d: %w", n, errs[n])
+			}
+			fired += roundSteps[n]
+			stats.PerNode[n] += roundSteps[n]
+		}
+		stats.Steps += fired
+
+		if fired == 0 && round > 0 {
+			// Quiescent round: check Eq. 1's global condition on the union.
+			stats.Gathers++
+			union := multiset.New()
+			for _, s := range shards {
+				s.ForEach(func(t multiset.Tuple, n int) bool {
+					union.AddN(t, n)
+					stats.Migrations += int64(n)
+					return true
+				})
+			}
+			enabled, err := gamma.Enabled(c.prog, union)
+			if err != nil {
+				return nil, stats, err
+			}
+			if !enabled {
+				return union, stats, nil
+			}
+			// Cross-shard matches exist: redistribute and continue.
+			for i := range shards {
+				shards[i] = multiset.New()
+			}
+			scatter(union, shards, rng, &stats.Migrations)
+			continue
+		}
+
+		// Diffuse phase: each node ships a random batch to a peer allowed by
+		// the topology.
+		if c.opt.Nodes > 1 {
+			for n := 0; n < c.opt.Nodes; n++ {
+				var peer int
+				if c.opt.Topology == TopologyRing {
+					if rng.Intn(2) == 0 {
+						peer = (n + 1) % c.opt.Nodes
+					} else {
+						peer = (n - 1 + c.opt.Nodes) % c.opt.Nodes
+					}
+				} else {
+					peer = rng.Intn(c.opt.Nodes - 1)
+					if peer >= n {
+						peer++
+					}
+				}
+				stats.Migrations += moveBatch(shards[n], shards[peer], c.opt.DiffusionBatch, rng)
+			}
+		}
+	}
+}
+
+// scatter distributes all of src over the shards uniformly at random.
+func scatter(src *multiset.Multiset, shards []*multiset.Multiset, rng *rand.Rand, migrations *int64) {
+	for _, t := range src.Expand() {
+		shards[rng.Intn(len(shards))].Add(t)
+		*migrations++
+	}
+}
+
+// moveBatch moves up to batch randomly chosen elements from one shard to
+// another, returning how many moved.
+func moveBatch(from, to *multiset.Multiset, batch int, rng *rand.Rand) int64 {
+	elems := from.Expand()
+	if len(elems) == 0 {
+		return 0
+	}
+	rng.Shuffle(len(elems), func(i, j int) { elems[i], elems[j] = elems[j], elems[i] })
+	if batch > len(elems) {
+		batch = len(elems)
+	}
+	moved := int64(0)
+	for _, t := range elems[:batch] {
+		if from.Remove(t) {
+			to.Add(t)
+			moved++
+		}
+	}
+	return moved
+}

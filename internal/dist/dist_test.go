@@ -1,0 +1,367 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/gamma"
+	"repro/internal/gammalang"
+	"repro/internal/multiset"
+	"repro/internal/paper"
+	"repro/internal/value"
+)
+
+func minProg(t *testing.T) *gamma.Program {
+	t.Helper()
+	p, err := gammalang.ParseProgram("min", paper.MinElementListing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func intSet(vals ...int64) *multiset.Multiset {
+	m := multiset.New()
+	for _, v := range vals {
+		m.Add(multiset.New1(value.Int(v)))
+	}
+	return m
+}
+
+func TestSingleNodeMatchesGamma(t *testing.T) {
+	c, err := NewCluster(minProg(t), Options{Nodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	result, stats, err := c.Run(intSet(9, 4, 7, 1, 8, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result.Len() != 1 || !result.Contains(multiset.New1(value.Int(1))) {
+		t.Fatalf("result = %s", result)
+	}
+	if stats.Steps != 5 {
+		t.Errorf("steps = %d, want 5", stats.Steps)
+	}
+}
+
+func TestClusterMinElement(t *testing.T) {
+	for _, nodes := range []int{2, 4, 8} {
+		c, err := NewCluster(minProg(t), Options{Nodes: nodes, Seed: int64(nodes)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := multiset.New()
+		for i := int64(1); i <= 64; i++ {
+			m.Add(multiset.New1(value.Int(i)))
+		}
+		result, stats, err := c.Run(m)
+		if err != nil {
+			t.Fatalf("nodes=%d: %v", nodes, err)
+		}
+		if result.Len() != 1 || !result.Contains(multiset.New1(value.Int(1))) {
+			t.Fatalf("nodes=%d: result = %s", nodes, result)
+		}
+		if stats.Steps != 63 {
+			t.Errorf("nodes=%d: steps = %d, want 63", nodes, stats.Steps)
+		}
+		if nodes > 1 && stats.Migrations == 0 {
+			t.Errorf("nodes=%d: no migrations recorded", nodes)
+		}
+	}
+}
+
+func TestClusterAgreesWithSingleNodeOnExample1(t *testing.T) {
+	prog, err := gammalang.ParseProgram("ex1", paper.Example1GammaListing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := multiset.Parse(paper.Example1InitialMultiset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reference := single.Clone()
+	if _, err := gamma.Run(prog, reference, gamma.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(prog, Options{Nodes: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	result, _, err := c.Run(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !result.Equal(reference) {
+		t.Fatalf("cluster %s vs single-node %s", result, reference)
+	}
+}
+
+func TestClusterPrimesSieve(t *testing.T) {
+	prog, err := gammalang.ParseProgram("sieve",
+		`R = replace (x, y) by y where x % y == 0 and x != y`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := multiset.New()
+	for i := int64(2); i <= 40; i++ {
+		m.Add(multiset.New1(value.Int(i)))
+	}
+	c, err := NewCluster(prog, Options{Nodes: 4, Seed: 3, WorkersPerNode: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	result, _, err := c.Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		if !result.Contains(multiset.New1(value.Int(p))) {
+			t.Errorf("missing prime %d in %s", p, result)
+		}
+	}
+	if result.Len() != 12 {
+		t.Errorf("result = %s, want exactly the 12 primes", result)
+	}
+}
+
+func TestClusterConvertedLoop(t *testing.T) {
+	// The full converted Fig. 2 program runs distributed; tag matching works
+	// across shards because quiescent rounds regather and recheck globally.
+	prog, err := gammalang.ParseProgram("ex2", paper.Example2GammaListing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := multiset.Parse(paper.Example2InitialMultiset(10, 4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(prog, Options{Nodes: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	result, stats, err := c.Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result.Len() != 0 {
+		t.Fatalf("result = %s, want empty (the listing discards all state)", result)
+	}
+	if stats.Steps == 0 || stats.Rounds == 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestClusterStability(t *testing.T) {
+	// A program with nothing enabled: terminates immediately with the input.
+	prog, err := gammalang.ParseProgram("noop", `R = replace [x, 'zz'] by 0 if x > 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(prog, Options{Nodes: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := intSet(1, 2, 3)
+	result, stats, err := c.Run(in.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !result.Equal(in) {
+		t.Errorf("result = %s, want untouched input", result)
+	}
+	if stats.Gathers == 0 {
+		t.Error("stability must be confirmed by a gather")
+	}
+}
+
+func TestClusterErrors(t *testing.T) {
+	if _, err := NewCluster(minProg(t), Options{Nodes: 0}); err == nil {
+		t.Error("0 nodes should error")
+	}
+	bad := &gamma.Program{Name: "bad", Reactions: []*gamma.Reaction{{Name: "r"}}}
+	if _, err := NewCluster(bad, Options{Nodes: 1}); err == nil {
+		t.Error("invalid reaction should error")
+	}
+	// Runtime error inside a node surfaces with the node id.
+	div, err := gammalang.ParseReaction(`R = replace [x, 'a'] by [x / 0, 'b']`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(gamma.MustProgram("div", div), Options{Nodes: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := multiset.New(multiset.Pair(value.Int(1), "a"))
+	if _, _, err := c.Run(m); err == nil {
+		t.Error("node error should surface")
+	}
+	// Diverging program hits MaxStepsPerRound.
+	grow, err := gammalang.ParseReaction(`R = replace [x, 'a'] by [x + 1, 'a']`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewCluster(gamma.MustProgram("grow", grow), Options{
+		Nodes: 2, Seed: 1, MaxStepsPerRound: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := multiset.New(multiset.Pair(value.Int(1), "a"))
+	if _, _, err := c2.Run(m2); err == nil {
+		t.Error("diverging program should error")
+	}
+}
+
+func TestClusterMaxRounds(t *testing.T) {
+	// A quiescent round triggers a gather, which terminates cleanly — so
+	// MaxRounds is only reachable by a program that keeps firing every
+	// round. A label ping-pong with a bounded per-round budget does that.
+	ping, err := gammalang.ParseProgram("ping", `
+A = replace [x, 'p'] by [x, 'q']
+B = replace [x, 'q'] by [x, 'p']
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(ping, Options{Nodes: 2, Seed: 1, MaxRounds: 5, MaxStepsPerRound: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := multiset.New(multiset.Pair(value.Int(1), "p"))
+	_, _, err = c.Run(m)
+	if !errors.Is(err, ErrMaxRounds) && err == nil {
+		t.Error("ping-pong should not terminate cleanly")
+	}
+}
+
+func TestScaleNodesKeepsResult(t *testing.T) {
+	// Property-style: the stable result is node-count independent.
+	prog := minProg(t)
+	want := multiset.New(multiset.New1(value.Int(2)))
+	for nodes := 1; nodes <= 6; nodes++ {
+		m := intSet(40, 2, 96, 31, 10, 77, 54, 23, 68, 12)
+		c, err := NewCluster(prog, Options{Nodes: nodes, Seed: int64(nodes * 7)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		result, _, err := c.Run(m)
+		if err != nil {
+			t.Fatalf("nodes=%d: %v", nodes, err)
+		}
+		if !result.Equal(want) {
+			t.Errorf("nodes=%d: result = %s", nodes, result)
+		}
+	}
+}
+
+func TestRingTopology(t *testing.T) {
+	if TopologyFull.String() != "full" || TopologyRing.String() != "ring" {
+		t.Error("topology names wrong")
+	}
+	// The ring converges to the same fixpoint as the full fabric.
+	prog := minProg(t)
+	m := multiset.New()
+	for i := int64(1); i <= 48; i++ {
+		m.Add(multiset.New1(value.Int(i)))
+	}
+	c, err := NewCluster(prog, Options{Nodes: 6, Seed: 4, Topology: TopologyRing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	result, stats, err := c.Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result.Len() != 1 || !result.Contains(multiset.New1(value.Int(1))) {
+		t.Fatalf("ring result = %s", result)
+	}
+	if stats.Steps != 47 {
+		t.Errorf("steps = %d", stats.Steps)
+	}
+}
+
+func TestStatsShape(t *testing.T) {
+	c, err := NewCluster(minProg(t), Options{Nodes: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := intSet(5, 3, 8, 1, 9, 2, 7, 4)
+	_, stats, err := c.Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.PerNode) != 4 {
+		t.Fatalf("PerNode = %v", stats.PerNode)
+	}
+	total := int64(0)
+	for _, s := range stats.PerNode {
+		total += s
+	}
+	if total != stats.Steps || stats.Steps != 7 {
+		t.Errorf("steps %d, per-node sum %d, want 7", stats.Steps, total)
+	}
+	if stats.Gathers < 1 {
+		t.Error("termination requires at least one gather")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	c, err := NewCluster(minProg(t), Options{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.opt.DiffusionBatch != 4 || c.opt.MaxRounds != 10000 {
+		t.Errorf("defaults not applied: %+v", c.opt)
+	}
+}
+
+func TestManyNodesFewElements(t *testing.T) {
+	// More nodes than elements: most shards empty, still terminates right.
+	c, err := NewCluster(minProg(t), Options{Nodes: 8, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	result, _, err := c.Run(intSet(3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result.Len() != 1 || !result.Contains(multiset.New1(value.Int(1))) {
+		t.Errorf("result = %s", result)
+	}
+	// And an empty input terminates immediately.
+	empty, stats, err := c.Run(multiset.New())
+	if err != nil || empty.Len() != 0 {
+		t.Errorf("empty run: %v %v", empty, err)
+	}
+	if stats.Steps != 0 {
+		t.Errorf("empty run fired %d", stats.Steps)
+	}
+}
+
+func TestLargeClusterStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress")
+	}
+	prog := minProg(t)
+	m := multiset.New()
+	for i := int64(1); i <= 300; i++ {
+		m.Add(multiset.New1(value.Int(i)))
+	}
+	c, err := NewCluster(prog, Options{Nodes: 6, Seed: 11, WorkersPerNode: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	result, stats, err := c.Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result.Len() != 1 || !result.Contains(multiset.New1(value.Int(1))) {
+		t.Fatalf("result = %s", result)
+	}
+	if stats.Steps != 299 {
+		t.Errorf("steps = %d", stats.Steps)
+	}
+	fmt.Printf("stress: rounds=%d migrations=%d gathers=%d\n", stats.Rounds, stats.Migrations, stats.Gathers)
+}

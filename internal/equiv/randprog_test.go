@@ -1,0 +1,122 @@
+package equiv
+
+import (
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/value"
+)
+
+// TestRandomProgramsPipeline is the strongest end-to-end property: random
+// mini-language programs (with loops) agree between the reference
+// interpreter, the dataflow runtime and the Algorithm-1 Gamma translation.
+func TestRandomProgramsPipeline(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		src, want := RandomProgram(seed, 2+int(seed)%3, 3+int(seed)%5)
+		g, err := compiler.Compile("rand", src)
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v\n%s", seed, err, src)
+		}
+		res, err := dataflow.Run(g, dataflow.Options{MaxFirings: 1_000_000})
+		if err != nil {
+			t.Fatalf("seed %d: run: %v\n%s", seed, err, src)
+		}
+		for name, w := range want {
+			got, ok := res.Output(name)
+			if !ok || got != value.Int(w) {
+				t.Errorf("seed %d: %s = %v, want %d\n%s", seed, name, got, w, src)
+			}
+		}
+		rep, err := Check(g, Options{MaxSteps: 1_000_000})
+		if err != nil {
+			t.Fatalf("seed %d: equivalence: %v\n%s", seed, err, src)
+		}
+		if !rep.Equivalent {
+			t.Errorf("seed %d: not equivalent: %v\n%s", seed, rep.Mismatches, src)
+		}
+	}
+}
+
+// TestRandomProgramsReconstruct closes the loop: the Gamma translation of a
+// random program reconstructs (classifier + ProgramToGraph, including drain
+// vertices for dead code) into a graph computing the same outputs.
+func TestRandomProgramsReconstruct(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		src, want := RandomProgram(seed*13, 3, 8)
+		g, err := compiler.Compile("rand", src)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+		prog, init, err := core.ToGamma(g)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		back, err := core.ProgramToGraph("back", prog, init)
+		if err != nil {
+			t.Fatalf("seed %d: reconstruct: %v\n%s", seed, err, src)
+		}
+		res, err := dataflow.Run(back, dataflow.Options{MaxFirings: 1_000_000})
+		if err != nil {
+			t.Fatalf("seed %d: run: %v", seed, err)
+		}
+		for name, w := range want {
+			if got, ok := res.Output(name); !ok || got != value.Int(w) {
+				t.Errorf("seed %d: reconstructed %s = %v, want %d\n%s", seed, name, got, w, src)
+			}
+		}
+	}
+}
+
+func TestRandomProgramDeterministic(t *testing.T) {
+	s1, w1 := RandomProgram(5, 3, 6)
+	s2, w2 := RandomProgram(5, 3, 6)
+	if s1 != s2 {
+		t.Error("same seed should generate the same source")
+	}
+	for k, v := range w1 {
+		if w2[k] != v {
+			t.Errorf("expected outputs differ at %s", k)
+		}
+	}
+	s3, _ := RandomProgram(6, 3, 6)
+	if s1 == s3 {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestRandomProgramMinVars(t *testing.T) {
+	src, want := RandomProgram(1, 0, 2) // nVars clamps to 1
+	g, err := compiler.Compile("tiny", src)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, src)
+	}
+	res, err := dataflow.Run(g, dataflow.Options{MaxFirings: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, w := range want {
+		if got, _ := res.Output(name); got != value.Int(w) {
+			t.Errorf("%s = %v, want %d", name, got, w)
+		}
+	}
+}
+
+func TestEvalRefMatchesGenerator(t *testing.T) {
+	env := map[string]int64{"v0": 3, "v1": -2}
+	cases := map[string]int64{
+		"5":               5,
+		"-4":              -4,
+		"v0":              3,
+		"(v0 + v1)":       1,
+		"(v0 - (v1 * 2))": 7,
+		"((v0 + 1) * v1)": -8,
+		"((1 - 2) - 3)":   -4,
+	}
+	for src, want := range cases {
+		if got := evalRef(src, env); got != want {
+			t.Errorf("evalRef(%q) = %d, want %d", src, got, want)
+		}
+	}
+}

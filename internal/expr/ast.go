@@ -1,0 +1,242 @@
+// Package expr implements the scalar expression language shared by the Gamma
+// DSL, the reaction reducer and the mini imperative compiler.
+//
+// The paper's reactions carry two expression positions: the arithmetic
+// expressions inside "by" products (e.g. id1 + id2) and the boolean reaction
+// conditions (e.g. (x=='A1') or (x=='A11')). Both are instances of this one
+// language. Keeping a single AST is what makes the reduction transformation
+// (§III-A3 of the paper) mechanical: fusing reactions is symbolic
+// substitution of product expressions into consumer expressions.
+package expr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Expr is a node in the expression tree. Implementations are Lit, Var, Unary,
+// Binary and Call. Expressions are immutable once built.
+type Expr interface {
+	// String renders the expression in parseable source form.
+	String() string
+	// appendFreeVars accumulates variable names into set.
+	appendFreeVars(set map[string]struct{})
+}
+
+// Lit is a literal scalar value.
+type Lit struct{ Val value.Value }
+
+// Var is a reference to a named variable bound by the evaluation environment
+// (in reactions these are the pattern variables id1, id2, x, v, ...).
+type Var struct{ Name string }
+
+// Unary applies Op ("-", "!", "+") to X.
+type Unary struct {
+	Op string
+	X  Expr
+}
+
+// Binary applies Op to L and R. Supported operators are those accepted by
+// value.Binary: + - * / % == != < <= > >= and or.
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// Call invokes a builtin function: min, max, abs.
+type Call struct {
+	Name string
+	Args []Expr
+}
+
+func (l Lit) String() string { return l.Val.String() }
+func (v Var) String() string { return v.Name }
+
+func (u Unary) String() string {
+	if u.Op == "!" || u.Op == "-" || u.Op == "+" {
+		return u.Op + parenthesize(u.X, unaryPrec)
+	}
+	return u.Op + " " + parenthesize(u.X, unaryPrec)
+}
+
+func (b Binary) String() string {
+	p := precedence(b.Op)
+	// Left-associative: the right child needs parentheses at equal precedence.
+	return parenthesize(b.L, p) + " " + b.Op + " " + parenthesize(b.R, p+1)
+}
+
+func (c Call) String() string {
+	parts := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		parts[i] = a.String()
+	}
+	return c.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+func (l Lit) appendFreeVars(map[string]struct{})       {}
+func (v Var) appendFreeVars(set map[string]struct{})   { set[v.Name] = struct{}{} }
+func (u Unary) appendFreeVars(set map[string]struct{}) { u.X.appendFreeVars(set) }
+func (b Binary) appendFreeVars(set map[string]struct{}) {
+	b.L.appendFreeVars(set)
+	b.R.appendFreeVars(set)
+}
+func (c Call) appendFreeVars(set map[string]struct{}) {
+	for _, a := range c.Args {
+		a.appendFreeVars(set)
+	}
+}
+
+const unaryPrec = 7
+
+// precedence returns the binding strength of a binary operator; larger binds
+// tighter. Mirrors the parser's climbing levels.
+func precedence(op string) int {
+	switch op {
+	case "or", "||":
+		return 1
+	case "and", "&&":
+		return 2
+	case "==", "!=", "<", "<=", ">", ">=":
+		return 3
+	case "+", "-":
+		return 4
+	case "*", "/", "%":
+		return 5
+	}
+	return 6
+}
+
+// parenthesize renders child, wrapping it in parentheses when its top-level
+// operator binds more loosely than the context precedence.
+func parenthesize(child Expr, ctx int) string {
+	switch c := child.(type) {
+	case Binary:
+		if precedence(c.Op) < ctx {
+			return "(" + c.String() + ")"
+		}
+	case Unary:
+		if unaryPrec < ctx {
+			return "(" + c.String() + ")"
+		}
+	}
+	return child.String()
+}
+
+// FreeVars returns the sorted set of variable names referenced by e.
+func FreeVars(e Expr) []string {
+	set := make(map[string]struct{})
+	e.appendFreeVars(set)
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Subst returns e with every Var whose name appears in bindings replaced by
+// the bound expression. Unbound variables are left intact. The result shares
+// no mutable state with e (nodes are immutable).
+func Subst(e Expr, bindings map[string]Expr) Expr {
+	switch n := e.(type) {
+	case Lit:
+		return n
+	case Var:
+		if repl, ok := bindings[n.Name]; ok {
+			return repl
+		}
+		return n
+	case Unary:
+		return Unary{Op: n.Op, X: Subst(n.X, bindings)}
+	case Binary:
+		return Binary{Op: n.Op, L: Subst(n.L, bindings), R: Subst(n.R, bindings)}
+	case Call:
+		args := make([]Expr, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = Subst(a, bindings)
+		}
+		return Call{Name: n.Name, Args: args}
+	}
+	panic(fmt.Sprintf("expr: unknown node %T", e))
+}
+
+// Equal reports structural equality of two expressions.
+func Equal(a, b Expr) bool {
+	switch x := a.(type) {
+	case Lit:
+		y, ok := b.(Lit)
+		return ok && x.Val == y.Val
+	case Var:
+		y, ok := b.(Var)
+		return ok && x.Name == y.Name
+	case Unary:
+		y, ok := b.(Unary)
+		return ok && x.Op == y.Op && Equal(x.X, y.X)
+	case Binary:
+		y, ok := b.(Binary)
+		return ok && x.Op == y.Op && Equal(x.L, y.L) && Equal(x.R, y.R)
+	case Call:
+		y, ok := b.(Call)
+		if !ok || x.Name != y.Name || len(x.Args) != len(y.Args) {
+			return false
+		}
+		for i := range x.Args {
+			if !Equal(x.Args[i], y.Args[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Fold performs bottom-up constant folding: any subtree whose operands are
+// all literals is replaced by its value. Errors during folding (division by
+// zero, type mismatch) leave the subtree untouched so evaluation surfaces the
+// error at run time with full context.
+func Fold(e Expr) Expr {
+	switch n := e.(type) {
+	case Unary:
+		x := Fold(n.X)
+		if lit, ok := x.(Lit); ok {
+			if v, err := value.Unary(n.Op, lit.Val); err == nil {
+				return Lit{Val: v}
+			}
+		}
+		return Unary{Op: n.Op, X: x}
+	case Binary:
+		l, r := Fold(n.L), Fold(n.R)
+		if ll, ok := l.(Lit); ok {
+			if rl, ok := r.(Lit); ok {
+				if v, err := value.Binary(n.Op, ll.Val, rl.Val); err == nil {
+					return Lit{Val: v}
+				}
+			}
+		}
+		return Binary{Op: n.Op, L: l, R: r}
+	case Call:
+		args := make([]Expr, len(n.Args))
+		allLit := true
+		for i, a := range n.Args {
+			args[i] = Fold(a)
+			if _, ok := args[i].(Lit); !ok {
+				allLit = false
+			}
+		}
+		if allLit {
+			vals := make([]value.Value, len(args))
+			for i, a := range args {
+				vals[i] = a.(Lit).Val
+			}
+			if v, err := callBuiltin(n.Name, vals); err == nil {
+				return Lit{Val: v}
+			}
+		}
+		return Call{Name: n.Name, Args: args}
+	default:
+		return e
+	}
+}

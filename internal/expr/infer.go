@@ -1,0 +1,179 @@
+package expr
+
+import (
+	"fmt"
+
+	"repro/internal/value"
+)
+
+// Type is a static type in the expression language: either a concrete scalar
+// kind or Any (unconstrained). It is the foundation of the Structured-Gamma-
+// style compile-time checking in package schema.
+type Type struct {
+	kind value.Kind
+	any  bool
+}
+
+// AnyType is the unconstrained type.
+var AnyType = Type{any: true}
+
+// TypeOf returns the concrete type for a scalar kind.
+func TypeOf(k value.Kind) Type { return Type{kind: k} }
+
+// Convenience concrete types.
+var (
+	IntType    = TypeOf(value.KindInt)
+	FloatType  = TypeOf(value.KindFloat)
+	BoolType   = TypeOf(value.KindBool)
+	StringType = TypeOf(value.KindString)
+)
+
+// IsAny reports whether t is unconstrained.
+func (t Type) IsAny() bool { return t.any }
+
+// Kind returns the concrete kind; only meaningful when !IsAny.
+func (t Type) Kind() value.Kind { return t.kind }
+
+// Numeric reports whether t could be a number.
+func (t Type) Numeric() bool {
+	return t.any || t.kind == value.KindInt || t.kind == value.KindFloat
+}
+
+// Truthy reports whether t could act as a condition (bool or numeric).
+func (t Type) Truthy() bool { return t.any || t.kind != value.KindString }
+
+func (t Type) String() string {
+	if t.any {
+		return "any"
+	}
+	return t.kind.String()
+}
+
+// Unify returns the most specific type consistent with both, or an error
+// when the two concrete kinds conflict (numeric kinds unify to float, the
+// promotion the evaluator performs).
+func Unify(a, b Type) (Type, error) {
+	switch {
+	case a.any:
+		return b, nil
+	case b.any:
+		return a, nil
+	case a.kind == b.kind:
+		return a, nil
+	case a.Numeric() && b.Numeric():
+		return FloatType, nil
+	}
+	return Type{}, fmt.Errorf("expr: type mismatch: %s vs %s", a, b)
+}
+
+// TypeEnv resolves variable types during inference.
+type TypeEnv map[string]Type
+
+// Infer computes the static type of e under env. Unknown variables infer as
+// Any (they will be constrained elsewhere); kind conflicts are errors. The
+// rules mirror Eval: arithmetic is numeric (string + string concatenates),
+// comparisons and logic yield bool, min/max/abs are numeric-preserving.
+func Infer(e Expr, env TypeEnv) (Type, error) {
+	switch n := e.(type) {
+	case Lit:
+		return TypeOf(n.Val.Kind()), nil
+	case Var:
+		if t, ok := env[n.Name]; ok {
+			return t, nil
+		}
+		return AnyType, nil
+	case Unary:
+		t, err := Infer(n.X, env)
+		if err != nil {
+			return Type{}, err
+		}
+		switch n.Op {
+		case "-", "+":
+			if !t.Numeric() {
+				return Type{}, fmt.Errorf("expr: unary %s needs a number, got %s", n.Op, t)
+			}
+			return t, nil
+		case "!", "not":
+			if !t.Truthy() {
+				return Type{}, fmt.Errorf("expr: ! needs a condition, got %s", t)
+			}
+			return BoolType, nil
+		}
+		return Type{}, fmt.Errorf("expr: unknown unary operator %q", n.Op)
+	case Binary:
+		l, err := Infer(n.L, env)
+		if err != nil {
+			return Type{}, err
+		}
+		r, err := Infer(n.R, env)
+		if err != nil {
+			return Type{}, err
+		}
+		switch n.Op {
+		case "+":
+			if l.Kind() == value.KindString && r.Kind() == value.KindString {
+				return StringType, nil
+			}
+			fallthrough
+		case "-", "*", "/":
+			if !l.Numeric() || !r.Numeric() {
+				if n.Op == "+" && (l.any || r.any) {
+					return AnyType, nil // could be concatenation or addition
+				}
+				return Type{}, fmt.Errorf("expr: %s needs numbers, got %s and %s", n.Op, l, r)
+			}
+			return Unify(l, r)
+		case "%":
+			if (l.any || l.kind == value.KindInt) && (r.any || r.kind == value.KindInt) {
+				return IntType, nil
+			}
+			return Type{}, fmt.Errorf("expr: %% needs integers, got %s and %s", l, r)
+		case "==", "!=":
+			return BoolType, nil
+		case "<", "<=", ">", ">=":
+			if _, err := Unify(l, r); err != nil {
+				return Type{}, fmt.Errorf("expr: ordering %s: %w", n.Op, err)
+			}
+			return BoolType, nil
+		case "and", "or", "&&", "||":
+			if !l.Truthy() || !r.Truthy() {
+				return Type{}, fmt.Errorf("expr: %s needs conditions, got %s and %s", n.Op, l, r)
+			}
+			return BoolType, nil
+		}
+		return Type{}, fmt.Errorf("expr: unknown binary operator %q", n.Op)
+	case Call:
+		switch n.Name {
+		case "min", "max":
+			if len(n.Args) == 0 {
+				return Type{}, fmt.Errorf("expr: %s needs arguments", n.Name)
+			}
+			t := AnyType
+			for _, a := range n.Args {
+				at, err := Infer(a, env)
+				if err != nil {
+					return Type{}, err
+				}
+				t, err = Unify(t, at)
+				if err != nil {
+					return Type{}, err
+				}
+			}
+			return t, nil
+		case "abs":
+			if len(n.Args) != 1 {
+				return Type{}, fmt.Errorf("expr: abs needs exactly 1 argument")
+			}
+			t, err := Infer(n.Args[0], env)
+			if err != nil {
+				return Type{}, err
+			}
+			if !t.Numeric() {
+				return Type{}, fmt.Errorf("expr: abs needs a number, got %s", t)
+			}
+			return t, nil
+		}
+		return Type{}, fmt.Errorf("expr: unknown function %q", n.Name)
+	}
+	return Type{}, fmt.Errorf("expr: unknown node %T", e)
+}

@@ -1,0 +1,100 @@
+package expr
+
+import (
+	"testing"
+
+	"repro/internal/value"
+)
+
+func inferT(t *testing.T, src string, env TypeEnv) Type {
+	t.Helper()
+	ty, err := Infer(MustParse(src), env)
+	if err != nil {
+		t.Fatalf("Infer(%q): %v", src, err)
+	}
+	return ty
+}
+
+func TestInferBasics(t *testing.T) {
+	env := TypeEnv{"i": IntType, "f": FloatType, "s": StringType, "b": BoolType}
+	cases := []struct {
+		src  string
+		want Type
+	}{
+		{"1 + 2", IntType},
+		{"i + 1", IntType},
+		{"i + f", FloatType},
+		{"1.5 * 2.0", FloatType},
+		{"s + s", StringType},
+		{"i % 3", IntType},
+		{"-i", IntType},
+		{"+f", FloatType},
+		{"!b", BoolType},
+		{"not i", BoolType},
+		{"i == s", BoolType},
+		{"i != 3", BoolType},
+		{"i < 3", BoolType},
+		{"b and i > 0", BoolType},
+		{"min(i, 3)", IntType},
+		{"min(i, f)", FloatType},
+		{"abs(i)", IntType},
+		{"q + 1", IntType},      // unknown var unifies with int
+		{"q", AnyType},          // bare unknown
+		{"q + r", AnyType},      // addition of two unknowns could concatenate
+		{"s == 'A1'", BoolType}, // label comparisons
+	}
+	for _, c := range cases {
+		got := inferT(t, c.src, env)
+		if got != c.want {
+			t.Errorf("Infer(%q) = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestInferErrors(t *testing.T) {
+	env := TypeEnv{"i": IntType, "s": StringType, "b": BoolType}
+	for _, src := range []string{
+		"s - s", "s * 2", "i % 1.5", "-s", "!s", "s and b", "b or s",
+		"i < s", "abs(s)", "min()", "min(i, s)", "nosuch(i)", "abs(i, i)",
+	} {
+		if ty, err := Infer(MustParse(src), env); err == nil {
+			t.Errorf("Infer(%q) = %s, want error", src, ty)
+		}
+	}
+}
+
+func TestUnify(t *testing.T) {
+	if u, err := Unify(IntType, FloatType); err != nil || u != FloatType {
+		t.Errorf("int⊔float = %v, %v", u, err)
+	}
+	if u, err := Unify(AnyType, StringType); err != nil || u != StringType {
+		t.Errorf("any⊔string = %v, %v", u, err)
+	}
+	if u, err := Unify(BoolType, AnyType); err != nil || u != BoolType {
+		t.Errorf("bool⊔any = %v, %v", u, err)
+	}
+	if _, err := Unify(BoolType, IntType); err == nil {
+		t.Error("bool⊔int should fail")
+	}
+	if _, err := Unify(StringType, IntType); err == nil {
+		t.Error("string⊔int should fail")
+	}
+}
+
+func TestTypePredicates(t *testing.T) {
+	if !AnyType.IsAny() || IntType.IsAny() {
+		t.Error("IsAny wrong")
+	}
+	if !IntType.Numeric() || !FloatType.Numeric() || !AnyType.Numeric() || StringType.Numeric() {
+		t.Error("Numeric wrong")
+	}
+	if !BoolType.Truthy() || !IntType.Truthy() || StringType.Truthy() {
+		t.Error("Truthy wrong")
+	}
+	if IntType.String() != "int" || AnyType.String() != "any" {
+		t.Error("String wrong")
+	}
+	if TypeOf(value.KindBool) != BoolType {
+		t.Error("TypeOf wrong")
+	}
+}

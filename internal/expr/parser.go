@@ -1,0 +1,230 @@
+package expr
+
+import (
+	"fmt"
+
+	"repro/internal/value"
+)
+
+// Parse parses a complete expression from src. Trailing input is an error.
+func Parse(src string) (Expr, error) {
+	p := &Parser{lex: NewLexer(src)}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	e, err := p.ParseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != TokEOF {
+		return nil, p.errf("unexpected %s after expression", p.tok)
+	}
+	return e, nil
+}
+
+// MustParse is Parse that panics on error; for tests and fixtures.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Parser is a recursive-descent expression parser with precedence climbing.
+// It is exported so the Gamma DSL parser can embed it and parse expression
+// positions out of its own token stream.
+type Parser struct {
+	lex *Lexer
+	tok Token
+}
+
+// NewParser returns a parser reading from lex, primed on the first token.
+func NewParser(lex *Lexer) (*Parser, error) {
+	p := &Parser{lex: lex}
+	return p, p.next()
+}
+
+// Tok returns the current lookahead token.
+func (p *Parser) Tok() Token { return p.tok }
+
+// Advance consumes the current token and moves to the next.
+func (p *Parser) Advance() error { return p.next() }
+
+func (p *Parser) next() error {
+	t, err := p.lex.Next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *Parser) errf(format string, args ...any) error {
+	return &SyntaxError{Line: p.tok.Line, Col: p.tok.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ParseExpr parses an expression at the lowest precedence level, leaving the
+// lookahead on the first token after the expression.
+func (p *Parser) ParseExpr() (Expr, error) { return p.parseBinary(1) }
+
+// binaryOpAt reports whether the current token is a binary operator of
+// precedence at least min, and returns its spelling.
+func (p *Parser) binaryOpAt(min int) (string, bool) {
+	var op string
+	switch p.tok.Kind {
+	case TokOp:
+		op = p.tok.Text
+		if op == "=" || op == "!" {
+			return "", false
+		}
+	case TokIdent:
+		if p.tok.Text == "and" || p.tok.Text == "or" {
+			op = p.tok.Text
+		} else {
+			return "", false
+		}
+	default:
+		return "", false
+	}
+	if precedence(op) < min {
+		return "", false
+	}
+	return op, true
+}
+
+func (p *Parser) parseBinary(min int) (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op, ok := p.binaryOpAt(min)
+		if !ok {
+			return left, nil
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseBinary(precedence(op) + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = Binary{Op: op, L: left, R: right}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if p.tok.Kind == TokOp && (p.tok.Text == "-" || p.tok.Text == "!" || p.tok.Text == "+") {
+		op := p.tok.Text
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold unary minus into numeric literals so -3 is a Lit.
+		if op == "-" {
+			if lit, ok := x.(Lit); ok && lit.Val.IsNumeric() {
+				if v, err := value.Neg(lit.Val); err == nil {
+					return Lit{Val: v}, nil
+				}
+			}
+		}
+		return Unary{Op: op, X: x}, nil
+	}
+	if p.tok.Kind == TokIdent && p.tok.Text == "not" {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Unary{Op: "!", X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	switch p.tok.Kind {
+	case TokNumber:
+		v, err := value.Parse(p.tok.Text)
+		if err != nil {
+			return nil, p.errf("bad number %q: %v", p.tok.Text, err)
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		return Lit{Val: v}, nil
+	case TokString:
+		v := value.Str(p.tok.Text)
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		return Lit{Val: v}, nil
+	case TokIdent:
+		name := p.tok.Text
+		switch name {
+		case "true", "false":
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			return Lit{Val: value.Bool(name == "true")}, nil
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if p.tok.Kind == TokLParen {
+			return p.parseCall(name)
+		}
+		return Var{Name: name}, nil
+	case TokLParen:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		e, err := p.ParseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.Kind != TokRParen {
+			return nil, p.errf("expected ')', found %s", p.tok)
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, p.errf("expected expression, found %s", p.tok)
+}
+
+func (p *Parser) parseCall(name string) (Expr, error) {
+	// Lookahead is on '('.
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	if p.tok.Kind != TokRParen {
+		for {
+			a, err := p.ParseExpr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if p.tok.Kind != TokComma {
+				break
+			}
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if p.tok.Kind != TokRParen {
+		return nil, p.errf("expected ')' in call to %s, found %s", name, p.tok)
+	}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	return Call{Name: name, Args: args}, nil
+}

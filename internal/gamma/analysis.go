@@ -1,0 +1,202 @@
+package gamma
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/multiset"
+	"repro/internal/value"
+)
+
+// TerminationHint is the verdict of the static termination analysis.
+type TerminationHint int
+
+const (
+	// TerminationUnknown means the analysis cannot decide; the program may
+	// or may not reach Eq. 1's stable state (Gamma termination is
+	// undecidable in general — use Options.MaxSteps as the runtime guard).
+	TerminationUnknown TerminationHint = iota
+	// TerminationGuaranteed means every reaction strictly shrinks the
+	// multiset, so execution must stop within |M|-1 firings.
+	TerminationGuaranteed
+	// TerminationNever means some reaction both strictly grows the multiset
+	// and can re-enable itself forever (a self-feeding label); reaching a
+	// stable state is impossible once it fires.
+	TerminationNever
+)
+
+func (h TerminationHint) String() string {
+	switch h {
+	case TerminationGuaranteed:
+		return "guaranteed"
+	case TerminationNever:
+		return "never (diverges once enabled)"
+	default:
+		return "unknown"
+	}
+}
+
+// AnalyzeTermination applies two classic syntactic criteria to a program:
+//
+//   - size decrease: if every branch of every reaction produces strictly
+//     fewer elements than the reaction consumes, the multiset size is a
+//     strictly decreasing variant and the program terminates on every input
+//     (Eq. 2's min, the prime sieve's erasure, and all "by 0" discards are
+//     in this class);
+//   - self-feeding growth: a reaction whose branch produces at least as many
+//     elements as it consumes, entirely with labels that the same branch's
+//     patterns accept back, keeps itself enabled forever (the x → x+1
+//     divergence test programs are in this class).
+//
+// Everything else — notably converted dataflow loops, whose termination
+// depends on data — reports TerminationUnknown. The explanation string says
+// which reaction drove the verdict.
+func AnalyzeTermination(p *Program) (TerminationHint, string) {
+	allShrink := true
+	for _, r := range p.Reactions {
+		consumed := len(r.Patterns)
+		// Labels this reaction's patterns accept literally.
+		accepts := make(map[string]bool)
+		generic := false // a pattern with a variable label accepts anything
+		for _, pat := range r.Patterns {
+			if len(pat) >= 2 {
+				if pat[1].Var != "" {
+					generic = true
+				} else if pat[1].Lit.IsValid() {
+					accepts[pat[1].Lit.String()] = true
+				}
+			} else {
+				generic = true // bare scalars match any 1-tuple... conservatively
+			}
+		}
+		for bi, b := range r.Branches {
+			if len(b.Products) >= consumed {
+				allShrink = false
+				// Self-feeding check: every product's label is accepted back
+				// by this reaction's own patterns, the branch produces at
+				// least as much as it consumes, and the branch has no
+				// condition to run out of (an unconditional or else branch).
+				if b.Cond == nil && len(b.Products) > 0 {
+					feeds := true
+					for _, tpl := range b.Products {
+						label := ""
+						if len(tpl) >= 2 {
+							if lit, ok := tpl[1].(interface{ String() string }); ok {
+								label = lit.String()
+							}
+						}
+						if !generic && !accepts[label] {
+							feeds = false
+							break
+						}
+					}
+					if feeds && len(b.Products) >= consumed {
+						return TerminationNever, fmt.Sprintf(
+							"reaction %s branch %d replaces %d element(s) with %d whose labels it consumes itself",
+							r.Name, bi, consumed, len(b.Products))
+					}
+				}
+			}
+		}
+	}
+	if allShrink {
+		return TerminationGuaranteed, "every branch of every reaction strictly shrinks the multiset"
+	}
+	var grow []string
+	for _, r := range p.Reactions {
+		for _, b := range r.Branches {
+			if len(b.Products) >= len(r.Patterns) {
+				grow = append(grow, r.Name)
+				break
+			}
+		}
+	}
+	return TerminationUnknown, "reactions " + strings.Join(grow, ", ") + " do not shrink the multiset; termination is data-dependent"
+}
+
+// DeadReactions returns the names of reactions that can never fire on any
+// execution starting from init, by a label-reachability fixpoint: a label is
+// reachable if an initial element carries it or a potentially enabled
+// reaction produces it; a reaction is potentially enabled only if every
+// literal-labelled pattern names a reachable label. Patterns with variable
+// labels (or without a label field) match conservatively; a product whose
+// label position is not a string literal makes every label reachable.
+//
+// This is a conservative over-approximation of liveness — a reported
+// reaction is definitely dead (it consumes a label nothing can produce), but
+// unreported reactions may still never fire for value-dependent reasons. It
+// is the Gamma analogue of dead-code detection on a dataflow graph, and a
+// useful lint for hand-written programs (a typo in an edge label makes the
+// downstream reactions dead, and the program silently stops early).
+func DeadReactions(p *Program, init *multiset.Multiset) []string {
+	reachable := make(map[string]bool)
+	anyLabel := false    // some product can mint arbitrary labels
+	hasElements := false // the multiset can be non-empty at all
+	if init != nil {
+		init.ForEach(func(t multiset.Tuple, _ int) bool {
+			hasElements = true
+			if label, ok := t.Label(); ok {
+				reachable[label] = true
+			}
+			// Unlabelled elements enable generic patterns via hasElements,
+			// but never a literal-label pattern: a label field cannot match
+			// an element that has none.
+			return true
+		})
+	}
+	live := make(map[string]bool, len(p.Reactions))
+	for changed := true; changed; {
+		changed = false
+		for _, r := range p.Reactions {
+			if live[r.Name] {
+				continue
+			}
+			enabled := hasElements
+			for _, pat := range r.Patterns {
+				if len(pat) >= 2 && pat[1].Var == "" && pat[1].Lit.Kind() == value.KindString {
+					if !reachable[pat[1].Lit.AsString()] && !anyLabel {
+						enabled = false
+						break
+					}
+				}
+				// Variable or absent label: matches any element; hasElements
+				// already accounts for emptiness.
+			}
+			if !enabled {
+				continue
+			}
+			live[r.Name] = true
+			changed = true
+			for _, b := range r.Branches {
+				for _, tpl := range b.Products {
+					if len(tpl) < 2 {
+						continue
+					}
+					if label, isLit := productLabel(tpl[1]); isLit {
+						reachable[label] = true
+					} else {
+						anyLabel = true
+					}
+				}
+			}
+		}
+	}
+	var dead []string
+	for _, r := range p.Reactions {
+		if !live[r.Name] {
+			dead = append(dead, r.Name)
+		}
+	}
+	sort.Strings(dead)
+	return dead
+}
+
+// productLabel extracts the literal string label of a product's label field.
+func productLabel(e expr.Expr) (string, bool) {
+	if lit, ok := e.(expr.Lit); ok && lit.Val.Kind() == value.KindString {
+		return lit.Val.AsString(), true
+	}
+	return "", false
+}

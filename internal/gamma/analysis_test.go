@@ -1,0 +1,195 @@
+package gamma
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/multiset"
+	"repro/internal/value"
+)
+
+func TestAnalyzeTerminationGuaranteed(t *testing.T) {
+	// Eq. 2: consumes 2, produces 1.
+	hint, why := AnalyzeTermination(MustProgram("min", minReaction()))
+	if hint != TerminationGuaranteed {
+		t.Errorf("min: %v (%s)", hint, why)
+	}
+	// Steer with by-0 else: both branches produce fewer than 2.
+	hint, _ = AnalyzeTermination(MustProgram("steer", steerReaction()))
+	if hint != TerminationGuaranteed {
+		t.Errorf("steer: %v", hint)
+	}
+}
+
+func TestAnalyzeTerminationNever(t *testing.T) {
+	// x -> x+1 on the same label, unconditional: diverges once enabled.
+	grow := &Reaction{
+		Name:     "grow",
+		Patterns: []Pattern{{FVar("x"), FLabel("a")}},
+		Branches: []Branch{{Products: []Template{{
+			expr.MustParse("x + 1"), expr.Lit{Val: value.Str("a")},
+		}}}},
+	}
+	hint, why := AnalyzeTermination(MustProgram("grow", grow))
+	if hint != TerminationNever {
+		t.Errorf("grow: %v (%s)", hint, why)
+	}
+	if !strings.Contains(why, "grow") {
+		t.Errorf("explanation should name the reaction: %s", why)
+	}
+	// Identity over generic labels: fires forever.
+	ident := &Reaction{
+		Name:     "id",
+		Patterns: []Pattern{{FVar("x"), FVar("l"), FVar("v")}},
+		Branches: []Branch{{Products: []Template{{
+			expr.MustParse("x"), expr.MustParse("l"), expr.MustParse("v"),
+		}}}},
+	}
+	hint, _ = AnalyzeTermination(MustProgram("id", ident))
+	if hint != TerminationNever {
+		t.Errorf("identity: %v", hint)
+	}
+}
+
+func TestAnalyzeTerminationUnknown(t *testing.T) {
+	// An inctag-style reaction (conditional, non-shrinking): data-dependent.
+	hint, why := AnalyzeTermination(MustProgram("inc", inctagReaction()))
+	if hint != TerminationUnknown {
+		t.Errorf("inctag: %v (%s)", hint, why)
+	}
+	if !strings.Contains(why, "R11") {
+		t.Errorf("explanation should list the non-shrinking reaction: %s", why)
+	}
+	// Ping-pong across two reactions: per-reaction analysis cannot see the
+	// cycle, so unknown (not never).
+	a := &Reaction{
+		Name:     "A",
+		Patterns: []Pattern{{FVar("x"), FLabel("p")}},
+		Branches: []Branch{{Products: []Template{{expr.MustParse("x"), expr.Lit{Val: value.Str("q")}}}}},
+	}
+	bR := &Reaction{
+		Name:     "B",
+		Patterns: []Pattern{{FVar("x"), FLabel("q")}},
+		Branches: []Branch{{Products: []Template{{expr.MustParse("x"), expr.Lit{Val: value.Str("p")}}}}},
+	}
+	hint, _ = AnalyzeTermination(MustProgram("pp", a, bR))
+	if hint != TerminationUnknown {
+		t.Errorf("ping-pong: %v", hint)
+	}
+}
+
+func TestDeadReactions(t *testing.T) {
+	mk := func(name, in, out string) *Reaction {
+		return &Reaction{
+			Name:     name,
+			Patterns: []Pattern{{FVar("x"), FLabel(in)}},
+			Branches: []Branch{{Products: []Template{{expr.MustParse("x"), expr.Lit{Val: value.Str(out)}}}}},
+		}
+	}
+	// Chain a->b->c live; orphan consumes a label nothing produces.
+	p := MustProgram("p",
+		mk("A", "a", "b"),
+		mk("B", "b", "c"),
+		mk("Orphan", "zzz", "w"),
+		mk("Downstream", "w", "q"), // only fed by the dead Orphan
+	)
+	init := multiset.New(multiset.Pair(value.Int(1), "a"))
+	dead := DeadReactions(p, init)
+	if len(dead) != 2 || dead[0] != "Downstream" || dead[1] != "Orphan" {
+		t.Errorf("dead = %v, want [Downstream Orphan]", dead)
+	}
+	// Empty multiset: everything is dead.
+	if dead := DeadReactions(p, multiset.New()); len(dead) != 4 {
+		t.Errorf("empty init dead = %v", dead)
+	}
+	// Nil init behaves like empty.
+	if dead := DeadReactions(p, nil); len(dead) != 4 {
+		t.Errorf("nil init dead = %v", dead)
+	}
+	// A generic (variable-label) pattern is live whenever elements exist.
+	gen := &Reaction{
+		Name:     "G",
+		Patterns: []Pattern{{FVar("v"), FVar("l")}},
+		Branches: []Branch{{Products: nil}},
+	}
+	if dead := DeadReactions(MustProgram("g", gen), init); len(dead) != 0 {
+		t.Errorf("generic pattern dead = %v", dead)
+	}
+	// A variable-label product makes downstream consumers live.
+	relabel := &Reaction{
+		Name:     "R",
+		Patterns: []Pattern{{FVar("v"), FVar("l")}},
+		Branches: []Branch{{Products: []Template{{expr.MustParse("v"), expr.MustParse("l")}}}},
+	}
+	cons := mk("C", "anything", "done")
+	if dead := DeadReactions(MustProgram("g", relabel, cons), init); len(dead) != 0 {
+		t.Errorf("wildcard producer dead = %v", dead)
+	}
+	// Unlabelled initial elements enable generic patterns too.
+	bare := multiset.New(multiset.New1(value.Int(3)), multiset.New1(value.Int(5)))
+	if dead := DeadReactions(MustProgram("m", minReaction()), bare); len(dead) != 0 {
+		t.Errorf("min over scalars dead = %v", dead)
+	}
+	// ...but unlabelled elements must NOT satisfy literal-label patterns: a
+	// typo'd label alongside a scalar multiset stays dead (regression for
+	// the conflated wildcard flag).
+	typo := mk("Typo", "nowhere", "gone")
+	if dead := DeadReactions(MustProgram("t", minReaction(), typo), bare); len(dead) != 1 || dead[0] != "Typo" {
+		t.Errorf("typo lint dead = %v, want [Typo]", dead)
+	}
+}
+
+func TestDeadReactionsPaperPrograms(t *testing.T) {
+	// Every reaction of the converted Fig. 2 program is live from its own
+	// initial multiset.
+	r11 := inctagReaction()
+	st := steerReaction()
+	p := MustProgram("frag", r11, st)
+	init := multiset.New(
+		multiset.IntElem(7, "A1", 0),
+		multiset.IntElem(42, "B13", 3),
+		multiset.IntElem(1, "B15", 3),
+	)
+	if dead := DeadReactions(p, init); len(dead) != 0 {
+		t.Errorf("dead = %v, want none", dead)
+	}
+	// Remove the control element's label from the universe: the steer dies.
+	init2 := multiset.New(multiset.IntElem(7, "A1", 0))
+	dead := DeadReactions(p, init2)
+	if len(dead) != 1 || dead[0] != "R16" {
+		t.Errorf("dead = %v, want [R16]", dead)
+	}
+}
+
+func TestTerminationHintString(t *testing.T) {
+	if TerminationGuaranteed.String() == "" || TerminationNever.String() == "" ||
+		TerminationUnknown.String() == "" || TerminationHint(99).String() != "unknown" {
+		t.Error("hint rendering wrong")
+	}
+}
+
+func TestAnalyzeMatchesRuntime(t *testing.T) {
+	// Guaranteed programs must terminate without MaxSteps; Never programs
+	// must hit MaxSteps.
+	m := intsMultiset(5, 3, 9, 1)
+	if _, err := Run(MustProgram("min", minReaction()), m, Options{}); err != nil {
+		t.Errorf("guaranteed program errored: %v", err)
+	}
+	grow := &Reaction{
+		Name:     "grow",
+		Patterns: []Pattern{{FVar("x"), FLabel("a")}},
+		Branches: []Branch{{Products: []Template{{
+			expr.MustParse("x + 1"), expr.Lit{Val: value.Str("a")},
+		}}}},
+	}
+	p := MustProgram("grow", grow)
+	if hint, _ := AnalyzeTermination(p); hint != TerminationNever {
+		t.Fatal("precondition")
+	}
+	m2 := multiset.New(multiset.Pair(value.Int(0), "a"))
+	_, err := Run(p, m2, Options{MaxSteps: 25})
+	if err == nil {
+		t.Error("diverging program should hit MaxSteps")
+	}
+}

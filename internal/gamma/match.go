@@ -1,0 +1,163 @@
+package gamma
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/expr"
+	"repro/internal/multiset"
+	"repro/internal/value"
+)
+
+// Match is one enabled application of a reaction: the concrete elements
+// chosen from the multiset, the variable bindings they induce, and the branch
+// that fired.
+type Match struct {
+	Chosen []multiset.Tuple
+	Env    expr.MapEnv
+	Branch int
+}
+
+// FindMatch searches m for an enabled match of r. It returns nil when the
+// reaction is not enabled on m (no combination of elements satisfies the
+// patterns and some branch condition). When rng is non-nil, candidate order
+// is randomized — the nondeterministic selection of §II-B; with a nil rng the
+// search is deterministic (sorted candidate order), which the sequential
+// interpreter and the tests rely on.
+//
+// The search is a backtracking enumeration over the replace-list patterns.
+// Patterns whose label field is a literal (the shape Algorithm 1 always
+// emits) draw candidates from the multiset's label or (label, tag) index, so
+// converted dataflow programs match in near-constant time; fully generic
+// patterns fall back to a full scan.
+func FindMatch(r *Reaction, m *multiset.Multiset, rng *rand.Rand) (*Match, error) {
+	s := &searcher{r: r, m: m, rng: rng,
+		env:    make(expr.MapEnv, 8),
+		used:   make(map[string]int, len(r.Patterns)),
+		chosen: make([]multiset.Tuple, len(r.Patterns)),
+	}
+	ok, err := s.search(0)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	return &Match{Chosen: s.chosen, Env: s.env, Branch: s.branch}, nil
+}
+
+type searcher struct {
+	r      *Reaction
+	m      *multiset.Multiset
+	rng    *rand.Rand
+	env    expr.MapEnv
+	used   map[string]int // occurrences of each tuple key already claimed
+	chosen []multiset.Tuple
+	branch int
+}
+
+func (s *searcher) search(i int) (bool, error) {
+	if i == len(s.r.Patterns) {
+		idx, err := s.r.selectBranch(s.env)
+		if err != nil {
+			return false, err
+		}
+		if idx < 0 {
+			return false, nil // binding found but no branch enabled; backtrack
+		}
+		s.branch = idx
+		return true, nil
+	}
+	p := s.r.Patterns[i]
+	cands := s.candidates(p)
+	for _, c := range cands {
+		key := c.Tuple.Key()
+		if s.used[key] >= c.N {
+			continue // all occurrences already claimed by earlier patterns
+		}
+		bound, ok := p.match(c.Tuple, s.env)
+		if !ok {
+			continue
+		}
+		s.used[key]++
+		s.chosen[i] = c.Tuple
+		found, err := s.search(i + 1)
+		if err != nil {
+			return false, err
+		}
+		if found {
+			return true, nil
+		}
+		s.used[key]--
+		unbind(s.env, bound)
+	}
+	return false, nil
+}
+
+// candidates returns the possible elements for pattern p under the current
+// bindings, using the narrowest index available.
+func (s *searcher) candidates(p Pattern) []multiset.Counted {
+	var out []multiset.Counted
+	if label, ok := patternLabel(p); ok {
+		if tag, ok := s.patternTag(p); ok {
+			out = s.m.ByLabelTag(label, tag)
+		} else {
+			out = s.m.ByLabel(label)
+		}
+		// Index results come from map iteration; make order deterministic
+		// unless randomizing anyway.
+		if s.rng == nil {
+			sort.Slice(out, func(a, b int) bool { return out[a].Tuple.Compare(out[b].Tuple) < 0 })
+		}
+	} else {
+		out = s.m.Snapshot() // already sorted
+	}
+	if s.rng != nil {
+		s.rng.Shuffle(len(out), func(a, b int) { out[a], out[b] = out[b], out[a] })
+	}
+	return out
+}
+
+// patternLabel extracts a literal string in the label position (field 1).
+func patternLabel(p Pattern) (string, bool) {
+	if len(p) >= 2 && p[1].Var == "" && p[1].Lit.Kind() == value.KindString {
+		return p[1].Lit.AsString(), true
+	}
+	return "", false
+}
+
+// patternTag extracts a concrete integer for the tag position (field 2):
+// either a literal or a variable already bound to an int by earlier patterns
+// — the common case for Algorithm 1 output, where all patterns share the tag
+// variable and the first match pins it.
+func (s *searcher) patternTag(p Pattern) (int64, bool) {
+	if len(p) < 3 {
+		return 0, false
+	}
+	f := p[2]
+	if f.Var == "" {
+		if f.Lit.Kind() == value.KindInt {
+			return f.Lit.AsInt(), true
+		}
+		return 0, false
+	}
+	if v, ok := s.env[f.Var]; ok && v.Kind() == value.KindInt {
+		return v.AsInt(), true
+	}
+	return 0, false
+}
+
+// Enabled reports whether any reaction of p has an enabled match on m — the
+// negation of Eq. 1's termination test (∀i ∀x ¬Ri(x...)).
+func Enabled(p *Program, m *multiset.Multiset) (bool, error) {
+	for _, r := range p.Reactions {
+		match, err := FindMatch(r, m, nil)
+		if err != nil {
+			return false, err
+		}
+		if match != nil {
+			return true, nil
+		}
+	}
+	return false, nil
+}

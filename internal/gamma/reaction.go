@@ -1,0 +1,306 @@
+// Package gamma implements the Gamma computational model (Banâtre & Le
+// Métayer's General Abstract Model for Multiset mAnipulation) as defined in
+// §II-B of the paper: programs are sets of (Reaction condition, Action) pairs
+// applied to a multiset until a stable state is reached (Eq. 1), with both a
+// sequential interpreter and a nondeterministic parallel runtime.
+package gamma
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/expr"
+	"repro/internal/multiset"
+	"repro/internal/value"
+)
+
+// Field is one position of a replace-list pattern: either a binding variable
+// (Var non-empty) or a literal that must match exactly (Lit valid). In the
+// paper's notation, [id1, 'A1', v] is three fields: variable id1, literal
+// 'A1', variable v.
+type Field struct {
+	Var string
+	Lit value.Value
+}
+
+// FVar returns a variable field.
+func FVar(name string) Field { return Field{Var: name} }
+
+// FLit returns a literal field.
+func FLit(v value.Value) Field { return Field{Lit: v} }
+
+// FLabel returns a literal string field, the edge-label convention.
+func FLabel(label string) Field { return Field{Lit: value.Str(label)} }
+
+func (f Field) String() string {
+	if f.Var != "" {
+		return f.Var
+	}
+	return f.Lit.String()
+}
+
+// Pattern matches one multiset element of exactly len(Pattern) fields.
+type Pattern []Field
+
+func (p Pattern) String() string {
+	parts := make([]string, len(p))
+	for i, f := range p {
+		parts[i] = f.String()
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+// match attempts to match tuple t against p, extending env. It reports
+// success and the list of names newly bound (for backtracking).
+func (p Pattern) match(t multiset.Tuple, env expr.MapEnv) (bound []string, ok bool) {
+	if len(t) != len(p) {
+		return nil, false
+	}
+	for i, f := range p {
+		if f.Var == "" {
+			if !value.Equal(f.Lit, t[i]) {
+				unbind(env, bound)
+				return nil, false
+			}
+			continue
+		}
+		if prev, exists := env[f.Var]; exists {
+			// Repeated variable: equality constraint, the mechanism the
+			// paper uses to force same-iteration operands (shared tag v).
+			if !value.Equal(prev, t[i]) {
+				unbind(env, bound)
+				return nil, false
+			}
+			continue
+		}
+		env[f.Var] = t[i]
+		bound = append(bound, f.Var)
+	}
+	return bound, true
+}
+
+func unbind(env expr.MapEnv, names []string) {
+	for _, n := range names {
+		delete(env, n)
+	}
+}
+
+// Template is one product element: a tuple of expressions evaluated under the
+// match bindings. In R1 of the paper, [id1 + id2, 'B2'] is a two-field
+// template.
+type Template []expr.Expr
+
+func (tpl Template) String() string {
+	parts := make([]string, len(tpl))
+	for i, e := range tpl {
+		parts[i] = e.String()
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+// instantiate evaluates the template under env into a concrete tuple.
+func (tpl Template) instantiate(env expr.Env) (multiset.Tuple, error) {
+	out := make(multiset.Tuple, len(tpl))
+	for i, e := range tpl {
+		v, err := expr.Eval(e, env)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Branch is one "by ... [if cond]" clause. A nil Cond is the else branch
+// (always enabled). Empty Products is the paper's "by 0": the matched
+// elements are consumed and nothing is produced (how steer reactions discard
+// the false path in R15–R17).
+type Branch struct {
+	Cond     expr.Expr
+	Products []Template
+}
+
+// Reaction is one (condition, action) pair of the Γ operator. A reaction is
+// enabled on a multiset when some combination of elements matches Patterns
+// with consistent bindings and at least one Branch condition holds; firing
+// replaces the matched elements with the enabled branch's products.
+//
+// Branches are tried in order and the first enabled one fires, mirroring the
+// paper's "by P1 if C / by P2 else" notation. When no branch is enabled for a
+// binding, that binding does not fire — so a sole "by P if C" acts as a
+// reaction condition in the sense of Eq. 2's "where" clause.
+type Reaction struct {
+	Name     string
+	Patterns []Pattern
+	Branches []Branch
+
+	planOnce sync.Once
+	plan     *memoPlan
+}
+
+// Arity returns the number of elements the reaction consumes.
+func (r *Reaction) Arity() int { return len(r.Patterns) }
+
+// Validate checks structural well-formedness: at least one pattern and one
+// branch, every expression variable bound by some pattern, and at most one
+// else branch, in final position.
+func (r *Reaction) Validate() error {
+	if len(r.Patterns) == 0 {
+		return fmt.Errorf("gamma: reaction %s has no replace list", r.Name)
+	}
+	if len(r.Branches) == 0 {
+		return fmt.Errorf("gamma: reaction %s has no by clause", r.Name)
+	}
+	boundVars := make(map[string]bool)
+	for _, p := range r.Patterns {
+		if len(p) == 0 {
+			return fmt.Errorf("gamma: reaction %s has an empty pattern", r.Name)
+		}
+		for _, f := range p {
+			if f.Var != "" {
+				boundVars[f.Var] = true
+			} else if !f.Lit.IsValid() {
+				return fmt.Errorf("gamma: reaction %s has a field with neither var nor literal", r.Name)
+			}
+		}
+	}
+	checkExpr := func(e expr.Expr, where string) error {
+		for _, v := range expr.FreeVars(e) {
+			if !boundVars[v] {
+				return fmt.Errorf("gamma: reaction %s: variable %s in %s is not bound by the replace list", r.Name, v, where)
+			}
+		}
+		return nil
+	}
+	for i, b := range r.Branches {
+		if b.Cond == nil && i != len(r.Branches)-1 {
+			return fmt.Errorf("gamma: reaction %s: else branch must be last", r.Name)
+		}
+		if b.Cond != nil {
+			if err := checkExpr(b.Cond, "condition"); err != nil {
+				return err
+			}
+		}
+		for _, tpl := range b.Products {
+			for _, e := range tpl {
+				if err := checkExpr(e, "product"); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// selectBranch returns the index of the first enabled branch under env, or -1
+// when no branch is enabled (the binding does not fire).
+func (r *Reaction) selectBranch(env expr.Env) (int, error) {
+	for i, b := range r.Branches {
+		if b.Cond == nil {
+			return i, nil
+		}
+		ok, err := expr.EvalBool(b.Cond, env)
+		if err != nil {
+			return -1, fmt.Errorf("gamma: reaction %s condition: %w", r.Name, err)
+		}
+		if ok {
+			return i, nil
+		}
+	}
+	return -1, nil
+}
+
+// produce instantiates the products of branch idx under env.
+func (r *Reaction) produce(idx int, env expr.Env) ([]multiset.Tuple, error) {
+	b := r.Branches[idx]
+	out := make([]multiset.Tuple, 0, len(b.Products))
+	for _, tpl := range b.Products {
+		t, err := tpl.instantiate(env)
+		if err != nil {
+			return nil, fmt.Errorf("gamma: reaction %s action: %w", r.Name, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// String renders the reaction in the paper's listing style.
+func (r *Reaction) String() string {
+	var b strings.Builder
+	if r.Name != "" {
+		fmt.Fprintf(&b, "%s = ", r.Name)
+	}
+	b.WriteString("replace ")
+	for i, p := range r.Patterns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.String())
+	}
+	for i, br := range r.Branches {
+		b.WriteString("\n  by ")
+		if len(br.Products) == 0 {
+			b.WriteString("0")
+		} else {
+			for j, tpl := range br.Products {
+				if j > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(tpl.String())
+			}
+		}
+		switch {
+		case br.Cond != nil:
+			b.WriteString("\n  if " + br.Cond.String())
+		case i > 0:
+			b.WriteString("\n  else")
+		}
+	}
+	return b.String()
+}
+
+// Program is a set of reactions composed in parallel (R1 | R2 | ... | Rn),
+// the composition used throughout the paper's examples.
+type Program struct {
+	Name      string
+	Reactions []*Reaction
+}
+
+// NewProgram builds a program and validates every reaction.
+func NewProgram(name string, reactions ...*Reaction) (*Program, error) {
+	for _, r := range reactions {
+		if err := r.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &Program{Name: name, Reactions: reactions}, nil
+}
+
+// MustProgram is NewProgram that panics on error; for tests and fixtures.
+func MustProgram(name string, reactions ...*Reaction) *Program {
+	p, err := NewProgram(name, reactions...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Reaction returns the reaction with the given name, or nil.
+func (p *Program) Reaction(name string) *Reaction {
+	for _, r := range p.Reactions {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// String renders all reactions separated by blank lines.
+func (p *Program) String() string {
+	parts := make([]string, len(p.Reactions))
+	for i, r := range p.Reactions {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, "\n\n")
+}

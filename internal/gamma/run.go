@@ -1,0 +1,489 @@
+package gamma
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/expr"
+	"repro/internal/multiset"
+	"repro/internal/value"
+)
+
+// ErrMaxSteps is returned when execution exceeds Options.MaxSteps reaction
+// firings. Gamma programs need not terminate; the limit turns a diverging
+// program into a reported error instead of a hang.
+var ErrMaxSteps = errors.New("gamma: maximum step count exceeded")
+
+// Memo caches reaction applications: the products (and branch) computed for
+// a given combination of consumed elements. It mirrors the dataflow side's
+// instruction reuse (DF-DTM [3]) at reaction granularity — one of the
+// cross-model benefits the paper's introduction motivates. Implementations
+// must be safe for concurrent use when Workers > 1.
+type Memo interface {
+	LookupReaction(key string) ([]multiset.Tuple, bool)
+	StoreReaction(key string, products []multiset.Tuple)
+}
+
+// Tracer observes the dependency structure of an execution: one call per
+// reaction firing, with the keys of the elements it consumed and produced (a
+// consumed key equals some earlier firing's produced key, or names an
+// initial element). Package profile implements this to compute work, span
+// and average parallelism. Implementations must be safe for concurrent use
+// when Workers > 1.
+type Tracer interface {
+	RecordFiring(name string, consumed, produced []string)
+}
+
+// Options configures an execution.
+type Options struct {
+	// Workers is the number of concurrent reaction executors. 0 or 1 selects
+	// the deterministic sequential interpreter; larger values select the
+	// nondeterministic parallel runtime.
+	Workers int
+	// Seed seeds the nondeterministic candidate selection. Sequential runs
+	// with Seed 0 are fully deterministic; parallel runs use Seed to derive
+	// per-worker streams.
+	Seed int64
+	// MaxSteps bounds the total number of reaction firings; 0 means no bound.
+	MaxSteps int64
+	// Memo, when set, caches reaction products by reaction and consumed
+	// elements; a hit skips the action evaluation and its WorkFactor.
+	Memo Memo
+	// WorkFactor emulates expensive reaction actions: each application spins
+	// this many iterations before evaluating products. See the dataflow
+	// counterpart for rationale.
+	WorkFactor int
+	// Tracer, when set, receives every reaction firing with its consumed and
+	// produced element keys for dependency analysis.
+	Tracer Tracer
+}
+
+// traceFiring reports one committed reaction application to the tracer.
+func traceFiring(opt Options, name string, consumed, produced []multiset.Tuple) {
+	if opt.Tracer == nil {
+		return
+	}
+	ck := make([]string, len(consumed))
+	for i, t := range consumed {
+		ck[i] = t.Key()
+	}
+	pk := make([]string, len(produced))
+	for i, t := range produced {
+		pk[i] = t.Key()
+	}
+	opt.Tracer.RecordFiring(name, ck, pk)
+}
+
+// Stats reports what an execution did.
+type Stats struct {
+	// Steps is the total number of reaction firings.
+	Steps int64
+	// Fired counts firings per reaction name.
+	Fired map[string]int64
+	// Conflicts counts failed optimistic commits (parallel runtime only):
+	// a worker matched a set of molecules that a concurrent worker consumed
+	// before the commit.
+	Conflicts int64
+	// MemoHits counts reaction applications answered from Options.Memo.
+	MemoHits int64
+	// Workers echoes the worker count used.
+	Workers int
+}
+
+func newStats(workers int) *Stats {
+	return &Stats{Fired: make(map[string]int64), Workers: workers}
+}
+
+func (s *Stats) merge(o *Stats) {
+	s.Steps += o.Steps
+	s.Conflicts += o.Conflicts
+	s.MemoHits += o.MemoHits
+	for k, v := range o.Fired {
+		s.Fired[k] += v
+	}
+}
+
+// workSink defeats any optimization of the WorkFactor spin loop.
+var workSink atomic.Uint64
+
+func spin(n int) {
+	if n <= 0 {
+		return
+	}
+	acc := workSink.Load()
+	for i := 0; i < n; i++ {
+		acc = acc*1664525 + 1013904223
+	}
+	workSink.Store(acc)
+}
+
+// memoPlan is the per-reaction analysis backing tag-insensitive reuse. Two
+// matches that differ only in the iteration tag perform the same expensive
+// computation (the value fields of the products); only product fields whose
+// expressions mention the tag variable differ, affinely. The plan records
+// which chosen-tuple fields to mask out of the memo key and which product
+// fields to re-evaluate on a hit. Masking applies only when every pattern
+// binds the same tag variable in its third field and no branch condition
+// reads it — the shape Algorithm 1 emits; otherwise keys stay exact, which
+// is always sound.
+type memoPlan struct {
+	tagVar string
+	mask   [][]bool   // per pattern, per field: part of the tag, exclude from key
+	reeval [][][]bool // per branch, per product, per field: mentions the tag
+}
+
+func (r *Reaction) memoPlan() *memoPlan {
+	r.planOnce.Do(func() {
+		plan := &memoPlan{}
+		tagVar := ""
+		for _, p := range r.Patterns {
+			if len(p) < 3 || p[2].Var == "" {
+				r.plan = plan
+				return
+			}
+			if tagVar == "" {
+				tagVar = p[2].Var
+			} else if p[2].Var != tagVar {
+				r.plan = plan
+				return
+			}
+		}
+		for _, b := range r.Branches {
+			if b.Cond != nil {
+				for _, v := range expr.FreeVars(b.Cond) {
+					if v == tagVar {
+						r.plan = plan
+						return
+					}
+				}
+			}
+		}
+		plan.tagVar = tagVar
+		plan.mask = make([][]bool, len(r.Patterns))
+		for i, p := range r.Patterns {
+			plan.mask[i] = make([]bool, len(p))
+			for j, f := range p {
+				plan.mask[i][j] = f.Var == tagVar
+			}
+		}
+		plan.reeval = make([][][]bool, len(r.Branches))
+		for bi, b := range r.Branches {
+			plan.reeval[bi] = make([][]bool, len(b.Products))
+			for pi, tpl := range b.Products {
+				plan.reeval[bi][pi] = make([]bool, len(tpl))
+				for fi, e := range tpl {
+					for _, v := range expr.FreeVars(e) {
+						if v == tagVar {
+							plan.reeval[bi][pi][fi] = true
+						}
+					}
+				}
+			}
+		}
+		r.plan = plan
+	})
+	return r.plan
+}
+
+// memoEntry is what the table stores: the branch that fired and its products
+// (with possibly stale tag fields, refreshed per application).
+type memoEntry struct {
+	branch   int
+	products []multiset.Tuple
+}
+
+// applyAction evaluates the enabled branch's products, honoring the memo
+// table and work factor.
+func applyAction(r *Reaction, match *Match, opt Options, stats *Stats) ([]multiset.Tuple, error) {
+	if opt.Memo == nil {
+		spin(opt.WorkFactor)
+		return r.produce(match.Branch, match.Env)
+	}
+	plan := r.memoPlan()
+	key := r.Name
+	for i, t := range match.Chosen {
+		for j, v := range t {
+			if plan.tagVar != "" && plan.mask[i][j] {
+				continue
+			}
+			key += "|" + v.String()
+		}
+		key += "||"
+	}
+	if cached, ok := opt.Memo.LookupReaction(key); ok {
+		stats.MemoHits++
+		return refreshProducts(r, plan, cached, match.Env)
+	}
+	spin(opt.WorkFactor)
+	products, err := r.produce(match.Branch, match.Env)
+	if err != nil {
+		return nil, err
+	}
+	stored := append([]multiset.Tuple{multisetBranchMarker(match.Branch)}, products...)
+	opt.Memo.StoreReaction(key, stored)
+	return products, nil
+}
+
+// multisetBranchMarker encodes the branch index as a leading 1-tuple in the
+// stored product list, so the Memo interface stays a plain tuple store.
+func multisetBranchMarker(branch int) multiset.Tuple {
+	return multiset.Tuple{value.Int(int64(branch))}
+}
+
+// refreshProducts rebuilds cached products for the current match: fields
+// whose expressions mention the tag variable are re-evaluated (cheap), the
+// rest — the expensive value computation — are reused.
+func refreshProducts(r *Reaction, plan *memoPlan, cached []multiset.Tuple, env expr.MapEnv) ([]multiset.Tuple, error) {
+	branch := int(cached[0].Value().AsInt())
+	stored := cached[1:]
+	if plan.tagVar == "" {
+		return stored, nil
+	}
+	out := make([]multiset.Tuple, len(stored))
+	for pi, t := range stored {
+		flags := plan.reeval[branch][pi]
+		fresh := t.Clone()
+		for fi := range fresh {
+			if flags[fi] {
+				v, err := expr.Eval(r.Branches[branch].Products[pi][fi], env)
+				if err != nil {
+					return nil, fmt.Errorf("gamma: reaction %s memo refresh: %w", r.Name, err)
+				}
+				fresh[fi] = v
+			}
+		}
+		out[pi] = fresh
+	}
+	return out, nil
+}
+
+// Run executes p on m until the stable state of Eq. 1 is reached: no reaction
+// condition holds for any combination of multiset elements. The multiset is
+// modified in place and holds the result on return. Execution follows
+// Options: sequential deterministic or parallel nondeterministic.
+func Run(p *Program, m *multiset.Multiset, opt Options) (*Stats, error) {
+	for _, r := range p.Reactions {
+		if err := r.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if opt.Workers <= 1 {
+		return runSequential(p, m, opt)
+	}
+	return runParallel(p, m, opt)
+}
+
+// runSequential is the direct implementation of the Γ recursion (Eq. 1):
+// while some (Ri, Ai) is enabled, replace the matched elements with the
+// action's products; otherwise the multiset is the result. Reactions are
+// visited round-robin for fairness. With Seed 0 matching is deterministic.
+func runSequential(p *Program, m *multiset.Multiset, opt Options) (*Stats, error) {
+	stats := newStats(1)
+	var rng *rand.Rand
+	if opt.Seed != 0 {
+		rng = rand.New(rand.NewSource(opt.Seed))
+	}
+	n := len(p.Reactions)
+	if n == 0 {
+		return stats, nil
+	}
+	idleStreak := 0
+	for i := 0; idleStreak < n; i = (i + 1) % n {
+		r := p.Reactions[i]
+		match, err := FindMatch(r, m, rng)
+		if err != nil {
+			return stats, err
+		}
+		if match == nil {
+			idleStreak++
+			continue
+		}
+		products, err := applyAction(r, match, opt, stats)
+		if err != nil {
+			return stats, err
+		}
+		if !m.TryRemoveAll(match.Chosen) {
+			// Unreachable single-threaded; defensive.
+			return stats, fmt.Errorf("gamma: matched elements vanished in sequential run of %s", r.Name)
+		}
+		m.AddAll(products)
+		traceFiring(opt, r.Name, match.Chosen, products)
+		stats.Steps++
+		stats.Fired[r.Name]++
+		idleStreak = 0
+		if opt.MaxSteps > 0 && stats.Steps >= opt.MaxSteps {
+			if enabled, err2 := Enabled(p, m); err2 == nil && enabled {
+				return stats, ErrMaxSteps
+			}
+		}
+	}
+	return stats, nil
+}
+
+// parShared is the coordination state of the parallel runtime.
+type parShared struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	workers int
+	version uint64 // bumped on every successful commit
+	idle    int
+	done    bool
+	err     error
+	steps   int64
+}
+
+// runParallel executes reactions with a pool of workers performing
+// optimistic grab–compute–commit cycles:
+//
+//  1. match: find an enabled combination of molecules (randomized order, the
+//     model's nondeterminism);
+//  2. compute: instantiate the enabled branch's products;
+//  3. commit: atomically claim the matched molecules (TryRemoveAll); on
+//     conflict with a concurrent worker, drop the products and rematch;
+//  4. on success, insert the products and bump the multiset version.
+//
+// Global termination reproduces Eq. 1's stability test: a worker that scans
+// every reaction without finding a match goes idle *at a version*; if the
+// version is still current and all workers are idle at it, no molecule has
+// changed since a full unsuccessful scan, so no reaction is enabled and the
+// stable state is reached.
+func runParallel(p *Program, m *multiset.Multiset, opt Options) (*Stats, error) {
+	workers := opt.Workers
+	sh := &parShared{workers: workers}
+	sh.cond = sync.NewCond(&sh.mu)
+	perWorker := make([]*Stats, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		perWorker[w] = newStats(workers)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			workerLoop(p, m, opt, sh, perWorker[w], w)
+		}(w)
+	}
+	wg.Wait()
+	total := newStats(workers)
+	for _, ps := range perWorker {
+		total.merge(ps)
+	}
+	sh.mu.Lock()
+	err := sh.err
+	sh.mu.Unlock()
+	return total, err
+}
+
+func workerLoop(p *Program, m *multiset.Multiset, opt Options, sh *parShared, stats *Stats, id int) {
+	rng := rand.New(rand.NewSource(opt.Seed + int64(id)*0x9e3779b9 + 1))
+	n := len(p.Reactions)
+	for {
+		sh.mu.Lock()
+		if sh.done || sh.err != nil {
+			sh.mu.Unlock()
+			return
+		}
+		scanVersion := sh.version
+		sh.mu.Unlock()
+
+		fired := false
+		start := rng.Intn(n)
+		for k := 0; k < n; k++ {
+			r := p.Reactions[(start+k)%n]
+			match, err := FindMatch(r, m, rng)
+			if err != nil {
+				sh.fail(err)
+				return
+			}
+			if match == nil {
+				continue
+			}
+			products, err := applyAction(r, match, opt, stats)
+			if err != nil {
+				sh.fail(err)
+				return
+			}
+			if !m.TryRemoveAll(match.Chosen) {
+				stats.Conflicts++
+				k-- // retry the same reaction: its molecules changed under us
+				continue
+			}
+			m.AddAll(products)
+			traceFiring(opt, r.Name, match.Chosen, products)
+			stats.Steps++
+			stats.Fired[r.Name]++
+			fired = true
+
+			sh.mu.Lock()
+			sh.version++
+			sh.steps++
+			over := opt.MaxSteps > 0 && sh.steps >= opt.MaxSteps
+			sh.cond.Broadcast()
+			sh.mu.Unlock()
+			if over {
+				sh.fail(ErrMaxSteps)
+				return
+			}
+			break
+		}
+		if fired {
+			continue
+		}
+		// Full scan with no enabled reaction. Go idle at scanVersion; if all
+		// workers are idle at an unchanged version, the multiset is stable.
+		sh.mu.Lock()
+		if sh.version != scanVersion {
+			sh.mu.Unlock() // something committed mid-scan; rescan
+			continue
+		}
+		sh.idle++
+		if sh.idle == sh.workers { // all idle: stable state
+			sh.done = true
+			sh.cond.Broadcast()
+			sh.mu.Unlock()
+			return
+		}
+		for sh.version == scanVersion && !sh.done && sh.err == nil {
+			sh.cond.Wait()
+		}
+		sh.idle--
+		done := sh.done || sh.err != nil
+		sh.mu.Unlock()
+		if done {
+			return
+		}
+	}
+}
+
+func (sh *parShared) fail(err error) {
+	sh.mu.Lock()
+	if sh.err == nil {
+		sh.err = err
+	}
+	sh.cond.Broadcast()
+	sh.mu.Unlock()
+}
+
+// Plan is a sequential composition of parallel reaction groups: the paper's
+// ';' operator over '|' groups (P1 ; P2 ; ...). Each program runs to its
+// stable state before the next starts.
+type Plan struct {
+	Stages []*Program
+}
+
+// Sequence builds a Plan from programs run one after another.
+func Sequence(stages ...*Program) *Plan { return &Plan{Stages: stages} }
+
+// Run executes every stage in order on the same multiset, merging stats.
+func (pl *Plan) Run(m *multiset.Multiset, opt Options) (*Stats, error) {
+	total := newStats(opt.Workers)
+	for _, stage := range pl.Stages {
+		st, err := Run(stage, m, opt)
+		total.merge(st)
+		if err != nil {
+			return total, fmt.Errorf("gamma: stage %s: %w", stage.Name, err)
+		}
+	}
+	return total, nil
+}

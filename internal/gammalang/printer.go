@@ -1,0 +1,96 @@
+package gammalang
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/gamma"
+	"repro/internal/multiset"
+)
+
+// Format renders a program in the paper's listing style. The output parses
+// back to an equivalent program (Format∘ParseProgram is a fixpoint), which is
+// what the conversion pipeline uses to emit Gamma source from dataflow
+// graphs.
+func Format(p *gamma.Program) string {
+	var b strings.Builder
+	for i, r := range p.Reactions {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(FormatReaction(r))
+	}
+	return b.String()
+}
+
+// FormatReaction renders one reaction in the paper's listing style.
+func FormatReaction(r *gamma.Reaction) string {
+	var b strings.Builder
+	indent := ""
+	if r.Name != "" {
+		fmt.Fprintf(&b, "%s = ", r.Name)
+		indent = strings.Repeat(" ", len(r.Name)+3)
+	}
+	b.WriteString("replace ")
+	for i, p := range r.Patterns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.String())
+	}
+	b.WriteByte('\n')
+	for i, br := range r.Branches {
+		b.WriteString(indent + "by ")
+		if len(br.Products) == 0 {
+			b.WriteString("0")
+		} else {
+			for j, tpl := range br.Products {
+				if j > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(tpl.String())
+			}
+		}
+		b.WriteByte('\n')
+		if br.Cond != nil {
+			b.WriteString(indent + "if " + br.Cond.String() + "\n")
+		} else if i > 0 {
+			b.WriteString(indent + "else\n")
+		}
+	}
+	return b.String()
+}
+
+// FormatFile renders a full source file: the init multiset (when present),
+// every reaction, and the composition expression (when it is not the default
+// single parallel stage).
+func FormatFile(f *File) string {
+	var b strings.Builder
+	if f.Init != nil {
+		b.WriteString("init " + f.Init.String() + "\n\n")
+	}
+	for i, r := range f.Reactions {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(FormatReaction(r))
+	}
+	if len(f.Stages) > 1 {
+		var stages []string
+		for _, st := range f.Stages {
+			stages = append(stages, strings.Join(st, " | "))
+		}
+		b.WriteString("\n" + strings.Join(stages, " ; ") + "\n")
+	}
+	return b.String()
+}
+
+// NewFile bundles a program and an initial multiset into a File for
+// formatting or execution, with the default all-parallel composition.
+func NewFile(p *gamma.Program, init *multiset.Multiset) *File {
+	var names []string
+	for _, r := range p.Reactions {
+		names = append(names, r.Name)
+	}
+	return &File{Init: init, Reactions: p.Reactions, Stages: [][]string{names}}
+}

@@ -1,0 +1,61 @@
+package gammalang
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/paper"
+)
+
+// TestParserNeverPanics drives the parser with mutated fragments of valid
+// sources and pure noise: every input must return cleanly (parse or error),
+// never panic.
+func TestParserNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	corpus := []string{
+		paper.Example1GammaListing,
+		paper.Example2GammaListing,
+		paper.ReducedExample2Listing,
+		paper.MinElementListing,
+		"init {[1, 'a', 0]}\nR = replace [x, 'a', v] by [x, 'b', v + 1]\nR",
+	}
+	tokens := []string{"replace", "by", "if", "else", "where", "init", "[", "]", "{", "}",
+		"(", ")", ",", ";", "|", "=", "==", "+", "-", "'a'", "x", "0", "1", "v"}
+	parseQuietly := func(src string) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("parser panicked on %q: %v", src, r)
+			}
+		}()
+		_, _ = ParseFile(src)
+	}
+	// Mutations: delete, duplicate or replace random chunks.
+	for i := 0; i < 300; i++ {
+		src := corpus[rng.Intn(len(corpus))]
+		switch rng.Intn(3) {
+		case 0: // delete a span
+			if len(src) > 10 {
+				a := rng.Intn(len(src) - 5)
+				b := a + rng.Intn(len(src)-a)
+				src = src[:a] + src[b:]
+			}
+		case 1: // inject a token
+			pos := rng.Intn(len(src))
+			src = src[:pos] + " " + tokens[rng.Intn(len(tokens))] + " " + src[pos:]
+		case 2: // swap two halves
+			mid := rng.Intn(len(src))
+			src = src[mid:] + src[:mid]
+		}
+		parseQuietly(src)
+	}
+	// Pure token soup.
+	for i := 0; i < 200; i++ {
+		var b strings.Builder
+		for j := 0; j < rng.Intn(30); j++ {
+			b.WriteString(tokens[rng.Intn(len(tokens))])
+			b.WriteByte(' ')
+		}
+		parseQuietly(b.String())
+	}
+}

@@ -1,0 +1,164 @@
+package multiset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestModelBased drives the multiset with random operations and checks every
+// observable against a trivial reference implementation (a map of counts).
+func TestModelBased(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	m := New()
+	ref := make(map[string]int) // key -> count
+	refTotal := 0
+
+	// A small universe so operations collide frequently.
+	universe := make([]Tuple, 0, 24)
+	for v := int64(0); v < 4; v++ {
+		for _, label := range []string{"a", "b", "c"} {
+			for tag := int64(0); tag < 2; tag++ {
+				universe = append(universe, IntElem(v, label, tag))
+			}
+		}
+	}
+
+	for step := 0; step < 5000; step++ {
+		tup := universe[rng.Intn(len(universe))]
+		key := tup.Key()
+		switch rng.Intn(5) {
+		case 0, 1: // add
+			m.Add(tup)
+			ref[key]++
+			refTotal++
+		case 2: // addN
+			n := rng.Intn(3) + 1
+			m.AddN(tup, n)
+			ref[key] += n
+			refTotal += n
+		case 3: // remove
+			got := m.Remove(tup)
+			want := ref[key] > 0
+			if got != want {
+				t.Fatalf("step %d: Remove(%s) = %v, ref %v", step, tup, got, want)
+			}
+			if want {
+				ref[key]--
+				refTotal--
+				if ref[key] == 0 {
+					delete(ref, key)
+				}
+			}
+		case 4: // tryRemoveAll of a random batch
+			batch := []Tuple{
+				universe[rng.Intn(len(universe))],
+				universe[rng.Intn(len(universe))],
+			}
+			need := map[string]int{}
+			for _, b := range batch {
+				need[b.Key()]++
+			}
+			want := true
+			for k, n := range need {
+				if ref[k] < n {
+					want = false
+				}
+			}
+			got := m.TryRemoveAll(batch)
+			if got != want {
+				t.Fatalf("step %d: TryRemoveAll = %v, ref %v", step, got, want)
+			}
+			if want {
+				for k, n := range need {
+					ref[k] -= n
+					refTotal -= n
+					if ref[k] == 0 {
+						delete(ref, k)
+					}
+				}
+			}
+		}
+		// Observables every few steps.
+		if step%37 == 0 {
+			if m.Len() != refTotal {
+				t.Fatalf("step %d: Len = %d, ref %d", step, m.Len(), refTotal)
+			}
+			if m.Distinct() != len(ref) {
+				t.Fatalf("step %d: Distinct = %d, ref %d", step, m.Distinct(), len(ref))
+			}
+			probe := universe[rng.Intn(len(universe))]
+			if m.Count(probe) != ref[probe.Key()] {
+				t.Fatalf("step %d: Count(%s) = %d, ref %d", step, probe, m.Count(probe), ref[probe.Key()])
+			}
+		}
+	}
+	// Final full comparison via snapshot.
+	snap := m.Snapshot()
+	total := 0
+	for _, c := range snap {
+		if ref[c.Tuple.Key()] != c.N {
+			t.Fatalf("final: %s count %d, ref %d", c.Tuple, c.N, ref[c.Tuple.Key()])
+		}
+		total += c.N
+	}
+	if total != refTotal {
+		t.Fatalf("final total %d, ref %d", total, refTotal)
+	}
+}
+
+// TestModelBasedIndexes checks ByLabel/ByLabelTag against the reference
+// after a random workload.
+func TestModelBasedIndexes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := New()
+	type entry struct {
+		label string
+		tag   int64
+	}
+	ref := make(map[string]int)
+	mk := func() (Tuple, entry) {
+		label := []string{"L0", "L1", "L2", "L3"}[rng.Intn(4)]
+		tag := int64(rng.Intn(3))
+		v := int64(rng.Intn(5))
+		return IntElem(v, label, tag), entry{label, tag}
+	}
+	for i := 0; i < 2000; i++ {
+		tup, _ := mk()
+		if rng.Intn(3) == 0 {
+			if m.Remove(tup) {
+				ref[tup.Key()]--
+			}
+		} else {
+			m.Add(tup)
+			ref[tup.Key()]++
+		}
+	}
+	for _, label := range []string{"L0", "L1", "L2", "L3"} {
+		for tag := int64(0); tag < 3; tag++ {
+			got := 0
+			for _, c := range m.ByLabelTag(label, tag) {
+				got += c.N
+			}
+			want := 0
+			for v := int64(0); v < 5; v++ {
+				want += ref[IntElem(v, label, tag).Key()]
+			}
+			if got != want {
+				t.Errorf("ByLabelTag(%s,%d) total = %d, ref %d", label, tag, got, want)
+			}
+		}
+		gotLabel := 0
+		for _, c := range m.ByLabel(label) {
+			gotLabel += c.N
+		}
+		wantLabel := 0
+		for v := int64(0); v < 5; v++ {
+			for tag := int64(0); tag < 3; tag++ {
+				wantLabel += ref[IntElem(v, label, tag).Key()]
+			}
+		}
+		if gotLabel != wantLabel {
+			t.Errorf("ByLabel(%s) total = %d, ref %d", label, gotLabel, wantLabel)
+		}
+	}
+}

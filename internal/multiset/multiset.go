@@ -1,0 +1,423 @@
+package multiset
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// shardCount is the number of independently locked shards. A fixed power of
+// two keeps shard selection a cheap mask; 32 comfortably exceeds the worker
+// counts exercised by the benchmarks.
+const shardCount = 32
+
+// entry is one distinct tuple with its multiplicity.
+type entry struct {
+	tuple Tuple
+	count int
+}
+
+// shard is an independently locked slice of the multiset. All tuples with the
+// same label land in the same shard, so a label-constrained pattern match
+// takes exactly one shard lock.
+type shard struct {
+	mu sync.RWMutex
+	// byKey maps Tuple.Key() to its entry.
+	byKey map[string]*entry
+	// byLabel maps an element label to the set of keys carrying it.
+	byLabel map[string]map[string]*entry
+	// byLabelTag maps (label, tag) to the set of keys carrying both; this is
+	// the dynamic-dataflow tag-matching index.
+	byLabelTag map[labelTag]map[string]*entry
+}
+
+type labelTag struct {
+	label string
+	tag   int64
+}
+
+// Multiset is the Gamma model's single database: a counted multiset of
+// tuples safe for concurrent use. The zero value is not usable; call New.
+type Multiset struct {
+	shards [shardCount]shard
+	size   int64 // total element count incl. multiplicity, guarded by sizeMu
+	sizeMu sync.Mutex
+}
+
+// New returns an empty multiset, optionally pre-populated with tuples.
+func New(tuples ...Tuple) *Multiset {
+	m := &Multiset{}
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.byKey = make(map[string]*entry)
+		s.byLabel = make(map[string]map[string]*entry)
+		s.byLabelTag = make(map[labelTag]map[string]*entry)
+	}
+	for _, t := range tuples {
+		m.Add(t)
+	}
+	return m
+}
+
+// shardFor picks the shard for a tuple: by label when present (so label
+// queries are single-shard), otherwise by the full key.
+func (m *Multiset) shardFor(t Tuple) *shard {
+	if label, ok := t.Label(); ok {
+		return &m.shards[hashString(label)&(shardCount-1)]
+	}
+	return &m.shards[hashString(t.Key())&(shardCount-1)]
+}
+
+func (m *Multiset) shardForLabel(label string) *shard {
+	return &m.shards[hashString(label)&(shardCount-1)]
+}
+
+func hashString(s string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	return h.Sum32()
+}
+
+func (m *Multiset) addSize(delta int64) {
+	m.sizeMu.Lock()
+	m.size += delta
+	m.sizeMu.Unlock()
+}
+
+// Add inserts one occurrence of t.
+func (m *Multiset) Add(t Tuple) { m.AddN(t, 1) }
+
+// AddN inserts n occurrences of t. n must be positive.
+func (m *Multiset) AddN(t Tuple, n int) {
+	if n <= 0 {
+		panic(fmt.Sprintf("multiset: AddN(%s, %d): n must be positive", t, n))
+	}
+	s := m.shardFor(t)
+	key := t.Key()
+	s.mu.Lock()
+	e, ok := s.byKey[key]
+	if ok {
+		e.count += n
+	} else {
+		e = &entry{tuple: t.Clone(), count: n}
+		s.byKey[key] = e
+		if label, ok := t.Label(); ok {
+			addIndex(s.byLabel, label, key, e)
+			if tag, ok := t.Tag(); ok {
+				addIndex(s.byLabelTag, labelTag{label, tag}, key, e)
+			}
+		}
+	}
+	s.mu.Unlock()
+	m.addSize(int64(n))
+}
+
+// AddAll inserts one occurrence of every tuple in ts.
+func (m *Multiset) AddAll(ts []Tuple) {
+	for _, t := range ts {
+		m.Add(t)
+	}
+}
+
+func addIndex[K comparable](idx map[K]map[string]*entry, k K, key string, e *entry) {
+	set, ok := idx[k]
+	if !ok {
+		set = make(map[string]*entry)
+		idx[k] = set
+	}
+	set[key] = e
+}
+
+func dropIndex[K comparable](idx map[K]map[string]*entry, k K, key string) {
+	if set, ok := idx[k]; ok {
+		delete(set, key)
+		if len(set) == 0 {
+			delete(idx, k)
+		}
+	}
+}
+
+// removeLockedLocked decrements the entry for key inside an already locked
+// shard. Reports whether an occurrence existed.
+func (s *shard) removeLocked(t Tuple, key string) bool {
+	e, ok := s.byKey[key]
+	if !ok || e.count == 0 {
+		return false
+	}
+	e.count--
+	if e.count == 0 {
+		delete(s.byKey, key)
+		if label, ok := t.Label(); ok {
+			dropIndex(s.byLabel, label, key)
+			if tag, ok := t.Tag(); ok {
+				dropIndex(s.byLabelTag, labelTag{label, tag}, key)
+			}
+		}
+	}
+	return true
+}
+
+// Remove deletes one occurrence of t, reporting whether one existed.
+func (m *Multiset) Remove(t Tuple) bool {
+	s := m.shardFor(t)
+	key := t.Key()
+	s.mu.Lock()
+	ok := s.removeLocked(t, key)
+	s.mu.Unlock()
+	if ok {
+		m.addSize(-1)
+	}
+	return ok
+}
+
+// TryRemoveAll atomically removes one occurrence of every tuple in ts — all
+// or nothing. Duplicate tuples in ts require that many occurrences. This is
+// the commit step of the parallel Gamma runtime: a worker that matched a
+// reaction's replace-list attempts to claim exactly those molecules; if a
+// concurrent worker consumed one first, the claim fails and the worker
+// rematches.
+func (m *Multiset) TryRemoveAll(ts []Tuple) bool {
+	if len(ts) == 0 {
+		return true
+	}
+	// Lock the involved shards in index order to avoid deadlock.
+	involved := make(map[*shard]struct{}, len(ts))
+	for _, t := range ts {
+		involved[m.shardFor(t)] = struct{}{}
+	}
+	order := make([]*shard, 0, len(involved))
+	for i := range m.shards {
+		if _, ok := involved[&m.shards[i]]; ok {
+			order = append(order, &m.shards[i])
+		}
+	}
+	for _, s := range order {
+		s.mu.Lock()
+	}
+	defer func() {
+		for _, s := range order {
+			s.mu.Unlock()
+		}
+	}()
+	// Verify availability, accounting for duplicates in ts.
+	need := make(map[string]int, len(ts))
+	for _, t := range ts {
+		need[t.Key()]++
+	}
+	for _, t := range ts {
+		key := t.Key()
+		e, ok := m.shardFor(t).byKey[key]
+		if !ok || e.count < need[key] {
+			return false
+		}
+	}
+	for _, t := range ts {
+		m.shardFor(t).removeLocked(t, t.Key())
+	}
+	m.addSize(-int64(len(ts)))
+	return true
+}
+
+// Count returns the multiplicity of t.
+func (m *Multiset) Count(t Tuple) int {
+	s := m.shardFor(t)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if e, ok := s.byKey[t.Key()]; ok {
+		return e.count
+	}
+	return 0
+}
+
+// Contains reports whether at least one occurrence of t is present.
+func (m *Multiset) Contains(t Tuple) bool { return m.Count(t) > 0 }
+
+// Len returns the total number of elements, counting multiplicity.
+func (m *Multiset) Len() int {
+	m.sizeMu.Lock()
+	defer m.sizeMu.Unlock()
+	return int(m.size)
+}
+
+// Distinct returns the number of distinct tuples.
+func (m *Multiset) Distinct() int {
+	n := 0
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.RLock()
+		n += len(s.byKey)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// ByLabel returns the distinct tuples whose label field equals label, with
+// their multiplicities. The slice is a snapshot.
+func (m *Multiset) ByLabel(label string) []Counted {
+	s := m.shardForLabel(label)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	set := s.byLabel[label]
+	out := make([]Counted, 0, len(set))
+	for _, e := range set {
+		out = append(out, Counted{Tuple: e.tuple, N: e.count})
+	}
+	return out
+}
+
+// ByLabelTag returns the distinct tuples matching both label and tag, with
+// multiplicities — the dynamic-dataflow operand lookup.
+func (m *Multiset) ByLabelTag(label string, tag int64) []Counted {
+	s := m.shardForLabel(label)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	set := s.byLabelTag[labelTag{label, tag}]
+	out := make([]Counted, 0, len(set))
+	for _, e := range set {
+		out = append(out, Counted{Tuple: e.tuple, N: e.count})
+	}
+	return out
+}
+
+// Counted pairs a distinct tuple with its multiplicity.
+type Counted struct {
+	Tuple Tuple
+	N     int
+}
+
+// ForEach calls fn once per distinct tuple with its multiplicity, stopping
+// early if fn returns false. Iteration takes shard read locks one at a time;
+// concurrent mutation of other shards may or may not be observed.
+func (m *Multiset) ForEach(fn func(t Tuple, n int) bool) {
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.RLock()
+		for _, e := range s.byKey {
+			if !fn(e.tuple, e.count) {
+				s.mu.RUnlock()
+				return
+			}
+		}
+		s.mu.RUnlock()
+	}
+}
+
+// Snapshot returns every distinct tuple with multiplicity, sorted
+// deterministically. Intended for tests, printing and the sequential runtime.
+func (m *Multiset) Snapshot() []Counted {
+	var out []Counted
+	m.ForEach(func(t Tuple, n int) bool {
+		out = append(out, Counted{Tuple: t, N: n})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Tuple.Compare(out[j].Tuple) < 0 })
+	return out
+}
+
+// Expand returns every element including multiplicity as a flat sorted slice.
+func (m *Multiset) Expand() []Tuple {
+	snap := m.Snapshot()
+	var out []Tuple
+	for _, c := range snap {
+		for i := 0; i < c.N; i++ {
+			out = append(out, c.Tuple)
+		}
+	}
+	return out
+}
+
+// Clone returns an independent deep copy.
+func (m *Multiset) Clone() *Multiset {
+	c := New()
+	m.ForEach(func(t Tuple, n int) bool {
+		c.AddN(t, n)
+		return true
+	})
+	return c
+}
+
+// Equal reports whether two multisets hold exactly the same elements with the
+// same multiplicities.
+func (m *Multiset) Equal(o *Multiset) bool {
+	if m.Len() != o.Len() || m.Distinct() != o.Distinct() {
+		return false
+	}
+	equal := true
+	m.ForEach(func(t Tuple, n int) bool {
+		if o.Count(t) != n {
+			equal = false
+			return false
+		}
+		return true
+	})
+	return equal
+}
+
+// String renders the multiset in the paper's style, sorted for determinism:
+// {[1, 'A1', 0], [5, 'B1', 0]}. Multiplicities repeat the element.
+func (m *Multiset) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for _, c := range m.Snapshot() {
+		for i := 0; i < c.N; i++ {
+			if !first {
+				b.WriteString(", ")
+			}
+			first = false
+			b.WriteString(c.Tuple.String())
+		}
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Parse reads a multiset from its braced source form, e.g.
+// "{[1, 'A1', 0], [5, 'B1', 0]}".
+func Parse(src string) (*Multiset, error) {
+	s := strings.TrimSpace(src)
+	if len(s) < 2 || s[0] != '{' || s[len(s)-1] != '}' {
+		return nil, fmt.Errorf("multiset: %q must be braced", src)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	m := New()
+	if inner == "" {
+		return m, nil
+	}
+	// Split on commas outside brackets.
+	depth := 0
+	start := 0
+	flush := func(end int) error {
+		field := strings.TrimSpace(inner[start:end])
+		if field == "" {
+			return fmt.Errorf("multiset: empty element in %q", src)
+		}
+		t, err := ParseTuple(field)
+		if err != nil {
+			return err
+		}
+		m.Add(t)
+		return nil
+	}
+	for i := 0; i < len(inner); i++ {
+		switch inner[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				if err := flush(i); err != nil {
+					return nil, err
+				}
+				start = i + 1
+			}
+		}
+	}
+	if err := flush(len(inner)); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,187 @@
+// Package multiset implements the Gamma model's single database: a counted,
+// concurrent multiset of tuples.
+//
+// Elements follow the paper's conventions: a bare scalar is a 1-tuple, the
+// Example-1 elements are pairs [value, label], and the Example-2 elements are
+// triplets [value, label, tag] where the tag is the dynamic-dataflow iteration
+// number. The multiset is sharded by label so that the reaction matcher — which
+// in converted dataflow programs always constrains the label field — touches a
+// single shard per pattern, and it maintains a (label, tag) index so the
+// dynamic tag-matching rule costs O(1) per candidate lookup.
+package multiset
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Tuple is one multiset element: an ordered, fixed-arity sequence of scalars.
+// Tuples are treated as immutable; callers must not mutate a Tuple after
+// adding it to a Multiset.
+type Tuple []value.Value
+
+// New1 returns a 1-tuple holding a bare scalar.
+func New1(v value.Value) Tuple { return Tuple{v} }
+
+// Pair returns the paper's Example-1 element shape [value, label].
+func Pair(v value.Value, label string) Tuple { return Tuple{v, value.Str(label)} }
+
+// Elem returns the paper's Example-2 element shape [value, label, tag].
+func Elem(v value.Value, label string, tag int64) Tuple {
+	return Tuple{v, value.Str(label), value.Int(tag)}
+}
+
+// IntElem is Elem with an integer payload, the common case in the listings.
+func IntElem(v int64, label string, tag int64) Tuple { return Elem(value.Int(v), label, tag) }
+
+// Value returns the first field, the element's data payload.
+func (t Tuple) Value() value.Value {
+	if len(t) == 0 {
+		return value.Value{}
+	}
+	return t[0]
+}
+
+// Label returns the second field when it is a string — the edge-label
+// convention of the paper — and reports whether it exists.
+func (t Tuple) Label() (string, bool) {
+	if len(t) >= 2 && t[1].Kind() == value.KindString {
+		return t[1].AsString(), true
+	}
+	return "", false
+}
+
+// Tag returns the third field when it is an integer — the iteration-tag
+// convention of the paper — and reports whether it exists.
+func (t Tuple) Tag() (int64, bool) {
+	if len(t) >= 3 && t[2].Kind() == value.KindInt {
+		return t[2].AsInt(), true
+	}
+	return 0, false
+}
+
+// Equal reports field-wise equality (exact, not numeric-promoting: a tuple
+// holding Int(2) is a different element from one holding Float(2.0), exactly
+// as two distinct molecules).
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if t[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of t.
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	copy(c, t)
+	return c
+}
+
+// Key returns a canonical fingerprint of the tuple, unique per distinct
+// tuple. Used as the map key inside the multiset.
+func (t Tuple) Key() string {
+	var b strings.Builder
+	for i, v := range t {
+		if i > 0 {
+			b.WriteByte(0x1f)
+		}
+		// Kind byte disambiguates e.g. Int(2) ("2") from Float(2.0) ("2.0")
+		// even if formatting ever collides.
+		b.WriteByte(byte('0' + v.Kind()))
+		b.WriteString(v.String())
+	}
+	return b.String()
+}
+
+// String renders the tuple in the paper's bracketed style: [1, 'A1', 0].
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+// Compare orders tuples lexicographically by field string form; used only to
+// produce deterministic snapshots for tests and printing.
+func (t Tuple) Compare(u Tuple) int {
+	n := len(t)
+	if len(u) < n {
+		n = len(u)
+	}
+	for i := 0; i < n; i++ {
+		a, b := t[i].String(), u[i].String()
+		// Order by kind first so mixed-kind multisets sort stably.
+		if ka, kb := t[i].Kind(), u[i].Kind(); ka != kb {
+			if ka < kb {
+				return -1
+			}
+			return 1
+		}
+		if a != b {
+			if a < b {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(t) < len(u):
+		return -1
+	case len(t) > len(u):
+		return 1
+	}
+	return 0
+}
+
+// ParseTuple reads a tuple from its bracketed source form, e.g. "[1, 'A1', 0]".
+func ParseTuple(src string) (Tuple, error) {
+	s := strings.TrimSpace(src)
+	if len(s) < 2 || s[0] != '[' || s[len(s)-1] != ']' {
+		return nil, fmt.Errorf("multiset: tuple %q must be bracketed", src)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	if inner == "" {
+		return nil, fmt.Errorf("multiset: empty tuple %q", src)
+	}
+	fields := splitTopLevel(inner)
+	t := make(Tuple, 0, len(fields))
+	for _, f := range fields {
+		v, err := value.Parse(f)
+		if err != nil {
+			return nil, fmt.Errorf("multiset: tuple %q: %v", src, err)
+		}
+		t = append(t, v)
+	}
+	return t, nil
+}
+
+// splitTopLevel splits on commas that are not inside quotes.
+func splitTopLevel(s string) []string {
+	var out []string
+	depth := byte(0)
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case depth != 0:
+			if c == depth {
+				depth = 0
+			}
+		case c == '\'' || c == '"':
+			depth = c
+		case c == ',':
+			out = append(out, strings.TrimSpace(s[start:i]))
+			start = i + 1
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}

@@ -1,0 +1,270 @@
+// Package paper holds executable reproductions of the artifacts in the
+// paper's §III: the Fig. 1 and Fig. 2 dataflow graphs, their Gamma listings
+// (Examples 1 and 2), the reduced listings (Rd1, Rd11–Rd16) and the Eq. 2
+// min-element reaction. Tests and benchmarks across the repository treat
+// this package as the ground truth for "what the paper says".
+package paper
+
+import (
+	"fmt"
+
+	"repro/internal/dataflow"
+	"repro/internal/value"
+)
+
+// Example1 parameters: int x = 1; y = 5; k = 3; j = 2; m = (x+y)-(k*j).
+const (
+	Example1X = 1
+	Example1Y = 5
+	Example1K = 3
+	Example1J = 2
+	// Example1M is the expected output m = (1+5)-(3*2).
+	Example1M = (Example1X + Example1Y) - (Example1K * Example1J)
+)
+
+// Fig1Graph builds the Fig. 1 dataflow graph for m = (x+y)-(k*j) with the
+// paper's vertex and edge labels: squares A1..D1 feed R1 (+) and R2 (*),
+// whose outputs B2 and C2 feed R3 (-) producing m.
+func Fig1Graph() *dataflow.Graph {
+	return Fig1GraphWith(Example1X, Example1Y, Example1K, Example1J)
+}
+
+// Fig1GraphWith is Fig1Graph with arbitrary input constants.
+func Fig1GraphWith(x, y, k, j int64) *dataflow.Graph {
+	g := dataflow.NewGraph("fig1")
+	cx := g.AddConst("x", value.Int(x))
+	cy := g.AddConst("y", value.Int(y))
+	ck := g.AddConst("k", value.Int(k))
+	cj := g.AddConst("j", value.Int(j))
+	r1 := g.AddArith("R1", "+")
+	r2 := g.AddArith("R2", "*")
+	r3 := g.AddArith("R3", "-")
+	mustEdge(g.Connect(cx, 0, r1, 0, "A1"))
+	mustEdge(g.Connect(cy, 0, r1, 1, "B1"))
+	mustEdge(g.Connect(ck, 0, r2, 0, "C1"))
+	mustEdge(g.Connect(cj, 0, r2, 1, "D1"))
+	mustEdge(g.Connect(r1, 0, r3, 0, "B2"))
+	mustEdge(g.Connect(r2, 0, r3, 1, "C2"))
+	mustEdge(g.ConnectOut(r3, 0, "m"))
+	return g
+}
+
+// Example2 parameters for the Fig. 2 loop. The printed source is
+// "For (i=z; i<0; i--) x = x + y" but the graph the paper draws and converts
+// tests id1 > 0 (reaction R14) and decrements, i.e. it executes x += y for z
+// iterations while z > 0.
+const (
+	Example2Y = 4
+	Example2Z = 3
+	Example2X = 10
+)
+
+// Example2Result returns the loop's final x for given inputs: x + y*z when
+// z > 0, else x.
+func Example2Result(x, y, z int64) int64 {
+	if z > 0 {
+		return x + y*z
+	}
+	return x
+}
+
+// Fig2Graph builds the Fig. 2 dynamic dataflow graph exactly as listed:
+// three inctag vertices (R11–R13), the comparison R14 (id1 > 0) fanning its
+// control to three steers (R15–R17), the decrement R18 and the accumulator
+// R19. The listing discards all operands on loop exit ("by 0 else"), so the
+// faithful graph leaves every steer's false port unconnected and the program
+// produces no output tokens.
+func Fig2Graph() *dataflow.Graph {
+	return fig2(false, Example2X, Example2Y, Example2Z)
+}
+
+// Fig2GraphWith is Fig2Graph with arbitrary input constants.
+func Fig2GraphWith(x, y, z int64) *dataflow.Graph {
+	return fig2(false, x, y, z)
+}
+
+// Fig2GraphObservable is Fig2Graph with one change: the false port of the
+// x-steer R17 is routed to a terminal edge "xout", so the loop's final
+// accumulator value is observable. This variant exists because the paper's
+// listing deliberately discards all state on exit; the observable form lets
+// tests and the equivalence harness check the loop actually computed
+// x + y*z.
+func Fig2GraphObservable(x, y, z int64) *dataflow.Graph {
+	return fig2(true, x, y, z)
+}
+
+func fig2(observable bool, x, y, z int64) *dataflow.Graph {
+	g := dataflow.NewGraph("fig2")
+	cy := g.AddConst("y", value.Int(y))
+	cz := g.AddConst("z", value.Int(z))
+	cx := g.AddConst("x", value.Int(x))
+
+	r11 := g.AddIncTag("R11") // y path
+	r12 := g.AddIncTag("R12") // z path
+	r13 := g.AddIncTag("R13") // x path
+	r14 := g.AddCompareImm("R14", ">", value.Int(0))
+	r15 := g.AddSteer("R15") // y steer
+	r16 := g.AddSteer("R16") // z steer
+	r17 := g.AddSteer("R17") // x steer
+	r18 := g.AddArithImm("R18", "-", value.Int(1))
+	r19 := g.AddArith("R19", "+") // x + y
+
+	// Initial edges, tag 0.
+	mustEdge(g.Connect(cy, 0, r11, 0, "A1"))
+	mustEdge(g.Connect(cz, 0, r12, 0, "B1"))
+	mustEdge(g.Connect(cx, 0, r13, 0, "C1"))
+
+	// Inctag outputs (iteration tag v+1). R12 fans out to the comparison
+	// (B12) and the z steer's data input (B13).
+	mustEdge(g.Connect(r11, 0, r15, 0, "A12"))
+	mustEdge(g.Connect(r12, 0, r14, 0, "B12"))
+	mustEdge(g.Connect(r12, 0, r16, 0, "B13"))
+	mustEdge(g.Connect(r13, 0, r17, 0, "C12"))
+
+	// R14 compares z > 0 and fans the control operand to all three steers
+	// (edges B14, B15, B16).
+	mustEdge(g.Connect(r14, 0, r15, 1, "B14"))
+	mustEdge(g.Connect(r14, 0, r16, 1, "B15"))
+	mustEdge(g.Connect(r14, 0, r17, 1, "B16"))
+
+	// True paths: y loops back (A11) and feeds the adder (A13); z continues
+	// to the decrement (B17); x continues to the adder (C13).
+	mustEdge(g.Connect(r15, dataflow.PortTrue, r11, 0, "A11"))
+	mustEdge(g.Connect(r15, dataflow.PortTrue, r19, 0, "A13"))
+	mustEdge(g.Connect(r16, dataflow.PortTrue, r18, 0, "B17"))
+	mustEdge(g.Connect(r17, dataflow.PortTrue, r19, 1, "C13"))
+
+	// Decrement and accumulate, looping back as B11 and C11.
+	mustEdge(g.Connect(r18, 0, r12, 0, "B11"))
+	mustEdge(g.Connect(r19, 0, r13, 0, "C11"))
+
+	if observable {
+		mustEdge(g.Connect(r17, dataflow.PortFalse, dataflow.NoNode, 0, "xout"))
+	}
+	return g
+}
+
+func mustEdge(id dataflow.EdgeID, err error) dataflow.EdgeID {
+	if err != nil {
+		panic(fmt.Sprintf("paper: fixture graph is malformed: %v", err))
+	}
+	return id
+}
+
+// Example1GammaListing is the paper's Example-1 Gamma code (reactions R1–R3)
+// in the Fig. 3 grammar.
+const Example1GammaListing = `
+R1 = replace [id1, 'A1'], [id2, 'B1']
+     by [id1 + id2, 'B2']
+
+R2 = replace [id1, 'C1'], [id2, 'D1']
+     by [id1 * id2, 'C2']
+
+R3 = replace [id1, 'B2'], [id2, 'C2']
+     by [id1 - id2, 'm']
+`
+
+// Example1InitialMultiset is the paper's initial multiset
+// {[1, A1], [5, B1], [3, C1], [2, D1]}.
+const Example1InitialMultiset = `{[1, 'A1'], [5, 'B1'], [3, 'C1'], [2, 'D1']}`
+
+// Example2GammaListing is the paper's Example-2 Gamma code (reactions
+// R11–R19) in the Fig. 3 grammar.
+const Example2GammaListing = `
+R11 = replace [id1, x, v]
+      by [id1, 'A12', v + 1]
+      if (x == 'A1') or (x == 'A11')
+
+R12 = replace [id1, x, v]
+      by [id1, 'B12', v + 1], [id1, 'B13', v + 1]
+      if (x == 'B1') or (x == 'B11')
+
+R13 = replace [id1, x, v]
+      by [id1, 'C12', v + 1]
+      if (x == 'C1') or (x == 'C11')
+
+R14 = replace [id1, 'B12', v]
+      by [1, 'B14', v], [1, 'B15', v], [1, 'B16', v]
+      if id1 > 0
+      by [0, 'B14', v], [0, 'B15', v], [0, 'B16', v]
+      else
+
+R15 = replace [id1, 'A12', v], [id2, 'B14', v]
+      by [id1, 'A11', v], [id1, 'A13', v]
+      if id2 == 1
+      by 0
+      else
+
+R16 = replace [id1, 'B13', v], [id2, 'B15', v]
+      by [id1, 'B17', v]
+      if id2 == 1
+      by 0
+      else
+
+R17 = replace [id1, 'C12', v], [id2, 'B16', v]
+      by [id1, 'C13', v]
+      if id2 == 1
+      by 0
+      else
+
+R18 = replace [id1, 'B17', v]
+      by [id1 - 1, 'B11', v]
+
+R19 = replace [id1, 'A13', v], [id2, 'C13', v]
+      by [id1 + id2, 'C11', v]
+`
+
+// Example2InitialMultiset is the paper's initial multiset for Example 2,
+// {{y, A1, 0}, {z, B1, 0}, {x, C1, 0}}, with the fixture's concrete values.
+func Example2InitialMultiset(x, y, z int64) string {
+	return fmt.Sprintf(`{[%d, 'A1', 0], [%d, 'B1', 0], [%d, 'C1', 0]}`, y, z, x)
+}
+
+// ReducedExample1Listing is the paper's reduction Rd1: the three reactions of
+// Example 1 fused into one.
+const ReducedExample1Listing = `
+Rd1 = replace [id1, 'A1'], [id2, 'B1'], [id3, 'C1'], [id4, 'D1']
+      by [(id1 + id2) - (id3 * id4), 'm']
+`
+
+// ReducedExample2Listing is the paper's reduction Rd11–Rd16: the nine
+// reactions of Example 2 fused to six.
+const ReducedExample2Listing = `
+Rd11 = replace [id1, x, v]
+       by [id1, 'A12', v + 1]
+       if (x == 'A1') or (x == 'A11')
+
+Rd12 = replace [id1, x, v]
+       by [id1, 'B14', v + 1], [id1, 'B12', v + 1], [id1, 'B16', v + 1]
+       if (x == 'B1') or (x == 'B11')
+
+Rd13 = replace [id1, x, v]
+       by [id1, 'C12', v + 1]
+       if (x == 'C1') or (x == 'C11')
+
+Rd14 = replace [id1, 'A12', v], [id2, 'B14', v]
+       by [id1, 'A11', v], [id1, 'A13', v]
+       if id2 > 0
+       by 0
+       else
+
+Rd15 = replace [id1, 'B12', v]
+       by [id1 - 1, 'B11', v]
+       if id1 > 0
+       by 0
+       else
+
+Rd16 = replace [id1, 'A13', v], [id2, 'B16', v], [id3, 'C12', v]
+       by [id1 + id3, 'C11', v]
+       if id2 > 0
+       by 0
+       else
+`
+
+// MinElementListing is Eq. 2: selecting the smallest element of a multiset.
+// The Fig. 3 grammar spells the "where" clause as an if condition.
+const MinElementListing = `
+R = replace [x], [y]
+    by [x]
+    if x < y
+`

@@ -1,0 +1,132 @@
+// Package reuse implements the trace/instruction reuse tables the paper's
+// introduction motivates as a cross-model benefit: "exploring and analyzing,
+// in a code written in Gamma, ... instructions trace reuse [3]" (DF-DTM).
+// One Table serves both runtimes: it memoizes pure vertex firings for the
+// dataflow engine (dataflow.Memo) and reaction applications for the Gamma
+// engine (gamma.Memo). Because Algorithm 1 maps one vertex to one reaction,
+// a Gamma program converted from a dataflow graph enjoys exactly the reuse
+// the original graph would — the equivalence makes the technique portable.
+package reuse
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/multiset"
+	"repro/internal/value"
+)
+
+// Table is a concurrency-safe memoization table with hit/miss accounting and
+// an optional capacity bound. The zero value is not usable; call NewTable.
+type Table struct {
+	mu       sync.RWMutex
+	firings  map[string]value.Value
+	products map[string][]multiset.Tuple
+	capacity int
+	hits     int64
+	misses   int64
+	stores   int64
+	evicted  int64
+}
+
+// NewTable returns a Table bounding each of its two maps to capacity entries
+// (0 = unbounded). Eviction is whole-map reset on overflow — the simplest
+// policy whose effect on hit rates the ablation benchmark measures.
+func NewTable(capacity int) *Table {
+	return &Table{
+		firings:  make(map[string]value.Value),
+		products: make(map[string][]multiset.Tuple),
+		capacity: capacity,
+	}
+}
+
+// LookupFiring implements dataflow.Memo.
+func (t *Table) LookupFiring(key string) (value.Value, bool) {
+	t.mu.RLock()
+	v, ok := t.firings[key]
+	t.mu.RUnlock()
+	t.account(ok)
+	return v, ok
+}
+
+// StoreFiring implements dataflow.Memo.
+func (t *Table) StoreFiring(key string, v value.Value) {
+	t.mu.Lock()
+	if t.capacity > 0 && len(t.firings) >= t.capacity {
+		t.firings = make(map[string]value.Value)
+		t.evicted++
+	}
+	t.firings[key] = v
+	t.stores++
+	t.mu.Unlock()
+}
+
+// LookupReaction implements gamma.Memo.
+func (t *Table) LookupReaction(key string) ([]multiset.Tuple, bool) {
+	t.mu.RLock()
+	p, ok := t.products[key]
+	t.mu.RUnlock()
+	t.account(ok)
+	return p, ok
+}
+
+// StoreReaction implements gamma.Memo.
+func (t *Table) StoreReaction(key string, products []multiset.Tuple) {
+	t.mu.Lock()
+	if t.capacity > 0 && len(t.products) >= t.capacity {
+		t.products = make(map[string][]multiset.Tuple)
+		t.evicted++
+	}
+	t.products[key] = products
+	t.stores++
+	t.mu.Unlock()
+}
+
+func (t *Table) account(hit bool) {
+	t.mu.Lock()
+	if hit {
+		t.hits++
+	} else {
+		t.misses++
+	}
+	t.mu.Unlock()
+}
+
+// Stats reports the table's counters.
+type Stats struct {
+	Hits, Misses, Stores, Evictions int64
+	Entries                         int
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("hits=%d misses=%d rate=%.1f%% stores=%d evictions=%d entries=%d",
+		s.Hits, s.Misses, 100*s.HitRate(), s.Stores, s.Evictions, s.Entries)
+}
+
+// Stats returns a snapshot of the counters.
+func (t *Table) Stats() Stats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return Stats{
+		Hits: t.hits, Misses: t.misses, Stores: t.stores, Evictions: t.evicted,
+		Entries: len(t.firings) + len(t.products),
+	}
+}
+
+// Reset clears entries and counters.
+func (t *Table) Reset() {
+	t.mu.Lock()
+	t.firings = make(map[string]value.Value)
+	t.products = make(map[string][]multiset.Tuple)
+	t.hits, t.misses, t.stores, t.evicted = 0, 0, 0, 0
+	t.mu.Unlock()
+}

@@ -1,0 +1,430 @@
+// Package schema brings Structured Gamma's compile-time checking (Fradet &
+// Le Métayer, cited as [14] in the paper's §II-B: "structured multiset ...
+// and type checking at compile time") to this implementation's element
+// model. A Schema declares, per element label, the arity and field types of
+// the elements carrying it; Check verifies statically — before any execution
+// — that a program can neither match nor produce an ill-typed element, and
+// that the initial multiset conforms.
+//
+// Infer builds a schema from a program and initial multiset automatically,
+// so converted dataflow programs get checked schemas for free: Algorithm 1's
+// output always infers cleanly, with every label typed [value, string, int].
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/gamma"
+	"repro/internal/multiset"
+	"repro/internal/value"
+)
+
+// ElementType is the declared shape of the elements carrying one label: one
+// expr.Type per field. Field 1 (the label itself) is implicitly a string.
+type ElementType struct {
+	Fields []expr.Type
+}
+
+// Arity returns the number of fields.
+func (e ElementType) Arity() int { return len(e.Fields) }
+
+func (e ElementType) String() string {
+	parts := make([]string, len(e.Fields))
+	for i, f := range e.Fields {
+		parts[i] = f.String()
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+// Schema maps element labels to their declared types. Strict schemas reject
+// labels they do not declare; lax schemas treat them as unconstrained.
+type Schema struct {
+	elements map[string]ElementType
+	strict   bool
+}
+
+// New returns an empty schema. Strict controls whether undeclared labels are
+// errors.
+func New(strict bool) *Schema {
+	return &Schema{elements: make(map[string]ElementType), strict: strict}
+}
+
+// Declare sets the element type for a label. Field 1 must be the string
+// label position when arity ≥ 2.
+func (s *Schema) Declare(label string, fields ...expr.Type) error {
+	if len(fields) == 0 {
+		return fmt.Errorf("schema: label %s needs at least one field", label)
+	}
+	if len(fields) >= 2 && !fields[1].IsAny() && fields[1].Kind() != value.KindString {
+		return fmt.Errorf("schema: label %s: field 1 is the label and must be a string, got %s", label, fields[1])
+	}
+	if _, dup := s.elements[label]; dup {
+		return fmt.Errorf("schema: label %s declared twice", label)
+	}
+	s.elements[label] = ElementType{Fields: fields}
+	return nil
+}
+
+// Lookup returns the element type for a label.
+func (s *Schema) Lookup(label string) (ElementType, bool) {
+	et, ok := s.elements[label]
+	return et, ok
+}
+
+// Labels returns the declared labels, sorted.
+func (s *Schema) Labels() []string {
+	out := make([]string, 0, len(s.elements))
+	for l := range s.elements {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the schema one label per line.
+func (s *Schema) String() string {
+	var b strings.Builder
+	for _, l := range s.Labels() {
+		fmt.Fprintf(&b, "%s :: %s\n", l, s.elements[l])
+	}
+	return b.String()
+}
+
+// TypeError reports a static typing violation.
+type TypeError struct {
+	Where string // reaction name, "init", ...
+	Msg   string
+}
+
+func (e *TypeError) Error() string { return fmt.Sprintf("schema: %s: %s", e.Where, e.Msg) }
+
+// CheckMultiset verifies every element of m against the schema.
+func (s *Schema) CheckMultiset(m *multiset.Multiset) error {
+	var firstErr error
+	m.ForEach(func(t multiset.Tuple, _ int) bool {
+		if err := s.checkTuple(t); err != nil {
+			firstErr = err
+			return false
+		}
+		return true
+	})
+	return firstErr
+}
+
+func (s *Schema) checkTuple(t multiset.Tuple) error {
+	label, ok := t.Label()
+	if !ok {
+		// Unlabelled elements are only checkable in strict mode.
+		if s.strict {
+			return &TypeError{Where: "init", Msg: fmt.Sprintf("element %s has no label", t)}
+		}
+		return nil
+	}
+	et, declared := s.elements[label]
+	if !declared {
+		if s.strict {
+			return &TypeError{Where: "init", Msg: fmt.Sprintf("element %s carries undeclared label %s", t, label)}
+		}
+		return nil
+	}
+	if len(t) != et.Arity() {
+		return &TypeError{Where: "init", Msg: fmt.Sprintf("element %s has arity %d, schema says %d", t, len(t), et.Arity())}
+	}
+	for i, v := range t {
+		ft := et.Fields[i]
+		if ft.IsAny() {
+			continue
+		}
+		if _, err := expr.Unify(ft, expr.TypeOf(v.Kind())); err != nil {
+			return &TypeError{Where: "init", Msg: fmt.Sprintf("element %s field %d: %v", t, i, err)}
+		}
+	}
+	return nil
+}
+
+// Check statically verifies the program against the schema:
+//
+//   - every pattern with a literal label must match the declared arity, its
+//     literal fields must match the declared field types, and its variables
+//     take the declared types (a variable bound by two patterns must get
+//     unifiable types);
+//   - every branch condition must type to a condition under those bindings;
+//   - every product with a literal label must produce the declared arity and
+//     field types, with field expressions typed under the bindings;
+//   - in strict mode, patterns and products must not mention undeclared
+//     labels.
+//
+// The optional init multiset is checked as well.
+func (s *Schema) Check(p *gamma.Program, init *multiset.Multiset) error {
+	for _, r := range p.Reactions {
+		if err := s.checkReaction(r); err != nil {
+			return err
+		}
+	}
+	if init != nil {
+		return s.CheckMultiset(init)
+	}
+	return nil
+}
+
+func (s *Schema) checkReaction(r *gamma.Reaction) error {
+	fail := func(format string, args ...any) error {
+		return &TypeError{Where: r.Name, Msg: fmt.Sprintf(format, args...)}
+	}
+	env := make(expr.TypeEnv)
+	// Bind pattern variables from declared element types.
+	for pi, pat := range r.Patterns {
+		var et ElementType
+		declared := false
+		if len(pat) >= 2 && pat[1].Var == "" && pat[1].Lit.Kind() == value.KindString {
+			label := pat[1].Lit.AsString()
+			et, declared = s.elements[label]
+			if !declared && s.strict {
+				return fail("pattern %d consumes undeclared label %s", pi, label)
+			}
+			if declared && len(pat) != et.Arity() {
+				return fail("pattern %d has arity %d, label %s declares %d", pi, len(pat), label, et.Arity())
+			}
+		}
+		for fi, f := range pat {
+			ft := expr.AnyType
+			if declared {
+				ft = et.Fields[fi]
+			}
+			if f.Var == "" {
+				if !ft.IsAny() {
+					if _, err := expr.Unify(ft, expr.TypeOf(f.Lit.Kind())); err != nil {
+						return fail("pattern %d field %d: literal %s does not fit %s", pi, fi, f.Lit, ft)
+					}
+				}
+				continue
+			}
+			if prev, bound := env[f.Var]; bound {
+				u, err := expr.Unify(prev, ft)
+				if err != nil {
+					return fail("variable %s bound at conflicting types: %v", f.Var, err)
+				}
+				env[f.Var] = u
+			} else {
+				env[f.Var] = ft
+			}
+		}
+	}
+	// Conditions must type as conditions.
+	for bi, b := range r.Branches {
+		if b.Cond != nil {
+			t, err := expr.Infer(b.Cond, env)
+			if err != nil {
+				return fail("branch %d condition: %v", bi, err)
+			}
+			if !t.Truthy() {
+				return fail("branch %d condition has type %s, want a condition", bi, t)
+			}
+		}
+		for ti, tpl := range b.Products {
+			if err := s.checkTemplate(r, env, bi, ti, tpl); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Schema) checkTemplate(r *gamma.Reaction, env expr.TypeEnv, bi, ti int, tpl gamma.Template) error {
+	fail := func(format string, args ...any) error {
+		return &TypeError{Where: r.Name, Msg: fmt.Sprintf(format, args...)}
+	}
+	var et ElementType
+	declared := false
+	if len(tpl) >= 2 {
+		if lit, ok := tpl[1].(expr.Lit); ok && lit.Val.Kind() == value.KindString {
+			label := lit.Val.AsString()
+			et, declared = s.elements[label]
+			if !declared && s.strict {
+				return fail("branch %d product %d emits undeclared label %s", bi, ti, label)
+			}
+			if declared && len(tpl) != et.Arity() {
+				return fail("branch %d product %d has arity %d, label %s declares %d",
+					bi, ti, len(tpl), label, et.Arity())
+			}
+		}
+	}
+	for fi, e := range tpl {
+		t, err := expr.Infer(e, env)
+		if err != nil {
+			return fail("branch %d product %d field %d: %v", bi, ti, fi, err)
+		}
+		if declared && !et.Fields[fi].IsAny() {
+			if _, err := expr.Unify(et.Fields[fi], t); err != nil {
+				return fail("branch %d product %d field %d: %s does not fit declared %s",
+					bi, ti, fi, t, et.Fields[fi])
+			}
+		}
+	}
+	return nil
+}
+
+// Infer derives a schema from a program and optional initial multiset: for
+// every literal label mentioned by a pattern, product or initial element it
+// unifies all the observed field types. Inference iterates to a fixpoint so
+// label types flow through reactions — the initial multiset types A1 as int,
+// which types R1's id1, which types B2's value field, and so on down the
+// chain. The result is always lax (execution may use extra labels) and
+// re-checks cleanly against its own sources.
+func Infer(p *gamma.Program, init *multiset.Multiset) (*Schema, error) {
+	acc := make(map[string][]expr.Type)
+	// One inference round; reports whether acc changed.
+	round := func() (bool, error) {
+		changed := false
+		merge := func(label string, fields []expr.Type) error {
+			prev, seen := acc[label]
+			if !seen {
+				acc[label] = fields
+				changed = true
+				return nil
+			}
+			if len(prev) != len(fields) {
+				return fmt.Errorf("schema: label %s used at arities %d and %d", label, len(prev), len(fields))
+			}
+			for i := range prev {
+				u, err := expr.Unify(prev[i], fields[i])
+				if err != nil {
+					return fmt.Errorf("schema: label %s field %d: %w", label, i, err)
+				}
+				if u != prev[i] {
+					changed = true
+				}
+				prev[i] = u
+			}
+			return nil
+		}
+
+		for _, r := range p.Reactions {
+			// Bind pattern variables from the labels accumulated so far.
+			env := make(expr.TypeEnv)
+			bind := func(name string, t expr.Type) error {
+				prev, ok := env[name]
+				if !ok {
+					env[name] = t
+					return nil
+				}
+				u, err := expr.Unify(prev, t)
+				if err != nil {
+					return fmt.Errorf("schema: reaction %s: variable %s: %w", r.Name, name, err)
+				}
+				env[name] = u
+				return nil
+			}
+			for _, pat := range r.Patterns {
+				label, hasLabel := patternLabel(pat)
+				known := []expr.Type(nil)
+				if hasLabel {
+					if fields, ok := acc[label]; ok && len(fields) == len(pat) {
+						known = fields
+					}
+				}
+				for i, f := range pat {
+					if f.Var == "" {
+						continue
+					}
+					t := expr.AnyType
+					if known != nil {
+						t = known[i]
+					}
+					if err := bind(f.Var, t); err != nil {
+						return false, err
+					}
+				}
+			}
+			// Patterns contribute their literal field kinds.
+			for _, pat := range r.Patterns {
+				label, ok := patternLabel(pat)
+				if !ok {
+					continue
+				}
+				fields := make([]expr.Type, len(pat))
+				for i, f := range pat {
+					if f.Var != "" {
+						fields[i] = expr.AnyType
+					} else {
+						fields[i] = expr.TypeOf(f.Lit.Kind())
+					}
+				}
+				if err := merge(label, fields); err != nil {
+					return false, err
+				}
+			}
+			// Products contribute inferred expression types under env.
+			for _, b := range r.Branches {
+				for _, tpl := range b.Products {
+					if len(tpl) < 2 {
+						continue
+					}
+					lit, ok := tpl[1].(expr.Lit)
+					if !ok || lit.Val.Kind() != value.KindString {
+						continue
+					}
+					fields := make([]expr.Type, len(tpl))
+					for i, e := range tpl {
+						t, err := expr.Infer(e, env)
+						if err != nil {
+							return false, fmt.Errorf("schema: reaction %s: %w", r.Name, err)
+						}
+						fields[i] = t
+					}
+					if err := merge(lit.Val.AsString(), fields); err != nil {
+						return false, err
+					}
+				}
+			}
+		}
+		if init != nil {
+			var ferr error
+			init.ForEach(func(t multiset.Tuple, _ int) bool {
+				label, ok := t.Label()
+				if !ok {
+					return true
+				}
+				fields := make([]expr.Type, len(t))
+				for i, v := range t {
+					fields[i] = expr.TypeOf(v.Kind())
+				}
+				if err := merge(label, fields); err != nil {
+					ferr = err
+					return false
+				}
+				return true
+			})
+			if ferr != nil {
+				return false, ferr
+			}
+		}
+		return changed, nil
+	}
+	// The lattice has finite height (any → concrete/float), so a small
+	// iteration bound suffices; the cap guards against oscillation bugs.
+	for i := 0; i < 8; i++ {
+		changed, err := round()
+		if err != nil {
+			return nil, err
+		}
+		if !changed {
+			break
+		}
+	}
+	s := New(false)
+	for label, fields := range acc {
+		s.elements[label] = ElementType{Fields: fields}
+	}
+	return s, nil
+}
+
+func patternLabel(p gamma.Pattern) (string, bool) {
+	if len(p) >= 2 && p[1].Var == "" && p[1].Lit.Kind() == value.KindString {
+		return p[1].Lit.AsString(), true
+	}
+	return "", false
+}

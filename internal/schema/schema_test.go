@@ -1,0 +1,226 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/gammalang"
+	"repro/internal/multiset"
+	"repro/internal/paper"
+	"repro/internal/value"
+)
+
+func TestDeclareAndLookup(t *testing.T) {
+	s := New(true)
+	if err := s.Declare("A1", expr.IntType, expr.StringType, expr.IntType); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Declare("A1", expr.IntType); err == nil {
+		t.Error("duplicate declare should error")
+	}
+	if err := s.Declare("bad"); err == nil {
+		t.Error("zero-arity declare should error")
+	}
+	if err := s.Declare("bad2", expr.IntType, expr.IntType); err == nil {
+		t.Error("non-string label field should error")
+	}
+	if err := s.Declare("lax", expr.IntType, expr.AnyType); err != nil {
+		t.Errorf("any label field should be accepted: %v", err)
+	}
+	et, ok := s.Lookup("A1")
+	if !ok || et.Arity() != 3 {
+		t.Errorf("Lookup = %v, %v", et, ok)
+	}
+	if len(s.Labels()) != 2 {
+		t.Errorf("labels = %v", s.Labels())
+	}
+	if !strings.Contains(s.String(), "A1 :: [int, string, int]") {
+		t.Errorf("schema rendering:\n%s", s)
+	}
+}
+
+func TestCheckExample1Listing(t *testing.T) {
+	prog, err := gammalang.ParseProgram("ex1", paper.Example1GammaListing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init, err := multiset.Parse(paper.Example1InitialMultiset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(true)
+	for _, l := range []string{"A1", "B1", "C1", "D1", "B2", "C2", "m"} {
+		if err := s.Declare(l, expr.IntType, expr.StringType); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Check(prog, init); err != nil {
+		t.Errorf("well-typed program rejected: %v", err)
+	}
+}
+
+func TestCheckCatchesArityAndTypeErrors(t *testing.T) {
+	s := New(true)
+	if err := s.Declare("in", expr.IntType, expr.StringType); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Declare("out", expr.IntType, expr.StringType); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Declare("sl", expr.StringType, expr.StringType); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		"wrong pattern arity": `R = replace [x, 'in', v] by [x, 'out']`,
+		"wrong product arity": `R = replace [x, 'in'] by [x, 'out', 1]`,
+		"string into int":     `R = replace [x, 'in'] by ['s', 'out']`,
+		"undeclared consumed": `R = replace [x, 'zz'] by [x, 'out']`,
+		"undeclared produced": `R = replace [x, 'in'] by [x, 'zz']`,
+		// A string-typed condition can never be a truth value (numeric
+		// conditions are allowed: the runtime's Truthy follows the paper's
+		// 1/0 control convention).
+		"condition not truthy": `R = replace [x, 'in'] by [x, 'out'] if 's' + 's'`,
+		"cond type error":      `R = replace [x, 'in'] by [x, 'out'] if x and 'a' < 1`,
+		"product infer error":  `R = replace [x, 'in'] by [x * 'a', 'out']`,
+		// x is bound int by 'in' and string by 'sl': irreconcilable.
+		"conflicting var bind": `R = replace [x, 'in'], [x, 'sl'] by [1, 'out']`,
+	}
+	for name, src := range cases {
+		prog, err := gammalang.ParseProgram("p", src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+		if err := s.Check(prog, nil); err == nil {
+			t.Errorf("%s: should be rejected", name)
+		}
+	}
+	// Literal field that does not fit the declared type.
+	s2 := New(false)
+	if err := s2.Declare("ctl", expr.BoolType, expr.StringType); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := gammalang.ParseProgram("p", `R = replace [1, 'ctl'] by 0 if true`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Check(prog, nil); err == nil {
+		t.Error("int literal in bool field should be rejected")
+	}
+}
+
+func TestCheckMultiset(t *testing.T) {
+	s := New(true)
+	if err := s.Declare("a", expr.IntType, expr.StringType, expr.IntType); err != nil {
+		t.Fatal(err)
+	}
+	good := multiset.New(multiset.IntElem(1, "a", 0))
+	if err := s.CheckMultiset(good); err != nil {
+		t.Errorf("good multiset rejected: %v", err)
+	}
+	for name, m := range map[string]*multiset.Multiset{
+		"wrong arity":      multiset.New(multiset.Pair(multisetInt(1), "a")),
+		"wrong kind":       multiset.New(multiset.Elem(multisetStr("x"), "a", 0)),
+		"undeclared label": multiset.New(multiset.IntElem(1, "zz", 0)),
+		"unlabelled":       multiset.New(multiset.New1(multisetInt(1))),
+	} {
+		if err := s.CheckMultiset(m); err == nil {
+			t.Errorf("%s: should be rejected", name)
+		}
+	}
+	// Lax schema accepts undeclared and unlabelled elements.
+	lax := New(false)
+	if err := lax.Declare("a", expr.IntType, expr.StringType, expr.IntType); err != nil {
+		t.Fatal(err)
+	}
+	mixed := multiset.New(multiset.IntElem(1, "zz", 0), multiset.New1(multisetInt(1)))
+	if err := lax.CheckMultiset(mixed); err != nil {
+		t.Errorf("lax schema rejected: %v", err)
+	}
+}
+
+func TestInferFromAlgorithm1Output(t *testing.T) {
+	// Algorithm 1's output infers a complete [value, string, int] schema
+	// that re-checks its own program and multiset.
+	prog, init, err := core.ToGamma(paper.Fig2GraphObservable(10, 4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Infer(prog, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Check(prog, init); err != nil {
+		t.Errorf("inferred schema rejects its own sources: %v", err)
+	}
+	// Every label in the converted program is a triplet ending in int.
+	for _, l := range s.Labels() {
+		et, _ := s.Lookup(l)
+		if et.Arity() != 3 {
+			t.Errorf("label %s arity %d, want 3", l, et.Arity())
+		}
+		last := et.Fields[2]
+		if !last.IsAny() && last != expr.IntType {
+			t.Errorf("label %s tag field %s, want int", l, last)
+		}
+	}
+}
+
+func TestInferConflicts(t *testing.T) {
+	// Same label used at two arities.
+	prog, err := gammalang.ParseProgram("p", `
+A = replace [x, 'l'] by [x, 'm']
+B = replace [x, 'l', v] by [x, 'm', v]
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Infer(prog, nil); err == nil {
+		t.Error("arity conflict should surface")
+	}
+	// Same label with conflicting field kinds.
+	prog2, err := gammalang.ParseProgram("p", `
+A = replace [x, 'in'] by [1, 'm']
+B = replace [y, 'q'] by ['s', 'm']
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Infer(prog2, nil); err == nil {
+		t.Error("kind conflict should surface")
+	}
+	// Init element conflicting with program usage.
+	prog3, err := gammalang.ParseProgram("p", `A = replace [x, 'in'] by [x + 0, 'in']`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := multiset.New(multiset.Pair(multisetStr("oops"), "in"))
+	if _, err := Infer(prog3, init); err == nil {
+		t.Error("init/program conflict should surface")
+	}
+}
+
+func TestInferredSchemaForPaperListings(t *testing.T) {
+	for name, src := range map[string]string{
+		"example1": paper.Example1GammaListing,
+		"example2": paper.Example2GammaListing,
+		"reduced2": paper.ReducedExample2Listing,
+	} {
+		prog, err := gammalang.ParseProgram(name, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Infer(prog, nil)
+		if err != nil {
+			t.Errorf("%s: infer: %v", name, err)
+			continue
+		}
+		if err := s.Check(prog, nil); err != nil {
+			t.Errorf("%s: self-check: %v", name, err)
+		}
+	}
+}
+
+func multisetInt(v int64) value.Value  { return value.Int(v) }
+func multisetStr(s string) value.Value { return value.Str(s) }

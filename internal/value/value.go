@@ -1,0 +1,184 @@
+// Package value implements the scalar value model shared by the Gamma and
+// dataflow runtimes.
+//
+// Both computational models in the paper manipulate the same operand domain:
+// the dataflow edges of Fig. 1 and Fig. 2 carry integers and booleans, and the
+// multiset elements of the Gamma listings hold the same scalars in their first
+// tuple field. Value is a small tagged union covering that domain (integers,
+// floats, booleans and strings). It is a comparable struct, so it can be used
+// directly as a map key — the multiset and the dataflow matching stores rely
+// on that property.
+package value
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates the variants of a Value.
+type Kind uint8
+
+// The supported scalar kinds.
+const (
+	KindInvalid Kind = iota
+	KindInt
+	KindFloat
+	KindBool
+	KindString
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindBool:
+		return "bool"
+	case KindString:
+		return "string"
+	default:
+		return "invalid"
+	}
+}
+
+// Value is an immutable scalar. The zero Value has KindInvalid and is not a
+// legal operand; runtimes treat it as "absent".
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+	b    bool
+}
+
+// Int returns an integer Value.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Float returns a floating-point Value.
+func Float(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// Bool returns a boolean Value.
+func Bool(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// Str returns a string Value.
+func Str(s string) Value { return Value{kind: KindString, s: s} }
+
+// Kind reports the variant held by v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsValid reports whether v holds any variant at all.
+func (v Value) IsValid() bool { return v.kind != KindInvalid }
+
+// AsInt returns the integer payload. It panics unless Kind is KindInt.
+func (v Value) AsInt() int64 {
+	if v.kind != KindInt {
+		panic(fmt.Sprintf("value: AsInt on %s value %s", v.kind, v))
+	}
+	return v.i
+}
+
+// AsFloat returns the numeric payload widened to float64. It panics unless v
+// is numeric.
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt:
+		return float64(v.i)
+	}
+	panic(fmt.Sprintf("value: AsFloat on %s value %s", v.kind, v))
+}
+
+// AsBool returns the boolean payload. It panics unless Kind is KindBool.
+func (v Value) AsBool() bool {
+	if v.kind != KindBool {
+		panic(fmt.Sprintf("value: AsBool on %s value %s", v.kind, v))
+	}
+	return v.b
+}
+
+// AsString returns the string payload. It panics unless Kind is KindString.
+func (v Value) AsString() string {
+	if v.kind != KindString {
+		panic(fmt.Sprintf("value: AsString on %s value %s", v.kind, v))
+	}
+	return v.s
+}
+
+// IsNumeric reports whether v is an int or float.
+func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// Truthy interprets v as a control signal the way the paper's steer reactions
+// do: booleans are themselves, and numeric values follow the listings'
+// `id2 == 1` convention (non-zero is true).
+func (v Value) Truthy() (bool, error) {
+	switch v.kind {
+	case KindBool:
+		return v.b, nil
+	case KindInt:
+		return v.i != 0, nil
+	case KindFloat:
+		return v.f != 0, nil
+	default:
+		return false, fmt.Errorf("value: %s value %s has no truth value", v.kind, v)
+	}
+}
+
+// String renders v in source form: integers and floats as literals, booleans
+// as true/false, strings single-quoted in the paper's style.
+func (v Value) String() string {
+	switch v.kind {
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		s := strconv.FormatFloat(v.f, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	case KindString:
+		return "'" + v.s + "'"
+	default:
+		return "<invalid>"
+	}
+}
+
+// GoString implements fmt.GoStringer for debugging output.
+func (v Value) GoString() string { return fmt.Sprintf("value.Value(%s:%s)", v.kind, v.String()) }
+
+// Parse reads a Value from its source form: an integer literal, a float
+// literal, true/false, or a quoted string ('...' or "...").
+func Parse(s string) (Value, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case s == "":
+		return Value{}, fmt.Errorf("value: empty literal")
+	case s == "true":
+		return Bool(true), nil
+	case s == "false":
+		return Bool(false), nil
+	case len(s) >= 2 && (s[0] == '\'' || s[0] == '"') && s[len(s)-1] == s[0]:
+		return Str(s[1 : len(s)-1]), nil
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return Int(i), nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return Float(f), nil
+	}
+	return Value{}, fmt.Errorf("value: cannot parse literal %q", s)
+}
+
+// MustParse is Parse that panics on error; for tests and fixtures.
+func MustParse(s string) Value {
+	v, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

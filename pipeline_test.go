@@ -1,0 +1,172 @@
+package gammaflow
+
+// End-to-end pipeline tests over the testdata fixtures: source → dataflow →
+// Gamma → back, with every stage's invariants checked. These are the
+// integration tests a downstream user's workflow would exercise.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func readFixture(t *testing.T, name string) string {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestPipelineSources runs every .vn fixture through the full conversion
+// pipeline and checks the expected outputs in all three execution forms
+// (dataflow, converted Gamma, reconstructed dataflow).
+func TestPipelineSources(t *testing.T) {
+	cases := map[string]map[string]int64{
+		"affine.vn":     {"y": 49},
+		"sumsquares.vn": {"s": 385},
+		"gcd.vn":        {"r": -21}, // -(252%105) + 105%42 = -42 + 21
+	}
+	for name, wants := range cases {
+		src := readFixture(t, name)
+		g, err := CompileSource(name, src)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", name, err)
+		}
+		res, err := RunGraph(g, GraphOptions{MaxFirings: 1_000_000})
+		if err != nil {
+			t.Fatalf("%s: run: %v", name, err)
+		}
+		for label, want := range wants {
+			if got, ok := res.Output(label); !ok || got != Int(want) {
+				t.Errorf("%s: dataflow %s = %v, want %d", name, label, got, want)
+			}
+		}
+		// Full equivalence check, including firing and stuck-operand
+		// correspondences.
+		rep, err := CheckEquivalence(g, EquivOptions{MaxSteps: 1_000_000})
+		if err != nil {
+			t.Fatalf("%s: equivalence: %v", name, err)
+		}
+		if !rep.Equivalent {
+			t.Errorf("%s: not equivalent: %v", name, rep.Mismatches)
+		}
+		// Gamma → dataflow reconstruction preserves the outputs.
+		prog, init, err := ToGamma(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The emitted program type-checks under its inferred schema.
+		sch, err := InferSchema(prog, init)
+		if err != nil {
+			t.Fatalf("%s: infer schema: %v", name, err)
+		}
+		if err := sch.Check(prog, init); err != nil {
+			t.Errorf("%s: schema check: %v", name, err)
+		}
+		back, err := ProgramToGraph(name+"-back", prog, init.Clone())
+		if err != nil {
+			t.Fatalf("%s: reconstruct: %v", name, err)
+		}
+		res2, err := RunGraph(back, GraphOptions{MaxFirings: 1_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for label, want := range wants {
+			if got, ok := res2.Output(label); !ok || got != Int(want) {
+				t.Errorf("%s: reconstructed %s = %v, want %d", name, label, got, want)
+			}
+		}
+	}
+}
+
+// TestPipelineGammaFixtures executes the .gamma fixtures, including the
+// staged composition, and checks the stable states.
+func TestPipelineGammaFixtures(t *testing.T) {
+	// minelement.gamma: the smallest of {42,7,99,3,58}.
+	file, err := ParseGammaFile(readFixture(t, "minelement.gamma"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := file.Program("min")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hint, _ := AnalyzeTermination(prog); hint != TerminationGuaranteed {
+		t.Errorf("min sieve should be guaranteed to terminate, got %v", hint)
+	}
+	m := file.Init
+	if _, err := RunProgram(prog, m, ProgramOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 1 || !m.Contains(ScalarElem(Int(3))) {
+		t.Errorf("min = %s", m)
+	}
+
+	// staged.gamma: DOUBLE then SUM → {[20, 'mid']}.
+	file2, err := ParseGammaFile(readFixture(t, "staged.gamma"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := file2.Plan("staged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := plan.Run(file2.Init, ProgramOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if file2.Init.Len() != 1 || !file2.Init.Contains(PairElem(Int(20), "mid")) {
+		t.Errorf("staged result = %s, want {[20, 'mid']}", file2.Init)
+	}
+	if stats.Steps != 7 { // 4 doubles + 3 sums
+		t.Errorf("steps = %d, want 7", stats.Steps)
+	}
+}
+
+// TestPipelineProfileAndReuse attaches the profiler and the reuse table to a
+// fixture run through the public API, as the analysis example does.
+func TestPipelineProfileAndReuse(t *testing.T) {
+	g, err := CompileSource("sumsq", readFixture(t, "sumsquares.vn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewProfileCollector()
+	tbl := NewReuseTable(0)
+	res, err := RunGraph(g, GraphOptions{Tracer: col, Memo: tbl, MaxFirings: 1_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := res.Output("s"); s != Int(385) {
+		t.Errorf("s = %v", s)
+	}
+	r := col.Report()
+	if r.Work != res.Firings {
+		t.Errorf("profiled work %d != firings %d", r.Work, res.Firings)
+	}
+	if r.Span <= 10 {
+		t.Errorf("10-iteration loop should have a long span, got %d", r.Span)
+	}
+	if tbl.Stats().Stores == 0 {
+		t.Error("reuse table unused")
+	}
+	// The same trace invariants hold for the converted program.
+	prog, init, err := ToGamma(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colG := NewProfileCollector()
+	stats, err := RunProgram(prog, init, ProgramOptions{Tracer: colG, MaxSteps: 1_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if colG.Report().Work != stats.Steps {
+		t.Errorf("gamma work %d != steps %d", colG.Report().Work, stats.Steps)
+	}
+	// Reaction span equals operator span: each firing maps one to one, and
+	// const firings (depth 1 in the dataflow trace) shift the chain by one.
+	if gSpan, dSpan := colG.Report().Span, r.Span; gSpan != dSpan-1 {
+		t.Errorf("gamma span %d, dataflow span %d, want exactly one const-depth difference", gSpan, dSpan)
+	}
+}
