@@ -1,0 +1,35 @@
+# Developer workflow. `make check` is the local gate: static checks, build,
+# the full test suite under the race detector, and one iteration of the
+# incremental-engine benchmark family as a smoke test.
+
+GO ?= go
+
+.PHONY: all build vet fmt-check test race bench-smoke snapshot check
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt -w needed on:"; echo "$$out"; exit 1; fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration per benchmark case: catches pathological engine regressions
+# without benchmark-grade runtimes (see EXPERIMENTS.md E16).
+bench-smoke:
+	$(GO) test -run '^$$' -bench BenchmarkGammaIncremental -benchtime 1x .
+
+# Refresh the machine-readable matching-engine measurements.
+snapshot:
+	$(GO) run ./cmd/gfbench -exp e16 -bench-json BENCH_gamma.json
+
+check: vet fmt-check build race bench-smoke

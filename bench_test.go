@@ -354,6 +354,95 @@ func BenchmarkTraceReuse(b *testing.B) {
 	})
 }
 
+// ---- E16: incremental matching engine vs the seed full rescan ----
+
+// tournamentProgram is a staged pairwise min reduction over labeled elements
+// (min-element-style, in the literal-label shape Algorithm 1 emits): stage i
+// consumes two [x,'Li'] elements and forwards the smaller as [x,'L<i+1>'].
+// Every reaction subscribes to exactly one label, so the delta scheduler
+// re-probes only the stage a firing actually fed.
+func tournamentProgram(b *testing.B, stages int) *gamma.Program {
+	b.Helper()
+	src := ""
+	for i := 0; i < stages; i++ {
+		src += fmt.Sprintf("R%d = replace [x, 'L%d'], [y, 'L%d'] by [x, 'L%d'] if x <= y by [y, 'L%d'] else\n",
+			i, i, i, i+1, i+1)
+	}
+	prog, err := gammalang.ParseProgram("tournament", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prog
+}
+
+func tournamentMultiset(n int) *multiset.Multiset {
+	m := multiset.New()
+	for i := 0; i < n; i++ {
+		m.Add(multiset.Pair(value.Int(int64((i*2654435761+17)%(4*n))), "L0"))
+	}
+	return m
+}
+
+// BenchmarkGammaIncremental compares the delta-driven scheduler against the
+// seed full-rescan baseline (Options.FullScan) on the ISSUE workloads:
+// Eq. 2 min element, the staged labeled variant, and the §II-B primes sieve
+// (step-capped: its probes are quadratic in any engine). probes/op is the
+// matching-engine work metric; see EXPERIMENTS.md E16.
+func BenchmarkGammaIncremental(b *testing.B) {
+	engines := []struct {
+		name     string
+		fullScan bool
+	}{{"incremental", false}, {"fullscan", true}}
+
+	run := func(prog *gamma.Program, init *multiset.Multiset, maxSteps int64) func(*testing.B) {
+		return func(b *testing.B) {
+			for _, eng := range engines {
+				b.Run(eng.name, func(b *testing.B) {
+					var probes int64
+					for i := 0; i < b.N; i++ {
+						m := init.Clone()
+						st, err := gamma.Run(prog, m, gamma.Options{
+							FullScan: eng.fullScan, MaxSteps: maxSteps,
+						})
+						if err != nil && !(maxSteps > 0 && err == gamma.ErrMaxSteps) {
+							b.Fatal(err)
+						}
+						probes += st.Probes
+					}
+					b.ReportMetric(float64(probes)/float64(b.N), "probes/op")
+				})
+			}
+		}
+	}
+
+	min := minProgram(b)
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("min/n=%d", n), run(min, intMultiset(n), 0))
+	}
+	for _, n := range []int{1000, 10000} {
+		stages := 10
+		if n == 10000 {
+			stages = 14
+		}
+		b.Run(fmt.Sprintf("tournament/n=%d", n),
+			run(tournamentProgram(b, stages), tournamentMultiset(n), 0))
+	}
+	sieve, err := gammalang.ParseProgram("sieve",
+		`R = replace (x, y) by y where x % y == 0 and x != y`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{1000, 10000} {
+		init := multiset.New()
+		for i := int64(2); i <= int64(n); i++ {
+			init.Add(multiset.New1(value.Int(i)))
+		}
+		// The sieve probes quadratically in any engine; a step cap keeps the
+		// comparison about scheduling, not about the sieve's own cost.
+		b.Run(fmt.Sprintf("primes/n=%d", n), run(sieve, init, 50))
+	}
+}
+
 // ---- Ablation: indexed matching vs full scan (DESIGN.md §5.2) ----
 
 // BenchmarkMatchIndexedVsScan expresses the same join two ways: with literal

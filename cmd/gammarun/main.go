@@ -27,6 +27,7 @@ func main() {
 	workers := flag.Int("workers", 1, "parallel reaction executors (1 = sequential deterministic)")
 	seed := flag.Int64("seed", 0, "seed for nondeterministic matching")
 	maxSteps := flag.Int64("maxsteps", 1_000_000, "abort after this many reaction firings (0 = unlimited)")
+	fullScan := flag.Bool("fullscan", false, "disable the incremental matching engine (probe every reaction after every firing)")
 	initSet := flag.String("init", "", "initial multiset, e.g. \"{[1,'A1'],[5,'B1']}\" (overrides the file's init)")
 	stats := flag.Bool("stats", false, "print per-reaction firing counts")
 	typecheck := flag.Bool("typecheck", false, "infer a Structured-Gamma-style schema, check the program and print it")
@@ -37,13 +38,14 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *workers, *seed, *maxSteps, *initSet, *stats, *typecheck, *prof); err != nil {
+	opt := gamma.Options{Workers: *workers, Seed: *seed, MaxSteps: *maxSteps, FullScan: *fullScan}
+	if err := run(flag.Arg(0), opt, *initSet, *stats, *typecheck, *prof); err != nil {
 		fmt.Fprintln(os.Stderr, "gammarun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, workers int, seed, maxSteps int64, initSet string, stats, typecheck, prof bool) error {
+func run(path string, opt gamma.Options, initSet string, stats, typecheck, prof bool) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -85,7 +87,6 @@ func run(path string, workers int, seed, maxSteps int64, initSet string, stats, 
 			fmt.Printf("warning: reactions that can never fire: %v\n", dead)
 		}
 	}
-	opt := gamma.Options{Workers: workers, Seed: seed, MaxSteps: maxSteps}
 	var col *profile.Collector
 	if prof {
 		col = profile.NewCollector()
@@ -96,7 +97,7 @@ func run(path string, workers int, seed, maxSteps int64, initSet string, stats, 
 		return err
 	}
 	fmt.Println(m)
-	fmt.Printf("steps=%d conflicts=%d workers=%d\n", st.Steps, st.Conflicts, st.Workers)
+	fmt.Printf("steps=%d probes=%d conflicts=%d workers=%d\n", st.Steps, st.Probes, st.Conflicts, st.Workers)
 	if col != nil {
 		fmt.Println("profile:", col.Report())
 	}

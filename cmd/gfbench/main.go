@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	gfbench [-exp e1|e3|e4|e5|e7|e8|e9|e11|e12|e13|all]
+//	gfbench [-exp e1|e3|e4|e5|e7|e8|e9|e11|e12|e13|e14|e15|e16|all] [-bench-json BENCH_gamma.json]
 package main
 
 import (
@@ -30,11 +30,13 @@ var experiments = []struct {
 	{"e13", "trace reuse (DF-DTM) across both models", expE13},
 	{"e14", "future work: Gamma over a distributed multiset (IoT)", expE14},
 	{"e15", "work/span/parallelism profiles across both models", expE15},
+	{"e16", "incremental matching engine: delta scheduling vs full rescan", expE16},
 }
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (e1, e3, ...) or all")
 	figures := flag.String("figures", "", "write the paper's figures (DOT + dfir + gamma) into this directory and exit")
+	benchJSON := flag.String("bench-json", "", "write the e16 engine measurements to this file (e.g. BENCH_gamma.json)")
 	flag.Parse()
 	if *figures != "" {
 		if err := writeFigures(*figures); err != nil {
@@ -59,5 +61,11 @@ func main() {
 	if !ran {
 		fmt.Fprintf(os.Stderr, "gfbench: unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "gfbench:", err)
+			os.Exit(1)
+		}
 	}
 }

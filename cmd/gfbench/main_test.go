@@ -20,7 +20,7 @@ func TestSlowExperiments(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing experiments")
 	}
-	for id, fn := range map[string]func() error{"e12": expE12, "e13": expE13, "e14": expE14} {
+	for id, fn := range map[string]func() error{"e12": expE12, "e13": expE13, "e14": expE14, "e16": expE16} {
 		if err := fn(); err != nil {
 			t.Errorf("%s: %v", id, err)
 		}

@@ -70,12 +70,22 @@ type Options struct {
 	MaxRounds int
 	// MaxStepsPerRound bounds each node's local execution per round.
 	MaxStepsPerRound int64
+	// FullScan runs every node on the seed full-rescan matching engine
+	// instead of the delta-driven incremental scheduler; the baseline knob
+	// for cluster-level measurements.
+	FullScan bool
 }
 
 // Stats reports a cluster execution.
 type Stats struct {
 	// Steps is the total number of reaction firings across all nodes.
 	Steps int64
+	// Probes is the total number of reaction match searches across all
+	// nodes — the cluster-wide matching-engine work metric.
+	Probes int64
+	// Conflicts is the total number of failed optimistic commits across all
+	// nodes (only nonzero with WorkersPerNode > 1).
+	Conflicts int64
 	// Rounds is the number of react-diffuse rounds executed.
 	Rounds int
 	// Migrations counts elements shipped between nodes (diffusion and
@@ -136,7 +146,10 @@ func (c *Cluster) Run(m *multiset.Multiset) (*multiset.Multiset, *Stats, error) 
 		stats.Rounds++
 
 		// React phase: all nodes to their local stable state, concurrently.
-		roundSteps := make([]int64, c.opt.Nodes)
+		// Each node runs the same incremental matching engine as a
+		// single-machine execution (or the full-rescan baseline when
+		// Options.FullScan is set).
+		nodeStats := make([]*gamma.Stats, c.opt.Nodes)
 		errs := make([]error, c.opt.Nodes)
 		var wg sync.WaitGroup
 		for n := 0; n < c.opt.Nodes; n++ {
@@ -147,10 +160,9 @@ func (c *Cluster) Run(m *multiset.Multiset) (*multiset.Multiset, *Stats, error) 
 					Workers:  c.opt.WorkersPerNode,
 					Seed:     c.opt.Seed + int64(round)*31 + int64(n) + 1,
 					MaxSteps: c.opt.MaxStepsPerRound,
+					FullScan: c.opt.FullScan,
 				})
-				if st != nil {
-					roundSteps[n] = st.Steps
-				}
+				nodeStats[n] = st
 				errs[n] = err
 			}(n)
 		}
@@ -160,8 +172,12 @@ func (c *Cluster) Run(m *multiset.Multiset) (*multiset.Multiset, *Stats, error) 
 			if errs[n] != nil {
 				return nil, stats, fmt.Errorf("dist: node %d: %w", n, errs[n])
 			}
-			fired += roundSteps[n]
-			stats.PerNode[n] += roundSteps[n]
+			if st := nodeStats[n]; st != nil {
+				fired += st.Steps
+				stats.PerNode[n] += st.Steps
+				stats.Probes += st.Probes
+				stats.Conflicts += st.Conflicts
+			}
 		}
 		stats.Steps += fired
 

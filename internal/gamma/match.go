@@ -2,7 +2,6 @@ package gamma
 
 import (
 	"math/rand"
-	"sort"
 
 	"repro/internal/expr"
 	"repro/internal/multiset"
@@ -22,23 +21,30 @@ type Match struct {
 // reaction is not enabled on m (no combination of elements satisfies the
 // patterns and some branch condition). When rng is non-nil, candidate order
 // is randomized — the nondeterministic selection of §II-B; with a nil rng the
-// search is deterministic (sorted candidate order), which the sequential
+// search is deterministic (ascending key order), which the sequential
 // interpreter and the tests rely on.
 //
 // The search is a backtracking enumeration over the replace-list patterns.
 // Patterns whose label field is a literal (the shape Algorithm 1 always
 // emits) draw candidates from the multiset's label or (label, tag) index, so
 // converted dataflow programs match in near-constant time; fully generic
-// patterns fall back to a full scan.
+// patterns walk the whole multiset.
+//
+// The deterministic path iterates the multiset's incrementally sorted indexes
+// in place — no snapshot, no per-probe sort — so a probe costs only the
+// candidates it actually visits. That requires no concurrent writers, which
+// the sequential runtime guarantees. The randomized path (always used by the
+// parallel runtime) copies the candidates and shuffles them, tolerating
+// concurrent mutation; staleness is caught by the optimistic commit.
 func FindMatch(r *Reaction, m *multiset.Multiset, rng *rand.Rand) (*Match, error) {
 	s := &searcher{r: r, m: m, rng: rng,
 		env:    make(expr.MapEnv, 8),
 		used:   make(map[string]int, len(r.Patterns)),
 		chosen: make([]multiset.Tuple, len(r.Patterns)),
 	}
-	ok, err := s.search(0)
-	if err != nil {
-		return nil, err
+	ok := s.search(0)
+	if s.err != nil {
+		return nil, s.err
 	}
 	if !ok {
 		return nil, nil
@@ -54,68 +60,81 @@ type searcher struct {
 	used   map[string]int // occurrences of each tuple key already claimed
 	chosen []multiset.Tuple
 	branch int
+	err    error
 }
 
-func (s *searcher) search(i int) (bool, error) {
+func (s *searcher) search(i int) bool {
 	if i == len(s.r.Patterns) {
 		idx, err := s.r.selectBranch(s.env)
 		if err != nil {
-			return false, err
+			s.err = err
+			return false
 		}
 		if idx < 0 {
-			return false, nil // binding found but no branch enabled; backtrack
+			return false // binding found but no branch enabled; backtrack
 		}
 		s.branch = idx
-		return true, nil
+		return true
 	}
 	p := s.r.Patterns[i]
-	cands := s.candidates(p)
-	for _, c := range cands {
-		key := c.Tuple.Key()
-		if s.used[key] >= c.N {
-			continue // all occurrences already claimed by earlier patterns
+	found := false
+	s.eachCandidate(p, func(t multiset.Tuple, n int) bool {
+		key := t.Key()
+		if s.used[key] >= n {
+			return true // all occurrences already claimed by earlier patterns
 		}
-		bound, ok := p.match(c.Tuple, s.env)
+		bound, ok := p.match(t, s.env)
 		if !ok {
-			continue
+			return true
 		}
 		s.used[key]++
-		s.chosen[i] = c.Tuple
-		found, err := s.search(i + 1)
-		if err != nil {
-			return false, err
-		}
-		if found {
-			return true, nil
+		s.chosen[i] = t
+		if s.search(i + 1) {
+			found = true
+			return false
 		}
 		s.used[key]--
 		unbind(s.env, bound)
-	}
-	return false, nil
+		return s.err == nil
+	})
+	return found
 }
 
-// candidates returns the possible elements for pattern p under the current
-// bindings, using the narrowest index available.
-func (s *searcher) candidates(p Pattern) []multiset.Counted {
-	var out []multiset.Counted
-	if label, ok := patternLabel(p); ok {
-		if tag, ok := s.patternTag(p); ok {
-			out = s.m.ByLabelTag(label, tag)
-		} else {
-			out = s.m.ByLabel(label)
+// eachCandidate enumerates the possible elements for pattern p under the
+// current bindings, using the narrowest index available, until fn returns
+// false. Deterministic searches iterate the live sorted indexes; randomized
+// searches snapshot and shuffle.
+func (s *searcher) eachCandidate(p Pattern, fn func(t multiset.Tuple, n int) bool) {
+	label, hasLabel := patternLabel(p)
+	if s.rng == nil {
+		switch {
+		case hasLabel:
+			if tag, ok := s.patternTag(p); ok {
+				s.m.IterLabelTag(label, tag, fn)
+			} else {
+				s.m.IterLabel(label, fn)
+			}
+		default:
+			s.m.IterSorted(fn)
 		}
-		// Index results come from map iteration; make order deterministic
-		// unless randomizing anyway.
-		if s.rng == nil {
-			sort.Slice(out, func(a, b int) bool { return out[a].Tuple.Compare(out[b].Tuple) < 0 })
+		return
+	}
+	var cands []multiset.Counted
+	if hasLabel {
+		if tag, ok := s.patternTag(p); ok {
+			cands = s.m.ByLabelTag(label, tag)
+		} else {
+			cands = s.m.ByLabel(label)
 		}
 	} else {
-		out = s.m.Snapshot() // already sorted
+		cands = s.m.AllCounted()
 	}
-	if s.rng != nil {
-		s.rng.Shuffle(len(out), func(a, b int) { out[a], out[b] = out[b], out[a] })
+	s.rng.Shuffle(len(cands), func(a, b int) { cands[a], cands[b] = cands[b], cands[a] })
+	for _, c := range cands {
+		if !fn(c.Tuple, c.N) {
+			return
+		}
 	}
-	return out
 }
 
 // patternLabel extracts a literal string in the label position (field 1).

@@ -262,9 +262,16 @@ func (r *Reaction) String() string {
 
 // Program is a set of reactions composed in parallel (R1 | R2 | ... | Rn),
 // the composition used throughout the paper's examples.
+//
+// Reactions are treated as immutable once the program runs: the runtime
+// caches the label → reactions subscription index (see schedule.go) on first
+// execution.
 type Program struct {
 	Name      string
 	Reactions []*Reaction
+
+	subsOnce sync.Once
+	subsIdx  *subscriptions
 }
 
 // NewProgram builds a program and validates every reaction.

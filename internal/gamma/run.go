@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -59,6 +60,13 @@ type Options struct {
 	// Tracer, when set, receives every reaction firing with its consumed and
 	// produced element keys for dependency analysis.
 	Tracer Tracer
+	// FullScan disables the delta-driven incremental scheduler and restores
+	// the seed engine's behavior: the sequential interpreter probes every
+	// reaction round-robin after every firing, and parallel workers rescan
+	// all reactions after every commit. The stable state reached is identical
+	// either way; the flag exists as the measurement baseline for the
+	// incremental engine (cmd/gfbench -exp e16) and as an oracle in tests.
+	FullScan bool
 }
 
 // traceFiring reports one committed reaction application to the tracer.
@@ -83,6 +91,11 @@ type Stats struct {
 	Steps int64
 	// Fired counts firings per reaction name.
 	Fired map[string]int64
+	// Probes counts reaction match searches (FindMatch attempts) — the
+	// matching engine's work metric. The incremental scheduler's win shows
+	// up as fewer probes for the same Steps, because provably disabled
+	// reactions are never re-probed.
+	Probes int64
 	// Conflicts counts failed optimistic commits (parallel runtime only):
 	// a worker matched a set of molecules that a concurrent worker consumed
 	// before the commit.
@@ -99,6 +112,7 @@ func newStats(workers int) *Stats {
 
 func (s *Stats) merge(o *Stats) {
 	s.Steps += o.Steps
+	s.Probes += o.Probes
 	s.Conflicts += o.Conflicts
 	s.MemoHits += o.MemoHits
 	for k, v := range o.Fired {
@@ -278,8 +292,17 @@ func Run(p *Program, m *multiset.Multiset, opt Options) (*Stats, error) {
 
 // runSequential is the direct implementation of the Γ recursion (Eq. 1):
 // while some (Ri, Ai) is enabled, replace the matched elements with the
-// action's products; otherwise the multiset is the result. Reactions are
-// visited round-robin for fairness. With Seed 0 matching is deterministic.
+// action's products; otherwise the multiset is the result. With Seed 0
+// matching is deterministic.
+//
+// Scheduling is a dirty worklist drained round-robin: a reaction that fails
+// to match is marked clean and skipped until a commit adds an element with a
+// label it subscribes to (see schedule.go) — skipping is sound because a
+// clean reaction is provably disabled (matching is monotone; removals never
+// enable). The stable state of Eq. 1 is exactly "no dirty reaction": an
+// empty worklist. Because a skipped probe would have failed anyway, the
+// sequence of firings — and thus the deterministic result — is identical to
+// the seed engine's full round-robin; only the wasted probes disappear.
 func runSequential(p *Program, m *multiset.Multiset, opt Options) (*Stats, error) {
 	stats := newStats(1)
 	var rng *rand.Rand
@@ -290,16 +313,37 @@ func runSequential(p *Program, m *multiset.Multiset, opt Options) (*Stats, error
 	if n == 0 {
 		return stats, nil
 	}
-	idleStreak := 0
-	for i := 0; idleStreak < n; i = (i + 1) % n {
+	subs := p.subs()
+	dirty := make([]bool, n)
+	for i := range dirty {
+		dirty[i] = true
+	}
+	remaining := n
+	markDirty := func(j int) {
+		if !dirty[j] {
+			dirty[j] = true
+			remaining++
+		}
+	}
+	for i := 0; remaining > 0; i = (i + 1) % n {
+		if !dirty[i] {
+			continue
+		}
 		r := p.Reactions[i]
+		stats.Probes++
 		match, err := FindMatch(r, m, rng)
 		if err != nil {
 			return stats, err
 		}
 		if match == nil {
-			idleStreak++
+			dirty[i] = false
+			remaining--
 			continue
+		}
+		if opt.MaxSteps > 0 && stats.Steps >= opt.MaxSteps {
+			// The match just found proves the program is still enabled past
+			// the step budget — no full Enabled rescan needed.
+			return stats, ErrMaxSteps
 		}
 		products, err := applyAction(r, match, opt, stats)
 		if err != nil {
@@ -309,15 +353,18 @@ func runSequential(p *Program, m *multiset.Multiset, opt Options) (*Stats, error
 			// Unreachable single-threaded; defensive.
 			return stats, fmt.Errorf("gamma: matched elements vanished in sequential run of %s", r.Name)
 		}
-		m.AddAll(products)
+		labels := m.AddAll(products)
 		traceFiring(opt, r.Name, match.Chosen, products)
 		stats.Steps++
 		stats.Fired[r.Name]++
-		idleStreak = 0
-		if opt.MaxSteps > 0 && stats.Steps >= opt.MaxSteps {
-			if enabled, err2 := Enabled(p, m); err2 == nil && enabled {
-				return stats, ErrMaxSteps
+		// The fired reaction stays dirty: consuming elements may leave it
+		// enabled on what remains.
+		if opt.FullScan {
+			for j := 0; j < n; j++ {
+				markDirty(j)
 			}
+		} else {
+			subs.forEach(labels, markDirty)
 		}
 	}
 	return stats, nil
@@ -333,6 +380,20 @@ type parShared struct {
 	done    bool
 	err     error
 	steps   int64
+	// queue is the shared worklist of reaction indexes worth probing, FIFO;
+	// queued dedupes membership. Both are guarded by mu and unused (empty)
+	// in FullScan mode.
+	queue  []int
+	queued []bool
+}
+
+// enqueueLocked appends reaction idx to the worklist unless already present.
+// Callers hold sh.mu.
+func (sh *parShared) enqueueLocked(idx int) {
+	if !sh.queued[idx] {
+		sh.queued[idx] = true
+		sh.queue = append(sh.queue, idx)
+	}
 }
 
 // runParallel executes reactions with a pool of workers performing
@@ -345,15 +406,27 @@ type parShared struct {
 //     conflict with a concurrent worker, drop the products and rematch;
 //  4. on success, insert the products and bump the multiset version.
 //
-// Global termination reproduces Eq. 1's stability test: a worker that scans
-// every reaction without finding a match goes idle *at a version*; if the
-// version is still current and all workers are idle at it, no molecule has
-// changed since a full unsuccessful scan, so no reaction is enabled and the
-// stable state is reached.
+// Scheduling is delta-driven: workers drain a shared worklist of reaction
+// indexes, seeded with every reaction and refilled on each commit with the
+// reactions subscribed to the labels the commit added (schedule.go). The
+// worklist is a best-effort accelerator — a probe may be wasted, never the
+// other way around, because every commit re-enqueues its subscribers.
+//
+// Global termination reproduces Eq. 1's stability test exactly and does not
+// rely on the worklist: a worker that finds the worklist empty falls back to
+// a full scan of every reaction; if the scan fires nothing it goes idle *at
+// a version*, and if the version is still current and all workers are idle at
+// it, no molecule has changed since a full unsuccessful scan, so no reaction
+// is enabled and the stable state is reached.
 func runParallel(p *Program, m *multiset.Multiset, opt Options) (*Stats, error) {
 	workers := opt.Workers
-	sh := &parShared{workers: workers}
+	sh := &parShared{workers: workers, queued: make([]bool, len(p.Reactions))}
 	sh.cond = sync.NewCond(&sh.mu)
+	if !opt.FullScan {
+		for i := range p.Reactions {
+			sh.enqueueLocked(i)
+		}
+	}
 	perWorker := make([]*Stats, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -375,6 +448,76 @@ func runParallel(p *Program, m *multiset.Multiset, opt Options) (*Stats, error) 
 	return total, err
 }
 
+// maxConflictRetries bounds how often a worker rematches the same reaction
+// after a failed optimistic commit before yielding and moving on. Unbounded
+// retries let one contended reaction starve the scan of every other reaction;
+// bounded retries cannot lose work — in worklist mode the reaction is
+// re-enqueued, and in scan mode the conflicting commit bumped the version, so
+// the scan repeats anyway.
+const maxConflictRetries = 8
+
+// tryFire probes reaction idx once and fires it if enabled, with the bounded
+// optimistic-commit retry loop. requeue re-enqueues the reaction after giving
+// up on a contended commit (worklist mode). Returns whether a firing
+// committed and whether the worker must stop (error or MaxSteps).
+func tryFire(p *Program, m *multiset.Multiset, opt Options, sh *parShared, stats *Stats, rng *rand.Rand, idx int, requeue bool) (fired, stop bool) {
+	r := p.Reactions[idx]
+	subs := p.subs()
+	for retries := 0; ; retries++ {
+		stats.Probes++
+		match, err := FindMatch(r, m, rng)
+		if err != nil {
+			sh.fail(err)
+			return false, true
+		}
+		if match == nil {
+			return false, false
+		}
+		products, err := applyAction(r, match, opt, stats)
+		if err != nil {
+			sh.fail(err)
+			return false, true
+		}
+		if !m.TryRemoveAll(match.Chosen) {
+			stats.Conflicts++
+			if retries < maxConflictRetries {
+				continue // rematch: its molecules changed under us
+			}
+			// Heavily contended: yield so the other reactions and workers
+			// make progress. The commit that beat us bumped the version, so
+			// the stability test cannot conclude while this reaction is
+			// still enabled.
+			if requeue {
+				sh.mu.Lock()
+				sh.enqueueLocked(idx)
+				sh.mu.Unlock()
+			}
+			runtime.Gosched()
+			return false, false
+		}
+		labels := m.AddAll(products)
+		traceFiring(opt, r.Name, match.Chosen, products)
+		stats.Steps++
+		stats.Fired[r.Name]++
+
+		sh.mu.Lock()
+		sh.version++
+		sh.steps++
+		over := opt.MaxSteps > 0 && sh.steps >= opt.MaxSteps
+		if !opt.FullScan {
+			subs.forEach(labels, sh.enqueueLocked)
+			sh.enqueueLocked(idx) // may still be enabled on what remains
+		}
+		sh.cond.Broadcast()
+		sh.mu.Unlock()
+		if over {
+			sh.fail(ErrMaxSteps)
+			return true, true
+		}
+		return true, false
+	}
+}
+
 func workerLoop(p *Program, m *multiset.Multiset, opt Options, sh *parShared, stats *Stats, id int) {
 	rng := rand.New(rand.NewSource(opt.Seed + int64(id)*0x9e3779b9 + 1))
 	n := len(p.Reactions)
@@ -384,48 +527,37 @@ func workerLoop(p *Program, m *multiset.Multiset, opt Options, sh *parShared, st
 			sh.mu.Unlock()
 			return
 		}
+		idx := -1
+		if len(sh.queue) > 0 {
+			idx = sh.queue[0]
+			sh.queue = sh.queue[1:]
+			sh.queued[idx] = false
+		}
 		scanVersion := sh.version
 		sh.mu.Unlock()
 
+		if idx >= 0 {
+			// Worklist mode: probe just the delta-scheduled reaction.
+			if _, stop := tryFire(p, m, opt, sh, stats, rng, idx, true); stop {
+				return
+			}
+			continue
+		}
+
+		// Empty worklist: full scan, the exact Eq. 1 stability test. The
+		// worklist is best-effort under concurrency; this backstop keeps
+		// termination exact regardless of scheduling races.
 		fired := false
 		start := rng.Intn(n)
 		for k := 0; k < n; k++ {
-			r := p.Reactions[(start+k)%n]
-			match, err := FindMatch(r, m, rng)
-			if err != nil {
-				sh.fail(err)
+			firedHere, stop := tryFire(p, m, opt, sh, stats, rng, (start+k)%n, false)
+			if stop {
 				return
 			}
-			if match == nil {
-				continue
+			if firedHere {
+				fired = true
+				break
 			}
-			products, err := applyAction(r, match, opt, stats)
-			if err != nil {
-				sh.fail(err)
-				return
-			}
-			if !m.TryRemoveAll(match.Chosen) {
-				stats.Conflicts++
-				k-- // retry the same reaction: its molecules changed under us
-				continue
-			}
-			m.AddAll(products)
-			traceFiring(opt, r.Name, match.Chosen, products)
-			stats.Steps++
-			stats.Fired[r.Name]++
-			fired = true
-
-			sh.mu.Lock()
-			sh.version++
-			sh.steps++
-			over := opt.MaxSteps > 0 && sh.steps >= opt.MaxSteps
-			sh.cond.Broadcast()
-			sh.mu.Unlock()
-			if over {
-				sh.fail(ErrMaxSteps)
-				return
-			}
-			break
 		}
 		if fired {
 			continue

@@ -1,0 +1,94 @@
+// Delta-driven reaction scheduling: the static subscription index behind the
+// incremental matching engine.
+//
+// The Γ fixpoint of Eq. 1 rewrites the multiset until no reaction is enabled.
+// The seed engine re-probed every reaction after every commit — O(reactions ×
+// candidates) per step even when the commit touched a single label. The
+// incremental engine exploits two facts:
+//
+//  1. Matching is monotone: removing elements can never enable a reaction,
+//     because patterns only require the presence of elements (the model has
+//     no negative conditions). Only additions create new match opportunities.
+//  2. A pattern whose label field is a literal (the shape Algorithm 1 always
+//     emits) can only consume elements carrying exactly that label; adding
+//     an element with a different label cannot enable it.
+//
+// So at program setup we compute label → reactions once, and after each
+// commit only the reactions subscribed to a label that was actually added —
+// plus the wildcard bucket of reactions with at least one generic pattern —
+// need re-probing. A reaction that failed to match stays provably disabled
+// until one of its subscriptions fires: the RETE-style delta strategy of
+// production rule engines, applied to Gamma without touching the
+// nondeterministic semantics of §II-B.
+package gamma
+
+// subscriptions is the immutable label → reactions index of one Program,
+// computed once per program (reactions are immutable after Validate).
+type subscriptions struct {
+	// byLabel lists, per literal label, the indexes of reactions with at
+	// least one pattern subscribing to that label, ascending.
+	byLabel map[string][]int
+	// wildcard lists reactions with at least one generic pattern (no literal
+	// label): any added element may feed such a pattern, so these wake on
+	// every commit.
+	wildcard []int
+}
+
+// buildSubscriptions derives the index from the reactions' patterns.
+func buildSubscriptions(reactions []*Reaction) *subscriptions {
+	sub := &subscriptions{byLabel: make(map[string][]int)}
+	for i, r := range reactions {
+		generic := false
+		var labels []string
+		for _, p := range r.Patterns {
+			label, ok := patternLabel(p)
+			if !ok {
+				generic = true
+				break
+			}
+			seen := false
+			for _, have := range labels {
+				if have == label {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				labels = append(labels, label)
+			}
+		}
+		if generic {
+			sub.wildcard = append(sub.wildcard, i)
+			continue
+		}
+		for _, label := range labels {
+			sub.byLabel[label] = append(sub.byLabel[label], i)
+		}
+	}
+	return sub
+}
+
+// forEach invokes fn for every reaction that may have become newly enabled by
+// a commit that added elements with the given labels (multiset.NoLabel marks
+// unlabeled elements — those can only feed generic patterns, hence only wake
+// the wildcard bucket). fn may be invoked more than once for the same
+// reaction; callers dedupe through their dirty/queued flags.
+func (sub *subscriptions) forEach(labels []string, fn func(idx int)) {
+	for _, i := range sub.wildcard {
+		fn(i)
+	}
+	for _, label := range labels {
+		// A NoLabel delta wakes nothing here: literal-label patterns cannot
+		// match an unlabeled tuple. (A real "\x00" label, however unlikely,
+		// resolves through the map like any other and stays sound.)
+		for _, i := range sub.byLabel[label] {
+			fn(i)
+		}
+	}
+}
+
+// subs returns the program's subscription index, building it on first use.
+func (p *Program) subs() *subscriptions {
+	p.subsOnce.Do(func() { p.subsIdx = buildSubscriptions(p.Reactions) })
+	return p.subsIdx
+}

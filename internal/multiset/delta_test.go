@@ -1,0 +1,165 @@
+package multiset
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// TestAddAllLabelDeltas checks the touched-label report driving the
+// incremental scheduler: one entry per distinct label, NoLabel for tuples
+// with no string in the label position.
+func TestAddAllLabelDeltas(t *testing.T) {
+	m := New()
+	labels := m.AddAll([]Tuple{
+		Pair(value.Int(1), "A"),
+		Pair(value.Int(2), "A"),
+		Pair(value.Int(3), "B"),
+		New1(value.Int(4)),           // unlabeled: 1-tuple
+		{value.Int(5), value.Int(6)}, // unlabeled: non-string field 1
+		Pair(value.Str("x"), "A"),    // same label, different kind
+	})
+	sort.Strings(labels)
+	want := []string{NoLabel, "A", "B"}
+	sort.Strings(want)
+	if !reflect.DeepEqual(labels, want) {
+		t.Fatalf("AddAll labels = %q, want %q", labels, want)
+	}
+	if m.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", m.Len())
+	}
+	if got := m.AddAll(nil); len(got) != 0 {
+		t.Fatalf("AddAll(nil) = %q, want empty", got)
+	}
+}
+
+// TestByLabelKeyOrdered checks that the maintained per-label index comes back
+// in ascending key order without any per-call sort — the property the
+// deterministic matcher relies on.
+func TestByLabelKeyOrdered(t *testing.T) {
+	m := New()
+	for _, v := range []int64{9, 3, 7, 1, 5, 3} {
+		m.Add(Pair(value.Int(v), "L"))
+	}
+	got := m.ByLabel("L")
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Tuple.Key() >= got[i].Tuple.Key() {
+			t.Fatalf("ByLabel not strictly key-ascending at %d: %v then %v", i, got[i-1].Tuple, got[i].Tuple)
+		}
+	}
+	// 5 distinct tuples, one with count 2.
+	if len(got) != 5 {
+		t.Fatalf("distinct = %d, want 5", len(got))
+	}
+	if m.Count(Pair(value.Int(3), "L")) != 2 {
+		t.Fatal("count of duplicate lost")
+	}
+}
+
+// TestIterSortedAgreesWithSnapshot checks the zero-copy merged iteration
+// against the Compare-sorted Snapshot: same tuples, same order (Key order and
+// Compare order agree), same counts.
+func TestIterSortedAgreesWithSnapshot(t *testing.T) {
+	m := New()
+	for i := 0; i < 200; i++ {
+		m.Add(New1(value.Int(int64(i * 37 % 101))))
+		if i%3 == 0 {
+			m.Add(Pair(value.Int(int64(i)), "L"))
+		}
+		if i%7 == 0 {
+			m.Add(New1(value.Str("s")))
+		}
+	}
+	snap := m.Snapshot()
+	i := 0
+	m.IterSorted(func(tp Tuple, n int) bool {
+		if i >= len(snap) {
+			t.Fatalf("IterSorted yields more than %d distinct tuples", len(snap))
+		}
+		if !tp.Equal(snap[i].Tuple) || n != snap[i].N {
+			t.Fatalf("IterSorted[%d] = (%v,%d), Snapshot has (%v,%d)", i, tp, n, snap[i].Tuple, snap[i].N)
+		}
+		i++
+		return true
+	})
+	if i != len(snap) {
+		t.Fatalf("IterSorted yielded %d distinct tuples, Snapshot has %d", i, len(snap))
+	}
+}
+
+// TestIterEarlyExit checks that returning false stops all three iterators.
+func TestIterEarlyExit(t *testing.T) {
+	m := New()
+	for i := int64(0); i < 50; i++ {
+		m.Add(IntElem(i, "L", i%4))
+	}
+	for name, iter := range map[string]func(fn func(Tuple, int) bool){
+		"IterSorted":   m.IterSorted,
+		"IterLabel":    func(fn func(Tuple, int) bool) { m.IterLabel("L", fn) },
+		"IterLabelTag": func(fn func(Tuple, int) bool) { m.IterLabelTag("L", 2, fn) },
+	} {
+		calls := 0
+		iter(func(Tuple, int) bool {
+			calls++
+			return calls < 3
+		})
+		if calls != 3 {
+			t.Fatalf("%s: early exit after %d calls, want 3", name, calls)
+		}
+	}
+}
+
+// TestIterLabelTagMatchesByLabelTag checks the zero-copy (label, tag) walk
+// yields exactly the snapshot the randomized path sees.
+func TestIterLabelTagMatchesByLabelTag(t *testing.T) {
+	m := New()
+	for i := int64(0); i < 40; i++ {
+		m.Add(IntElem(i, "L", i%5))
+		m.Add(IntElem(i, "R", i%5))
+	}
+	want := m.ByLabelTag("L", 3)
+	var got []Counted
+	m.IterLabelTag("L", 3, func(tp Tuple, n int) bool {
+		got = append(got, Counted{Tuple: tp, N: n})
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("IterLabelTag yields %d, ByLabelTag %d", len(got), len(want))
+	}
+	for i := range got {
+		if !got[i].Tuple.Equal(want[i].Tuple) || got[i].N != want[i].N {
+			t.Fatalf("at %d: iter (%v,%d) vs snapshot (%v,%d)", i, got[i].Tuple, got[i].N, want[i].Tuple, want[i].N)
+		}
+	}
+}
+
+// TestIndexesAfterRemoval checks sorted-index maintenance through interleaved
+// add/remove churn: the label index never resurrects removed tuples and stays
+// ordered.
+func TestIndexesAfterRemoval(t *testing.T) {
+	m := New()
+	for i := int64(0); i < 30; i++ {
+		m.Add(Pair(value.Int(i), "L"))
+	}
+	for i := int64(0); i < 30; i += 2 {
+		if !m.Remove(Pair(value.Int(i), "L")) {
+			t.Fatalf("Remove(%d) failed", i)
+		}
+	}
+	got := m.ByLabel("L")
+	if len(got) != 15 {
+		t.Fatalf("distinct after removal = %d, want 15", len(got))
+	}
+	for _, c := range got {
+		if c.Tuple[0].AsInt()%2 == 0 {
+			t.Fatalf("removed tuple %v still indexed", c.Tuple)
+		}
+	}
+	seen := 0
+	m.IterSorted(func(Tuple, int) bool { seen++; return true })
+	if seen != 15 {
+		t.Fatalf("IterSorted sees %d tuples after removal, want 15", seen)
+	}
+}

@@ -13,29 +13,65 @@ import (
 // counts exercised by the benchmarks.
 const shardCount = 32
 
-// entry is one distinct tuple with its multiplicity.
+// NoLabel is the delta marker reported by AddAll for tuples that carry no
+// string label field. It can never collide with a real label extracted by
+// Tuple.Label (those are the label's exact bytes; a real "\x00" label would
+// report itself, which is still sound — see gamma's subscription index).
+const NoLabel = "\x00"
+
+// entry is one distinct tuple with its multiplicity. key caches Tuple.Key(),
+// the ordering used by every sorted index.
 type entry struct {
 	tuple Tuple
+	key   string
 	count int
 }
 
 // shard is an independently locked slice of the multiset. All tuples with the
 // same label land in the same shard, so a label-constrained pattern match
 // takes exactly one shard lock.
+//
+// Every index is a slice of entries kept incrementally sorted by key (binary
+// insertion on the first Add of a distinct tuple, binary removal when its
+// count reaches zero). Candidate enumeration for the reaction matcher is
+// therefore a plain in-order walk: no per-probe sort.Slice, no map-iteration
+// order to launder.
 type shard struct {
 	mu sync.RWMutex
 	// byKey maps Tuple.Key() to its entry.
 	byKey map[string]*entry
-	// byLabel maps an element label to the set of keys carrying it.
-	byLabel map[string]map[string]*entry
-	// byLabelTag maps (label, tag) to the set of keys carrying both; this is
-	// the dynamic-dataflow tag-matching index.
-	byLabelTag map[labelTag]map[string]*entry
+	// sorted holds every entry of the shard in ascending key order.
+	sorted []*entry
+	// byLabel maps an element label to its entries, ascending key order.
+	byLabel map[string][]*entry
+	// byLabelTag maps (label, tag) to its entries, ascending key order; this
+	// is the dynamic-dataflow tag-matching index.
+	byLabelTag map[labelTag][]*entry
 }
 
 type labelTag struct {
 	label string
 	tag   int64
+}
+
+// insertSorted places e into list keeping ascending key order.
+func insertSorted(list []*entry, e *entry) []*entry {
+	i := sort.Search(len(list), func(i int) bool { return list[i].key >= e.key })
+	list = append(list, nil)
+	copy(list[i+1:], list[i:])
+	list[i] = e
+	return list
+}
+
+// removeSorted deletes the entry with the given key from list.
+func removeSorted(list []*entry, key string) []*entry {
+	i := sort.Search(len(list), func(i int) bool { return list[i].key >= key })
+	if i < len(list) && list[i].key == key {
+		copy(list[i:], list[i+1:])
+		list[len(list)-1] = nil
+		list = list[:len(list)-1]
+	}
+	return list
 }
 
 // Multiset is the Gamma model's single database: a counted multiset of
@@ -52,8 +88,8 @@ func New(tuples ...Tuple) *Multiset {
 	for i := range m.shards {
 		s := &m.shards[i]
 		s.byKey = make(map[string]*entry)
-		s.byLabel = make(map[string]map[string]*entry)
-		s.byLabelTag = make(map[labelTag]map[string]*entry)
+		s.byLabel = make(map[string][]*entry)
+		s.byLabelTag = make(map[labelTag][]*entry)
 	}
 	for _, t := range tuples {
 		m.Add(t)
@@ -101,12 +137,14 @@ func (m *Multiset) AddN(t Tuple, n int) {
 	if ok {
 		e.count += n
 	} else {
-		e = &entry{tuple: t.Clone(), count: n}
+		e = &entry{tuple: t.Clone(), key: key, count: n}
 		s.byKey[key] = e
+		s.sorted = insertSorted(s.sorted, e)
 		if label, ok := t.Label(); ok {
-			addIndex(s.byLabel, label, key, e)
+			s.byLabel[label] = insertSorted(s.byLabel[label], e)
 			if tag, ok := t.Tag(); ok {
-				addIndex(s.byLabelTag, labelTag{label, tag}, key, e)
+				lt := labelTag{label, tag}
+				s.byLabelTag[lt] = insertSorted(s.byLabelTag[lt], e)
 			}
 		}
 	}
@@ -114,32 +152,34 @@ func (m *Multiset) AddN(t Tuple, n int) {
 	m.addSize(int64(n))
 }
 
-// AddAll inserts one occurrence of every tuple in ts.
-func (m *Multiset) AddAll(ts []Tuple) {
+// AddAll inserts one occurrence of every tuple in ts and reports the set of
+// labels it touched (deduplicated; NoLabel stands in for tuples without a
+// string label field). The delta is the input of the incremental reaction
+// scheduler: only reactions subscribed to a touched label — or to the
+// wildcard bucket — can have become newly enabled by this commit.
+func (m *Multiset) AddAll(ts []Tuple) []string {
+	var labels []string
 	for _, t := range ts {
 		m.Add(t)
-	}
-}
-
-func addIndex[K comparable](idx map[K]map[string]*entry, k K, key string, e *entry) {
-	set, ok := idx[k]
-	if !ok {
-		set = make(map[string]*entry)
-		idx[k] = set
-	}
-	set[key] = e
-}
-
-func dropIndex[K comparable](idx map[K]map[string]*entry, k K, key string) {
-	if set, ok := idx[k]; ok {
-		delete(set, key)
-		if len(set) == 0 {
-			delete(idx, k)
+		l, ok := t.Label()
+		if !ok {
+			l = NoLabel
+		}
+		seen := false
+		for _, have := range labels {
+			if have == l {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			labels = append(labels, l)
 		}
 	}
+	return labels
 }
 
-// removeLockedLocked decrements the entry for key inside an already locked
+// removeLocked decrements the entry for key inside an already locked
 // shard. Reports whether an occurrence existed.
 func (s *shard) removeLocked(t Tuple, key string) bool {
 	e, ok := s.byKey[key]
@@ -149,10 +189,20 @@ func (s *shard) removeLocked(t Tuple, key string) bool {
 	e.count--
 	if e.count == 0 {
 		delete(s.byKey, key)
+		s.sorted = removeSorted(s.sorted, key)
 		if label, ok := t.Label(); ok {
-			dropIndex(s.byLabel, label, key)
+			if list := removeSorted(s.byLabel[label], key); len(list) > 0 {
+				s.byLabel[label] = list
+			} else {
+				delete(s.byLabel, label)
+			}
 			if tag, ok := t.Tag(); ok {
-				dropIndex(s.byLabelTag, labelTag{label, tag}, key)
+				lt := labelTag{label, tag}
+				if list := removeSorted(s.byLabelTag[lt], key); len(list) > 0 {
+					s.byLabelTag[lt] = list
+				} else {
+					delete(s.byLabelTag, lt)
+				}
 			}
 		}
 	}
@@ -177,7 +227,8 @@ func (m *Multiset) Remove(t Tuple) bool {
 // the commit step of the parallel Gamma runtime: a worker that matched a
 // reaction's replace-list attempts to claim exactly those molecules; if a
 // concurrent worker consumed one first, the claim fails and the worker
-// rematches.
+// rematches. Removals never enable a reaction (matching is monotone in the
+// multiset contents), so unlike AddAll no label delta is reported.
 func (m *Multiset) TryRemoveAll(ts []Tuple) bool {
 	if len(ts) == 0 {
 		return true
@@ -247,36 +298,121 @@ func (m *Multiset) Distinct() int {
 	for i := range m.shards {
 		s := &m.shards[i]
 		s.mu.RLock()
-		n += len(s.byKey)
+		n += len(s.sorted)
 		s.mu.RUnlock()
 	}
 	return n
 }
 
 // ByLabel returns the distinct tuples whose label field equals label, with
-// their multiplicities. The slice is a snapshot.
+// their multiplicities, in ascending key order. The slice is a snapshot.
 func (m *Multiset) ByLabel(label string) []Counted {
 	s := m.shardForLabel(label)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	set := s.byLabel[label]
-	out := make([]Counted, 0, len(set))
-	for _, e := range set {
+	list := s.byLabel[label]
+	out := make([]Counted, 0, len(list))
+	for _, e := range list {
 		out = append(out, Counted{Tuple: e.tuple, N: e.count})
 	}
 	return out
 }
 
 // ByLabelTag returns the distinct tuples matching both label and tag, with
-// multiplicities — the dynamic-dataflow operand lookup.
+// multiplicities, in ascending key order — the dynamic-dataflow operand
+// lookup. The slice is a snapshot.
 func (m *Multiset) ByLabelTag(label string, tag int64) []Counted {
 	s := m.shardForLabel(label)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	set := s.byLabelTag[labelTag{label, tag}]
-	out := make([]Counted, 0, len(set))
-	for _, e := range set {
+	list := s.byLabelTag[labelTag{label, tag}]
+	out := make([]Counted, 0, len(list))
+	for _, e := range list {
 		out = append(out, Counted{Tuple: e.tuple, N: e.count})
+	}
+	return out
+}
+
+// IterLabel calls fn once per distinct tuple carrying label, ascending key
+// order, without copying the index. The shard read lock is held for the whole
+// iteration: fn must not mutate the multiset, and callers must guarantee no
+// concurrent writers (the deterministic sequential matcher qualifies; the
+// parallel runtime uses the snapshotting ByLabel instead).
+func (m *Multiset) IterLabel(label string, fn func(t Tuple, n int) bool) {
+	s := m.shardForLabel(label)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, e := range s.byLabel[label] {
+		if !fn(e.tuple, e.count) {
+			return
+		}
+	}
+}
+
+// IterLabelTag is IterLabel over the (label, tag) index. The same locking
+// caveats apply.
+func (m *Multiset) IterLabelTag(label string, tag int64, fn func(t Tuple, n int) bool) {
+	s := m.shardForLabel(label)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, e := range s.byLabelTag[labelTag{label, tag}] {
+		if !fn(e.tuple, e.count) {
+			return
+		}
+	}
+}
+
+// IterSorted calls fn once per distinct tuple in ascending key order across
+// the whole multiset, lazily merging the shards' sorted runs — no copy, no
+// sort, and early exit costs only the elements actually visited. All shard
+// read locks are held for the whole iteration: fn must not mutate the
+// multiset and callers must guarantee no concurrent writers (see IterLabel).
+func (m *Multiset) IterSorted(fn func(t Tuple, n int) bool) {
+	for i := range m.shards {
+		m.shards[i].mu.RLock()
+	}
+	defer func() {
+		for i := range m.shards {
+			m.shards[i].mu.RUnlock()
+		}
+	}()
+	var cursors [shardCount]int
+	for {
+		best := -1
+		var bestKey string
+		for i := range m.shards {
+			c := cursors[i]
+			if c >= len(m.shards[i].sorted) {
+				continue
+			}
+			if k := m.shards[i].sorted[c].key; best < 0 || k < bestKey {
+				best, bestKey = i, k
+			}
+		}
+		if best < 0 {
+			return
+		}
+		e := m.shards[best].sorted[cursors[best]]
+		cursors[best]++
+		if !fn(e.tuple, e.count) {
+			return
+		}
+	}
+}
+
+// AllCounted returns every distinct tuple with its multiplicity in
+// unspecified (per-shard) order — the cheap snapshot for the randomized
+// matcher, which shuffles the candidates anyway. Use Snapshot for a
+// deterministic ordering.
+func (m *Multiset) AllCounted() []Counted {
+	out := make([]Counted, 0, 16)
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.RLock()
+		for _, e := range s.sorted {
+			out = append(out, Counted{Tuple: e.tuple, N: e.count})
+		}
+		s.mu.RUnlock()
 	}
 	return out
 }
@@ -294,7 +430,7 @@ func (m *Multiset) ForEach(fn func(t Tuple, n int) bool) {
 	for i := range m.shards {
 		s := &m.shards[i]
 		s.mu.RLock()
-		for _, e := range s.byKey {
+		for _, e := range s.sorted {
 			if !fn(e.tuple, e.count) {
 				s.mu.RUnlock()
 				return
@@ -305,7 +441,8 @@ func (m *Multiset) ForEach(fn func(t Tuple, n int) bool) {
 }
 
 // Snapshot returns every distinct tuple with multiplicity, sorted
-// deterministically. Intended for tests, printing and the sequential runtime.
+// deterministically. Intended for tests, printing and external callers; the
+// matcher itself walks the maintained indexes via Iter* and AllCounted.
 func (m *Multiset) Snapshot() []Counted {
 	var out []Counted
 	m.ForEach(func(t Tuple, n int) bool {
