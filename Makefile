@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race bench-smoke snapshot check
+.PHONY: all build vet fmt-check test race bench-smoke snapshot stress check check-ci
 
 all: build
 
@@ -32,4 +32,17 @@ bench-smoke:
 snapshot:
 	$(GO) run ./cmd/gfbench -exp e16 -bench-json BENCH_gamma.json
 
+# Cancellation / fault-model stress: the context, panic-recovery and
+# dead-node tests under the race detector (DESIGN.md §9).
+stress:
+	$(GO) test -race -count=2 -run 'Cancel|Panic|Fault|Dead|Deadline|Wedge|Retr' \
+		./internal/gamma/ ./internal/dataflow/ ./internal/dist/ ./internal/rt/ .
+
 check: vet fmt-check build race bench-smoke
+
+# CI gate: like check but with explicit timeouts so a wedged pool fails the
+# build instead of hanging it, and no benchmark smoke (CI machines are noisy).
+check-ci: vet fmt-check build
+	$(GO) test -race -timeout 5m ./...
+	$(GO) test -race -timeout 2m -count=2 -run 'Cancel|Panic|Fault|Dead' \
+		./internal/gamma/ ./internal/dataflow/ ./internal/dist/

@@ -1,0 +1,103 @@
+package gammaflow
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestContextAPIAcrossModels pins the facade contract: the same RunConfig
+// drives both models, expired contexts classify identically, and partial
+// statistics are always returned on early exit.
+func TestContextAPIAcrossModels(t *testing.T) {
+	g, err := CompileSource("ex1", `
+	    int x = 1; int y = 5; int k = 3; int j = 2; int m;
+	    m = (x + y) - (k * j);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, init, err := ToGamma(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done()
+
+	cfg := RunConfig{Workers: 2, MaxSteps: 1000}
+	res, gerr := RunGraphContext(ctx, g, GraphOptions{RunConfig: cfg})
+	if !errors.Is(gerr, ErrDeadline) || !errors.Is(gerr, context.DeadlineExceeded) {
+		t.Errorf("graph err = %v, want ErrDeadline", gerr)
+	}
+	if res == nil {
+		t.Error("graph early exit must return a partial result")
+	}
+	st, perr := RunProgramContext(ctx, prog, init, ProgramOptions{RunConfig: cfg})
+	if !errors.Is(perr, ErrDeadline) || !errors.Is(perr, context.DeadlineExceeded) {
+		t.Errorf("program err = %v, want ErrDeadline", perr)
+	}
+	if st == nil {
+		t.Error("program early exit must return partial stats")
+	}
+}
+
+// TestBackgroundWrappersStillWork checks the non-context names remain thin
+// wrappers with identical behavior.
+func TestBackgroundWrappersStillWork(t *testing.T) {
+	g, err := CompileSource("ex1", `
+	    int x = 1; int y = 5; int k = 3; int j = 2; int m;
+	    m = (x + y) - (k * j);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunGraph(g, GraphOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := res.Output("m"); !ok || v.String() != "0" {
+		t.Errorf("m = %v (%v), want 0", v, ok)
+	}
+	prog, init, err := ToGamma(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunProgram(prog, init, ProgramOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFacadeFaultInjection checks the fault hook and typed panic error are
+// reachable through the facade types alone.
+func TestFacadeFaultInjection(t *testing.T) {
+	prog, err := ParseProgram("min", "R = replace (x, y) by x where x < y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMultiset()
+	for i := int64(1); i <= 16; i++ {
+		m.Add(ScalarElem(Int(i * 3 % 17)))
+	}
+	st, err := RunProgram(prog, m, ProgramOptions{
+		RunConfig:     RunConfig{Workers: 2},
+		FaultInjector: func(site string, worker int) error { panic("injected") },
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *PanicError", err, err)
+	}
+	if st == nil {
+		t.Error("partial stats missing")
+	}
+}
+
+// TestParseErrorsClassified checks ErrParse reaches facade callers.
+func TestParseErrorsClassified(t *testing.T) {
+	if _, err := ParseProgram("bad", "replace"); !errors.Is(err, ErrParse) {
+		t.Errorf("gamma parse error = %v, want ErrParse", err)
+	}
+	if _, err := CompileSource("bad", "int = ;"); !errors.Is(err, ErrParse) {
+		t.Errorf("compiler parse error = %v, want ErrParse", err)
+	}
+}

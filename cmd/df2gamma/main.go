@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	df2gamma [-compile] [-reduce] [-check] file
+//	df2gamma [-compile] [-reduce] [-check] [-timeout D] file
 //
 // The input is a .dfir graph description, or von Neumann source with
 // -compile. With -reduce, the §III-A3 reduction fuses linear reaction chains
@@ -13,35 +13,39 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/compiler"
 	"repro/internal/core"
 	"repro/internal/dataflow"
 	"repro/internal/dfir"
 	"repro/internal/equiv"
 	"repro/internal/gammalang"
+	"repro/internal/rt"
 )
 
 func main() {
 	compile := flag.Bool("compile", false, "treat the input as von Neumann source, not .dfir")
 	reduce := flag.Bool("reduce", false, "apply the §III-A3 reduction to the emitted program")
 	check := flag.Bool("check", false, "verify equivalence by running both models first")
+	timeout := flag.Duration("timeout", 0, "abort after this long, e.g. 30s (0 = no deadline)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: df2gamma [flags] file")
 		flag.PrintDefaults()
-		os.Exit(2)
+		os.Exit(cli.ExitUsage)
 	}
-	if err := run(flag.Arg(0), *compile, *reduce, *check); err != nil {
-		fmt.Fprintln(os.Stderr, "df2gamma:", err)
-		os.Exit(1)
-	}
+	ctx, stop := cli.Context(*timeout)
+	err := run(ctx, flag.Arg(0), *compile, *reduce, *check)
+	stop()
+	cli.Exit("df2gamma", err)
 }
 
-func run(path string, compile, reduce, check bool) error {
+func run(ctx context.Context, path string, compile, reduce, check bool) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -51,12 +55,13 @@ func run(path string, compile, reduce, check bool) error {
 		g, err = compiler.Compile(path, string(src))
 	} else {
 		g, err = dfir.Unmarshal(string(src))
+		err = rt.Mark(rt.ErrParse, err)
 	}
 	if err != nil {
 		return err
 	}
 	if check {
-		rep, err := equiv.Check(g, equiv.Options{MaxSteps: 1_000_000})
+		rep, err := equiv.CheckContext(ctx, g, equiv.Options{MaxSteps: 1_000_000})
 		if err != nil {
 			return err
 		}

@@ -2,22 +2,29 @@
 //
 // Usage:
 //
-//	dfrun [-workers N] [-maxfirings N] [-dot out.dot] [-compile] file
+//	dfrun [-workers N] [-maxfirings N] [-timeout D] [-dot out.dot] [-compile] file
 //
 // The input is a .dfir graph description by default; with -compile it is a
 // source file in the paper's von Neumann mini language, translated first.
+//
+// The run is bounded by -timeout and canceled by SIGINT/SIGTERM; exit codes
+// follow the shared taxonomy of package internal/cli (3 parse/invalid,
+// 4 firing budget, 5 canceled/deadline, 6 PE panic, ...).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 
+	"repro/internal/cli"
 	"repro/internal/compiler"
 	"repro/internal/dataflow"
 	"repro/internal/dfir"
 	"repro/internal/profile"
+	"repro/internal/rt"
 )
 
 func main() {
@@ -26,19 +33,20 @@ func main() {
 	dot := flag.String("dot", "", "also write the graph as Graphviz DOT to this file")
 	compile := flag.Bool("compile", false, "treat the input as von Neumann source, not .dfir")
 	prof := flag.Bool("profile", false, "print work/span/parallelism of the execution")
+	timeout := flag.Duration("timeout", 0, "abort the run after this long, e.g. 30s (0 = no deadline)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: dfrun [flags] file")
 		flag.PrintDefaults()
-		os.Exit(2)
+		os.Exit(cli.ExitUsage)
 	}
-	if err := run(flag.Arg(0), *workers, *maxFirings, *dot, *compile, *prof); err != nil {
-		fmt.Fprintln(os.Stderr, "dfrun:", err)
-		os.Exit(1)
-	}
+	ctx, stop := cli.Context(*timeout)
+	err := run(ctx, flag.Arg(0), *workers, *maxFirings, *dot, *compile, *prof)
+	stop()
+	cli.Exit("dfrun", err)
 }
 
-func run(path string, workers int, maxFirings int64, dot string, compile, prof bool) error {
+func run(ctx context.Context, path string, workers int, maxFirings int64, dot string, compile, prof bool) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -48,6 +56,7 @@ func run(path string, workers int, maxFirings int64, dot string, compile, prof b
 		g, err = compiler.Compile(path, string(src))
 	} else {
 		g, err = dfir.Unmarshal(string(src))
+		err = rt.Mark(rt.ErrParse, err)
 	}
 	if err != nil {
 		return err
@@ -63,8 +72,13 @@ func run(path string, workers int, maxFirings int64, dot string, compile, prof b
 		col = profile.NewCollector()
 		opt.Tracer = col
 	}
-	res, err := dataflow.Run(g, opt)
+	res, err := dataflow.RunContext(ctx, g, opt)
 	if err != nil {
+		if res != nil {
+			// Early exit: report the partial work so an interrupted run is
+			// still diagnosable.
+			fmt.Fprintf(os.Stderr, "partial: firings=%d pending=%d\n", res.Firings, res.Pending)
+		}
 		return err
 	}
 	labels := make([]string, 0, len(res.Outputs))

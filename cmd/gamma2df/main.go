@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/dataflow"
 	"repro/internal/dfir"
@@ -35,12 +36,9 @@ func main() {
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: gamma2df [flags] file.gamma")
 		flag.PrintDefaults()
-		os.Exit(2)
+		os.Exit(cli.ExitUsage)
 	}
-	if err := run(flag.Arg(0), *reaction, *dot); err != nil {
-		fmt.Fprintln(os.Stderr, "gamma2df:", err)
-		os.Exit(1)
-	}
+	cli.Exit("gamma2df", run(flag.Arg(0), *reaction, *dot))
 }
 
 func run(path string, singleReaction bool, dot string) error {

@@ -3,23 +3,30 @@
 //
 // Usage:
 //
-//	gammarun [-workers N] [-seed S] [-maxsteps N] [-stats] file.gamma
+//	gammarun [-workers N] [-seed S] [-maxsteps N] [-timeout D] [-stats] file.gamma
 //
 // The file may declare its initial multiset with an init { ... } statement
 // and a composition expression (R1 | R2 ; R3); otherwise all reactions run
 // in parallel composition over the multiset given with -init.
+//
+// The run is bounded by -timeout and canceled by SIGINT/SIGTERM; exit codes
+// follow the shared taxonomy of package internal/cli (3 parse/invalid,
+// 4 step budget, 5 canceled/deadline, 6 worker panic, ...).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 
+	"repro/internal/cli"
 	"repro/internal/gamma"
 	"repro/internal/gammalang"
 	"repro/internal/multiset"
 	"repro/internal/profile"
+	"repro/internal/rt"
 	"repro/internal/schema"
 )
 
@@ -27,6 +34,7 @@ func main() {
 	workers := flag.Int("workers", 1, "parallel reaction executors (1 = sequential deterministic)")
 	seed := flag.Int64("seed", 0, "seed for nondeterministic matching")
 	maxSteps := flag.Int64("maxsteps", 1_000_000, "abort after this many reaction firings (0 = unlimited)")
+	timeout := flag.Duration("timeout", 0, "abort the run after this long, e.g. 30s (0 = no deadline)")
 	fullScan := flag.Bool("fullscan", false, "disable the incremental matching engine (probe every reaction after every firing)")
 	initSet := flag.String("init", "", "initial multiset, e.g. \"{[1,'A1'],[5,'B1']}\" (overrides the file's init)")
 	stats := flag.Bool("stats", false, "print per-reaction firing counts")
@@ -36,16 +44,16 @@ func main() {
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: gammarun [flags] file.gamma")
 		flag.PrintDefaults()
-		os.Exit(2)
+		os.Exit(cli.ExitUsage)
 	}
+	ctx, stop := cli.Context(*timeout)
 	opt := gamma.Options{Workers: *workers, Seed: *seed, MaxSteps: *maxSteps, FullScan: *fullScan}
-	if err := run(flag.Arg(0), opt, *initSet, *stats, *typecheck, *prof); err != nil {
-		fmt.Fprintln(os.Stderr, "gammarun:", err)
-		os.Exit(1)
-	}
+	err := run(ctx, flag.Arg(0), opt, *initSet, *stats, *typecheck, *prof)
+	stop()
+	cli.Exit("gammarun", err)
 }
 
-func run(path string, opt gamma.Options, initSet string, stats, typecheck, prof bool) error {
+func run(ctx context.Context, path string, opt gamma.Options, initSet string, stats, typecheck, prof bool) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -58,7 +66,7 @@ func run(path string, opt gamma.Options, initSet string, stats, typecheck, prof 
 	if initSet != "" {
 		m, err = multiset.Parse(initSet)
 		if err != nil {
-			return err
+			return rt.Mark(rt.ErrParse, err)
 		}
 	}
 	if m == nil {
@@ -92,12 +100,18 @@ func run(path string, opt gamma.Options, initSet string, stats, typecheck, prof 
 		col = profile.NewCollector()
 		opt.Tracer = col
 	}
-	st, err := plan.Run(m, opt)
+	st, err := plan.RunContext(ctx, m, opt)
 	if err != nil {
+		if st != nil {
+			// Early exit: report the partial work so an interrupted run is
+			// still diagnosable.
+			fmt.Fprintf(os.Stderr, "partial: steps=%d probes=%d conflicts=%d retries=%d\n",
+				st.Steps, st.Probes, st.Conflicts, st.Retries)
+		}
 		return err
 	}
 	fmt.Println(m)
-	fmt.Printf("steps=%d probes=%d conflicts=%d workers=%d\n", st.Steps, st.Probes, st.Conflicts, st.Workers)
+	fmt.Printf("steps=%d probes=%d conflicts=%d retries=%d workers=%d\n", st.Steps, st.Probes, st.Conflicts, st.Retries, st.Workers)
 	if col != nil {
 		fmt.Println("profile:", col.Report())
 	}

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/dataflow"
+	"repro/internal/dist"
+	"repro/internal/equiv"
+	"repro/internal/gamma"
+	"repro/internal/gammalang"
+	"repro/internal/metrics"
+	"repro/internal/multiset"
+	"repro/internal/paper"
+	"repro/internal/rt"
+	"repro/internal/value"
+)
+
+// expE17 exercises the cancellation and fault model (DESIGN.md §9) as a
+// matrix of scenarios: each row injects one failure mode into one runtime and
+// checks that the run stops with the right error class, returns partial
+// statistics, and never wedges a worker pool. The scenarios mirror the
+// guarantees the library documents rather than timing-sensitive behavior, so
+// the table is reproducible.
+func expE17() error {
+	prog, err := gammalang.ParseProgram("min", paper.MinElementListing)
+	if err != nil {
+		return err
+	}
+	minInit := func(n int) *multiset.Multiset {
+		m := multiset.New()
+		for i := 0; i < n; i++ {
+			m.Add(multiset.New1(value.Int(int64((i*37 + 5) % 500))))
+		}
+		return m
+	}
+
+	t := metrics.NewTable("fault-injection matrix: every failure mode stops cleanly",
+		"runtime", "fault", "error class", "partial stats", "verdict")
+	fail := 0
+	row := func(runtime, fault, class string, partial, ok bool) {
+		verdict := "ok"
+		if !ok {
+			verdict = "FAIL"
+			fail++
+		}
+		t.Row(runtime, fault, class, partial, verdict)
+	}
+
+	// Gamma, parallel: injected error aborts the run with partial stats.
+	boom := errors.New("injected fault")
+	st, err := gamma.Run(prog, minInit(64), gamma.Options{
+		Workers:       4,
+		FaultInjector: func(site string, worker int) error { return boom },
+	})
+	row("gamma par", "injected error", "passthrough", st != nil,
+		errors.Is(err, boom) && st != nil)
+
+	// Gamma, parallel: injected panic is recovered into *rt.PanicError with
+	// the reaction and worker identity, and the pool shuts down.
+	var pe *rt.PanicError
+	st, err = gamma.Run(prog, minInit(64), gamma.Options{
+		Workers:       4,
+		FaultInjector: func(site string, worker int) error { panic("injected panic") },
+	})
+	row("gamma par", "injected panic", "*rt.PanicError", st != nil,
+		errors.As(err, &pe) && pe.Runtime == "gamma" && pe.Site != "" && st != nil)
+
+	// Gamma, sequential: same recovery guarantee without the pool.
+	st, err = gamma.Run(prog, minInit(64), gamma.Options{
+		FaultInjector: func(site string, worker int) error { panic("injected panic") },
+	})
+	row("gamma seq", "injected panic", "*rt.PanicError", st != nil,
+		errors.As(err, &pe) && st != nil)
+
+	// Gamma, parallel: expired deadline classifies as ErrDeadline (and as
+	// context.DeadlineExceeded) with partial stats.
+	dctx, dcancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	st, err = gamma.RunContext(dctx, prog, minInit(64), gamma.Options{Workers: 4})
+	dcancel()
+	row("gamma par", "expired deadline", "rt.ErrDeadline", st != nil,
+		errors.Is(err, rt.ErrDeadline) && errors.Is(err, context.DeadlineExceeded) && st != nil)
+
+	// Dataflow, parallel: injected panic on a vertex is recovered into
+	// *rt.PanicError with the vertex and PE identity.
+	g := equiv.RandomGraph(17, 4, 24)
+	res, err := dataflow.Run(g, dataflow.Options{
+		Workers:       4,
+		FaultInjector: func(site string, pe int) error { panic("injected panic") },
+	})
+	row("dataflow par", "injected panic", "*rt.PanicError", res != nil,
+		errors.As(err, &pe) && pe.Runtime == "dataflow" && res != nil)
+
+	// Dataflow, parallel: canceled context stops the PEs promptly.
+	cctx, ccancel := context.WithCancel(context.Background())
+	ccancel()
+	res, err = dataflow.RunContext(cctx, g, dataflow.Options{Workers: 4})
+	row("dataflow par", "canceled context", "rt.ErrCanceled", res != nil,
+		errors.Is(err, rt.ErrCanceled) && res != nil)
+
+	// Dist: a node that always faults is declared dead after its retry
+	// budget; the survivors adopt its shard and still reach the right stable
+	// state (degraded mode).
+	c, err := dist.NewCluster(prog, dist.Options{
+		Nodes: 4, Seed: 7,
+		FaultInjector: func(node, round int) error {
+			if node == 0 {
+				return errors.New("node 0 unplugged")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		return err
+	}
+	result, dstats, err := c.Run(minInit(128))
+	degradedOK := err == nil && dstats.Degraded &&
+		len(dstats.DeadNodes) == 1 && dstats.DeadNodes[0] == 0 &&
+		result != nil && result.Len() == 1
+	row("dist 4 nodes", "node 0 dead", "degraded, no error", dstats != nil, degradedOK)
+
+	// Dist: when every node faults, the run surfaces the *rt.NodeError.
+	c, err = dist.NewCluster(prog, dist.Options{
+		Nodes: 2, Seed: 7,
+		FaultInjector: func(node, round int) error { return errors.New("site power loss") },
+	})
+	if err != nil {
+		return err
+	}
+	var ne *rt.NodeError
+	_, dstats, err = c.Run(minInit(16))
+	row("dist 2 nodes", "all nodes dead", "*rt.NodeError", dstats != nil,
+		errors.As(err, &ne) && dstats != nil)
+
+	fmt.Print(t)
+	fmt.Println("every failure mode returns a classified error plus partial statistics;")
+	fmt.Println("a dead node degrades the cluster instead of failing it (DESIGN.md §9)")
+	if fail > 0 {
+		return fmt.Errorf("e17: %d scenario(s) failed", fail)
+	}
+	return nil
+}

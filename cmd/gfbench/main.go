@@ -4,13 +4,16 @@
 //
 // Usage:
 //
-//	gfbench [-exp e1|e3|e4|e5|e7|e8|e9|e11|e12|e13|e14|e15|e16|all] [-bench-json BENCH_gamma.json]
+//	gfbench [-exp e1|e3|e4|e5|e7|e8|e9|e11|e12|e13|e14|e15|e16|e17|all] [-bench-json BENCH_gamma.json]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+
+	"repro/internal/cli"
+	"repro/internal/rt"
 )
 
 var experiments = []struct {
@@ -31,17 +34,21 @@ var experiments = []struct {
 	{"e14", "future work: Gamma over a distributed multiset (IoT)", expE14},
 	{"e15", "work/span/parallelism profiles across both models", expE15},
 	{"e16", "incremental matching engine: delta scheduling vs full rescan", expE16},
+	{"e17", "cancellation & fault-injection matrix (DESIGN.md §9)", expE17},
 }
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (e1, e3, ...) or all")
 	figures := flag.String("figures", "", "write the paper's figures (DOT + dfir + gamma) into this directory and exit")
 	benchJSON := flag.String("bench-json", "", "write the e16 engine measurements to this file (e.g. BENCH_gamma.json)")
+	timeout := flag.Duration("timeout", 0, "abort the whole run after this long, e.g. 10m (0 = no deadline)")
 	flag.Parse()
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
 	if *figures != "" {
 		if err := writeFigures(*figures); err != nil {
-			fmt.Fprintln(os.Stderr, "gfbench:", err)
-			os.Exit(1)
+			stop()
+			cli.Exit("gfbench", err)
 		}
 		return
 	}
@@ -50,22 +57,29 @@ func main() {
 		if *exp != "all" && *exp != e.id {
 			continue
 		}
+		// Experiments are checkpointed between runs: an interrupt or an
+		// expired -timeout stops before the next one starts.
+		if cerr := ctx.Err(); cerr != nil {
+			stop()
+			cli.Exit("gfbench", rt.FromContext(cerr))
+		}
 		ran = true
 		fmt.Printf("### %s — %s\n\n", e.id, e.desc)
 		if err := e.run(); err != nil {
 			fmt.Fprintf(os.Stderr, "gfbench: %s: %v\n", e.id, err)
-			os.Exit(1)
+			stop()
+			os.Exit(cli.ExitCode(err))
 		}
 		fmt.Println()
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "gfbench: unknown experiment %q\n", *exp)
-		os.Exit(2)
+		os.Exit(cli.ExitUsage)
 	}
 	if *benchJSON != "" {
 		if err := writeBenchJSON(*benchJSON); err != nil {
-			fmt.Fprintln(os.Stderr, "gfbench:", err)
-			os.Exit(1)
+			stop()
+			cli.Exit("gfbench", err)
 		}
 	}
 }

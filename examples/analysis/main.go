@@ -54,7 +54,7 @@ func main() {
 	reuseTable := gammaflow.NewReuseTable(0)
 	m := file.Init.Clone()
 	stats, err := gammaflow.RunProgram(prog, m, gammaflow.ProgramOptions{
-		Tracer: col, Memo: reuseTable,
+		RunConfig: gammaflow.RunConfig{Tracer: col}, Memo: reuseTable,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -76,7 +76,7 @@ func main() {
 	}
 	col2 := gammaflow.NewProfileCollector()
 	m2 := file.Init.Clone()
-	if _, err := gammaflow.RunProgram(reduced, m2, gammaflow.ProgramOptions{Tracer: col2}); err != nil {
+	if _, err := gammaflow.RunProgram(reduced, m2, gammaflow.ProgramOptions{RunConfig: gammaflow.RunConfig{Tracer: col2}}); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("after reduction: %d fusions -> %s\n", fused, gammaflow.FormatProgram(reduced))

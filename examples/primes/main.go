@@ -43,7 +43,7 @@ func main() {
 
 	// The nondeterministic parallel runtime reaches the same stable state.
 	m = build()
-	if _, err := gammaflow.RunProgram(prog, m, gammaflow.ProgramOptions{Workers: 4, Seed: 11}); err != nil {
+	if _, err := gammaflow.RunProgram(prog, m, gammaflow.ProgramOptions{RunConfig: gammaflow.RunConfig{Workers: 4, Seed: 11}}); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("parallel run agrees: %v\n", collect(m))
@@ -60,7 +60,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := plan.Run(file.Init, gammaflow.ProgramOptions{}); err != nil {
+	if _, err := gammaflow.RunPlan(plan, file.Init, gammaflow.ProgramOptions{}); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("file form, up to 12: %v\n", collect(file.Init))

@@ -15,18 +15,29 @@
 //   - the mini imperative compiler that derives graphs from the paper's
 //     von Neumann sources, and the equivalence checking harness.
 //
-// Quick start — run the paper's Example 1 in both models:
+// Quick start — run the paper's Example 1 in both models, under a deadline
+// (the context-first entry points are the primary API; RunGraph/RunProgram
+// are the same calls with context.Background()):
 //
+//	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+//	defer cancel()
 //	g, _ := gammaflow.CompileSource("ex1", `
 //	    int x = 1; int y = 5; int k = 3; int j = 2; int m;
 //	    m = (x + y) - (k * j);`)
-//	res, _ := gammaflow.RunGraph(g, gammaflow.GraphOptions{})
+//	res, _ := gammaflow.RunGraphContext(ctx, g, gammaflow.GraphOptions{})
 //	prog, init, _ := gammaflow.ToGamma(g)
-//	gammaflow.RunProgram(prog, init, gammaflow.ProgramOptions{})
+//	gammaflow.RunProgramContext(ctx, prog, init, gammaflow.ProgramOptions{})
 //	// res.Output("m") and init now both hold m = 0.
+//
+// Every run returns partial statistics alongside its error on early exit,
+// and errors are classified (ErrDeadline, ErrCanceled, ErrMaxSteps,
+// *PanicError, ...) for errors.Is / errors.As routing; see the error
+// taxonomy section below.
 package gammaflow
 
 import (
+	"context"
+
 	"repro/internal/compiler"
 	"repro/internal/core"
 	"repro/internal/dataflow"
@@ -39,9 +50,73 @@ import (
 	"repro/internal/multiset"
 	"repro/internal/profile"
 	"repro/internal/reuse"
+	"repro/internal/rt"
 	"repro/internal/schema"
 	"repro/internal/value"
 )
+
+// Error taxonomy. Every error returned by the Run functions is classified
+// under exactly one of these classes (plus the typed *PanicError and
+// *NodeError), so callers route failures with errors.Is / errors.As instead
+// of string matching. ErrDeadline and ErrCanceled additionally satisfy
+// errors.Is against context.DeadlineExceeded / context.Canceled.
+var (
+	// ErrMaxSteps classifies step/firing-budget exhaustion in either model.
+	ErrMaxSteps = rt.ErrMaxSteps
+	// ErrCanceled classifies runs stopped by context cancellation.
+	ErrCanceled = rt.ErrCanceled
+	// ErrDeadline classifies runs stopped by a context deadline.
+	ErrDeadline = rt.ErrDeadline
+	// ErrDivergent classifies executions judged non-terminating (equivalence
+	// harness budget overruns, cluster round limits).
+	ErrDivergent = rt.ErrDivergent
+	// ErrParse classifies source-language syntax errors.
+	ErrParse = rt.ErrParse
+	// ErrInvalid classifies structurally invalid programs and graphs.
+	ErrInvalid = rt.ErrInvalid
+)
+
+type (
+	// PanicError reports a panic recovered inside a worker or processing
+	// element, with the runtime, reaction/vertex and worker identity attached.
+	PanicError = rt.PanicError
+	// NodeError reports a cluster node declared dead after its retry budget.
+	NodeError = rt.NodeError
+	// FaultInjector is a test hook invoked before every reaction or vertex
+	// application; see ProgramOptions.FaultInjector.
+	FaultInjector = rt.FaultInjector
+)
+
+// Tracer observes execution dependency structure; both runtimes share the
+// signature (package profile's Collector implements it for work/span
+// analysis).
+type Tracer interface {
+	RecordFiring(name string, consumed, produced []string)
+}
+
+// RunConfig holds the execution knobs shared by both runtimes. It is
+// embedded in ProgramOptions and GraphOptions, so the shared knobs are set
+// the same way regardless of model:
+//
+//	gammaflow.ProgramOptions{RunConfig: gammaflow.RunConfig{Workers: 8}}
+//	gammaflow.GraphOptions{RunConfig: gammaflow.RunConfig{Workers: 8}}
+type RunConfig struct {
+	// Workers is the number of concurrent executors (reaction workers or
+	// dataflow PEs). 0 or 1 selects the deterministic sequential scheduler.
+	Workers int
+	// Seed seeds nondeterministic choices. The dataflow runtime is
+	// tag-deterministic and ignores it.
+	Seed int64
+	// MaxSteps bounds total reaction firings (Gamma) or vertex activations
+	// (dataflow); 0 means no bound. Exhaustion returns ErrMaxSteps.
+	MaxSteps int64
+	// WorkFactor emulates instruction/action cost by spinning this many
+	// iterations per application.
+	WorkFactor int
+	// Tracer, when set, receives every firing with its consumed and produced
+	// keys.
+	Tracer Tracer
+}
 
 // Scalar values and tuples.
 type (
@@ -80,11 +155,61 @@ type (
 	Program = gamma.Program
 	// Plan is a sequential composition of parallel reaction groups.
 	Plan = gamma.Plan
-	// ProgramOptions configures Gamma execution.
-	ProgramOptions = gamma.Options
 	// ProgramStats reports a Gamma execution.
 	ProgramStats = gamma.Stats
+	// ProgramMemo caches reaction applications (ReuseTable implements it).
+	ProgramMemo = gamma.Memo
 )
+
+// ProgramOptions configures Gamma execution: the shared RunConfig knobs plus
+// the Gamma-specific ones.
+type ProgramOptions struct {
+	RunConfig
+	// Memo, when set, caches reaction products by reaction and consumed
+	// elements.
+	Memo ProgramMemo
+	// FullScan disables the delta-driven incremental scheduler (measurement
+	// baseline / oracle).
+	FullScan bool
+	// FaultInjector, when set, runs before every reaction application; a
+	// non-nil return aborts the run, a panic exercises worker recovery.
+	FaultInjector FaultInjector
+}
+
+func (o ProgramOptions) lower() gamma.Options {
+	return gamma.Options{
+		Workers:       o.Workers,
+		Seed:          o.Seed,
+		MaxSteps:      o.MaxSteps,
+		WorkFactor:    o.WorkFactor,
+		Tracer:        o.Tracer,
+		Memo:          o.Memo,
+		FullScan:      o.FullScan,
+		FaultInjector: o.FaultInjector,
+	}
+}
+
+// RunProgramContext executes a Gamma program to its stable state (Eq. 1)
+// under ctx. Early exits return partial ProgramStats alongside a classified
+// error.
+func RunProgramContext(ctx context.Context, p *Program, m *Multiset, opt ProgramOptions) (*ProgramStats, error) {
+	return gamma.RunContext(ctx, p, m, opt.lower())
+}
+
+// RunProgram is RunProgramContext with context.Background().
+func RunProgram(p *Program, m *Multiset, opt ProgramOptions) (*ProgramStats, error) {
+	return RunProgramContext(context.Background(), p, m, opt)
+}
+
+// RunPlanContext executes a sequential composition stage by stage under ctx.
+func RunPlanContext(ctx context.Context, pl *Plan, m *Multiset, opt ProgramOptions) (*ProgramStats, error) {
+	return pl.RunContext(ctx, m, opt.lower())
+}
+
+// RunPlan is RunPlanContext with context.Background().
+func RunPlan(pl *Plan, m *Multiset, opt ProgramOptions) (*ProgramStats, error) {
+	return RunPlanContext(context.Background(), pl, m, opt)
+}
 
 // Termination hints from the static analysis.
 const (
@@ -94,8 +219,6 @@ const (
 )
 
 var (
-	// RunProgram executes a Gamma program to its stable state (Eq. 1).
-	RunProgram = gamma.Run
 	// AnalyzeTermination applies the syntactic termination criteria
 	// (size-decreasing reactions terminate; unconditional self-feeding
 	// growth diverges).
@@ -124,21 +247,53 @@ var (
 type (
 	// Graph is a dynamic dataflow program.
 	Graph = dataflow.Graph
-	// GraphOptions configures dataflow execution.
-	GraphOptions = dataflow.Options
 	// GraphResult reports a dataflow execution.
 	GraphResult = dataflow.Result
 	// NodeKind enumerates vertex types.
 	NodeKind = dataflow.NodeKind
 	// TaggedValue is an output token (value plus iteration tag).
 	TaggedValue = dataflow.TaggedValue
+	// GraphMemo caches pure-vertex firings (ReuseTable implements it).
+	GraphMemo = dataflow.Memo
 )
+
+// GraphOptions configures dataflow execution: the shared RunConfig knobs
+// plus the dataflow-specific ones. RunConfig.MaxSteps bounds vertex firings;
+// RunConfig.Seed is ignored (the runtime is tag-deterministic).
+type GraphOptions struct {
+	RunConfig
+	// Memo, when set, caches pure-vertex results by operation and operands.
+	Memo GraphMemo
+	// FaultInjector, when set, runs before every vertex firing; a non-nil
+	// return aborts the run, a panic exercises PE recovery.
+	FaultInjector FaultInjector
+}
+
+func (o GraphOptions) lower() dataflow.Options {
+	return dataflow.Options{
+		Workers:       o.Workers,
+		MaxFirings:    o.MaxSteps,
+		WorkFactor:    o.WorkFactor,
+		Tracer:        o.Tracer,
+		Memo:          o.Memo,
+		FaultInjector: o.FaultInjector,
+	}
+}
+
+// RunGraphContext executes a graph until no token is in flight, under ctx.
+// Early exits return a partial GraphResult alongside a classified error.
+func RunGraphContext(ctx context.Context, g *Graph, opt GraphOptions) (*GraphResult, error) {
+	return dataflow.RunContext(ctx, g, opt.lower())
+}
+
+// RunGraph is RunGraphContext with context.Background().
+func RunGraph(g *Graph, opt GraphOptions) (*GraphResult, error) {
+	return RunGraphContext(context.Background(), g, opt)
+}
 
 var (
 	// NewGraph returns an empty graph to build with its Add/Connect methods.
 	NewGraph = dataflow.NewGraph
-	// RunGraph executes a graph until no token is in flight.
-	RunGraph = dataflow.Run
 	// MarshalGraph and UnmarshalGraph read/write the dfir text format.
 	MarshalGraph   = dfir.Marshal
 	UnmarshalGraph = dfir.Unmarshal
@@ -154,9 +309,6 @@ var (
 	// ReactionToGraph is Algorithm 2 step 1: one reaction → dataflow
 	// subgraph.
 	ReactionToGraph = core.ReactionToGraph
-	// MapMultiset is Algorithm 2 step 2: the Fig. 4 multiset-to-instances
-	// mapping.
-	MapMultiset = core.MapMultiset
 	// ProgramToGraph reconstructs a whole graph from a Gamma program using
 	// the reaction classifier (the paper's future work).
 	ProgramToGraph = core.ProgramToGraph
@@ -167,6 +319,15 @@ var (
 	// OutputsFromMultiset extracts program outputs from a stable multiset.
 	OutputsFromMultiset = core.OutputsFromMultiset
 )
+
+// MapResult reports one MapMultiset execution.
+type MapResult = core.MapResult
+
+// MapMultiset is Algorithm 2 step 2: the Fig. 4 multiset-to-instances
+// mapping. The graph instances run under opt.
+func MapMultiset(r *Reaction, m *Multiset, opt GraphOptions) (*MapResult, error) {
+	return core.MapMultiset(r, m, opt.lower())
+}
 
 // Compilation from the paper's von Neumann mini language.
 var (
@@ -186,6 +347,9 @@ var (
 	// CheckEquivalence runs a graph natively and through Algorithm 1 and
 	// compares outputs, stuck operands and firing counts.
 	CheckEquivalence = equiv.Check
+	// CheckEquivalenceContext is CheckEquivalence under a context: the
+	// deadline/cancellation propagates into both executions.
+	CheckEquivalenceContext = equiv.CheckContext
 	// RandomGraph generates seeded random graphs for property testing.
 	RandomGraph = equiv.RandomGraph
 )

@@ -1,0 +1,90 @@
+// Package cli holds the shared command-line conventions of the cmd/
+// binaries: the mapping from the runtime error taxonomy (package rt) to
+// process exit codes, and the interrupt/timeout context plumbing.
+//
+// Exit codes are part of each binary's interface — scripts driving the tools
+// branch on them — so every command maps the same error class to the same
+// code:
+//
+//	0  success
+//	1  unclassified error (I/O, internal)
+//	2  usage error (flag parsing; produced by package flag)
+//	3  source could not be parsed or the program/graph is invalid
+//	4  step/firing budget exhausted (rt.ErrMaxSteps)
+//	5  canceled or deadline exceeded (rt.ErrCanceled, rt.ErrDeadline)
+//	6  a worker panicked (*rt.PanicError)
+//	7  execution judged divergent (rt.ErrDivergent)
+//	8  a cluster node died (*rt.NodeError)
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/rt"
+)
+
+// Exit codes for the error classes of package rt.
+const (
+	ExitOK        = 0
+	ExitError     = 1
+	ExitUsage     = 2
+	ExitParse     = 3
+	ExitBudget    = 4
+	ExitCanceled  = 5
+	ExitPanic     = 6
+	ExitDivergent = 7
+	ExitNodeDead  = 8
+)
+
+// ExitCode maps err to the command exit code for its error class. The
+// specific classes are tested before the broad ones so e.g. a *rt.PanicError
+// that a caller also marked canceled still reports the panic.
+func ExitCode(err error) int {
+	var pe *rt.PanicError
+	var ne *rt.NodeError
+	switch {
+	case err == nil:
+		return ExitOK
+	case errors.As(err, &pe):
+		return ExitPanic
+	case errors.As(err, &ne):
+		return ExitNodeDead
+	case errors.Is(err, rt.ErrDivergent):
+		return ExitDivergent
+	case errors.Is(err, rt.ErrCanceled), errors.Is(err, rt.ErrDeadline):
+		return ExitCanceled
+	case errors.Is(err, rt.ErrMaxSteps):
+		return ExitBudget
+	case errors.Is(err, rt.ErrParse), errors.Is(err, rt.ErrInvalid):
+		return ExitParse
+	default:
+		return ExitError
+	}
+}
+
+// Exit prints err prefixed with the program name and exits with its class
+// code. A nil err exits 0.
+func Exit(prog string, err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
+	}
+	os.Exit(ExitCode(err))
+}
+
+// Context returns the root context for a command run: canceled on SIGINT or
+// SIGTERM, and additionally bounded by timeout when it is positive. The
+// returned stop function releases both; call it before exiting normally.
+func Context(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	if timeout <= 0 {
+		return ctx, stop
+	}
+	tctx, cancel := context.WithTimeout(ctx, timeout)
+	return tctx, func() { cancel(); stop() }
+}

@@ -1,0 +1,40 @@
+package cli
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/rt"
+)
+
+func TestExitCode(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, ExitOK},
+		{errors.New("io"), ExitError},
+		{rt.Mark(rt.ErrParse, errors.New("line 3: bad token")), ExitParse},
+		{rt.Mark(rt.ErrInvalid, errors.New("dangling edge")), ExitParse},
+		{fmt.Errorf("gamma: %w", rt.ErrMaxSteps), ExitBudget},
+		{rt.ErrCanceled, ExitCanceled},
+		{rt.ErrDeadline, ExitCanceled},
+		{rt.Mark(rt.ErrDivergent, fmt.Errorf("wrap: %w", rt.ErrMaxSteps)), ExitDivergent},
+		{rt.NewPanicError("gamma", "R1", 2, "boom"), ExitPanic},
+		{fmt.Errorf("dist: %w", &rt.NodeError{Node: 1, Attempts: 3, Err: errors.New("x")}), ExitNodeDead},
+	}
+	for _, c := range cases {
+		if got := ExitCode(c.err); got != c.want {
+			t.Errorf("ExitCode(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+func TestDivergentOutranksBudget(t *testing.T) {
+	// A budget overrun reclassified as divergence must report divergence.
+	err := rt.Mark(rt.ErrDivergent, fmt.Errorf("equiv: %w", rt.ErrMaxSteps))
+	if got := ExitCode(err); got != ExitDivergent {
+		t.Fatalf("got %d, want %d", got, ExitDivergent)
+	}
+}

@@ -46,23 +46,26 @@ import (
 
 	"repro/internal/dataflow"
 	"repro/internal/expr"
+	"repro/internal/rt"
 )
 
-// Compile translates source into a validated dataflow graph.
+// Compile translates source into a validated dataflow graph. Syntax and
+// translation errors are classified under rt.ErrParse; graph validation
+// failures under rt.ErrInvalid.
 func Compile(name, src string) (*dataflow.Graph, error) {
 	stmts, err := parse(src)
 	if err != nil {
-		return nil, err
+		return nil, rt.Mark(rt.ErrParse, err)
 	}
 	c := &compiler{
 		g:   dataflow.NewGraph(name),
 		env: make(map[string]outPort),
 	}
 	if err := c.compile(stmts); err != nil {
-		return nil, err
+		return nil, rt.Mark(rt.ErrParse, err)
 	}
 	if err := c.g.Validate(); err != nil {
-		return nil, err
+		return nil, rt.Mark(rt.ErrInvalid, err)
 	}
 	if err := c.g.CheckLoops(); err != nil {
 		// Unreachable for compiler output (loops are built around inctags);

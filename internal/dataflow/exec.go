@@ -1,11 +1,12 @@
 package dataflow
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"sort"
 	"sync/atomic"
 
+	"repro/internal/rt"
 	"repro/internal/value"
 )
 
@@ -56,8 +57,12 @@ func (r *Result) Output(label string) (value.Value, bool) {
 
 // ErrMaxFirings is returned when execution exceeds Options.MaxFirings vertex
 // activations; like Gamma programs, dynamic dataflow graphs with loops need
-// not terminate.
-var ErrMaxFirings = errors.New("dataflow: maximum firing count exceeded")
+// not terminate. It wraps rt.ErrMaxSteps, the cross-runtime budget class;
+// errors from RunContext additionally satisfy errors.Is against
+// rt.ErrCanceled / rt.ErrDeadline (and thus context.Canceled /
+// context.DeadlineExceeded) when the context stopped the run. See package rt
+// for the full taxonomy.
+var ErrMaxFirings = rt.Wrap("dataflow: maximum firing count exceeded", rt.ErrMaxSteps)
 
 // Memo caches pure vertex computations — the instruction-reuse mechanism the
 // paper cites as a benefit of mapping Gamma onto dataflow (DF-DTM [3]). Keys
@@ -98,19 +103,44 @@ type Options struct {
 	// exists so reuse and scaling benchmarks measure a realistic
 	// computation-to-overhead ratio rather than nanosecond additions.
 	WorkFactor int
+	// FaultInjector, when set, runs before every vertex firing with the
+	// vertex name and PE index; a non-nil return aborts the run with that
+	// error, and a panic inside it exercises the PE pool's panic recovery.
+	// For stress tests; leave nil in production runs.
+	FaultInjector rt.FaultInjector
 }
 
 // Run executes the graph until no token is in flight and returns the outputs.
 // Const vertices inject their value with tag 0 at start; execution then
 // follows the dataflow firing rule only.
+//
+// Run is RunContext with context.Background(): no deadline, no cancellation.
 func Run(g *Graph, opt Options) (*Result, error) {
+	return RunContext(context.Background(), g, opt)
+}
+
+// RunContext is Run under a context: cancellation and deadline propagate to
+// every PE, which observe ctx between firings and stop promptly, dropping
+// in-flight tokens. Early exits of every kind — cancellation, deadline,
+// firing budget, a failing vertex, a recovered panic — return a non-nil
+// partial Result describing the work done up to the stop, alongside the
+// classifying error (rt.ErrCanceled, rt.ErrDeadline, ErrMaxFirings, or
+// *rt.PanicError; see package rt).
+func RunContext(ctx context.Context, g *Graph, opt Options) (*Result, error) {
 	if err := g.Validate(); err != nil {
-		return nil, err
+		return nil, rt.Mark(rt.ErrInvalid, err)
+	}
+	if err := ctx.Err(); err != nil {
+		workers := opt.Workers
+		if workers < 1 {
+			workers = 1
+		}
+		return newResult(workers), rt.FromContext(err)
 	}
 	if opt.Workers <= 1 {
-		return runSequential(g, opt)
+		return runSequential(ctx, g, opt)
 	}
-	return runParallel(g, opt)
+	return runParallel(ctx, g, opt)
 }
 
 // operand is one queued token in a matching store: its value plus the token
@@ -356,8 +386,19 @@ func countPending(stores []store) int {
 // runSequential is the deterministic single-PE scheduler: a FIFO worklist of
 // tokens, each delivered to its destination vertex's matching store, firing
 // vertices as their operand sets complete.
-func runSequential(g *Graph, opt Options) (*Result, error) {
-	res := newResult(1)
+//
+// The context is observed once per firing (token deliveries that do not
+// complete an operand set are too cheap to matter for latency); a panic out
+// of a vertex operation is recovered into *rt.PanicError with the partial
+// Result preserved.
+func runSequential(ctx context.Context, g *Graph, opt Options) (res *Result, err error) {
+	res = newResult(1)
+	site := ""
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = rt.NewPanicError("dataflow", site, 0, rec)
+		}
+	}()
 	stores := make([]store, len(g.Nodes))
 	for i := range stores {
 		stores[i] = make(store)
@@ -379,6 +420,15 @@ func runSequential(g *Graph, opt Options) (*Result, error) {
 		operands, keys, ready := stores[e.To].deliver(n, e.ToPort, tok.Tag, tok.Val, key)
 		if !ready {
 			continue
+		}
+		site = n.Name
+		if cerr := ctx.Err(); cerr != nil {
+			return res, rt.FromContext(cerr)
+		}
+		if opt.FaultInjector != nil {
+			if ferr := opt.FaultInjector(n.Name, 0); ferr != nil {
+				return res, ferr
+			}
 		}
 		out, err := fire(g, n, tok.Tag, operands, opt, res)
 		if err != nil {

@@ -1,8 +1,11 @@
 package dataflow
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/rt"
 )
 
 // runParallel executes the graph on a pool of processing elements. Each PE
@@ -16,7 +19,12 @@ import (
 // (including enqueueing any tokens the firing produced). When the counter
 // reaches zero no token exists or can appear, which is the dataflow analogue
 // of Gamma's stable state.
-func runParallel(g *Graph, opt Options) (*Result, error) {
+//
+// Cancellation propagates through a watcher goroutine that turns ctx.Done()
+// into fail + mailbox close: parked PEs wake immediately, and a failed engine
+// drops queued tokens instead of firing them, so a canceled run returns in
+// delivery time even with a deep backlog.
+func runParallel(ctx context.Context, g *Graph, opt Options) (*Result, error) {
 	workers := opt.Workers
 	eng := &parEngine{
 		g:     g,
@@ -31,6 +39,15 @@ func runParallel(g *Graph, opt Options) (*Result, error) {
 	for i := range stores {
 		stores[i] = make(store)
 	}
+
+	watchDone := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			eng.fail(rt.FromContext(ctx.Err()))
+		case <-watchDone:
+		}
+	}()
 
 	results := make([]*Result, workers)
 	var wg sync.WaitGroup
@@ -56,6 +73,7 @@ func runParallel(g *Graph, opt Options) (*Result, error) {
 		}
 	}
 	wg.Wait()
+	close(watchDone)
 
 	total := seed
 	total.Pending = countPending(stores)
@@ -97,6 +115,13 @@ func (e *parEngine) shutdown() {
 }
 
 func (e *parEngine) fail(err error) {
+	select {
+	case <-e.done:
+		// Already terminated — a cancellation losing the race with successful
+		// completion must not turn the result into an error.
+		return
+	default:
+	}
 	e.err.CompareAndSwap(nil, err)
 	e.shutdown()
 }
@@ -125,16 +150,31 @@ func (e *parEngine) peLoop(id int, stores []store, res *Result) {
 		if !ok {
 			return
 		}
-		e.process(tok, stores, res)
+		e.process(id, tok, stores, res)
 	}
 }
 
-func (e *parEngine) process(tok Token, stores []store, res *Result) {
+func (e *parEngine) process(pe int, tok Token, stores []store, res *Result) {
 	defer func() {
 		if e.inflight.Add(-1) == 0 {
 			e.shutdown()
 		}
 	}()
+	site := ""
+	defer func() {
+		// The PE pool's panic barrier: one faulty vertex operation fails the
+		// run with its identity attached instead of crashing the process or
+		// desynchronizing the in-flight accounting (the outer defer still
+		// runs, so termination detection stays exact).
+		if rec := recover(); rec != nil {
+			e.fail(rt.NewPanicError("dataflow", site, pe, rec))
+		}
+	}()
+	if e.err.Load() != nil {
+		// Failed or canceled: drain without firing so shutdown is prompt
+		// even with a deep token backlog.
+		return
+	}
 	edge := e.g.Edges[tok.Edge]
 	if edge.To == NoNode {
 		res.Outputs[edge.Label] = append(res.Outputs[edge.Label], TaggedValue{Tag: tok.Tag, Val: tok.Val})
@@ -148,6 +188,13 @@ func (e *parEngine) process(tok Token, stores []store, res *Result) {
 	operands, keys, ready := stores[edge.To].deliver(n, edge.ToPort, tok.Tag, tok.Val, key)
 	if !ready {
 		return
+	}
+	site = n.Name
+	if e.opt.FaultInjector != nil {
+		if ferr := e.opt.FaultInjector(n.Name, pe); ferr != nil {
+			e.fail(ferr)
+			return
+		}
 	}
 	out, err := fire(e.g, n, tok.Tag, operands, e.opt, res)
 	if err != nil {

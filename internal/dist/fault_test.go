@@ -1,0 +1,190 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/gamma"
+	"repro/internal/gammalang"
+	"repro/internal/multiset"
+	"repro/internal/rt"
+	"repro/internal/value"
+)
+
+func mustProg(t *testing.T, src string) *gamma.Program {
+	t.Helper()
+	p, err := gammalang.ParseProgram("p", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func bigIntSet(n int) (*multiset.Multiset, int64) {
+	m := multiset.New()
+	min := int64(1 << 30)
+	for i := 0; i < n; i++ {
+		v := int64((i*37 + 5) % 500)
+		if v < min {
+			min = v
+		}
+		m.Add(multiset.New1(value.Int(v)))
+	}
+	return m, min
+}
+
+// TestKilledNodeDegrades kills one node via the fault injector: the cluster
+// must declare it dead after the retry budget, redistribute its shard, finish
+// the fixpoint on the survivors and still produce the correct stable state.
+func TestKilledNodeDegrades(t *testing.T) {
+	for _, topo := range []Topology{TopologyFull, TopologyRing} {
+		c, err := NewCluster(minProg(t), Options{
+			Nodes: 4, Seed: 3, Topology: topo,
+			FaultInjector: func(node, round int) error {
+				if node == 2 {
+					return errors.New("node 2 unplugged")
+				}
+				return nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		init, min := bigIntSet(64)
+		result, stats, err := c.Run(init)
+		if err != nil {
+			t.Fatalf("topology %v: degraded run must succeed, got %v", topo, err)
+		}
+		if !stats.Degraded || len(stats.DeadNodes) != 1 || stats.DeadNodes[0] != 2 {
+			t.Errorf("topology %v: degradation not recorded: %+v", topo, stats)
+		}
+		if result.Len() != 1 || !result.Contains(multiset.New1(value.Int(min))) {
+			t.Errorf("topology %v: result = %s, want {[%d]}", topo, result, min)
+		}
+		if stats.PerNode[2] != 0 {
+			t.Errorf("topology %v: dead node fired %d steps", topo, stats.PerNode[2])
+		}
+	}
+}
+
+// TestAllNodesDeadSurfacesNodeError kills everything: with no survivor, the
+// last *rt.NodeError must surface instead of a silent empty result.
+func TestAllNodesDeadSurfacesNodeError(t *testing.T) {
+	c, err := NewCluster(minProg(t), Options{
+		Nodes: 2, Seed: 1,
+		FaultInjector: func(node, round int) error { return errors.New("power loss") },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := c.Run(intSet(5, 3, 9))
+	var ne *rt.NodeError
+	if !errors.As(err, &ne) {
+		t.Fatalf("err = %v (%T), want *rt.NodeError", err, err)
+	}
+	if ne.Attempts != 3 {
+		t.Errorf("attempts = %d, want default retries 2 + 1", ne.Attempts)
+	}
+	if stats == nil || !stats.Degraded || len(stats.DeadNodes) == 0 {
+		t.Errorf("partial stats must record the degradation: %+v", stats)
+	}
+}
+
+// TestTransientFaultRetried lets each node fail exactly once: the retry
+// budget must absorb the fault and the run must succeed without degradation.
+func TestTransientFaultRetried(t *testing.T) {
+	var mu sync.Mutex
+	failed := make(map[int]bool)
+	c, err := NewCluster(minProg(t), Options{
+		Nodes: 2, Seed: 5,
+		// The injector runs concurrently from every node goroutine.
+		FaultInjector: func(node, round int) error {
+			mu.Lock()
+			defer mu.Unlock()
+			if !failed[node] {
+				failed[node] = true
+				return errors.New("transient hiccup")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	init, _ := bigIntSet(32)
+	result, stats, err := c.Run(init)
+	if err != nil {
+		t.Fatalf("transient faults within the retry budget must not fail the run: %v", err)
+	}
+	if stats.Degraded || len(stats.DeadNodes) != 0 {
+		t.Errorf("no node should be declared dead: %+v", stats)
+	}
+	if result.Len() != 1 {
+		t.Errorf("result = %s", result)
+	}
+}
+
+// TestRunContextCanceled checks prompt cancellation with partial stats on a
+// cluster driving a diverging program.
+func TestRunContextCanceled(t *testing.T) {
+	growSrc := "Grow = replace [x, 'a'] by [x + 1, 'a']"
+	prog := mustProg(t, growSrc)
+	c, err := NewCluster(prog, Options{Nodes: 2, MaxStepsPerRound: 1000, MaxRounds: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := multiset.New()
+	m.Add(multiset.Pair(value.Int(0), "a"))
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	done := make(chan struct{})
+	var stats *Stats
+	var runErr error
+	go func() {
+		_, stats, runErr = c.RunContext(ctx, m)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("canceled cluster run wedged")
+	}
+	if !errors.Is(runErr, rt.ErrCanceled) {
+		t.Errorf("err = %v, want rt.ErrCanceled", runErr)
+	}
+	if stats == nil || stats.Rounds == 0 {
+		t.Errorf("partial stats missing: %+v", stats)
+	}
+}
+
+// TestNodeTimeoutKillsSlowNode bounds each node attempt: a diverging shard
+// exceeds the per-node deadline, exhausts its retries and the whole (single
+// node) cluster dies with a NodeError wrapping the deadline.
+func TestNodeTimeoutKillsSlowNode(t *testing.T) {
+	prog := mustProg(t, "Grow = replace [x, 'a'] by [x + 1, 'a']")
+	c, err := NewCluster(prog, Options{
+		Nodes: 1, NodeTimeout: 10 * time.Millisecond, NodeRetries: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := multiset.New()
+	m.Add(multiset.Pair(value.Int(0), "a"))
+	_, _, err = c.Run(m)
+	var ne *rt.NodeError
+	if !errors.As(err, &ne) {
+		t.Fatalf("err = %v (%T), want *rt.NodeError", err, err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("NodeError must wrap the per-node deadline: %v", err)
+	}
+	if ne.Attempts != 1 {
+		t.Errorf("attempts = %d, want 1 (retries disabled)", ne.Attempts)
+	}
+}

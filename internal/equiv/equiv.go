@@ -11,6 +11,8 @@
 package equiv
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -19,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataflow"
 	"repro/internal/gamma"
+	"repro/internal/rt"
 	"repro/internal/value"
 )
 
@@ -49,20 +52,30 @@ type Report struct {
 }
 
 // Check converts g with Algorithm 1, runs both models, and compares.
+// Check is CheckContext with context.Background().
 func Check(g *dataflow.Graph, opt Options) (*Report, error) {
-	dfRes, err := dataflow.Run(g, dataflow.Options{Workers: opt.DataflowWorkers, MaxFirings: opt.MaxSteps})
+	return CheckContext(context.Background(), g, opt)
+}
+
+// CheckContext is Check under a context: the deadline or cancellation
+// propagates into both executions, so a diverging side stops promptly.
+// Budget exhaustion on either side (Options.MaxSteps) is classified as
+// rt.ErrDivergent — for the harness, "didn't stabilize within the budget" is
+// evidence of divergence, not an infrastructure failure.
+func CheckContext(ctx context.Context, g *dataflow.Graph, opt Options) (*Report, error) {
+	dfRes, err := dataflow.RunContext(ctx, g, dataflow.Options{Workers: opt.DataflowWorkers, MaxFirings: opt.MaxSteps})
 	if err != nil {
-		return nil, fmt.Errorf("equiv: dataflow run: %w", err)
+		return nil, fmt.Errorf("equiv: dataflow run: %w", markBudget(err))
 	}
 	prog, init, err := core.ToGamma(g)
 	if err != nil {
 		return nil, fmt.Errorf("equiv: conversion: %w", err)
 	}
-	gmStats, err := gamma.Run(prog, init, gamma.Options{
+	gmStats, err := gamma.RunContext(ctx, prog, init, gamma.Options{
 		Workers: opt.GammaWorkers, Seed: opt.GammaSeed, MaxSteps: 4 * opt.MaxSteps,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("equiv: gamma run: %w", err)
+		return nil, fmt.Errorf("equiv: gamma run: %w", markBudget(err))
 	}
 
 	rep := &Report{
@@ -115,6 +128,16 @@ func Check(g *dataflow.Graph, opt Options) (*Report, error) {
 			rep.OperatorFirings, rep.ReactionSteps))
 	}
 	return rep, nil
+}
+
+// markBudget classifies a step-budget overrun as divergence for the harness's
+// callers while leaving every other error (cancellation, deadline, vertex
+// faults) untouched.
+func markBudget(err error) error {
+	if errors.Is(err, rt.ErrMaxSteps) {
+		return rt.Mark(rt.ErrDivergent, err)
+	}
+	return err
 }
 
 // RandomGraph generates a seeded random acyclic dataflow graph with roots

@@ -1,22 +1,28 @@
 package gamma
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/expr"
 	"repro/internal/multiset"
+	"repro/internal/rt"
 	"repro/internal/value"
 )
 
 // ErrMaxSteps is returned when execution exceeds Options.MaxSteps reaction
 // firings. Gamma programs need not terminate; the limit turns a diverging
-// program into a reported error instead of a hang.
-var ErrMaxSteps = errors.New("gamma: maximum step count exceeded")
+// program into a reported error instead of a hang. It wraps rt.ErrMaxSteps,
+// the cross-runtime budget class; errors from RunContext additionally satisfy
+// errors.Is against rt.ErrCanceled / rt.ErrDeadline (and thus against
+// context.Canceled / context.DeadlineExceeded) when the context stopped the
+// run. See package rt for the full taxonomy.
+var ErrMaxSteps = rt.Wrap("gamma: maximum step count exceeded", rt.ErrMaxSteps)
 
 // Memo caches reaction applications: the products (and branch) computed for
 // a given combination of consumed elements. It mirrors the dataflow side's
@@ -67,6 +73,11 @@ type Options struct {
 	// either way; the flag exists as the measurement baseline for the
 	// incremental engine (cmd/gfbench -exp e16) and as an oracle in tests.
 	FullScan bool
+	// FaultInjector, when set, runs before every reaction application with
+	// the reaction name and worker index; a non-nil return aborts the run
+	// with that error, and a panic inside it exercises the worker pool's
+	// panic recovery. For stress tests; leave nil in production runs.
+	FaultInjector rt.FaultInjector
 }
 
 // traceFiring reports one committed reaction application to the tracer.
@@ -100,6 +111,10 @@ type Stats struct {
 	// a worker matched a set of molecules that a concurrent worker consumed
 	// before the commit.
 	Conflicts int64
+	// Retries counts conflict rematches: failed commits that were retried in
+	// place (with capped exponential backoff) rather than abandoned to the
+	// scheduler. Conflicts - Retries is therefore the number of give-ups.
+	Retries int64
 	// MemoHits counts reaction applications answered from Options.Memo.
 	MemoHits int64
 	// Workers echoes the worker count used.
@@ -114,6 +129,7 @@ func (s *Stats) merge(o *Stats) {
 	s.Steps += o.Steps
 	s.Probes += o.Probes
 	s.Conflicts += o.Conflicts
+	s.Retries += o.Retries
 	s.MemoHits += o.MemoHits
 	for k, v := range o.Fired {
 		s.Fired[k] += v
@@ -278,16 +294,39 @@ func refreshProducts(r *Reaction, plan *memoPlan, cached []multiset.Tuple, env e
 // condition holds for any combination of multiset elements. The multiset is
 // modified in place and holds the result on return. Execution follows
 // Options: sequential deterministic or parallel nondeterministic.
+//
+// Run is RunContext with context.Background(): no deadline, no cancellation.
 func Run(p *Program, m *multiset.Multiset, opt Options) (*Stats, error) {
+	return RunContext(context.Background(), p, m, opt)
+}
+
+// RunContext is Run under a context: the deadline and cancellation of ctx
+// propagate to every worker, which observe ctx between reaction firings and
+// stop at the next commit boundary. The multiset is always left in a
+// consistent intermediate state (a prefix of some valid firing sequence).
+//
+// Early exits of every kind — cancellation, deadline, step budget, a failing
+// action, a recovered panic — return non-nil partial Stats describing the
+// work done up to the stop, alongside the classifying error: rt.ErrCanceled
+// or rt.ErrDeadline (which also satisfy errors.Is against context.Canceled /
+// context.DeadlineExceeded), ErrMaxSteps, or *rt.PanicError.
+func RunContext(ctx context.Context, p *Program, m *multiset.Multiset, opt Options) (*Stats, error) {
+	workers := opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
 	for _, r := range p.Reactions {
 		if err := r.Validate(); err != nil {
-			return nil, err
+			return newStats(workers), rt.Mark(rt.ErrInvalid, err)
 		}
 	}
-	if opt.Workers <= 1 {
-		return runSequential(p, m, opt)
+	if err := ctx.Err(); err != nil {
+		return newStats(workers), rt.FromContext(err)
 	}
-	return runParallel(p, m, opt)
+	if workers == 1 {
+		return runSequential(ctx, p, m, opt)
+	}
+	return runParallel(ctx, p, m, opt)
 }
 
 // runSequential is the direct implementation of the Γ recursion (Eq. 1):
@@ -303,8 +342,18 @@ func Run(p *Program, m *multiset.Multiset, opt Options) (*Stats, error) {
 // empty worklist. Because a skipped probe would have failed anyway, the
 // sequence of firings — and thus the deterministic result — is identical to
 // the seed engine's full round-robin; only the wasted probes disappear.
-func runSequential(p *Program, m *multiset.Multiset, opt Options) (*Stats, error) {
-	stats := newStats(1)
+//
+// The context is observed once per probe; a panic out of a reaction's
+// condition or action (or the fault injector) is recovered into *rt.PanicError
+// with the partial stats preserved.
+func runSequential(ctx context.Context, p *Program, m *multiset.Multiset, opt Options) (stats *Stats, err error) {
+	stats = newStats(1)
+	site := ""
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = rt.NewPanicError("gamma", site, 0, rec)
+		}
+	}()
 	var rng *rand.Rand
 	if opt.Seed != 0 {
 		rng = rand.New(rand.NewSource(opt.Seed))
@@ -330,6 +379,10 @@ func runSequential(p *Program, m *multiset.Multiset, opt Options) (*Stats, error
 			continue
 		}
 		r := p.Reactions[i]
+		site = r.Name
+		if cerr := ctx.Err(); cerr != nil {
+			return stats, rt.FromContext(cerr)
+		}
 		stats.Probes++
 		match, err := FindMatch(r, m, rng)
 		if err != nil {
@@ -344,6 +397,11 @@ func runSequential(p *Program, m *multiset.Multiset, opt Options) (*Stats, error
 			// The match just found proves the program is still enabled past
 			// the step budget — no full Enabled rescan needed.
 			return stats, ErrMaxSteps
+		}
+		if opt.FaultInjector != nil {
+			if ferr := opt.FaultInjector(r.Name, 0); ferr != nil {
+				return stats, ferr
+			}
 		}
 		products, err := applyAction(r, match, opt, stats)
 		if err != nil {
@@ -418,7 +476,11 @@ func (sh *parShared) enqueueLocked(idx int) {
 // a version*, and if the version is still current and all workers are idle at
 // it, no molecule has changed since a full unsuccessful scan, so no reaction
 // is enabled and the stable state is reached.
-func runParallel(p *Program, m *multiset.Multiset, opt Options) (*Stats, error) {
+// Cancellation propagates two ways: workers poll ctx once per probe, and a
+// watcher goroutine turns ctx.Done() into sh.fail + cond broadcast so workers
+// parked in the idle wait wake immediately — a canceled run returns in probe
+// time, not in wait time.
+func runParallel(ctx context.Context, p *Program, m *multiset.Multiset, opt Options) (*Stats, error) {
 	workers := opt.Workers
 	sh := &parShared{workers: workers, queued: make([]bool, len(p.Reactions))}
 	sh.cond = sync.NewCond(&sh.mu)
@@ -427,6 +489,14 @@ func runParallel(p *Program, m *multiset.Multiset, opt Options) (*Stats, error) 
 			sh.enqueueLocked(i)
 		}
 	}
+	watchDone := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			sh.fail(rt.FromContext(ctx.Err()))
+		case <-watchDone:
+		}
+	}()
 	perWorker := make([]*Stats, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -434,10 +504,11 @@ func runParallel(p *Program, m *multiset.Multiset, opt Options) (*Stats, error) 
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			workerLoop(p, m, opt, sh, perWorker[w], w)
+			workerLoop(ctx, p, m, opt, sh, perWorker[w], w)
 		}(w)
 	}
 	wg.Wait()
+	close(watchDone)
 	total := newStats(workers)
 	for _, ps := range perWorker {
 		total.merge(ps)
@@ -456,14 +527,52 @@ func runParallel(p *Program, m *multiset.Multiset, opt Options) (*Stats, error) 
 // the scan repeats anyway.
 const maxConflictRetries = 8
 
+// conflictBackoff spaces out rematches of a contended reaction. The first
+// retries stay hot (the conflicting commit usually finished already); after
+// that the worker backs off exponentially, capped at 64µs, instead of
+// spinning the match engine against the same hot molecules — under heavy
+// contention a spinning loser just burns probes and memory bandwidth that the
+// commit winner needs to make progress.
+func conflictBackoff(retries int) {
+	if retries < 2 {
+		runtime.Gosched()
+		return
+	}
+	shift := retries - 2
+	if shift > 6 {
+		shift = 6
+	}
+	time.Sleep(time.Duration(1<<uint(shift)) * time.Microsecond)
+}
+
+// safeTryFire is tryFire behind the worker pool's panic barrier: a panic in a
+// reaction's condition, action or the fault injector is recovered into a
+// *rt.PanicError carrying the reaction and worker identity, the pool is told
+// to stop, and the worker exits cleanly instead of taking the process down or
+// leaving its peers waiting on an idle count that can never complete.
+func safeTryFire(ctx context.Context, p *Program, m *multiset.Multiset, opt Options, sh *parShared, stats *Stats, rng *rand.Rand, idx, worker int, requeue bool) (fired, stop bool) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			sh.fail(rt.NewPanicError("gamma", p.Reactions[idx].Name, worker, rec))
+			fired, stop = false, true
+		}
+	}()
+	return tryFire(ctx, p, m, opt, sh, stats, rng, idx, worker, requeue)
+}
+
 // tryFire probes reaction idx once and fires it if enabled, with the bounded
 // optimistic-commit retry loop. requeue re-enqueues the reaction after giving
 // up on a contended commit (worklist mode). Returns whether a firing
-// committed and whether the worker must stop (error or MaxSteps).
-func tryFire(p *Program, m *multiset.Multiset, opt Options, sh *parShared, stats *Stats, rng *rand.Rand, idx int, requeue bool) (fired, stop bool) {
+// committed and whether the worker must stop (error, cancellation or
+// MaxSteps).
+func tryFire(ctx context.Context, p *Program, m *multiset.Multiset, opt Options, sh *parShared, stats *Stats, rng *rand.Rand, idx, worker int, requeue bool) (fired, stop bool) {
 	r := p.Reactions[idx]
 	subs := p.subs()
 	for retries := 0; ; retries++ {
+		if cerr := ctx.Err(); cerr != nil {
+			sh.fail(rt.FromContext(cerr))
+			return false, true
+		}
 		stats.Probes++
 		match, err := FindMatch(r, m, rng)
 		if err != nil {
@@ -473,6 +582,12 @@ func tryFire(p *Program, m *multiset.Multiset, opt Options, sh *parShared, stats
 		if match == nil {
 			return false, false
 		}
+		if opt.FaultInjector != nil {
+			if ferr := opt.FaultInjector(r.Name, worker); ferr != nil {
+				sh.fail(ferr)
+				return false, true
+			}
+		}
 		products, err := applyAction(r, match, opt, stats)
 		if err != nil {
 			sh.fail(err)
@@ -481,6 +596,8 @@ func tryFire(p *Program, m *multiset.Multiset, opt Options, sh *parShared, stats
 		if !m.TryRemoveAll(match.Chosen) {
 			stats.Conflicts++
 			if retries < maxConflictRetries {
+				stats.Retries++
+				conflictBackoff(retries)
 				continue // rematch: its molecules changed under us
 			}
 			// Heavily contended: yield so the other reactions and workers
@@ -518,7 +635,7 @@ func tryFire(p *Program, m *multiset.Multiset, opt Options, sh *parShared, stats
 	}
 }
 
-func workerLoop(p *Program, m *multiset.Multiset, opt Options, sh *parShared, stats *Stats, id int) {
+func workerLoop(ctx context.Context, p *Program, m *multiset.Multiset, opt Options, sh *parShared, stats *Stats, id int) {
 	rng := rand.New(rand.NewSource(opt.Seed + int64(id)*0x9e3779b9 + 1))
 	n := len(p.Reactions)
 	for {
@@ -538,7 +655,7 @@ func workerLoop(p *Program, m *multiset.Multiset, opt Options, sh *parShared, st
 
 		if idx >= 0 {
 			// Worklist mode: probe just the delta-scheduled reaction.
-			if _, stop := tryFire(p, m, opt, sh, stats, rng, idx, true); stop {
+			if _, stop := safeTryFire(ctx, p, m, opt, sh, stats, rng, idx, id, true); stop {
 				return
 			}
 			continue
@@ -550,7 +667,7 @@ func workerLoop(p *Program, m *multiset.Multiset, opt Options, sh *parShared, st
 		fired := false
 		start := rng.Intn(n)
 		for k := 0; k < n; k++ {
-			firedHere, stop := tryFire(p, m, opt, sh, stats, rng, (start+k)%n, false)
+			firedHere, stop := safeTryFire(ctx, p, m, opt, sh, stats, rng, (start+k)%n, id, false)
 			if stop {
 				return
 			}
@@ -590,7 +707,10 @@ func workerLoop(p *Program, m *multiset.Multiset, opt Options, sh *parShared, st
 
 func (sh *parShared) fail(err error) {
 	sh.mu.Lock()
-	if sh.err == nil {
+	// A failure after the stable state was already reached (e.g. the context
+	// watcher losing the race with completion) must not turn success into an
+	// error.
+	if sh.err == nil && !sh.done {
 		sh.err = err
 	}
 	sh.cond.Broadcast()
@@ -609,10 +729,19 @@ func Sequence(stages ...*Program) *Plan { return &Plan{Stages: stages} }
 
 // Run executes every stage in order on the same multiset, merging stats.
 func (pl *Plan) Run(m *multiset.Multiset, opt Options) (*Stats, error) {
+	return pl.RunContext(context.Background(), m, opt)
+}
+
+// RunContext is Run under a context; a cancellation or deadline stops the
+// current stage at its next commit boundary and returns the stats merged
+// across the stages run so far.
+func (pl *Plan) RunContext(ctx context.Context, m *multiset.Multiset, opt Options) (*Stats, error) {
 	total := newStats(opt.Workers)
 	for _, stage := range pl.Stages {
-		st, err := Run(stage, m, opt)
-		total.merge(st)
+		st, err := RunContext(ctx, stage, m, opt)
+		if st != nil {
+			total.merge(st)
+		}
 		if err != nil {
 			return total, fmt.Errorf("gamma: stage %s: %w", stage.Name, err)
 		}

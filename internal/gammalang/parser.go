@@ -16,6 +16,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/gamma"
 	"repro/internal/multiset"
+	"repro/internal/rt"
 	"repro/internal/value"
 )
 
@@ -66,14 +67,20 @@ func (f *File) Plan(name string) (*gamma.Plan, error) {
 	return gamma.Sequence(stages...), nil
 }
 
-// ParseFile parses a complete Gamma source file.
+// ParseFile parses a complete Gamma source file. Every error it returns is
+// classified under rt.ErrParse (messages keep their line/column detail), so
+// callers can route syntax problems with errors.Is rather than string checks.
 func ParseFile(src string) (*File, error) {
 	p, err := expr.NewParser(expr.NewLexer(src))
 	if err != nil {
-		return nil, err
+		return nil, rt.Mark(rt.ErrParse, err)
 	}
 	fp := &fileParser{p: p}
-	return fp.parseFile()
+	f, err := fp.parseFile()
+	if err != nil {
+		return nil, rt.Mark(rt.ErrParse, err)
+	}
+	return f, nil
 }
 
 // ParseProgram parses src and returns its reactions as one parallel program.
@@ -101,7 +108,7 @@ func ParseReaction(src string) (*gamma.Reaction, error) {
 		return nil, err
 	}
 	if len(f.Reactions) != 1 {
-		return nil, fmt.Errorf("gammalang: expected exactly one reaction, found %d", len(f.Reactions))
+		return nil, rt.Mark(rt.ErrParse, fmt.Errorf("gammalang: expected exactly one reaction, found %d", len(f.Reactions)))
 	}
 	return f.Reactions[0], nil
 }
