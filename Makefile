@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race bench-smoke snapshot stress check check-ci
+.PHONY: all build vet fmt-check test race bench-smoke bench-compare snapshot stress check check-ci
 
 all: build
 
@@ -28,21 +28,32 @@ race:
 bench-smoke:
 	$(GO) test -run '^$$' -bench BenchmarkGammaIncremental -benchtime 1x .
 
+# Engine comparison gate: run e16 on both engines and fail unless the
+# incremental engine's wall time is strictly below the full rescan at n=10^4.
+bench-compare:
+	$(GO) run ./cmd/gfbench -exp e16 -guard
+
 # Refresh the machine-readable matching-engine measurements.
 snapshot:
 	$(GO) run ./cmd/gfbench -exp e16 -bench-json BENCH_gamma.json
 
 # Cancellation / fault-model stress: the context, panic-recovery and
-# dead-node tests under the race detector (DESIGN.md §9).
+# dead-node tests under the race detector, plus the compiled-vs-interpreted
+# differential suites (kernel matcher, expression compiler, pure dataflow
+# ops, batched multiset commits) — DESIGN.md §9 and §10.
 stress:
-	$(GO) test -race -count=2 -run 'Cancel|Panic|Fault|Dead|Deadline|Wedge|Retr' \
-		./internal/gamma/ ./internal/dataflow/ ./internal/dist/ ./internal/rt/ .
+	$(GO) test -race -count=2 -run 'Cancel|Panic|Fault|Dead|Deadline|Wedge|Retr|Differential|KernelMatches|ApplyDelta' \
+		./internal/gamma/ ./internal/dataflow/ ./internal/dist/ ./internal/rt/ \
+		./internal/expr/ ./internal/multiset/ .
 
 check: vet fmt-check build race bench-smoke
 
 # CI gate: like check but with explicit timeouts so a wedged pool fails the
-# build instead of hanging it, and no benchmark smoke (CI machines are noisy).
+# build instead of hanging it. The engine-comparison guard runs in its
+# tournament-only short mode: CI machines are noisy, but a 4x-fewer-probes
+# engine losing outright is a regression, not noise.
 check-ci: vet fmt-check build
 	$(GO) test -race -timeout 5m ./...
 	$(GO) test -race -timeout 2m -count=2 -run 'Cancel|Panic|Fault|Dead' \
 		./internal/gamma/ ./internal/dataflow/ ./internal/dist/
+	$(GO) run ./cmd/gfbench -exp e16 -short -guard

@@ -40,16 +40,23 @@ func main() {
 	stats := flag.Bool("stats", false, "print per-reaction firing counts")
 	typecheck := flag.Bool("typecheck", false, "infer a Structured-Gamma-style schema, check the program and print it")
 	prof := flag.Bool("profile", false, "print work/span/parallelism of the execution")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: gammarun [flags] file.gamma")
 		flag.PrintDefaults()
 		os.Exit(cli.ExitUsage)
 	}
+	profStop, err := cli.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		cli.Exit("gammarun", err)
+	}
 	ctx, stop := cli.Context(*timeout)
 	opt := gamma.Options{Workers: *workers, Seed: *seed, MaxSteps: *maxSteps, FullScan: *fullScan}
-	err := run(ctx, flag.Arg(0), opt, *initSet, *stats, *typecheck, *prof)
+	err = run(ctx, flag.Arg(0), opt, *initSet, *stats, *typecheck, *prof)
 	stop()
+	profStop()
 	cli.Exit("gammarun", err)
 }
 

@@ -14,6 +14,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"repro/internal/gamma"
 	"repro/internal/gammalang"
@@ -33,10 +35,24 @@ type benchRecord struct {
 	Steps    int64 `json:"steps"`
 	Probes   int64 `json:"probes"`
 	WallNS   int64 `json:"wall_ns"`
+	// AllocsPerStep and BytesPerStep are heap costs per firing, measured on a
+	// separate (untimed) run via runtime.MemStats deltas; the initial
+	// multiset clone happens before the window so only the engine is charged.
+	AllocsPerStep float64 `json:"allocs_per_step"`
+	BytesPerStep  float64 `json:"bytes_per_step"`
 }
 
 // benchRecords accumulates e16's measurements for -bench-json.
 var benchRecords []benchRecord
+
+// benchShort restricts e16 to the tournament rows — the CI smoke
+// configuration of `make bench-compare` (set by gfbench -short).
+var benchShort bool
+
+// benchGuard makes e16 fail (exit nonzero) if the incremental engine is not
+// strictly faster than the full rescan on the min and tournament workloads at
+// n=10^4 — the perf regression gate of `make bench-compare`.
+var benchGuard bool
 
 // tournamentSource generates the staged pairwise min reduction over labeled
 // elements: min-element (Eq. 2) in the literal-label shape Algorithm 1 emits,
@@ -52,7 +68,7 @@ func tournamentSource(stages int) string {
 
 func expE16() error {
 	t := metrics.NewTable("incremental matching engine vs seed full rescan (sequential)",
-		"workload", "n", "engine", "steps", "probes", "time")
+		"workload", "n", "engine", "steps", "probes", "time", "allocs/step", "B/step")
 
 	type workload struct {
 		name     string
@@ -63,19 +79,21 @@ func expE16() error {
 	}
 	var ws []workload
 
-	min, err := gammalang.ParseProgram("min", paper.MinElementListing)
-	if err != nil {
-		return err
-	}
-	ints := func(n int) *multiset.Multiset {
-		m := multiset.New()
-		for i := 0; i < n; i++ {
-			m.Add(multiset.New1(value.Int(int64((i*2654435761 + 17) % (4 * n)))))
+	if !benchShort {
+		min, err := gammalang.ParseProgram("min", paper.MinElementListing)
+		if err != nil {
+			return err
 		}
-		return m
-	}
-	for _, n := range []int{1000, 10000} {
-		ws = append(ws, workload{"min", min, ints(n), n, 0})
+		ints := func(n int) *multiset.Multiset {
+			m := multiset.New()
+			for i := 0; i < n; i++ {
+				m.Add(multiset.New1(value.Int(int64((i*2654435761 + 17) % (4 * n)))))
+			}
+			return m
+		}
+		for _, n := range []int{1000, 10000} {
+			ws = append(ws, workload{"min", min, ints(n), n, 0})
+		}
 	}
 
 	for _, n := range []int{1000, 10000} {
@@ -94,49 +112,90 @@ func expE16() error {
 		ws = append(ws, workload{"tournament", prog, m, n, 0})
 	}
 
-	sieve, err := gammalang.ParseProgram("sieve",
-		`R = replace (x, y) by y where x % y == 0 and x != y`)
-	if err != nil {
-		return err
-	}
-	primes := func(n int) *multiset.Multiset {
-		m := multiset.New()
-		for i := int64(2); i <= int64(n); i++ {
-			m.Add(multiset.New1(value.Int(i)))
+	if !benchShort {
+		sieve, err := gammalang.ParseProgram("sieve",
+			`R = replace (x, y) by y where x % y == 0 and x != y`)
+		if err != nil {
+			return err
 		}
-		return m
+		primes := func(n int) *multiset.Multiset {
+			m := multiset.New()
+			for i := int64(2); i <= int64(n); i++ {
+				m.Add(multiset.New1(value.Int(i)))
+			}
+			return m
+		}
+		// The sieve's probes are quadratic in any engine (its single generic
+		// reaction is a wildcard subscriber): a no-regression data point, step-
+		// capped so the rows stay about scheduling, not about the sieve's cost.
+		ws = append(ws, workload{"primes", sieve, primes(1000), 1000, 100})
+		ws = append(ws, workload{"primes", sieve, primes(10000), 10000, 25})
 	}
-	// The sieve's probes are quadratic in any engine (its single generic
-	// reaction is a wildcard subscriber): a no-regression data point, step-
-	// capped so the rows stay about scheduling, not about the sieve's cost.
-	ws = append(ws, workload{"primes", sieve, primes(1000), 1000, 100})
-	ws = append(ws, workload{"primes", sieve, primes(10000), 10000, 25})
 
+	engines := []struct {
+		name     string
+		fullScan bool
+	}{{"incremental", false}, {"fullscan", true}}
 	for _, w := range ws {
 		var stable [2]*multiset.Multiset
 		var stats [2]*gamma.Stats
-		for ei, eng := range []struct {
-			name     string
-			fullScan bool
-		}{{"incremental", false}, {"fullscan", true}} {
-			var st *gamma.Stats
-			var m *multiset.Multiset
-			d := metrics.TimeN(3, func() {
-				m = w.init.Clone()
-				var err error
-				st, err = gamma.Run(w.prog, m, gamma.Options{
-					FullScan: eng.fullScan, MaxSteps: w.maxSteps,
-				})
-				if err != nil && !(w.maxSteps > 0 && err == gamma.ErrMaxSteps) {
-					panic(err)
-				}
+		var wall [2]time.Duration
+		var allocsPerStep, bytesPerStep [2]float64
+		run := func(fullScan bool, m *multiset.Multiset) *gamma.Stats {
+			st, err := gamma.Run(w.prog, m, gamma.Options{
+				FullScan: fullScan, MaxSteps: w.maxSteps,
 			})
-			stable[ei], stats[ei] = m, st
-			t.Row(w.name, w.n, eng.name, st.Steps, st.Probes, d)
+			if err != nil && !(w.maxSteps > 0 && err == gamma.ErrMaxSteps) {
+				panic(err)
+			}
+			return st
+		}
+		// Warm both engines before timing either, then interleave the timed
+		// reps with a GC reset in front of each: without this, whichever
+		// engine runs later inherits the larger heap goal the earlier one
+		// ratcheted up and wins on GC frequency, not on scheduling.
+		for _, eng := range engines {
+			run(eng.fullScan, w.init.Clone())
+		}
+		for rep := 0; rep < 3; rep++ {
+			for ei, eng := range engines {
+				runtime.GC()
+				var st *gamma.Stats
+				var m *multiset.Multiset
+				d := metrics.Time(func() {
+					m = w.init.Clone()
+					st = run(eng.fullScan, m)
+				})
+				if rep == 0 || d < wall[ei] {
+					wall[ei] = d
+				}
+				stable[ei], stats[ei] = m, st
+			}
+		}
+		for ei, eng := range engines {
+			// Allocation cost on a separate run: the clone happens before the
+			// MemStats window so only the engine's own allocations are counted.
+			ma := w.init.Clone()
+			var ms0, ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
+			sta := run(eng.fullScan, ma)
+			runtime.ReadMemStats(&ms1)
+			steps := sta.Steps
+			if steps == 0 {
+				steps = 1
+			}
+			allocsPerStep[ei] = float64(ms1.Mallocs-ms0.Mallocs) / float64(steps)
+			bytesPerStep[ei] = float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(steps)
+		}
+		for ei, eng := range engines {
+			st := stats[ei]
+			t.Row(w.name, w.n, eng.name, st.Steps, st.Probes, wall[ei],
+				fmt.Sprintf("%.1f", allocsPerStep[ei]), fmt.Sprintf("%.0f", bytesPerStep[ei]))
 			benchRecords = append(benchRecords, benchRecord{
 				Workload: w.name, N: w.n, Engine: eng.name,
 				MaxSteps: w.maxSteps, Steps: st.Steps, Probes: st.Probes,
-				WallNS: d.Nanoseconds(),
+				WallNS:        wall[ei].Nanoseconds(),
+				AllocsPerStep: allocsPerStep[ei], BytesPerStep: bytesPerStep[ei],
 			})
 		}
 		// Cross-check: both engines are the same semantics, so same stable
@@ -155,6 +214,11 @@ func expE16() error {
 		if w.name == "tournament" {
 			fmt.Printf("tournament n=%d: probes fullscan/incremental = %.2fx\n",
 				w.n, float64(stats[1].Probes)/float64(stats[0].Probes))
+		}
+		if benchGuard && w.n == 10000 && (w.name == "min" || w.name == "tournament") &&
+			wall[0] >= wall[1] {
+			return fmt.Errorf("e16 guard: %s n=%d: incremental wall %.1fms not below fullscan %.1fms",
+				w.name, w.n, float64(wall[0].Nanoseconds())/1e6, float64(wall[1].Nanoseconds())/1e6)
 		}
 	}
 	fmt.Print(t)

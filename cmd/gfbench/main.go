@@ -42,12 +42,22 @@ func main() {
 	figures := flag.String("figures", "", "write the paper's figures (DOT + dfir + gamma) into this directory and exit")
 	benchJSON := flag.String("bench-json", "", "write the e16 engine measurements to this file (e.g. BENCH_gamma.json)")
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this long, e.g. 10m (0 = no deadline)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	flag.BoolVar(&benchShort, "short", false, "e16 only: restrict to the tournament workload (CI smoke)")
+	flag.BoolVar(&benchGuard, "guard", false, "e16 only: fail unless incremental wall < fullscan at n=10^4")
 	flag.Parse()
+	profStop, err := cli.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		cli.Exit("gfbench", err)
+	}
+	defer profStop()
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
 	if *figures != "" {
 		if err := writeFigures(*figures); err != nil {
 			stop()
+			profStop()
 			cli.Exit("gfbench", err)
 		}
 		return
@@ -61,6 +71,7 @@ func main() {
 		// expired -timeout stops before the next one starts.
 		if cerr := ctx.Err(); cerr != nil {
 			stop()
+			profStop()
 			cli.Exit("gfbench", rt.FromContext(cerr))
 		}
 		ran = true
@@ -68,6 +79,7 @@ func main() {
 		if err := e.run(); err != nil {
 			fmt.Fprintf(os.Stderr, "gfbench: %s: %v\n", e.id, err)
 			stop()
+			profStop()
 			os.Exit(cli.ExitCode(err))
 		}
 		fmt.Println()
@@ -79,6 +91,7 @@ func main() {
 	if *benchJSON != "" {
 		if err := writeBenchJSON(*benchJSON); err != nil {
 			stop()
+			profStop()
 			cli.Exit("gfbench", err)
 		}
 	}

@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
@@ -75,6 +77,46 @@ func Exit(prog string, err error) {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
 	}
 	os.Exit(ExitCode(err))
+}
+
+// StartProfiles wires the -cpuprofile/-memprofile convention shared by the
+// cmd/ binaries: cpu (when non-empty) starts a CPU profile immediately, mem
+// (when non-empty) captures a heap profile at stop time. The returned stop
+// function finishes both and must run before the process exits — including
+// the error paths, so call it explicitly before cli.Exit rather than only
+// deferring it past an os.Exit. Empty paths make it a no-op.
+func StartProfiles(cpu, mem string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		cpuFile, err = os.Create(cpu)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+			cpuFile = nil
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			runtime.GC() // settle live objects so the heap profile is meaningful
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+			f.Close()
+			mem = ""
+		}
+	}, nil
 }
 
 // Context returns the root context for a command run: canceled on SIGINT or

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
+	"repro/internal/expr"
 	"repro/internal/gamma"
 	"repro/internal/gammalang"
 	"repro/internal/multiset"
@@ -201,6 +203,71 @@ P2 = replace [y, 'sq'] by [y, 'big'] if y > 100
 	}
 	if m := run(3); m.Len() != 0 {
 		t.Errorf("3: %s, want empty", m)
+	}
+}
+
+// TestReduceFusionFoldsInCompiledKernel pins the §III-A3 interaction between
+// the reducer and the kernel compiler: fusion splices the producer's product
+// expression into the consumer textually, leaving literal chains ("id1+0"-
+// style subtrees) in the fused condition and products. expr.Compile runs
+// expr.Fold before lowering, so the compiled kernel never evaluates those
+// chains at run time — and, foldable or not, the fused reaction must behave
+// exactly like the original two-step program.
+func TestReduceFusionFoldsInCompiledKernel(t *testing.T) {
+	src := `
+P1 = replace [x, 'in'] by [x + (2 + 3), 'mid']
+P2 = replace [y, 'mid'] by [y * 2, 'out'] if y > 2 + 3
+     by [y - (1 + 1), 'out'] else
+`
+	prog, err := gammalang.ParseProgram("p", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, fused, err := Reduce(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fused != 1 || len(reduced.Reactions) != 1 {
+		t.Fatalf("fused=%d:\n%s", fused, gammalang.Format(reduced))
+	}
+	// The fused branches must contain work for the folder: Fold(e) differs
+	// from e wherever fusion left a constant subtree behind.
+	rd := reduced.Reactions[0]
+	folds := 0
+	for _, b := range rd.Branches {
+		if b.Cond != nil && fmt.Sprint(expr.Fold(b.Cond)) != fmt.Sprint(b.Cond) {
+			folds++
+		}
+		for _, prod := range b.Products {
+			for _, f := range prod {
+				if fmt.Sprint(expr.Fold(f)) != fmt.Sprint(f) {
+					folds++
+				}
+			}
+		}
+	}
+	if folds == 0 {
+		t.Fatalf("fusion left no foldable literal chains — the regression this test pins is gone:\n%s",
+			gammalang.Format(reduced))
+	}
+	// Behaviour parity through the compiled kernels, both guard outcomes.
+	for _, v := range []int64{0, 7, -3} {
+		m1 := multiset.New(multiset.Pair(value.Int(v), "in"))
+		m2 := m1.Clone()
+		s1, err := gamma.Run(prog, m1, gamma.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := gamma.Run(reduced, m2, gamma.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m1.Equal(m2) {
+			t.Errorf("v=%d: original %s vs fused %s", v, m1, m2)
+		}
+		if s1.Steps != 2 || s2.Steps != 1 {
+			t.Errorf("v=%d: steps %d/%d, want 2/1", v, s1.Steps, s2.Steps)
+		}
 	}
 }
 

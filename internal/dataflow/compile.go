@@ -1,0 +1,90 @@
+package dataflow
+
+import (
+	"fmt"
+
+	"repro/internal/value"
+)
+
+// pureOp is a compiled pure-vertex computation: operator dispatch
+// (value.BinaryFn/UnaryFn), immediate placement and the Algorithm 1
+// compare → 0/1 control conversion are resolved once per run, so a firing
+// pays a single indirect call instead of re-parsing the op string and
+// re-deciding the immediate layout every activation. Semantics are exactly
+// pureResult's, the tree-walking oracle TestCompiledPureOpsDifferential
+// compares against.
+type pureOp func(operands []value.Value) (value.Value, error)
+
+// compilePureOps lowers every pure vertex of g; non-pure slots stay nil. The
+// slice is indexed by NodeID and built per run (graphs may be extended
+// between runs, so the cache's lifetime is one execution).
+func compilePureOps(g *Graph) []pureOp {
+	ops := make([]pureOp, len(g.Nodes))
+	for i, n := range g.Nodes {
+		if n.Kind.isPure() {
+			ops[i] = compilePure(n)
+		}
+	}
+	return ops
+}
+
+// compilePure lowers one Arith, Compare or UnaryOp vertex.
+func compilePure(n *Node) pureOp {
+	name := n.Name
+	switch n.Kind {
+	case KindArith, KindCompare:
+		fn, ok := value.BinaryFn(n.Op)
+		if !ok {
+			err := fmt.Errorf("dataflow: node %s: %w", name,
+				fmt.Errorf("value: unknown binary operator %q", n.Op))
+			return func([]value.Value) (value.Value, error) { return value.Value{}, err }
+		}
+		var apply func(operands []value.Value) (value.Value, error)
+		switch {
+		case n.Imm.IsValid() && n.ImmLeft:
+			imm := n.Imm
+			apply = func(o []value.Value) (value.Value, error) { return fn(imm, o[0]) }
+		case n.Imm.IsValid():
+			imm := n.Imm
+			apply = func(o []value.Value) (value.Value, error) { return fn(o[0], imm) }
+		default:
+			apply = func(o []value.Value) (value.Value, error) { return fn(o[0], o[1]) }
+		}
+		if n.Kind == KindCompare {
+			return func(o []value.Value) (value.Value, error) {
+				v, err := apply(o)
+				if err != nil {
+					return value.Value{}, fmt.Errorf("dataflow: node %s: %w", name, err)
+				}
+				// Algorithm 1 (lines 25-27): comparisons produce 1 or 0
+				// control operands, not booleans.
+				if v.AsBool() {
+					return value.Int(1), nil
+				}
+				return value.Int(0), nil
+			}
+		}
+		return func(o []value.Value) (value.Value, error) {
+			v, err := apply(o)
+			if err != nil {
+				return value.Value{}, fmt.Errorf("dataflow: node %s: %w", name, err)
+			}
+			return v, nil
+		}
+	case KindUnaryOp:
+		fn, ok := value.UnaryFn(n.Op)
+		if !ok {
+			err := fmt.Errorf("dataflow: node %s: %w", name,
+				fmt.Errorf("value: unknown unary operator %q", n.Op))
+			return func([]value.Value) (value.Value, error) { return value.Value{}, err }
+		}
+		return func(o []value.Value) (value.Value, error) {
+			v, err := fn(o[0])
+			if err != nil {
+				return value.Value{}, fmt.Errorf("dataflow: node %s: %w", name, err)
+			}
+			return v, nil
+		}
+	}
+	return nil
+}

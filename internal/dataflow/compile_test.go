@@ -1,0 +1,102 @@
+package dataflow
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// TestCompiledPureOpsDifferential pins the compiled pure-vertex evaluators to
+// the tree-walking pureResult oracle: on random vertices (every pure kind,
+// every operator including unknown ones, immediate-left, immediate-right and
+// two-operand forms) and random operands (including division-by-zero and
+// non-numeric strings), the compiled op must return the identical value and
+// the identical error text.
+func TestCompiledPureOpsDifferential(t *testing.T) {
+	arithOps := []string{"+", "-", "*", "/", "%", "and", "or", "min", "max", "bogus"}
+	// Compare vertices only ever carry boolean-valued operators (the graph
+	// builder's AddCompare contract); other ops would panic in AsBool on both
+	// evaluators alike.
+	cmpOps := []string{"<", "<=", ">", ">=", "==", "!=", "bogus"}
+	unOps := []string{"-", "!", "not", "+", "bogus"}
+	randVal := func(rng *rand.Rand) value.Value {
+		switch rng.Intn(4) {
+		case 0:
+			return value.Int(int64(rng.Intn(7)) - 3)
+		case 1:
+			return value.Int(0)
+		case 2:
+			return value.Str("A")
+		default:
+			return value.Bool(rng.Intn(2) == 0)
+		}
+	}
+	iters := 3000
+	if testing.Short() {
+		iters = 500
+	}
+	for seed := 0; seed < iters; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		n := &Node{ID: NodeID(rng.Intn(4)), Name: "v"}
+		var operands []value.Value
+		switch rng.Intn(3) {
+		case 0:
+			n.Kind = KindUnaryOp
+			n.Op = unOps[rng.Intn(len(unOps))]
+			operands = []value.Value{randVal(rng)}
+		case 1:
+			n.Kind = KindArith
+			n.Op = arithOps[rng.Intn(len(arithOps))]
+		default:
+			n.Kind = KindCompare
+			n.Op = cmpOps[rng.Intn(len(cmpOps))]
+		}
+		if operands == nil {
+			if rng.Intn(2) == 0 {
+				n.Imm = randVal(rng)
+				n.ImmLeft = rng.Intn(2) == 0
+				operands = []value.Value{randVal(rng)}
+			} else {
+				operands = []value.Value{randVal(rng), randVal(rng)}
+			}
+		}
+		op := compilePure(n)
+		if op == nil {
+			t.Fatalf("seed %d: compilePure returned nil for pure kind %s", seed, n.Kind)
+		}
+		want, wantErr := pureResult(n, operands)
+		got, gotErr := op(operands)
+		if (wantErr == nil) != (gotErr == nil) ||
+			(wantErr != nil && wantErr.Error() != gotErr.Error()) {
+			t.Fatalf("seed %d: %s %q imm=%v left=%v operands=%v:\n oracle err %v\n compiled err %v",
+				seed, n.Kind, n.Op, n.Imm, n.ImmLeft, operands, wantErr, gotErr)
+		}
+		if wantErr == nil && want != got {
+			t.Fatalf("seed %d: %s %q imm=%v left=%v operands=%v: oracle %s compiled %s",
+				seed, n.Kind, n.Op, n.Imm, n.ImmLeft, operands, want, got)
+		}
+	}
+}
+
+// TestCompilePureOpsCoversGraph checks the per-run lowering assigns ops to
+// exactly the pure vertices.
+func TestCompilePureOpsCoversGraph(t *testing.T) {
+	g := NewGraph("cover")
+	c := g.AddConst("c", value.Int(2))
+	a := g.AddArith("a", "+")
+	cmp := g.AddCompare("lt", "<")
+	g.Connect(c, 0, a, 0, "x")
+	g.Connect(c, 0, a, 1, "y")
+	g.Connect(a, 0, cmp, 0, "s")
+	g.Connect(c, 0, cmp, 1, "z")
+	ops := compilePureOps(g)
+	if len(ops) != len(g.Nodes) {
+		t.Fatalf("len(ops) = %d, want %d", len(ops), len(g.Nodes))
+	}
+	for _, n := range g.Nodes {
+		if (ops[n.ID] != nil) != n.Kind.isPure() {
+			t.Errorf("node %s (kind %s): compiled=%v pure=%v", n.Name, n.Kind, ops[n.ID] != nil, n.Kind.isPure())
+		}
+	}
+}

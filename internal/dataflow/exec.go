@@ -240,9 +240,10 @@ func (k NodeKind) isPure() bool {
 }
 
 // fire computes a vertex activation: given the matched operands and their
-// tag, it returns the emitted tokens. opt supplies the memo table and work
-// factor; res accounts memo hits.
-func fire(g *Graph, n *Node, tag int64, operands []value.Value, opt Options, res *Result) ([]Token, error) {
+// tag, it returns the emitted tokens. ops holds the run's compiled pure
+// vertices (nil falls back to the tree-walking pureResult); opt supplies the
+// memo table and work factor; res accounts memo hits.
+func fire(g *Graph, n *Node, tag int64, operands []value.Value, ops []pureOp, opt Options, res *Result) ([]Token, error) {
 	if n.Kind.isPure() {
 		if opt.Memo != nil {
 			key := memoKey(n, operands)
@@ -251,7 +252,7 @@ func fire(g *Graph, n *Node, tag int64, operands []value.Value, opt Options, res
 				return emitAll(g, n, 0, v, tag), nil
 			}
 			spin(opt.WorkFactor)
-			v, err := pureResult(n, operands)
+			v, err := evalPure(n, operands, ops)
 			if err != nil {
 				return nil, err
 			}
@@ -259,13 +260,24 @@ func fire(g *Graph, n *Node, tag int64, operands []value.Value, opt Options, res
 			return emitAll(g, n, 0, v, tag), nil
 		}
 		spin(opt.WorkFactor)
-		v, err := pureResult(n, operands)
+		v, err := evalPure(n, operands, ops)
 		if err != nil {
 			return nil, err
 		}
 		return emitAll(g, n, 0, v, tag), nil
 	}
 	return fireRouting(g, n, tag, operands)
+}
+
+// evalPure evaluates a pure vertex through its compiled op when one exists,
+// else through the interpreted pureResult.
+func evalPure(n *Node, operands []value.Value, ops []pureOp) (value.Value, error) {
+	if int(n.ID) < len(ops) {
+		if op := ops[n.ID]; op != nil {
+			return op(operands)
+		}
+	}
+	return pureResult(n, operands)
 }
 
 // pureResult computes the value of an Arith, Compare or UnaryOp vertex.
@@ -403,6 +415,7 @@ func runSequential(ctx context.Context, g *Graph, opt Options) (res *Result, err
 	for i := range stores {
 		stores[i] = make(store)
 	}
+	ops := compilePureOps(g)
 	queue := initialTokens(g, opt, res)
 	for len(queue) > 0 {
 		tok := queue[0]
@@ -430,7 +443,7 @@ func runSequential(ctx context.Context, g *Graph, opt Options) (res *Result, err
 				return res, ferr
 			}
 		}
-		out, err := fire(g, n, tok.Tag, operands, opt, res)
+		out, err := fire(g, n, tok.Tag, operands, ops, opt, res)
 		if err != nil {
 			return res, err
 		}

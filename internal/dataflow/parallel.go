@@ -29,6 +29,7 @@ func runParallel(ctx context.Context, g *Graph, opt Options) (*Result, error) {
 	eng := &parEngine{
 		g:     g,
 		opt:   opt,
+		ops:   compilePureOps(g),
 		boxes: make([]*mailbox, workers),
 		done:  make(chan struct{}),
 	}
@@ -97,6 +98,7 @@ func runParallel(ctx context.Context, g *Graph, opt Options) (*Result, error) {
 type parEngine struct {
 	g        *Graph
 	opt      Options
+	ops      []pureOp
 	boxes    []*mailbox
 	inflight atomic.Int64
 	firings  atomic.Int64
@@ -196,7 +198,7 @@ func (e *parEngine) process(pe int, tok Token, stores []store, res *Result) {
 			return
 		}
 	}
-	out, err := fire(e.g, n, tok.Tag, operands, e.opt, res)
+	out, err := fire(e.g, n, tok.Tag, operands, e.ops, e.opt, res)
 	if err != nil {
 		e.fail(err)
 		return

@@ -1,0 +1,183 @@
+package expr
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// randExpr generates a random expression over the variable pool, deliberately
+// including error-producing shapes: unbound variables, division by zero, type
+// mismatches, wrong builtin arities and unknown operators/functions.
+func randExpr(rng *rand.Rand, depth int, vars []string) Expr {
+	if depth <= 0 || rng.Intn(4) == 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return Var{Name: vars[rng.Intn(len(vars))]}
+		default:
+			return Lit{Val: randValue(rng)}
+		}
+	}
+	switch rng.Intn(8) {
+	case 0:
+		ops := []string{"-", "!", "+", "~"} // ~ is unknown
+		return Unary{Op: ops[rng.Intn(len(ops))], X: randExpr(rng, depth-1, vars)}
+	case 1:
+		names := []string{"min", "max", "abs", "hypot"} // hypot is unknown
+		n := rng.Intn(3)
+		args := make([]Expr, n)
+		for i := range args {
+			args[i] = randExpr(rng, depth-1, vars)
+		}
+		return Call{Name: names[rng.Intn(len(names))], Args: args}
+	default:
+		ops := []string{"+", "-", "*", "/", "%", "==", "!=", "<", "<=", ">", ">=",
+			"and", "or", "&&", "||", "<>"} // <> is unknown
+		return Binary{
+			Op: ops[rng.Intn(len(ops))],
+			L:  randExpr(rng, depth-1, vars),
+			R:  randExpr(rng, depth-1, vars),
+		}
+	}
+}
+
+func randValue(rng *rand.Rand) value.Value {
+	switch rng.Intn(6) {
+	case 0:
+		return value.Bool(rng.Intn(2) == 0)
+	case 1:
+		return value.Str(fmt.Sprintf("s%d", rng.Intn(3)))
+	case 2:
+		return value.Float(float64(rng.Intn(9)-4) / 2)
+	default:
+		return value.Int(int64(rng.Intn(9) - 4)) // 0 and 1 common: exercises identities
+	}
+}
+
+// TestCompiledDifferentialRandom is the differential property test of the
+// kernel compiler: on randomized expressions and randomized (partially bound)
+// environments, the compiled closure chain must agree with the tree-walking
+// Eval/EvalBool oracle on both the value and the error, message included.
+func TestCompiledDifferentialRandom(t *testing.T) {
+	vars := []string{"a", "b", "c", "d"}
+	slots := map[string]int{"a": 0, "b": 1, "c": 2, "d": 3}
+	iters := 4000
+	if testing.Short() {
+		iters = 500
+	}
+	for seed := 0; seed < iters; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		e := randExpr(rng, 4, vars)
+
+		// Bind a random subset of the variable pool; the rest stay unbound in
+		// both representations (missing MapEnv key ≡ invalid slot value).
+		menv := make(MapEnv)
+		senv := make([]value.Value, len(vars))
+		for i, name := range vars {
+			if rng.Intn(3) > 0 {
+				v := randValue(rng)
+				menv[name] = v
+				senv[i] = v
+			}
+		}
+
+		wantV, wantErr := Eval(e, menv)
+		gotV, gotErr := Compile(e, slots)(senv)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("seed %d: %s\n oracle err=%v compiled err=%v", seed, e, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			if wantErr.Error() != gotErr.Error() {
+				t.Fatalf("seed %d: %s\n error mismatch:\n oracle:   %v\n compiled: %v", seed, e, wantErr, gotErr)
+			}
+		} else if wantV != gotV {
+			t.Fatalf("seed %d: %s\n value mismatch: oracle %s, compiled %s", seed, e, wantV, gotV)
+		}
+
+		wantB, wantBErr := EvalBool(e, menv)
+		gotB, gotBErr := CompileBool(e, slots)(senv)
+		if (wantBErr == nil) != (gotBErr == nil) ||
+			(wantBErr != nil && wantBErr.Error() != gotBErr.Error()) ||
+			(wantBErr == nil && wantB != gotB) {
+			t.Fatalf("seed %d: %s\n bool mismatch: oracle (%v,%v), compiled (%v,%v)",
+				seed, e, wantB, wantBErr, gotB, gotBErr)
+		}
+	}
+}
+
+// TestCompiledDifferentialFolded pins the satellite property that compilation
+// folds first: compiling e must behave exactly like compiling Fold(e), and
+// Fold must be a semantic no-op under the oracle.
+func TestCompiledDifferentialFolded(t *testing.T) {
+	vars := []string{"a", "b"}
+	slots := map[string]int{"a": 0, "b": 1}
+	for seed := 0; seed < 1000; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed) + 1<<32))
+		e := randExpr(rng, 4, vars)
+		senv := []value.Value{value.Int(int64(rng.Intn(5))), value.Int(int64(rng.Intn(5) - 2))}
+		menv := MapEnv{"a": senv[0], "b": senv[1]}
+
+		wantV, wantErr := Eval(e, menv)
+		foldV, foldErr := Eval(Fold(e), menv)
+		if (wantErr == nil) != (foldErr == nil) || (wantErr == nil && wantV != foldV) {
+			t.Fatalf("seed %d: Fold changed semantics of %s: (%v,%v) vs (%v,%v)",
+				seed, e, wantV, wantErr, foldV, foldErr)
+		}
+		gotV, gotErr := Compile(e, slots)(senv)
+		refV, refErr := Compile(Fold(e), slots)(senv)
+		if (gotErr == nil) != (refErr == nil) || (gotErr == nil && gotV != refV) {
+			t.Fatalf("seed %d: Compile(e) != Compile(Fold(e)) on %s", seed, e)
+		}
+	}
+}
+
+// TestCompiledZeroAllocSteadyState checks the point of the slot environment:
+// evaluating a compiled expression allocates nothing, including the folded
+// constant chains and +0 identity shapes that reaction fusion produces.
+func TestCompiledZeroAllocSteadyState(t *testing.T) {
+	slots := map[string]int{"id1": 0, "v": 1}
+	env := []value.Value{value.Int(41), value.Int(7)}
+	exprs := []Expr{
+		Binary{Op: "+", L: Var{Name: "id1"}, R: Lit{Val: value.Int(0)}},
+		Binary{Op: "+", L: Binary{Op: "*", L: Lit{Val: value.Int(2)}, R: Lit{Val: value.Int(3)}}, R: Var{Name: "id1"}},
+		Binary{Op: "and", L: Binary{Op: "<", L: Var{Name: "id1"}, R: Lit{Val: value.Int(100)}},
+			R: Binary{Op: "!=", L: Var{Name: "v"}, R: Lit{Val: value.Int(0)}}},
+		Call{Name: "min", Args: []Expr{Var{Name: "id1"}, Var{Name: "v"}}},
+	}
+	for _, e := range exprs {
+		c := Compile(e, slots)
+		if allocs := testing.AllocsPerRun(100, func() {
+			if _, err := c(env); err != nil {
+				t.Fatal(err)
+			}
+		}); allocs != 0 {
+			t.Errorf("compiled %s allocates %v per eval, want 0", e, allocs)
+		}
+	}
+}
+
+// TestCompileIdentityFastPathKeepsErrors pins the soundness boundary of the
+// +0/*1 fast paths: a non-int operand must still reach the real operator and
+// surface its type error, identically to the oracle.
+func TestCompileIdentityFastPathKeepsErrors(t *testing.T) {
+	slots := map[string]int{"x": 0}
+	e := Binary{Op: "+", L: Var{Name: "x"}, R: Lit{Val: value.Int(0)}}
+	c := Compile(e, slots)
+
+	if v, err := c([]value.Value{value.Int(-3)}); err != nil || v != value.Int(-3) {
+		t.Fatalf("int fast path: (%v, %v)", v, err)
+	}
+	// Strings must error exactly as under Eval.
+	wantV, wantErr := Eval(e, MapEnv{"x": value.Str("a")})
+	gotV, gotErr := c([]value.Value{value.Str("a")})
+	if (wantErr == nil) != (gotErr == nil) || (wantErr != nil && wantErr.Error() != gotErr.Error()) {
+		t.Fatalf("string operand: oracle (%v,%v), compiled (%v,%v)", wantV, wantErr, gotV, gotErr)
+	}
+	// Floats must keep IEEE normalization (-0.0 + 0 is +0.0 with sign bit clear).
+	gotF, err := c([]value.Value{value.Float(2.5)})
+	if err != nil || gotF != value.Float(2.5) {
+		t.Fatalf("float operand: (%v, %v)", gotF, err)
+	}
+}

@@ -1,0 +1,272 @@
+// Compiled reaction kernels: the slot-indexed execution form of a Reaction.
+//
+// The seed matcher interpreted a reaction on every probe — binding pattern
+// variables into a freshly allocated map environment, tree-walking the branch
+// conditions and product templates, and rebuilding each candidate's Key()
+// fingerprint to track claimed occurrences. Those per-probe costs dominate
+// the step loop once the incremental scheduler has removed the wasted probes
+// (cmd/gfbench -exp e16 at n=10⁴).
+//
+// A kernel lowers all of it once, at first use, keeping the semantics of the
+// interpreted path bit-for-bit:
+//
+//   - every pattern variable is assigned an integer slot; matching writes
+//     env[slot] instead of hashing names into a MapEnv, and whether a field
+//     binds or equality-checks is decided statically from the fixed search
+//     order (patterns in order, fields left to right);
+//   - branch conditions and product fields are compiled to expr closure
+//     chains over the slot environment (expr.Compile, which also constant-
+//     folds the literal chains §III-A3 reaction fusion leaves behind);
+//   - the pattern label is interned to its symtab symbol once, so candidate
+//     enumeration hits the multiset's integer-keyed indexes and reuses each
+//     entry's cached Key() instead of rebuilding the fingerprint per probe;
+//   - searcher scratch (slot env, claim counts, chosen tuples) is recycled
+//     through a per-kernel sync.Pool, so a probe allocates nothing.
+//
+// The interpreted Pattern.match / Reaction.produce path remains as the
+// reference oracle; TestKernelMatchesInterpreter holds the two together.
+package gamma
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/expr"
+	"repro/internal/multiset"
+	"repro/internal/symtab"
+	"repro/internal/value"
+)
+
+// kfield is one lowered pattern field. slot < 0 means a literal field
+// compared against lit; otherwise the field touches env[slot] — binding it
+// when bind is set (the variable's first occurrence in the fixed search
+// order), equality-checking against it otherwise (a repeated variable, the
+// paper's shared-tag constraint).
+type kfield struct {
+	slot int
+	bind bool
+	lit  value.Value
+}
+
+// Tag-field modes for candidate enumeration (kpat.tagMode).
+const (
+	tagNone = iota // no concrete tag at enumeration time: iterate the label index
+	tagLit         // literal int tag: iterate the (label, tag) index
+	tagSlot        // tag variable bound by an earlier pattern: read env[tagSlot]
+)
+
+// kpat is one lowered pattern: its fields, the slots it binds (cleared as a
+// block on backtracking — only this pattern ever binds them, because a slot
+// belongs to its variable's first occurrence), and the enumeration plan
+// (label symbol and tag mode) resolved from the literal shapes Algorithm 1
+// emits.
+type kpat struct {
+	n        int
+	fields   []kfield
+	binds    []int
+	labelSym symtab.Sym
+	hasLabel bool
+	tagMode  int
+	tagLit   int64
+	tagSlot  int
+}
+
+// match attempts to match tuple t, writing bindings into the slot env. On
+// failure every slot this pattern binds is cleared; on success the caller
+// clears them via clear when backtracking past the pattern.
+func (kp *kpat) match(t multiset.Tuple, env []value.Value) bool {
+	if len(t) != kp.n {
+		return false
+	}
+	for i := range kp.fields {
+		f := &kp.fields[i]
+		switch {
+		case f.slot < 0:
+			if !value.Equal(f.lit, t[i]) {
+				kp.clear(env)
+				return false
+			}
+		case f.bind:
+			env[f.slot] = t[i]
+		default:
+			if !value.Equal(env[f.slot], t[i]) {
+				kp.clear(env)
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// clear unbinds every slot the pattern binds. Clearing a slot the current
+// attempt never reached is harmless: it was already invalid.
+func (kp *kpat) clear(env []value.Value) {
+	for _, s := range kp.binds {
+		env[s] = value.Value{}
+	}
+}
+
+// kbranch is one lowered branch: compiled condition (nil for else) and
+// compiled product templates.
+type kbranch struct {
+	cond  expr.CompiledBool
+	prods [][]expr.Compiled
+}
+
+// kernel is the compiled form of one Reaction, built once (see
+// Reaction.kernel) and shared read-only by every worker.
+type kernel struct {
+	nslots   int
+	varOf    []string // slot → variable name, for materializing Match.Env
+	pats     []kpat
+	branches []kbranch
+
+	searchers sync.Pool // *searcher scratch, see getSearcher
+}
+
+// compileKernel lowers r. Slot assignment follows the fixed search order —
+// patterns in declaration order, fields left to right — so first occurrence
+// (bind) versus repetition (check) is static, as is whether a tag variable in
+// field 2 is already bound when its pattern starts enumerating (tagSlot).
+func compileKernel(r *Reaction) *kernel {
+	k := &kernel{}
+	slots := make(map[string]int)
+	slotOf := func(name string) (int, bool) {
+		if s, ok := slots[name]; ok {
+			return s, false
+		}
+		s := len(slots)
+		slots[name] = s
+		k.varOf = append(k.varOf, name)
+		return s, true
+	}
+	for _, p := range r.Patterns {
+		kp := kpat{n: len(p), fields: make([]kfield, len(p))}
+		// The enumeration plan reads the bindings established by *earlier*
+		// patterns, so resolve it before this pattern's fields assign slots.
+		if label, ok := patternLabel(p); ok {
+			kp.labelSym, kp.hasLabel = symtab.Intern(label), true
+			if len(p) >= 3 {
+				switch f := p[2]; {
+				case f.Var == "" && f.Lit.Kind() == value.KindInt:
+					kp.tagMode, kp.tagLit = tagLit, f.Lit.AsInt()
+				case f.Var != "":
+					if s, ok := slots[f.Var]; ok {
+						kp.tagMode, kp.tagSlot = tagSlot, s
+					}
+				}
+			}
+		}
+		for i, f := range p {
+			if f.Var == "" {
+				kp.fields[i] = kfield{slot: -1, lit: f.Lit}
+				continue
+			}
+			s, fresh := slotOf(f.Var)
+			kp.fields[i] = kfield{slot: s, bind: fresh}
+			if fresh {
+				kp.binds = append(kp.binds, s)
+			}
+		}
+		k.pats = append(k.pats, kp)
+	}
+	k.nslots = len(slots)
+	k.branches = make([]kbranch, len(r.Branches))
+	for bi, b := range r.Branches {
+		kb := &k.branches[bi]
+		if b.Cond != nil {
+			kb.cond = expr.CompileBool(b.Cond, slots)
+		}
+		kb.prods = make([][]expr.Compiled, len(b.Products))
+		for pi, tpl := range b.Products {
+			kb.prods[pi] = make([]expr.Compiled, len(tpl))
+			for fi, e := range tpl {
+				kb.prods[pi][fi] = expr.Compile(e, slots)
+			}
+		}
+	}
+	k.searchers.New = func() any {
+		return &searcher{
+			k:      k,
+			env:    make([]value.Value, k.nslots),
+			used:   make(map[string]int, len(k.pats)),
+			chosen: make([]multiset.Tuple, len(k.pats)),
+			keys:   make([]string, len(k.pats)),
+		}
+	}
+	return k
+}
+
+// kernel returns r's compiled form, building it on first use. Reactions are
+// immutable once running (the same contract the memo plan and subscription
+// index rely on).
+func (r *Reaction) kernel() *kernel {
+	r.kernOnce.Do(func() { r.kern = compileKernel(r) })
+	return r.kern
+}
+
+// selectBranch returns the first enabled branch under the slot env, or -1.
+// The compiled counterpart of Reaction.selectBranch, with the same error
+// wrapping.
+func (k *kernel) selectBranch(name string, env []value.Value) (int, error) {
+	for i := range k.branches {
+		b := &k.branches[i]
+		if b.cond == nil {
+			return i, nil
+		}
+		ok, err := b.cond(env)
+		if err != nil {
+			return -1, fmt.Errorf("gamma: reaction %s condition: %w", name, err)
+		}
+		if ok {
+			return i, nil
+		}
+	}
+	return -1, nil
+}
+
+// produce instantiates branch idx's products under the slot env. The compiled
+// counterpart of Reaction.produce, with the same error wrapping.
+func (k *kernel) produce(name string, idx int, env []value.Value) ([]multiset.Tuple, error) {
+	prods := k.branches[idx].prods
+	out := make([]multiset.Tuple, 0, len(prods))
+	for _, tpl := range prods {
+		t := make(multiset.Tuple, len(tpl))
+		for i, ce := range tpl {
+			v, err := ce(env)
+			if err != nil {
+				return nil, fmt.Errorf("gamma: reaction %s action: %w", name, err)
+			}
+			t[i] = v
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// getSearcher returns recycled searcher scratch bound to (r, m, rng). Release
+// with putSearcher once the firing's chosen/env/keys are no longer read.
+func (k *kernel) getSearcher(r *Reaction, m *multiset.Multiset, rng *rand.Rand) *searcher {
+	s := k.searchers.Get().(*searcher)
+	s.r, s.m, s.rng, s.err = r, m, rng, nil
+	for i := range s.env {
+		s.env[i] = value.Value{}
+	}
+	// Clearing a map does not shrink its buckets, so the claim tracker stays
+	// allocation-free at steady state.
+	for key := range s.used {
+		delete(s.used, key)
+	}
+	return s
+}
+
+func (k *kernel) putSearcher(s *searcher) {
+	s.m = nil
+	s.rng = nil
+	for i := range s.chosen {
+		s.chosen[i] = nil
+		s.keys[i] = ""
+	}
+	k.searchers.Put(s)
+}

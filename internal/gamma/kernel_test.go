@@ -1,0 +1,270 @@
+package gamma
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/multiset"
+	"repro/internal/value"
+)
+
+// findMatchOracle is the interpreted matcher the kernel replaced: a
+// backtracking search using Pattern.match over a MapEnv and the tree-walking
+// selectBranch, enumerating all candidates in ascending key order (label and
+// tag filtering only skip candidates that would fail Pattern.match anyway, so
+// the full key-ordered walk finds the same first match as the indexed walk).
+func findMatchOracle(r *Reaction, m *multiset.Multiset) (*Match, error) {
+	cands := m.AllCounted()
+	for i := 0; i < len(cands); i++ {
+		for j := i + 1; j < len(cands); j++ {
+			if cands[j].Key < cands[i].Key {
+				cands[i], cands[j] = cands[j], cands[i]
+			}
+		}
+	}
+	s := &oracleSearcher{r: r, cands: cands,
+		env:    make(expr.MapEnv),
+		used:   make(map[string]int),
+		chosen: make([]multiset.Tuple, len(r.Patterns)),
+	}
+	ok := s.search(0)
+	if s.err != nil {
+		return nil, s.err
+	}
+	if !ok {
+		return nil, nil
+	}
+	return &Match{Chosen: s.chosen, Env: s.env, Branch: s.branch}, nil
+}
+
+type oracleSearcher struct {
+	r      *Reaction
+	cands  []multiset.Counted
+	env    expr.MapEnv
+	used   map[string]int
+	chosen []multiset.Tuple
+	branch int
+	err    error
+}
+
+func (s *oracleSearcher) search(i int) bool {
+	if i == len(s.r.Patterns) {
+		idx, err := s.r.selectBranch(s.env)
+		if err != nil {
+			s.err = err
+			return false
+		}
+		if idx < 0 {
+			return false
+		}
+		s.branch = idx
+		return true
+	}
+	for _, c := range s.cands {
+		if s.used[c.Key] >= c.N {
+			continue
+		}
+		bound, ok := s.r.Patterns[i].match(c.Tuple, s.env)
+		if !ok {
+			continue
+		}
+		s.used[c.Key]++
+		s.chosen[i] = c.Tuple
+		if s.search(i + 1) {
+			return true
+		}
+		s.used[c.Key]--
+		unbind(s.env, bound)
+		if s.err != nil {
+			return false
+		}
+	}
+	return false
+}
+
+// randReaction builds a random reaction over labels A/B and a small variable
+// pool: mixed literal/variable fields, shared tag variables (the repeated-
+// variable equality constraint), guarded and else branches.
+func randReaction(rng *rand.Rand) *Reaction {
+	vars := []string{"x", "y", "z"}
+	npat := 1 + rng.Intn(2)
+	r := &Reaction{Name: fmt.Sprintf("rr%d", rng.Int63n(1000))}
+	for pi := 0; pi < npat; pi++ {
+		p := Pattern{FVar(vars[pi])}
+		if rng.Intn(4) > 0 {
+			p = append(p, FLabel([]string{"A", "B"}[rng.Intn(2)]))
+		} else {
+			p = append(p, FVar(fmt.Sprintf("l%d", pi)))
+		}
+		switch rng.Intn(3) {
+		case 0:
+			p = append(p, FVar("v")) // shared tag across patterns
+		case 1:
+			p = append(p, FLit(value.Int(int64(rng.Intn(2)))))
+		}
+		r.Patterns = append(r.Patterns, p)
+	}
+	guard := expr.Binary{Op: "<", L: expr.Var{Name: "x"}, R: expr.Lit{Val: value.Int(int64(rng.Intn(5)))}}
+	prod := Template{
+		expr.Binary{Op: "+", L: expr.Var{Name: "x"}, R: expr.Lit{Val: value.Int(0)}},
+		expr.Lit{Val: value.Str("B")},
+	}
+	switch rng.Intn(3) {
+	case 0:
+		r.Branches = []Branch{{Cond: guard, Products: []Template{prod}}}
+	case 1:
+		r.Branches = []Branch{{Cond: guard, Products: nil}, {Products: []Template{prod}}}
+	default:
+		r.Branches = []Branch{{Products: []Template{prod}}}
+	}
+	return r
+}
+
+func randMultisetForKernel(rng *rand.Rand) *multiset.Multiset {
+	m := multiset.New()
+	for i, n := 0, 2+rng.Intn(6); i < n; i++ {
+		t := multiset.Tuple{value.Int(int64(rng.Intn(6)))}
+		if rng.Intn(5) > 0 {
+			t = append(t, value.Str([]string{"A", "B"}[rng.Intn(2)]))
+		}
+		if rng.Intn(2) == 0 {
+			t = append(t, value.Int(int64(rng.Intn(2))))
+		}
+		m.AddN(t, 1+rng.Intn(2))
+	}
+	return m
+}
+
+// TestKernelMatchesInterpreter is the matcher differential: on random
+// reactions and random multisets, the compiled kernel search must find
+// exactly what the interpreted backtracking search finds — same enablement,
+// same chosen elements, same bindings, same branch — and the kernel's
+// compiled produce must agree with the tree-walking Template.instantiate.
+func TestKernelMatchesInterpreter(t *testing.T) {
+	iters := 2000
+	if testing.Short() {
+		iters = 300
+	}
+	for seed := 0; seed < iters; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		r := randReaction(rng)
+		m := randMultisetForKernel(rng)
+
+		want, wantErr := findMatchOracle(r, m)
+		got, gotErr := FindMatch(r, m, nil)
+		if (wantErr == nil) != (gotErr == nil) ||
+			(wantErr != nil && wantErr.Error() != gotErr.Error()) {
+			t.Fatalf("seed %d: %s\n oracle err=%v kernel err=%v", seed, r, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		if (want == nil) != (got == nil) {
+			t.Fatalf("seed %d: %s\n on %s\n oracle match=%v kernel match=%v", seed, r, m, want, got)
+		}
+		if want == nil {
+			continue
+		}
+		if want.Branch != got.Branch || len(want.Chosen) != len(got.Chosen) {
+			t.Fatalf("seed %d: branch/chosen mismatch: oracle (%d,%v) kernel (%d,%v)",
+				seed, want.Branch, want.Chosen, got.Branch, got.Chosen)
+		}
+		for i := range want.Chosen {
+			if !want.Chosen[i].Equal(got.Chosen[i]) {
+				t.Fatalf("seed %d: chosen[%d]: oracle %s kernel %s", seed, i, want.Chosen[i], got.Chosen[i])
+			}
+		}
+		if len(want.Env) != len(got.Env) {
+			t.Fatalf("seed %d: env size: oracle %v kernel %v", seed, want.Env, got.Env)
+		}
+		for name, v := range want.Env {
+			if gv, ok := got.Env[name]; !ok || gv != v {
+				t.Fatalf("seed %d: env[%s]: oracle %s kernel %s", seed, name, v, gv)
+			}
+		}
+
+		// Products: compiled produce vs interpreted produce on the same env.
+		wantP, wErr := r.produce(want.Branch, want.Env)
+		s, err := findFiring(r, m, nil)
+		if err != nil || s == nil {
+			t.Fatalf("seed %d: findFiring after FindMatch: (%v, %v)", seed, s, err)
+		}
+		gotP, gErr := r.kernel().produce(r.Name, s.branch, s.env)
+		r.kernel().putSearcher(s)
+		if (wErr == nil) != (gErr == nil) || (wErr != nil && wErr.Error() != gErr.Error()) {
+			t.Fatalf("seed %d: produce err: oracle %v kernel %v", seed, wErr, gErr)
+		}
+		if wErr == nil {
+			if len(wantP) != len(gotP) {
+				t.Fatalf("seed %d: product count: oracle %v kernel %v", seed, wantP, gotP)
+			}
+			for i := range wantP {
+				if !wantP[i].Equal(gotP[i]) {
+					t.Fatalf("seed %d: product[%d]: oracle %s kernel %s", seed, i, wantP[i], gotP[i])
+				}
+			}
+		}
+	}
+}
+
+// TestKernelBacktrackClearsSlots forces a mid-search retreat: the first
+// candidate for pattern 0 admits no partner for pattern 1, so the searcher
+// must unbind pattern 0's slots and succeed with the second candidate.
+func TestKernelBacktrackClearsSlots(t *testing.T) {
+	r := &Reaction{
+		Name: "pairup",
+		Patterns: []Pattern{
+			{FVar("x"), FLabel("A"), FVar("v")},
+			{FVar("y"), FLabel("B"), FVar("v")}, // shared tag forces the retreat
+		},
+		Branches: []Branch{{Products: nil}},
+	}
+	m := multiset.New(
+		multiset.IntElem(1, "A", 7), // no B partner with tag 7
+		multiset.IntElem(2, "A", 9),
+		multiset.IntElem(3, "B", 9),
+	)
+	match, err := FindMatch(r, m, nil)
+	if err != nil || match == nil {
+		t.Fatalf("match: (%v, %v)", match, err)
+	}
+	if got := match.Env["v"].AsInt(); got != 9 {
+		t.Fatalf("tag = %d, want 9 (stale binding from backtracked candidate?)", got)
+	}
+	if match.Env["x"].AsInt() != 2 || match.Env["y"].AsInt() != 3 {
+		t.Fatalf("bindings = %v", match.Env)
+	}
+}
+
+// TestFindFiringNoMatchAllocationFree pins the pooled-searcher property: a
+// failed probe on a stable multiset — the dominant operation near the Eq. 1
+// fixpoint — allocates nothing.
+func TestFindFiringNoMatchAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instruments sync.Pool with allocations")
+	}
+	r := &Reaction{
+		Name:     "drain",
+		Patterns: []Pattern{{FVar("x"), FLabel("A"), FVar("v")}},
+		Branches: []Branch{{Cond: expr.MustParse("x < 0"), Products: nil}},
+	}
+	m := multiset.New(
+		multiset.IntElem(1, "A", 0),
+		multiset.IntElem(2, "A", 1),
+		multiset.IntElem(3, "B", 0),
+	)
+	if s, err := findFiring(r, m, nil); err != nil || s != nil {
+		t.Fatalf("warmup: (%v, %v)", s, err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		s, err := findFiring(r, m, nil)
+		if err != nil || s != nil {
+			t.Fatalf("probe: (%v, %v)", s, err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("failed probe allocates %v per run, want 0", allocs)
+	}
+}

@@ -24,48 +24,77 @@ type Match struct {
 // search is deterministic (ascending key order), which the sequential
 // interpreter and the tests rely on.
 //
-// The search is a backtracking enumeration over the replace-list patterns.
-// Patterns whose label field is a literal (the shape Algorithm 1 always
-// emits) draw candidates from the multiset's label or (label, tag) index, so
-// converted dataflow programs match in near-constant time; fully generic
-// patterns walk the whole multiset.
+// The search runs on the reaction's compiled kernel (kernel.go): a
+// backtracking enumeration over the replace-list patterns with variable
+// bindings in a slot-indexed environment. Patterns whose label field is a
+// literal (the shape Algorithm 1 always emits) draw candidates from the
+// multiset's interned label or (label, tag) index, so converted dataflow
+// programs match in near-constant time; fully generic patterns walk the
+// whole multiset.
 //
 // The deterministic path iterates the multiset's incrementally sorted indexes
-// in place — no snapshot, no per-probe sort — so a probe costs only the
-// candidates it actually visits. That requires no concurrent writers, which
-// the sequential runtime guarantees. The randomized path (always used by the
-// parallel runtime) copies the candidates and shuffles them, tolerating
-// concurrent mutation; staleness is caught by the optimistic commit.
+// in place — no snapshot, no per-probe sort, and each candidate arrives with
+// its cached Key() fingerprint — so a probe costs only the candidates it
+// actually visits. That requires no concurrent writers, which the sequential
+// runtime guarantees. The randomized path (always used by the parallel
+// runtime) copies the candidates and shuffles them, tolerating concurrent
+// mutation; staleness is caught by the optimistic commit.
+//
+// FindMatch materializes the bindings into a MapEnv for its callers (tests,
+// Enabled, the dataflow equivalence checker); the step loop in run.go uses
+// findFiring to keep the pooled slot environment instead.
 func FindMatch(r *Reaction, m *multiset.Multiset, rng *rand.Rand) (*Match, error) {
-	s := &searcher{r: r, m: m, rng: rng,
-		env:    make(expr.MapEnv, 8),
-		used:   make(map[string]int, len(r.Patterns)),
-		chosen: make([]multiset.Tuple, len(r.Patterns)),
+	k := r.kernel()
+	s, err := findFiring(r, m, rng)
+	if err != nil || s == nil {
+		return nil, err
 	}
-	ok := s.search(0)
-	if s.err != nil {
-		return nil, s.err
+	defer k.putSearcher(s)
+	env := make(expr.MapEnv, len(k.varOf))
+	for slot, name := range k.varOf {
+		if v := s.env[slot]; v.IsValid() {
+			env[name] = v
+		}
 	}
-	if !ok {
-		return nil, nil
-	}
-	return &Match{Chosen: s.chosen, Env: s.env, Branch: s.branch}, nil
+	chosen := make([]multiset.Tuple, len(s.chosen))
+	copy(chosen, s.chosen)
+	return &Match{Chosen: chosen, Env: env, Branch: s.branch}, nil
 }
 
+// findFiring is the allocation-free core of FindMatch: it returns a pooled
+// searcher holding an enabled firing (slot env, chosen tuples with their
+// cached keys, selected branch), or nil when the reaction is not enabled.
+// The caller must release a non-nil searcher via r.kernel().putSearcher once
+// done reading it.
+func findFiring(r *Reaction, m *multiset.Multiset, rng *rand.Rand) (*searcher, error) {
+	k := r.kernel()
+	s := k.getSearcher(r, m, rng)
+	ok := s.search(0)
+	if s.err != nil || !ok {
+		err := s.err
+		k.putSearcher(s)
+		return nil, err
+	}
+	return s, nil
+}
+
+// searcher is the recycled scratch of one match search; see kernel.getSearcher.
 type searcher struct {
+	k      *kernel
 	r      *Reaction
 	m      *multiset.Multiset
 	rng    *rand.Rand
-	env    expr.MapEnv
+	env    []value.Value  // slot-indexed bindings; invalid Value = unbound
 	used   map[string]int // occurrences of each tuple key already claimed
 	chosen []multiset.Tuple
+	keys   []string // cached Key() of each chosen tuple
 	branch int
 	err    error
 }
 
 func (s *searcher) search(i int) bool {
-	if i == len(s.r.Patterns) {
-		idx, err := s.r.selectBranch(s.env)
+	if i == len(s.k.pats) {
+		idx, err := s.k.selectBranch(s.r.Name, s.env)
 		if err != nil {
 			s.err = err
 			return false
@@ -76,65 +105,81 @@ func (s *searcher) search(i int) bool {
 		s.branch = idx
 		return true
 	}
-	p := s.r.Patterns[i]
+	kp := &s.k.pats[i]
 	found := false
-	s.eachCandidate(p, func(t multiset.Tuple, n int) bool {
-		key := t.Key()
+	s.eachCandidate(kp, func(t multiset.Tuple, n int, key string) bool {
 		if s.used[key] >= n {
 			return true // all occurrences already claimed by earlier patterns
 		}
-		bound, ok := p.match(t, s.env)
-		if !ok {
+		if !kp.match(t, s.env) {
 			return true
 		}
 		s.used[key]++
 		s.chosen[i] = t
+		s.keys[i] = key
 		if s.search(i + 1) {
 			found = true
 			return false
 		}
 		s.used[key]--
-		unbind(s.env, bound)
+		kp.clear(s.env)
 		return s.err == nil
 	})
 	return found
 }
 
-// eachCandidate enumerates the possible elements for pattern p under the
+// eachCandidate enumerates the possible elements for pattern kp under the
 // current bindings, using the narrowest index available, until fn returns
 // false. Deterministic searches iterate the live sorted indexes; randomized
-// searches snapshot and shuffle.
-func (s *searcher) eachCandidate(p Pattern, fn func(t multiset.Tuple, n int) bool) {
-	label, hasLabel := patternLabel(p)
+// searches snapshot and shuffle. Every candidate carries the multiset's
+// cached key fingerprint.
+func (s *searcher) eachCandidate(kp *kpat, fn func(t multiset.Tuple, n int, key string) bool) {
 	if s.rng == nil {
 		switch {
-		case hasLabel:
-			if tag, ok := s.patternTag(p); ok {
-				s.m.IterLabelTag(label, tag, fn)
+		case kp.hasLabel:
+			if tag, ok := s.tagOf(kp); ok {
+				s.m.IterSymTag(kp.labelSym, tag, fn)
 			} else {
-				s.m.IterLabel(label, fn)
+				s.m.IterSym(kp.labelSym, fn)
 			}
 		default:
-			s.m.IterSorted(fn)
+			s.m.IterAll(fn)
 		}
 		return
 	}
 	var cands []multiset.Counted
-	if hasLabel {
-		if tag, ok := s.patternTag(p); ok {
-			cands = s.m.ByLabelTag(label, tag)
+	if kp.hasLabel {
+		if tag, ok := s.tagOf(kp); ok {
+			cands = s.m.BySymTag(kp.labelSym, tag)
 		} else {
-			cands = s.m.ByLabel(label)
+			cands = s.m.BySym(kp.labelSym)
 		}
 	} else {
 		cands = s.m.AllCounted()
 	}
 	s.rng.Shuffle(len(cands), func(a, b int) { cands[a], cands[b] = cands[b], cands[a] })
 	for _, c := range cands {
-		if !fn(c.Tuple, c.N) {
+		if !fn(c.Tuple, c.N, c.Key) {
 			return
 		}
 	}
+}
+
+// tagOf resolves a concrete integer tag for kp's enumeration, per the
+// kernel's static plan: a literal tag always, a tag variable only when an
+// earlier pattern bound its slot to an int — the common case for Algorithm 1
+// output, where all patterns share the tag variable and the first match pins
+// it.
+func (s *searcher) tagOf(kp *kpat) (int64, bool) {
+	switch kp.tagMode {
+	case tagLit:
+		return kp.tagLit, true
+	case tagSlot:
+		if v := s.env[kp.tagSlot]; v.Kind() == value.KindInt {
+			return v.AsInt(), true
+		}
+	}
+	return 0, false
 }
 
 // patternLabel extracts a literal string in the label position (field 1).
@@ -143,27 +188,6 @@ func patternLabel(p Pattern) (string, bool) {
 		return p[1].Lit.AsString(), true
 	}
 	return "", false
-}
-
-// patternTag extracts a concrete integer for the tag position (field 2):
-// either a literal or a variable already bound to an int by earlier patterns
-// — the common case for Algorithm 1 output, where all patterns share the tag
-// variable and the first match pins it.
-func (s *searcher) patternTag(p Pattern) (int64, bool) {
-	if len(p) < 3 {
-		return 0, false
-	}
-	f := p[2]
-	if f.Var == "" {
-		if f.Lit.Kind() == value.KindInt {
-			return f.Lit.AsInt(), true
-		}
-		return 0, false
-	}
-	if v, ok := s.env[f.Var]; ok && v.Kind() == value.KindInt {
-		return v.AsInt(), true
-	}
-	return 0, false
 }
 
 // Enabled reports whether any reaction of p has an enabled match on m — the

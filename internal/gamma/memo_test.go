@@ -18,6 +18,22 @@ func (m mapMemo) LookupReaction(key string) ([]multiset.Tuple, bool) {
 }
 func (m mapMemo) StoreReaction(key string, products []multiset.Tuple) { m[key] = products }
 
+// applyMatch probes r on m and applies the action through the kernel path,
+// mirroring the step loop's findFiring + applyAction sequence.
+func applyMatch(t *testing.T, r *Reaction, m *multiset.Multiset, opt Options, stats *Stats) ([]multiset.Tuple, error) {
+	t.Helper()
+	k := r.kernel()
+	s, err := findFiring(r, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s == nil {
+		t.Fatal("no match")
+	}
+	defer k.putSearcher(s)
+	return applyAction(r, k, s, opt, stats)
+}
+
 func TestMemoPlanShapes(t *testing.T) {
 	// Triplet patterns sharing a tag var, no tag in conditions: maskable.
 	maskable := &Reaction{
@@ -93,11 +109,7 @@ func TestApplyActionMemoMaskedHit(t *testing.T) {
 	memo := mapMemo{}
 	stats := newStats(1)
 	m1 := multiset.New(multiset.IntElem(7, "a", 0))
-	match1, err := FindMatch(r, m1, nil)
-	if err != nil || match1 == nil {
-		t.Fatal(err)
-	}
-	p1, err := applyAction(r, match1, Options{Memo: memo}, stats)
+	p1, err := applyMatch(t, r, m1, Options{Memo: memo}, stats)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,11 +121,7 @@ func TestApplyActionMemoMaskedHit(t *testing.T) {
 	}
 	// Same value, different tag: masked key must hit and refresh the tag.
 	m2 := multiset.New(multiset.IntElem(7, "a", 5))
-	match2, err := FindMatch(r, m2, nil)
-	if err != nil || match2 == nil {
-		t.Fatal(err)
-	}
-	p2, err := applyAction(r, match2, Options{Memo: memo}, stats)
+	p2, err := applyMatch(t, r, m2, Options{Memo: memo}, stats)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,8 +133,7 @@ func TestApplyActionMemoMaskedHit(t *testing.T) {
 	}
 	// Different value: miss.
 	m3 := multiset.New(multiset.IntElem(9, "a", 5))
-	match3, _ := FindMatch(r, m3, nil)
-	p3, err := applyAction(r, match3, Options{Memo: memo}, stats)
+	p3, err := applyMatch(t, r, m3, Options{Memo: memo}, stats)
 	if err != nil || !p3[0].Equal(multiset.IntElem(90, "b", 6)) {
 		t.Errorf("different value products = %v (%v)", p3, err)
 	}
@@ -147,13 +154,11 @@ func TestApplyActionExactModeReusesVerbatim(t *testing.T) {
 	memo := mapMemo{}
 	stats := newStats(1)
 	m := multiset.New(multiset.Pair(value.Int(3), "a"))
-	match, _ := FindMatch(r, m, nil)
-	if _, err := applyAction(r, match, Options{Memo: memo}, stats); err != nil {
+	if _, err := applyMatch(t, r, m, Options{Memo: memo}, stats); err != nil {
 		t.Fatal(err)
 	}
 	m2 := multiset.New(multiset.Pair(value.Int(3), "a"))
-	match2, _ := FindMatch(r, m2, nil)
-	p, err := applyAction(r, match2, Options{Memo: memo}, stats)
+	p, err := applyMatch(t, r, m2, Options{Memo: memo}, stats)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,11 +186,7 @@ func TestApplyActionMemoBranchSelection(t *testing.T) {
 	stats := newStats(1)
 	apply := func(x, tag int64) multiset.Tuple {
 		m := multiset.New(multiset.IntElem(x, "a", tag))
-		match, err := FindMatch(r, m, nil)
-		if err != nil || match == nil {
-			t.Fatalf("match(%d): %v", x, err)
-		}
-		p, err := applyAction(r, match, Options{Memo: memo}, stats)
+		p, err := applyMatch(t, r, m, Options{Memo: memo}, stats)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package gamma
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package gamma
+
+// raceEnabled gates allocation-count assertions: the race detector makes
+// sync.Pool and map operations allocate, so alloc-exactness is only
+// meaningful in non-race builds.
+const raceEnabled = true

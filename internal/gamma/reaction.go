@@ -137,6 +137,9 @@ type Reaction struct {
 
 	planOnce sync.Once
 	plan     *memoPlan
+
+	kernOnce sync.Once
+	kern     *kernel
 }
 
 // Arity returns the number of elements the reaction consumes.

@@ -12,6 +12,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/multiset"
 	"repro/internal/rt"
+	"repro/internal/symtab"
 	"repro/internal/value"
 )
 
@@ -225,16 +226,17 @@ type memoEntry struct {
 	products []multiset.Tuple
 }
 
-// applyAction evaluates the enabled branch's products, honoring the memo
-// table and work factor.
-func applyAction(r *Reaction, match *Match, opt Options, stats *Stats) ([]multiset.Tuple, error) {
+// applyAction evaluates the enabled branch's products over the firing's slot
+// environment (compiled kernel path), honoring the memo table and work
+// factor.
+func applyAction(r *Reaction, k *kernel, s *searcher, opt Options, stats *Stats) ([]multiset.Tuple, error) {
 	if opt.Memo == nil {
 		spin(opt.WorkFactor)
-		return r.produce(match.Branch, match.Env)
+		return k.produce(r.Name, s.branch, s.env)
 	}
 	plan := r.memoPlan()
 	key := r.Name
-	for i, t := range match.Chosen {
+	for i, t := range s.chosen {
 		for j, v := range t {
 			if plan.tagVar != "" && plan.mask[i][j] {
 				continue
@@ -245,14 +247,14 @@ func applyAction(r *Reaction, match *Match, opt Options, stats *Stats) ([]multis
 	}
 	if cached, ok := opt.Memo.LookupReaction(key); ok {
 		stats.MemoHits++
-		return refreshProducts(r, plan, cached, match.Env)
+		return refreshProducts(r, k, plan, cached, s.env)
 	}
 	spin(opt.WorkFactor)
-	products, err := r.produce(match.Branch, match.Env)
+	products, err := k.produce(r.Name, s.branch, s.env)
 	if err != nil {
 		return nil, err
 	}
-	stored := append([]multiset.Tuple{multisetBranchMarker(match.Branch)}, products...)
+	stored := append([]multiset.Tuple{multisetBranchMarker(s.branch)}, products...)
 	opt.Memo.StoreReaction(key, stored)
 	return products, nil
 }
@@ -266,7 +268,7 @@ func multisetBranchMarker(branch int) multiset.Tuple {
 // refreshProducts rebuilds cached products for the current match: fields
 // whose expressions mention the tag variable are re-evaluated (cheap), the
 // rest — the expensive value computation — are reused.
-func refreshProducts(r *Reaction, plan *memoPlan, cached []multiset.Tuple, env expr.MapEnv) ([]multiset.Tuple, error) {
+func refreshProducts(r *Reaction, k *kernel, plan *memoPlan, cached []multiset.Tuple, env []value.Value) ([]multiset.Tuple, error) {
 	branch := int(cached[0].Value().AsInt())
 	stored := cached[1:]
 	if plan.tagVar == "" {
@@ -278,7 +280,7 @@ func refreshProducts(r *Reaction, plan *memoPlan, cached []multiset.Tuple, env e
 		fresh := t.Clone()
 		for fi := range fresh {
 			if flags[fi] {
-				v, err := expr.Eval(r.Branches[branch].Products[pi][fi], env)
+				v, err := k.branches[branch].prods[pi][fi](env)
 				if err != nil {
 					return nil, fmt.Errorf("gamma: reaction %s memo refresh: %w", r.Name, err)
 				}
@@ -374,6 +376,7 @@ func runSequential(ctx context.Context, p *Program, m *multiset.Multiset, opt Op
 			remaining++
 		}
 	}
+	var symsBuf []symtab.Sym // reused produce-delta scratch, incremental mode
 	for i := 0; remaining > 0; i = (i + 1) % n {
 		if !dirty[i] {
 			continue
@@ -384,11 +387,12 @@ func runSequential(ctx context.Context, p *Program, m *multiset.Multiset, opt Op
 			return stats, rt.FromContext(cerr)
 		}
 		stats.Probes++
-		match, err := FindMatch(r, m, rng)
+		k := r.kernel()
+		s, err := findFiring(r, m, rng)
 		if err != nil {
 			return stats, err
 		}
-		if match == nil {
+		if s == nil {
 			dirty[i] = false
 			remaining--
 			continue
@@ -396,34 +400,54 @@ func runSequential(ctx context.Context, p *Program, m *multiset.Multiset, opt Op
 		if opt.MaxSteps > 0 && stats.Steps >= opt.MaxSteps {
 			// The match just found proves the program is still enabled past
 			// the step budget — no full Enabled rescan needed.
+			k.putSearcher(s)
 			return stats, ErrMaxSteps
 		}
 		if opt.FaultInjector != nil {
 			if ferr := opt.FaultInjector(r.Name, 0); ferr != nil {
+				k.putSearcher(s)
 				return stats, ferr
 			}
 		}
-		products, err := applyAction(r, match, opt, stats)
+		products, err := applyAction(r, k, s, opt, stats)
 		if err != nil {
+			k.putSearcher(s)
 			return stats, err
 		}
-		if !m.TryRemoveAll(match.Chosen) {
-			// Unreachable single-threaded; defensive.
-			return stats, fmt.Errorf("gamma: matched elements vanished in sequential run of %s", r.Name)
-		}
-		labels := m.AddAll(products)
-		traceFiring(opt, r.Name, match.Chosen, products)
-		stats.Steps++
-		stats.Fired[r.Name]++
-		// The fired reaction stays dirty: consuming elements may leave it
-		// enabled on what remains.
 		if opt.FullScan {
+			// Seed-engine commit: separate claim and insert phases.
+			if !m.TryRemoveAll(s.chosen) {
+				// Unreachable single-threaded; defensive.
+				k.putSearcher(s)
+				return stats, fmt.Errorf("gamma: matched elements vanished in sequential run of %s", r.Name)
+			}
+			m.AddAll(products)
+			traceFiring(opt, r.Name, s.chosen, products)
+			k.putSearcher(s)
+			stats.Steps++
+			stats.Fired[r.Name]++
+			// The fired reaction stays dirty: consuming elements may leave it
+			// enabled on what remains.
 			for j := 0; j < n; j++ {
 				markDirty(j)
 			}
-		} else {
-			subs.forEach(labels, markDirty)
+			continue
 		}
+		// Incremental commit: the firing's consume+produce lands as one
+		// batched delta under a single lock acquisition per shard, and the
+		// returned label symbols drive the subscription wakeups directly.
+		ok, syms := m.ApplyDelta(s.chosen, s.keys, products, symsBuf[:0])
+		symsBuf = syms
+		if !ok {
+			// Unreachable single-threaded; defensive.
+			k.putSearcher(s)
+			return stats, fmt.Errorf("gamma: matched elements vanished in sequential run of %s", r.Name)
+		}
+		traceFiring(opt, r.Name, s.chosen, products)
+		k.putSearcher(s)
+		stats.Steps++
+		stats.Fired[r.Name]++
+		subs.forEachSym(syms, markDirty)
 	}
 	return stats, nil
 }
@@ -568,32 +592,51 @@ func safeTryFire(ctx context.Context, p *Program, m *multiset.Multiset, opt Opti
 func tryFire(ctx context.Context, p *Program, m *multiset.Multiset, opt Options, sh *parShared, stats *Stats, rng *rand.Rand, idx, worker int, requeue bool) (fired, stop bool) {
 	r := p.Reactions[idx]
 	subs := p.subs()
+	k := r.kernel()
+	var symsArr [8]symtab.Sym
 	for retries := 0; ; retries++ {
 		if cerr := ctx.Err(); cerr != nil {
 			sh.fail(rt.FromContext(cerr))
 			return false, true
 		}
 		stats.Probes++
-		match, err := FindMatch(r, m, rng)
+		s, err := findFiring(r, m, rng)
 		if err != nil {
 			sh.fail(err)
 			return false, true
 		}
-		if match == nil {
+		if s == nil {
 			return false, false
 		}
 		if opt.FaultInjector != nil {
 			if ferr := opt.FaultInjector(r.Name, worker); ferr != nil {
+				k.putSearcher(s)
 				sh.fail(ferr)
 				return false, true
 			}
 		}
-		products, err := applyAction(r, match, opt, stats)
+		products, err := applyAction(r, k, s, opt, stats)
 		if err != nil {
+			k.putSearcher(s)
 			sh.fail(err)
 			return false, true
 		}
-		if !m.TryRemoveAll(match.Chosen) {
+		// Commit. Incremental mode batches the claim and insert into one
+		// ApplyDelta (single lock acquisition per shard; the returned label
+		// symbols feed the worklist); FullScan keeps the seed engine's
+		// two-phase TryRemoveAll + AddAll. A failed claim either way means a
+		// concurrent worker consumed a matched molecule first.
+		var syms []symtab.Sym
+		committed := false
+		if opt.FullScan {
+			if committed = m.TryRemoveAll(s.chosen); committed {
+				m.AddAll(products)
+			}
+		} else {
+			committed, syms = m.ApplyDelta(s.chosen, s.keys, products, symsArr[:0])
+		}
+		if !committed {
+			k.putSearcher(s)
 			stats.Conflicts++
 			if retries < maxConflictRetries {
 				stats.Retries++
@@ -612,8 +655,8 @@ func tryFire(ctx context.Context, p *Program, m *multiset.Multiset, opt Options,
 			runtime.Gosched()
 			return false, false
 		}
-		labels := m.AddAll(products)
-		traceFiring(opt, r.Name, match.Chosen, products)
+		traceFiring(opt, r.Name, s.chosen, products)
+		k.putSearcher(s)
 		stats.Steps++
 		stats.Fired[r.Name]++
 
@@ -622,7 +665,7 @@ func tryFire(ctx context.Context, p *Program, m *multiset.Multiset, opt Options,
 		sh.steps++
 		over := opt.MaxSteps > 0 && sh.steps >= opt.MaxSteps
 		if !opt.FullScan {
-			subs.forEach(labels, sh.enqueueLocked)
+			subs.forEachSym(syms, sh.enqueueLocked)
 			sh.enqueueLocked(idx) // may still be enabled on what remains
 		}
 		sh.cond.Broadcast()

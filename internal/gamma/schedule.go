@@ -22,12 +22,18 @@
 // nondeterministic semantics of §II-B.
 package gamma
 
+import "repro/internal/symtab"
+
 // subscriptions is the immutable label → reactions index of one Program,
 // computed once per program (reactions are immutable after Validate).
 type subscriptions struct {
 	// byLabel lists, per literal label, the indexes of reactions with at
 	// least one pattern subscribing to that label, ascending.
 	byLabel map[string][]int
+	// bySym is byLabel keyed by interned label symbol — the form the hot
+	// commit path consumes (ApplyDelta reports produce deltas as symbols, so
+	// wakeups never materialize label strings).
+	bySym map[symtab.Sym][]int
 	// wildcard lists reactions with at least one generic pattern (no literal
 	// label): any added element may feed such a pattern, so these wake on
 	// every commit.
@@ -36,7 +42,10 @@ type subscriptions struct {
 
 // buildSubscriptions derives the index from the reactions' patterns.
 func buildSubscriptions(reactions []*Reaction) *subscriptions {
-	sub := &subscriptions{byLabel: make(map[string][]int)}
+	sub := &subscriptions{
+		byLabel: make(map[string][]int),
+		bySym:   make(map[symtab.Sym][]int),
+	}
 	for i, r := range reactions {
 		generic := false
 		var labels []string
@@ -63,6 +72,8 @@ func buildSubscriptions(reactions []*Reaction) *subscriptions {
 		}
 		for _, label := range labels {
 			sub.byLabel[label] = append(sub.byLabel[label], i)
+			sym := symtab.Intern(label)
+			sub.bySym[sym] = append(sub.bySym[sym], i)
 		}
 	}
 	return sub
@@ -82,6 +93,21 @@ func (sub *subscriptions) forEach(labels []string, fn func(idx int)) {
 		// match an unlabeled tuple. (A real "\x00" label, however unlikely,
 		// resolves through the map like any other and stays sound.)
 		for _, i := range sub.byLabel[label] {
+			fn(i)
+		}
+	}
+}
+
+// forEachSym is forEach over interned label symbols — the delta form
+// ApplyDelta reports (multiset.NoLabelSym marks unlabeled elements; like
+// NoLabel in forEach, it wakes only the wildcard bucket because no literal
+// label pattern interned it into bySym).
+func (sub *subscriptions) forEachSym(syms []symtab.Sym, fn func(idx int)) {
+	for _, i := range sub.wildcard {
+		fn(i)
+	}
+	for _, sym := range syms {
+		for _, i := range sub.bySym[sym] {
 			fn(i)
 		}
 	}

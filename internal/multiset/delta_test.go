@@ -1,10 +1,12 @@
 package multiset
 
 import (
+	"math/rand"
 	"reflect"
 	"sort"
 	"testing"
 
+	"repro/internal/symtab"
 	"repro/internal/value"
 )
 
@@ -161,5 +163,184 @@ func TestIndexesAfterRemoval(t *testing.T) {
 	m.IterSorted(func(Tuple, int) bool { seen++; return true })
 	if seen != 15 {
 		t.Fatalf("IterSorted sees %d tuples after removal, want 15", seen)
+	}
+}
+
+func TestApplyDeltaCommit(t *testing.T) {
+	m := New(
+		IntElem(1, "A", 0),
+		IntElem(2, "A", 0),
+		IntElem(9, "B", 1),
+	)
+	consume := []Tuple{IntElem(1, "A", 0), IntElem(2, "A", 0)}
+	produce := []Tuple{IntElem(3, "C", 0), IntElem(4, "C", 1), {value.Int(7)}}
+	ok, syms := m.ApplyDelta(consume, nil, produce, nil)
+	if !ok {
+		t.Fatal("commit failed on available molecules")
+	}
+	if m.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", m.Len())
+	}
+	for _, gone := range consume {
+		if m.Contains(gone) {
+			t.Fatalf("consumed %s still present", gone)
+		}
+	}
+	for _, added := range produce {
+		if m.Count(added) != 1 {
+			t.Fatalf("produced %s count = %d", added, m.Count(added))
+		}
+	}
+	cSym, _ := symtab.SymOf("C")
+	want := map[symtab.Sym]bool{cSym: true, NoLabelSym: true}
+	if len(syms) != 2 || !want[syms[0]] || !want[syms[1]] {
+		t.Fatalf("delta syms = %v, want {C, NoLabelSym}", syms)
+	}
+}
+
+func TestApplyDeltaFailedClaimUntouched(t *testing.T) {
+	m := New(IntElem(1, "A", 0))
+	before := m.String()
+	prior := []symtab.Sym{symtab.Intern("marker")}
+	ok, syms := m.ApplyDelta(
+		[]Tuple{IntElem(1, "A", 0), IntElem(2, "A", 0)}, nil,
+		[]Tuple{IntElem(3, "C", 0)}, prior)
+	if ok {
+		t.Fatal("claim succeeded despite missing molecule")
+	}
+	if m.String() != before {
+		t.Fatalf("failed claim mutated the multiset: %s -> %s", before, m.String())
+	}
+	if len(syms) != 1 || syms[0] != prior[0] {
+		t.Fatalf("failed claim changed syms: %v", syms)
+	}
+}
+
+func TestApplyDeltaDuplicateConsume(t *testing.T) {
+	m := New(IntElem(1, "A", 0))
+	dup := []Tuple{IntElem(1, "A", 0), IntElem(1, "A", 0)}
+	if ok, _ := m.ApplyDelta(dup, nil, nil, nil); ok {
+		t.Fatal("claimed two occurrences of a multiplicity-1 tuple")
+	}
+	m.Add(IntElem(1, "A", 0))
+	if ok, _ := m.ApplyDelta(dup, nil, nil, nil); !ok {
+		t.Fatal("failed to claim two occurrences of a multiplicity-2 tuple")
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d after consuming both, want 0", m.Len())
+	}
+}
+
+// TestApplyDeltaMatchesTwoPhase is the commit differential: on random deltas,
+// the batched single-lock commit must succeed exactly when the seed engine's
+// TryRemoveAll+AddAll two-phase commit succeeds, and leave the same multiset.
+func TestApplyDeltaMatchesTwoPhase(t *testing.T) {
+	labels := []string{"A", "B", "C"}
+	randTuple := func(rng *rand.Rand) Tuple {
+		tp := Tuple{value.Int(int64(rng.Intn(4)))}
+		if rng.Intn(4) > 0 {
+			tp = append(tp, value.Str(labels[rng.Intn(len(labels))]))
+			if rng.Intn(2) == 0 {
+				tp = append(tp, value.Int(int64(rng.Intn(3))))
+			}
+		}
+		return tp
+	}
+	for seed := 0; seed < 500; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		batched := New()
+		twoPhase := New()
+		for i, n := 0, rng.Intn(8); i < n; i++ {
+			tp := randTuple(rng)
+			k := 1 + rng.Intn(2)
+			batched.AddN(tp, k)
+			twoPhase.AddN(tp, k)
+		}
+		for step := 0; step < 6; step++ {
+			var consume, produce []Tuple
+			for i, n := 0, rng.Intn(3); i < n; i++ {
+				consume = append(consume, randTuple(rng))
+			}
+			for i, n := 0, rng.Intn(3); i < n; i++ {
+				produce = append(produce, randTuple(rng))
+			}
+			okB, _ := batched.ApplyDelta(consume, nil, produce, nil)
+			okT := twoPhase.TryRemoveAll(consume)
+			if okT {
+				twoPhase.AddAll(produce)
+			}
+			if okB != okT {
+				t.Fatalf("seed %d step %d: batched=%v twoPhase=%v for consume=%v", seed, step, okB, okT, consume)
+			}
+			if okB && !batched.Equal(twoPhase) {
+				t.Fatalf("seed %d step %d: diverged:\n batched:  %s\n twoPhase: %s", seed, step, batched, twoPhase)
+			}
+		}
+		if !batched.Equal(twoPhase) {
+			t.Fatalf("seed %d: final states diverged:\n batched:  %s\n twoPhase: %s", seed, batched, twoPhase)
+		}
+	}
+}
+
+func TestApplyDeltaKeyedMatchesUnkeyed(t *testing.T) {
+	consume := []Tuple{IntElem(1, "A", 0), IntElem(2, "B", 1)}
+	keys := []string{consume[0].Key(), consume[1].Key()}
+	produce := []Tuple{IntElem(3, "C", 0)}
+	a := New(consume[0], consume[1])
+	b := New(consume[0], consume[1])
+	okA, symsA := a.ApplyDelta(consume, keys, produce, nil)
+	okB, symsB := b.ApplyDelta(consume, nil, produce, nil)
+	if okA != okB || !a.Equal(b) {
+		t.Fatalf("keyed/unkeyed diverged: ok %v/%v, %s vs %s", okA, okB, a, b)
+	}
+	if len(symsA) != len(symsB) || symsA[0] != symsB[0] {
+		t.Fatalf("syms diverged: %v vs %v", symsA, symsB)
+	}
+}
+
+// TestIterKeysMatchTupleKey pins the cached-fingerprint contract: every key a
+// maintained index hands to its callback equals Tuple.Key() recomputed.
+func TestIterKeysMatchTupleKey(t *testing.T) {
+	m := New(
+		IntElem(1, "A", 0),
+		IntElem(2, "A", 5),
+		IntElem(3, "B", 0),
+		Tuple{value.Int(4)},
+	)
+	check := func(where string, tp Tuple, key string) {
+		if key != tp.Key() {
+			t.Errorf("%s: cached key %q != Key() %q for %s", where, key, tp.Key(), tp)
+		}
+	}
+	aSym, _ := symtab.SymOf("A")
+	m.IterSym(aSym, func(tp Tuple, n int, key string) bool { check("IterSym", tp, key); return true })
+	m.IterSymTag(aSym, 5, func(tp Tuple, n int, key string) bool { check("IterSymTag", tp, key); return true })
+	seen := 0
+	m.IterAll(func(tp Tuple, n int, key string) bool { seen++; check("IterAll", tp, key); return true })
+	if seen != 4 {
+		t.Fatalf("IterAll visited %d, want 4", seen)
+	}
+	for _, c := range m.AllCounted() {
+		check("AllCounted", c.Tuple, c.Key)
+	}
+	for _, c := range m.BySym(aSym) {
+		check("BySym", c.Tuple, c.Key)
+	}
+}
+
+// TestUnknownLabelLookupsMissCleanly exercises the string-API wrappers on a
+// label that was never interned anywhere in the process.
+func TestUnknownLabelLookupsMissCleanly(t *testing.T) {
+	m := New(IntElem(1, "A", 0))
+	if got := m.ByLabel("never-interned-label-xyz"); got != nil {
+		t.Fatalf("ByLabel on unknown label = %v", got)
+	}
+	if got := m.ByLabelTag("never-interned-label-xyz", 0); got != nil {
+		t.Fatalf("ByLabelTag on unknown label = %v", got)
+	}
+	called := false
+	m.IterLabel("never-interned-label-xyz", func(Tuple, int) bool { called = true; return true })
+	if called {
+		t.Fatal("IterLabel on unknown label invoked the callback")
 	}
 }

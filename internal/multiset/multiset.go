@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"repro/internal/symtab"
 )
 
 // shardCount is the number of independently locked shards. A fixed power of
@@ -19,12 +21,24 @@ const shardCount = 32
 // report itself, which is still sound — see gamma's subscription index).
 const NoLabel = "\x00"
 
-// entry is one distinct tuple with its multiplicity. key caches Tuple.Key(),
-// the ordering used by every sorted index.
+// NoLabelSym is NoLabel's interned symbol: the delta marker reported by
+// ApplyDelta for produced tuples without a string label field. (A real
+// "\x00" label interns to the same symbol and stays sound for the same
+// reason as NoLabel.)
+var NoLabelSym = symtab.Intern(NoLabel)
+
+// entry is one distinct tuple with its multiplicity. key caches Tuple.Key()
+// (the ordering used by every sorted index, and the fingerprint handed to the
+// matcher so a probe never rebuilds it), and sym/tag cache the label symbol
+// and iteration tag so removal maintains the indexes without re-deriving
+// them from the tuple.
 type entry struct {
-	tuple Tuple
-	key   string
-	count int
+	tuple  Tuple
+	key    string
+	count  int
+	sym    symtab.Sym // label symbol; symtab.None for unlabeled tuples
+	tag    int64
+	hasTag bool
 }
 
 // shard is an independently locked slice of the multiset. All tuples with the
@@ -42,16 +56,16 @@ type shard struct {
 	byKey map[string]*entry
 	// sorted holds every entry of the shard in ascending key order.
 	sorted []*entry
-	// byLabel maps an element label to its entries, ascending key order.
-	byLabel map[string][]*entry
-	// byLabelTag maps (label, tag) to its entries, ascending key order; this
-	// is the dynamic-dataflow tag-matching index.
-	byLabelTag map[labelTag][]*entry
+	// bySym maps an element label symbol to its entries, ascending key order.
+	bySym map[symtab.Sym][]*entry
+	// bySymTag maps (label symbol, tag) to its entries, ascending key order;
+	// this is the dynamic-dataflow tag-matching index.
+	bySymTag map[symTag][]*entry
 }
 
-type labelTag struct {
-	label string
-	tag   int64
+type symTag struct {
+	sym symtab.Sym
+	tag int64
 }
 
 // insertSorted places e into list keeping ascending key order.
@@ -88,8 +102,8 @@ func New(tuples ...Tuple) *Multiset {
 	for i := range m.shards {
 		s := &m.shards[i]
 		s.byKey = make(map[string]*entry)
-		s.byLabel = make(map[string][]*entry)
-		s.byLabelTag = make(map[labelTag][]*entry)
+		s.bySym = make(map[symtab.Sym][]*entry)
+		s.bySymTag = make(map[symTag][]*entry)
 	}
 	for _, t := range tuples {
 		m.Add(t)
@@ -97,17 +111,27 @@ func New(tuples ...Tuple) *Multiset {
 	return m
 }
 
-// shardFor picks the shard for a tuple: by label when present (so label
-// queries are single-shard), otherwise by the full key.
-func (m *Multiset) shardFor(t Tuple) *shard {
+// labelSymOf interns the tuple's label, or returns symtab.None when t has no
+// string label field.
+func labelSymOf(t Tuple) symtab.Sym {
 	if label, ok := t.Label(); ok {
-		return &m.shards[hashString(label)&(shardCount-1)]
+		return symtab.Intern(label)
 	}
-	return &m.shards[hashString(t.Key())&(shardCount-1)]
+	return symtab.None
 }
 
-func (m *Multiset) shardForLabel(label string) *shard {
-	return &m.shards[hashString(label)&(shardCount-1)]
+// shardIndex picks the shard for a tuple: labeled tuples route by label
+// symbol (so label queries are single-shard, and the route is a mask instead
+// of a byte hash), unlabeled ones by the full key.
+func shardIndex(sym symtab.Sym, key string) uint32 {
+	if sym != symtab.None {
+		return uint32(sym) & (shardCount - 1)
+	}
+	return hashString(key) & (shardCount - 1)
+}
+
+func (m *Multiset) shardForSym(sym symtab.Sym) *shard {
+	return &m.shards[uint32(sym)&(shardCount-1)]
 }
 
 func hashString(s string) uint32 {
@@ -130,33 +154,42 @@ func (m *Multiset) AddN(t Tuple, n int) {
 	if n <= 0 {
 		panic(fmt.Sprintf("multiset: AddN(%s, %d): n must be positive", t, n))
 	}
-	s := m.shardFor(t)
 	key := t.Key()
+	sym := labelSymOf(t)
+	s := &m.shards[shardIndex(sym, key)]
 	s.mu.Lock()
-	e, ok := s.byKey[key]
-	if ok {
-		e.count += n
-	} else {
-		e = &entry{tuple: t.Clone(), key: key, count: n}
-		s.byKey[key] = e
-		s.sorted = insertSorted(s.sorted, e)
-		if label, ok := t.Label(); ok {
-			s.byLabel[label] = insertSorted(s.byLabel[label], e)
-			if tag, ok := t.Tag(); ok {
-				lt := labelTag{label, tag}
-				s.byLabelTag[lt] = insertSorted(s.byLabelTag[lt], e)
-			}
-		}
-	}
+	s.addLocked(t, key, sym, n)
 	s.mu.Unlock()
 	m.addSize(int64(n))
 }
 
+// addLocked inserts n occurrences into an already locked shard.
+func (s *shard) addLocked(t Tuple, key string, sym symtab.Sym, n int) {
+	e, ok := s.byKey[key]
+	if ok {
+		e.count += n
+		return
+	}
+	e = &entry{tuple: t.Clone(), key: key, count: n, sym: sym}
+	if tag, ok := t.Tag(); ok && sym != symtab.None {
+		e.tag, e.hasTag = tag, true
+	}
+	s.byKey[key] = e
+	s.sorted = insertSorted(s.sorted, e)
+	if sym != symtab.None {
+		s.bySym[sym] = insertSorted(s.bySym[sym], e)
+		if e.hasTag {
+			st := symTag{sym, e.tag}
+			s.bySymTag[st] = insertSorted(s.bySymTag[st], e)
+		}
+	}
+}
+
 // AddAll inserts one occurrence of every tuple in ts and reports the set of
 // labels it touched (deduplicated; NoLabel stands in for tuples without a
-// string label field). The delta is the input of the incremental reaction
-// scheduler: only reactions subscribed to a touched label — or to the
-// wildcard bucket — can have become newly enabled by this commit.
+// string label field). This is the seed engine's two-phase commit surface;
+// the incremental runtime uses ApplyDelta, which folds the consume and
+// produce sides into one lock acquisition per shard and reports symbols.
 func (m *Multiset) AddAll(ts []Tuple) []string {
 	var labels []string
 	for _, t := range ts {
@@ -179,42 +212,43 @@ func (m *Multiset) AddAll(ts []Tuple) []string {
 	return labels
 }
 
-// removeLocked decrements the entry for key inside an already locked
-// shard. Reports whether an occurrence existed.
-func (s *shard) removeLocked(t Tuple, key string) bool {
-	e, ok := s.byKey[key]
-	if !ok || e.count == 0 {
-		return false
-	}
+// removeLocked decrements e inside an already locked shard, unlinking it from
+// every index when the count reaches zero.
+func (s *shard) removeLocked(e *entry) {
 	e.count--
-	if e.count == 0 {
-		delete(s.byKey, key)
-		s.sorted = removeSorted(s.sorted, key)
-		if label, ok := t.Label(); ok {
-			if list := removeSorted(s.byLabel[label], key); len(list) > 0 {
-				s.byLabel[label] = list
+	if e.count > 0 {
+		return
+	}
+	delete(s.byKey, e.key)
+	s.sorted = removeSorted(s.sorted, e.key)
+	if e.sym != symtab.None {
+		if list := removeSorted(s.bySym[e.sym], e.key); len(list) > 0 {
+			s.bySym[e.sym] = list
+		} else {
+			delete(s.bySym, e.sym)
+		}
+		if e.hasTag {
+			st := symTag{e.sym, e.tag}
+			if list := removeSorted(s.bySymTag[st], e.key); len(list) > 0 {
+				s.bySymTag[st] = list
 			} else {
-				delete(s.byLabel, label)
-			}
-			if tag, ok := t.Tag(); ok {
-				lt := labelTag{label, tag}
-				if list := removeSorted(s.byLabelTag[lt], key); len(list) > 0 {
-					s.byLabelTag[lt] = list
-				} else {
-					delete(s.byLabelTag, lt)
-				}
+				delete(s.bySymTag, st)
 			}
 		}
 	}
-	return true
 }
 
 // Remove deletes one occurrence of t, reporting whether one existed.
 func (m *Multiset) Remove(t Tuple) bool {
-	s := m.shardFor(t)
 	key := t.Key()
+	s := &m.shards[shardIndex(labelSymOf(t), key)]
 	s.mu.Lock()
-	ok := s.removeLocked(t, key)
+	e, ok := s.byKey[key]
+	if ok && e.count > 0 {
+		s.removeLocked(e)
+	} else {
+		ok = false
+	}
 	s.mu.Unlock()
 	if ok {
 		m.addSize(-1)
@@ -222,10 +256,71 @@ func (m *Multiset) Remove(t Tuple) bool {
 	return ok
 }
 
+// deltaScratch holds the per-commit scratch of TryRemoveAll and ApplyDelta so
+// the hot commit path performs no bookkeeping allocations: precomputed keys,
+// shard routes and label symbols for both sides of the delta.
+type deltaScratch struct {
+	ckeys   []string
+	cshards []uint32
+	pkeys   []string
+	pshards []uint32
+	psyms   []symtab.Sym
+}
+
+var deltaPool = sync.Pool{New: func() any { return new(deltaScratch) }}
+
+func (d *deltaScratch) reset() {
+	d.ckeys, d.cshards = d.ckeys[:0], d.cshards[:0]
+	d.pkeys, d.pshards, d.psyms = d.pkeys[:0], d.pshards[:0], d.psyms[:0]
+}
+
+// lockShards locks every shard whose bit is set in involved, in index order
+// (the deadlock-avoidance order shared by all multi-shard operations).
+func (m *Multiset) lockShards(involved *[shardCount]bool) {
+	for i := range m.shards {
+		if involved[i] {
+			m.shards[i].mu.Lock()
+		}
+	}
+}
+
+func (m *Multiset) unlockShards(involved *[shardCount]bool) {
+	for i := range m.shards {
+		if involved[i] {
+			m.shards[i].mu.Unlock()
+		}
+	}
+}
+
+// claimLocked verifies that one occurrence of every consume tuple is
+// available (duplicates require that many occurrences) and, if so, removes
+// them. Shards must already be locked. Reports whether the claim succeeded;
+// on failure nothing is modified.
+func (m *Multiset) claimLocked(consume []Tuple, d *deltaScratch) bool {
+	for i := range consume {
+		key := d.ckeys[i]
+		need := 1
+		for j := 0; j < i; j++ {
+			if d.ckeys[j] == key {
+				need++
+			}
+		}
+		e, ok := m.shards[d.cshards[i]].byKey[key]
+		if !ok || e.count < need {
+			return false
+		}
+	}
+	for i := range consume {
+		s := &m.shards[d.cshards[i]]
+		s.removeLocked(s.byKey[d.ckeys[i]])
+	}
+	return true
+}
+
 // TryRemoveAll atomically removes one occurrence of every tuple in ts — all
 // or nothing. Duplicate tuples in ts require that many occurrences. This is
-// the commit step of the parallel Gamma runtime: a worker that matched a
-// reaction's replace-list attempts to claim exactly those molecules; if a
+// the claim step of the seed engine's two-phase commit: a worker that matched
+// a reaction's replace-list attempts to claim exactly those molecules; if a
 // concurrent worker consumed one first, the claim fails and the worker
 // rematches. Removals never enable a reaction (matching is monotone in the
 // multiset contents), so unlike AddAll no label delta is reported.
@@ -233,50 +328,102 @@ func (m *Multiset) TryRemoveAll(ts []Tuple) bool {
 	if len(ts) == 0 {
 		return true
 	}
-	// Lock the involved shards in index order to avoid deadlock.
-	involved := make(map[*shard]struct{}, len(ts))
-	for _, t := range ts {
-		involved[m.shardFor(t)] = struct{}{}
-	}
-	order := make([]*shard, 0, len(involved))
-	for i := range m.shards {
-		if _, ok := involved[&m.shards[i]]; ok {
-			order = append(order, &m.shards[i])
-		}
-	}
-	for _, s := range order {
-		s.mu.Lock()
-	}
-	defer func() {
-		for _, s := range order {
-			s.mu.Unlock()
-		}
-	}()
-	// Verify availability, accounting for duplicates in ts.
-	need := make(map[string]int, len(ts))
-	for _, t := range ts {
-		need[t.Key()]++
-	}
+	d := deltaPool.Get().(*deltaScratch)
+	defer deltaPool.Put(d)
+	d.reset()
+	var involved [shardCount]bool
 	for _, t := range ts {
 		key := t.Key()
-		e, ok := m.shardFor(t).byKey[key]
-		if !ok || e.count < need[key] {
-			return false
+		si := shardIndex(labelSymOf(t), key)
+		d.ckeys = append(d.ckeys, key)
+		d.cshards = append(d.cshards, si)
+		involved[si] = true
+	}
+	m.lockShards(&involved)
+	ok := m.claimLocked(ts, d)
+	m.unlockShards(&involved)
+	if ok {
+		m.addSize(-int64(len(ts)))
+	}
+	return ok
+}
+
+// ApplyDelta is one reaction firing's consume+produce as a single batched
+// commit: it atomically removes one occurrence of every tuple in consume
+// (all-or-nothing, duplicates requiring that many occurrences) and, on
+// success, inserts every tuple in produce — grouped by shard and applied
+// under one lock acquisition per involved shard, instead of the seed
+// engine's separate TryRemoveAll and AddAll passes.
+//
+// ckeys, when non-nil, must hold Key() of each consume tuple; the matcher
+// passes the fingerprints cached on the entries it enumerated, so the commit
+// never rebuilds them. A nil ckeys computes the keys here.
+//
+// On success it appends the deduplicated label symbols of the produced tuples
+// to syms (NoLabelSym standing in for unlabeled tuples) and returns the
+// extended slice — the delta that drives the incremental reaction scheduler.
+// On a failed claim nothing is modified and syms is returned unchanged.
+func (m *Multiset) ApplyDelta(consume []Tuple, ckeys []string, produce []Tuple, syms []symtab.Sym) (bool, []symtab.Sym) {
+	d := deltaPool.Get().(*deltaScratch)
+	defer deltaPool.Put(d)
+	d.reset()
+	var involved [shardCount]bool
+	for i, t := range consume {
+		var key string
+		if ckeys != nil {
+			key = ckeys[i]
+		} else {
+			key = t.Key()
+		}
+		si := shardIndex(labelSymOf(t), key)
+		d.ckeys = append(d.ckeys, key)
+		d.cshards = append(d.cshards, si)
+		involved[si] = true
+	}
+	for _, t := range produce {
+		key := t.Key()
+		sym := labelSymOf(t)
+		si := shardIndex(sym, key)
+		d.pkeys = append(d.pkeys, key)
+		d.pshards = append(d.pshards, si)
+		d.psyms = append(d.psyms, sym)
+		involved[si] = true
+	}
+	m.lockShards(&involved)
+	if !m.claimLocked(consume, d) {
+		m.unlockShards(&involved)
+		return false, syms
+	}
+	for i, t := range produce {
+		m.shards[d.pshards[i]].addLocked(t, d.pkeys[i], d.psyms[i], 1)
+	}
+	m.unlockShards(&involved)
+	m.addSize(int64(len(produce)) - int64(len(consume)))
+	for _, sym := range d.psyms {
+		if sym == symtab.None {
+			sym = NoLabelSym
+		}
+		seen := false
+		for _, have := range syms {
+			if have == sym {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			syms = append(syms, sym)
 		}
 	}
-	for _, t := range ts {
-		m.shardFor(t).removeLocked(t, t.Key())
-	}
-	m.addSize(-int64(len(ts)))
-	return true
+	return true, syms
 }
 
 // Count returns the multiplicity of t.
 func (m *Multiset) Count(t Tuple) int {
-	s := m.shardFor(t)
+	key := t.Key()
+	s := &m.shards[shardIndex(labelSymOf(t), key)]
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if e, ok := s.byKey[t.Key()]; ok {
+	if e, ok := s.byKey[key]; ok {
 		return e.count
 	}
 	return 0
@@ -304,70 +451,112 @@ func (m *Multiset) Distinct() int {
 	return n
 }
 
-// ByLabel returns the distinct tuples whose label field equals label, with
-// their multiplicities, in ascending key order. The slice is a snapshot.
+// BySym returns the distinct tuples whose label symbol equals sym, with
+// their multiplicities and cached keys, in ascending key order. The slice is
+// a snapshot.
+func (m *Multiset) BySym(sym symtab.Sym) []Counted {
+	s := m.shardForSym(sym)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	list := s.bySym[sym]
+	out := make([]Counted, 0, len(list))
+	for _, e := range list {
+		out = append(out, Counted{Tuple: e.tuple, N: e.count, Key: e.key})
+	}
+	return out
+}
+
+// BySymTag returns the distinct tuples matching both label symbol and tag,
+// with multiplicities and cached keys, in ascending key order — the
+// dynamic-dataflow operand lookup. The slice is a snapshot.
+func (m *Multiset) BySymTag(sym symtab.Sym, tag int64) []Counted {
+	s := m.shardForSym(sym)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	list := s.bySymTag[symTag{sym, tag}]
+	out := make([]Counted, 0, len(list))
+	for _, e := range list {
+		out = append(out, Counted{Tuple: e.tuple, N: e.count, Key: e.key})
+	}
+	return out
+}
+
+// ByLabel is BySym by label string; a label that was never interned has no
+// entries anywhere, so the miss answers without touching the symbol table.
 func (m *Multiset) ByLabel(label string) []Counted {
-	s := m.shardForLabel(label)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	list := s.byLabel[label]
-	out := make([]Counted, 0, len(list))
-	for _, e := range list {
-		out = append(out, Counted{Tuple: e.tuple, N: e.count})
+	sym, ok := symtab.SymOf(label)
+	if !ok {
+		return nil
 	}
-	return out
+	return m.BySym(sym)
 }
 
-// ByLabelTag returns the distinct tuples matching both label and tag, with
-// multiplicities, in ascending key order — the dynamic-dataflow operand
-// lookup. The slice is a snapshot.
+// ByLabelTag is BySymTag by label string.
 func (m *Multiset) ByLabelTag(label string, tag int64) []Counted {
-	s := m.shardForLabel(label)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	list := s.byLabelTag[labelTag{label, tag}]
-	out := make([]Counted, 0, len(list))
-	for _, e := range list {
-		out = append(out, Counted{Tuple: e.tuple, N: e.count})
+	sym, ok := symtab.SymOf(label)
+	if !ok {
+		return nil
 	}
-	return out
+	return m.BySymTag(sym, tag)
 }
 
-// IterLabel calls fn once per distinct tuple carrying label, ascending key
-// order, without copying the index. The shard read lock is held for the whole
-// iteration: fn must not mutate the multiset, and callers must guarantee no
-// concurrent writers (the deterministic sequential matcher qualifies; the
-// parallel runtime uses the snapshotting ByLabel instead).
-func (m *Multiset) IterLabel(label string, fn func(t Tuple, n int) bool) {
-	s := m.shardForLabel(label)
+// IterSym calls fn once per distinct tuple whose label symbol equals sym, in
+// ascending key order, passing the entry's cached key fingerprint — the
+// matcher's claim-tracking identity — without copying the index. The shard
+// read lock is held for the whole iteration: fn must not mutate the multiset,
+// and callers must guarantee no concurrent writers (the deterministic
+// sequential matcher qualifies; the parallel runtime uses the snapshotting
+// BySym instead).
+func (m *Multiset) IterSym(sym symtab.Sym, fn func(t Tuple, n int, key string) bool) {
+	s := m.shardForSym(sym)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	for _, e := range s.byLabel[label] {
-		if !fn(e.tuple, e.count) {
+	for _, e := range s.bySym[sym] {
+		if !fn(e.tuple, e.count, e.key) {
 			return
 		}
 	}
 }
 
-// IterLabelTag is IterLabel over the (label, tag) index. The same locking
+// IterSymTag is IterSym over the (label symbol, tag) index. The same locking
 // caveats apply.
-func (m *Multiset) IterLabelTag(label string, tag int64, fn func(t Tuple, n int) bool) {
-	s := m.shardForLabel(label)
+func (m *Multiset) IterSymTag(sym symtab.Sym, tag int64, fn func(t Tuple, n int, key string) bool) {
+	s := m.shardForSym(sym)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	for _, e := range s.byLabelTag[labelTag{label, tag}] {
-		if !fn(e.tuple, e.count) {
+	for _, e := range s.bySymTag[symTag{sym, tag}] {
+		if !fn(e.tuple, e.count, e.key) {
 			return
 		}
 	}
 }
 
-// IterSorted calls fn once per distinct tuple in ascending key order across
-// the whole multiset, lazily merging the shards' sorted runs — no copy, no
-// sort, and early exit costs only the elements actually visited. All shard
-// read locks are held for the whole iteration: fn must not mutate the
-// multiset and callers must guarantee no concurrent writers (see IterLabel).
-func (m *Multiset) IterSorted(fn func(t Tuple, n int) bool) {
+// IterLabel is IterSym by label string, without the key (compatibility
+// surface; the matcher iterates by symbol).
+func (m *Multiset) IterLabel(label string, fn func(t Tuple, n int) bool) {
+	sym, ok := symtab.SymOf(label)
+	if !ok {
+		return
+	}
+	m.IterSym(sym, func(t Tuple, n int, _ string) bool { return fn(t, n) })
+}
+
+// IterLabelTag is IterLabel over the (label, tag) index.
+func (m *Multiset) IterLabelTag(label string, tag int64, fn func(t Tuple, n int) bool) {
+	sym, ok := symtab.SymOf(label)
+	if !ok {
+		return
+	}
+	m.IterSymTag(sym, tag, func(t Tuple, n int, _ string) bool { return fn(t, n) })
+}
+
+// IterAll calls fn once per distinct tuple in ascending key order across the
+// whole multiset with the entry's cached key, lazily merging the shards'
+// sorted runs — no copy, no sort, and early exit costs only the elements
+// actually visited. All shard read locks are held for the whole iteration:
+// fn must not mutate the multiset and callers must guarantee no concurrent
+// writers (see IterSym).
+func (m *Multiset) IterAll(fn func(t Tuple, n int, key string) bool) {
 	for i := range m.shards {
 		m.shards[i].mu.RLock()
 	}
@@ -394,33 +583,40 @@ func (m *Multiset) IterSorted(fn func(t Tuple, n int) bool) {
 		}
 		e := m.shards[best].sorted[cursors[best]]
 		cursors[best]++
-		if !fn(e.tuple, e.count) {
+		if !fn(e.tuple, e.count, e.key) {
 			return
 		}
 	}
 }
 
-// AllCounted returns every distinct tuple with its multiplicity in
-// unspecified (per-shard) order — the cheap snapshot for the randomized
-// matcher, which shuffles the candidates anyway. Use Snapshot for a
-// deterministic ordering.
+// IterSorted is IterAll without the key (compatibility surface).
+func (m *Multiset) IterSorted(fn func(t Tuple, n int) bool) {
+	m.IterAll(func(t Tuple, n int, _ string) bool { return fn(t, n) })
+}
+
+// AllCounted returns every distinct tuple with its multiplicity and cached
+// key in unspecified (per-shard) order — the cheap snapshot for the
+// randomized matcher, which shuffles the candidates anyway. Use Snapshot for
+// a deterministic ordering.
 func (m *Multiset) AllCounted() []Counted {
 	out := make([]Counted, 0, 16)
 	for i := range m.shards {
 		s := &m.shards[i]
 		s.mu.RLock()
 		for _, e := range s.sorted {
-			out = append(out, Counted{Tuple: e.tuple, N: e.count})
+			out = append(out, Counted{Tuple: e.tuple, N: e.count, Key: e.key})
 		}
 		s.mu.RUnlock()
 	}
 	return out
 }
 
-// Counted pairs a distinct tuple with its multiplicity.
+// Counted pairs a distinct tuple with its multiplicity and, when it comes
+// from a maintained index, the cached Tuple.Key fingerprint.
 type Counted struct {
 	Tuple Tuple
 	N     int
+	Key   string
 }
 
 // ForEach calls fn once per distinct tuple with its multiplicity, stopping

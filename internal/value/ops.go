@@ -240,6 +240,81 @@ func Binary(op string, a, b Value) (Value, error) {
 	return Value{}, fmt.Errorf("value: unknown binary operator %q", op)
 }
 
+// BinaryFn resolves the named binary operator to its implementation once, so
+// compiled expression kernels pay the op-string dispatch at compile time
+// instead of on every evaluation. The returned function behaves exactly like
+// Binary(op, a, b). ok is false for unknown operators.
+func BinaryFn(op string) (fn func(a, b Value) (Value, error), ok bool) {
+	switch op {
+	case "+":
+		return Add, true
+	case "-":
+		return Sub, true
+	case "*":
+		return Mul, true
+	case "/":
+		return Div, true
+	case "%":
+		return Mod, true
+	case "and", "&&":
+		return And, true
+	case "or", "||":
+		return Or, true
+	case "==":
+		return func(a, b Value) (Value, error) {
+			if numericPair(a, b) || a.kind == b.kind {
+				return Bool(Equal(a, b)), nil
+			}
+			return Bool(false), nil
+		}, true
+	case "!=":
+		return func(a, b Value) (Value, error) {
+			if numericPair(a, b) || a.kind == b.kind {
+				return Bool(!Equal(a, b)), nil
+			}
+			return Bool(true), nil
+		}, true
+	case "<", "<=", ">", ">=":
+		o := op
+		return func(a, b Value) (Value, error) {
+			c, err := Compare(a, b)
+			if err != nil {
+				return Value{}, err
+			}
+			switch o {
+			case "<":
+				return Bool(c < 0), nil
+			case "<=":
+				return Bool(c <= 0), nil
+			case ">":
+				return Bool(c > 0), nil
+			default:
+				return Bool(c >= 0), nil
+			}
+		}, true
+	}
+	return nil, false
+}
+
+// UnaryFn is BinaryFn for the unary operators; the returned function behaves
+// exactly like Unary(op, a).
+func UnaryFn(op string) (fn func(a Value) (Value, error), ok bool) {
+	switch op {
+	case "-":
+		return Neg, true
+	case "!", "not":
+		return Not, true
+	case "+":
+		return func(a Value) (Value, error) {
+			if a.IsNumeric() {
+				return a, nil
+			}
+			return Value{}, &TypeError{Op: "+", Left: a}
+		}, true
+	}
+	return nil, false
+}
+
 // Unary applies the named unary operator (- or !).
 func Unary(op string, a Value) (Value, error) {
 	switch op {
