@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race bench-smoke bench-compare snapshot stress check check-ci
+.PHONY: all build vet fmt-check test race bench-smoke bench-compare snapshot stress trace-demo check check-ci
 
 all: build
 
@@ -36,6 +36,14 @@ bench-compare:
 # Refresh the machine-readable matching-engine measurements.
 snapshot:
 	$(GO) run ./cmd/gfbench -exp e16 -bench-json BENCH_gamma.json
+
+# Observability demo: trace the paper's Fig. 1 program and emit a
+# Perfetto-loadable timeline (open trace.json at https://ui.perfetto.dev) plus
+# the provenance DAG as DOT — the run rendered as the paper's dataflow graph.
+trace-demo:
+	$(GO) run ./cmd/gammarun -trace trace.json -trace-format perfetto -metrics examples/fig1.gamma
+	$(GO) run ./cmd/gammarun -trace fig1-provenance.dot -trace-format dot examples/fig1.gamma
+	@echo "wrote trace.json (Perfetto) and fig1-provenance.dot (Graphviz)"
 
 # Cancellation / fault-model stress: the context, panic-recovery and
 # dead-node tests under the race detector, plus the compiled-vs-interpreted

@@ -24,7 +24,9 @@ import (
 	"repro/internal/dataflow"
 	"repro/internal/dfir"
 	"repro/internal/equiv"
+	"repro/internal/gamma"
 	"repro/internal/gammalang"
+	"repro/internal/multiset"
 	"repro/internal/rt"
 )
 
@@ -33,19 +35,27 @@ func main() {
 	reduce := flag.Bool("reduce", false, "apply the §III-A3 reduction to the emitted program")
 	check := flag.Bool("check", false, "verify equivalence by running both models first")
 	timeout := flag.Duration("timeout", 0, "abort after this long, e.g. 30s (0 = no deadline)")
+	var tel cli.TelemetryFlags
+	tel.Register(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: df2gamma [flags] file")
 		flag.PrintDefaults()
 		os.Exit(cli.ExitUsage)
 	}
+	if err := tel.Start(multiset.PrettyKey); err != nil {
+		cli.Exit("df2gamma", err)
+	}
 	ctx, stop := cli.Context(*timeout)
-	err := run(ctx, flag.Arg(0), *compile, *reduce, *check)
+	err := run(ctx, flag.Arg(0), &tel, *compile, *reduce, *check)
 	stop()
+	if terr := tel.Finish(); err == nil {
+		err = terr
+	}
 	cli.Exit("df2gamma", err)
 }
 
-func run(ctx context.Context, path string, compile, reduce, check bool) error {
+func run(ctx context.Context, path string, tel *cli.TelemetryFlags, compile, reduce, check bool) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -83,6 +93,18 @@ func run(ctx context.Context, path string, compile, reduce, check bool) error {
 		fmt.Fprintf(os.Stderr, "# reduction fused %d reactions (%d -> %d)\n",
 			fused, len(prog.Reactions), len(reduced.Reactions))
 		prog = reduced
+	}
+	if tel.Enabled() {
+		// Observe the conversion's output, not just print it: execute the
+		// emitted Gamma program on a copy of its init multiset so the trace
+		// shows the program the user is about to run.
+		opt := gamma.Options{Workers: 1, MaxSteps: 1_000_000, Recorder: tel.Recorder()}
+		if p := tel.Provenance(); p != nil {
+			opt.Tracer = p
+		}
+		if _, err := gamma.RunContext(ctx, prog, init.Clone(), opt); err != nil {
+			return fmt.Errorf("traced run of converted program: %w", err)
+		}
 	}
 	fmt.Print(gammalang.FormatFile(gammalang.NewFile(prog, init)))
 	return nil

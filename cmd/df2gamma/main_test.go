@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/cli"
 )
 
 func writeTemp(t *testing.T, name, content string) string {
@@ -25,7 +27,7 @@ edge a x:0 -> mul:0
 edge b y:0 -> mul:1
 edge p mul:0 -> out
 `)
-	if err := run(context.Background(), path, false, false, true); err != nil {
+	if err := run(context.Background(), path, &cli.TelemetryFlags{}, false, false, true); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -35,21 +37,21 @@ func TestConvertCompiledWithReduce(t *testing.T) {
 int x = 1; int y = 5; int k = 3; int j = 2; int m;
 m = (x + y) - (k * j);
 `)
-	if err := run(context.Background(), src, true, true, true); err != nil {
+	if err := run(context.Background(), src, &cli.TelemetryFlags{}, true, true, true); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestConvertErrors(t *testing.T) {
-	if err := run(context.Background(), "/nonexistent", false, false, false); err == nil {
+	if err := run(context.Background(), "/nonexistent", &cli.TelemetryFlags{}, false, false, false); err == nil {
 		t.Error("missing file should error")
 	}
 	bad := writeTemp(t, "bad.dfir", "junk")
-	if err := run(context.Background(), bad, false, false, false); err == nil {
+	if err := run(context.Background(), bad, &cli.TelemetryFlags{}, false, false, false); err == nil {
 		t.Error("bad dfir should error")
 	}
 	badSrc := writeTemp(t, "bad.vn", "q = 1;")
-	if err := run(context.Background(), badSrc, true, false, false); err == nil {
+	if err := run(context.Background(), badSrc, &cli.TelemetryFlags{}, true, false, false); err == nil {
 		t.Error("bad source should error")
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"repro/internal/dfir"
 	"repro/internal/profile"
 	"repro/internal/rt"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -34,19 +35,27 @@ func main() {
 	compile := flag.Bool("compile", false, "treat the input as von Neumann source, not .dfir")
 	prof := flag.Bool("profile", false, "print work/span/parallelism of the execution")
 	timeout := flag.Duration("timeout", 0, "abort the run after this long, e.g. 30s (0 = no deadline)")
+	var tel cli.TelemetryFlags
+	tel.Register(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: dfrun [flags] file")
 		flag.PrintDefaults()
 		os.Exit(cli.ExitUsage)
 	}
+	if err := tel.Start(nil); err != nil {
+		cli.Exit("dfrun", err)
+	}
 	ctx, stop := cli.Context(*timeout)
-	err := run(ctx, flag.Arg(0), *workers, *maxFirings, *dot, *compile, *prof)
+	err := run(ctx, flag.Arg(0), &tel, *workers, *maxFirings, *dot, *compile, *prof)
 	stop()
+	if terr := tel.Finish(); err == nil {
+		err = terr
+	}
 	cli.Exit("dfrun", err)
 }
 
-func run(ctx context.Context, path string, workers int, maxFirings int64, dot string, compile, prof bool) error {
+func run(ctx context.Context, path string, tel *cli.TelemetryFlags, workers int, maxFirings int64, dot string, compile, prof bool) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -66,11 +75,18 @@ func run(ctx context.Context, path string, workers int, maxFirings int64, dot st
 			return err
 		}
 	}
-	opt := dataflow.Options{Workers: workers, MaxFirings: maxFirings}
+	opt := dataflow.Options{Workers: workers, MaxFirings: maxFirings, Recorder: tel.Recorder()}
 	var col *profile.Collector
+	var tracers []telemetry.Tracer
 	if prof {
 		col = profile.NewCollector()
-		opt.Tracer = col
+		tracers = append(tracers, col)
+	}
+	if p := tel.Provenance(); p != nil {
+		tracers = append(tracers, p)
+	}
+	if tr := telemetry.MultiTracer(tracers...); tr != nil {
+		opt.Tracer = tr
 	}
 	res, err := dataflow.RunContext(ctx, g, opt)
 	if err != nil {

@@ -32,16 +32,25 @@ import (
 func main() {
 	reaction := flag.Bool("reaction", false, "convert a single reaction to its subgraph (Algorithm 2 step 1)")
 	dot := flag.String("dot", "", "also write the graph as Graphviz DOT to this file")
+	var tel cli.TelemetryFlags
+	tel.Register(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: gamma2df [flags] file.gamma")
 		flag.PrintDefaults()
 		os.Exit(cli.ExitUsage)
 	}
-	cli.Exit("gamma2df", run(flag.Arg(0), *reaction, *dot))
+	if err := tel.Start(nil); err != nil {
+		cli.Exit("gamma2df", err)
+	}
+	err := run(flag.Arg(0), &tel, *reaction, *dot)
+	if terr := tel.Finish(); err == nil {
+		err = terr
+	}
+	cli.Exit("gamma2df", err)
 }
 
-func run(path string, singleReaction bool, dot string) error {
+func run(path string, tel *cli.TelemetryFlags, singleReaction bool, dot string) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -73,6 +82,22 @@ func run(path string, singleReaction bool, dot string) error {
 	if dot != "" {
 		if err := os.WriteFile(dot, []byte(dfir.ToDOT(g)), 0o644); err != nil {
 			return err
+		}
+	}
+	if tel.Enabled() {
+		// Observe the conversion's output: execute the reconstructed graph so
+		// the trace shows the dataflow execution the Gamma program maps to.
+		// Single-reaction subgraphs have unconnected roots and are skipped.
+		if !singleReaction {
+			opt := dataflow.Options{Workers: 1, MaxFirings: 1_000_000, Recorder: tel.Recorder()}
+			if p := tel.Provenance(); p != nil {
+				opt.Tracer = p
+			}
+			if _, err := dataflow.Run(g, opt); err != nil {
+				return fmt.Errorf("traced run of converted graph: %w", err)
+			}
+		} else {
+			fmt.Fprintln(os.Stderr, "gamma2df: -reaction subgraphs are not executable; trace skipped")
 		}
 	}
 	fmt.Print(dfir.Marshal(g))

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/cli"
 )
 
 func writeTemp(t *testing.T, name, content string) string {
@@ -22,7 +24,7 @@ init {[1, 'A1', 0], [5, 'B1', 0]}
 R1 = replace [id1, 'A1', v], [id2, 'B1', v] by [id1 + id2, 'S', v]
 `)
 	dot := filepath.Join(t.TempDir(), "p.dot")
-	if err := run(path, false, dot); err != nil {
+	if err := run(path, &cli.TelemetryFlags{}, false, dot); err != nil {
 		t.Fatal(err)
 	}
 	content, err := os.ReadFile(dot)
@@ -36,32 +38,32 @@ R1 = replace [id1, 'A1', v], [id2, 'B1', v] by [id1 + id2, 'S', v]
 
 func TestSingleReaction(t *testing.T) {
 	path := writeTemp(t, "r.gamma", `R = replace (x, y) by x where x < y`)
-	if err := run(path, true, ""); err != nil {
+	if err := run(path, &cli.TelemetryFlags{}, true, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestErrors(t *testing.T) {
-	if err := run("/nonexistent", false, ""); err == nil {
+	if err := run("/nonexistent", &cli.TelemetryFlags{}, false, ""); err == nil {
 		t.Error("missing file should error")
 	}
 	bad := writeTemp(t, "bad.gamma", "replace")
-	if err := run(bad, false, ""); err == nil {
+	if err := run(bad, &cli.TelemetryFlags{}, false, ""); err == nil {
 		t.Error("parse error should surface")
 	}
-	if err := run(bad, true, ""); err == nil {
+	if err := run(bad, &cli.TelemetryFlags{}, true, ""); err == nil {
 		t.Error("parse error should surface in reaction mode")
 	}
 	// Whole-program mode without producers for consumed labels.
 	orphan := writeTemp(t, "orphan.gamma", "R = replace [x, 'IN', v] by [x, 'OUT', v]")
-	if err := run(orphan, false, ""); err == nil {
+	if err := run(orphan, &cli.TelemetryFlags{}, false, ""); err == nil {
 		t.Error("missing producers should error")
 	}
 	two := writeTemp(t, "two.gamma", `
 A = replace [x, 'a', v] by [x, 'b', v]
 B = replace [x, 'b', v] by [x, 'c', v]
 `)
-	if err := run(two, true, ""); err == nil {
+	if err := run(two, &cli.TelemetryFlags{}, true, ""); err == nil {
 		t.Error("reaction mode with two reactions should error")
 	}
 	// Multi-stage composition cannot become one program.
@@ -71,7 +73,7 @@ A = replace [x, 'a', v] by [x, 'b', v]
 B = replace [x, 'b', v] by [x, 'c', v]
 A ; B
 `)
-	if err := run(staged, false, ""); err == nil {
+	if err := run(staged, &cli.TelemetryFlags{}, false, ""); err == nil {
 		t.Error("multi-stage file should error in whole-program mode")
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"repro/internal/profile"
 	"repro/internal/rt"
 	"repro/internal/schema"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -42,25 +43,37 @@ func main() {
 	prof := flag.Bool("profile", false, "print work/span/parallelism of the execution")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	blockProfile := flag.String("blockprofile", "", "write a goroutine blocking profile to this file at exit")
+	mutexProfile := flag.String("mutexprofile", "", "write a mutex contention profile to this file at exit")
+	var tel cli.TelemetryFlags
+	tel.Register(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: gammarun [flags] file.gamma")
 		flag.PrintDefaults()
 		os.Exit(cli.ExitUsage)
 	}
-	profStop, err := cli.StartProfiles(*cpuProfile, *memProfile)
+	spec := cli.ProfileSpec{CPU: *cpuProfile, Mem: *memProfile, Block: *blockProfile, Mutex: *mutexProfile}
+	profStop, err := spec.Start()
 	if err != nil {
 		cli.Exit("gammarun", err)
 	}
+	if err := tel.Start(multiset.PrettyKey); err != nil {
+		profStop()
+		cli.Exit("gammarun", err)
+	}
 	ctx, stop := cli.Context(*timeout)
-	opt := gamma.Options{Workers: *workers, Seed: *seed, MaxSteps: *maxSteps, FullScan: *fullScan}
-	err = run(ctx, flag.Arg(0), opt, *initSet, *stats, *typecheck, *prof)
+	opt := gamma.Options{Workers: *workers, Seed: *seed, MaxSteps: *maxSteps, FullScan: *fullScan, Recorder: tel.Recorder()}
+	err = run(ctx, flag.Arg(0), opt, &tel, *initSet, *stats, *typecheck, *prof)
 	stop()
+	if terr := tel.Finish(); err == nil {
+		err = terr
+	}
 	profStop()
 	cli.Exit("gammarun", err)
 }
 
-func run(ctx context.Context, path string, opt gamma.Options, initSet string, stats, typecheck, prof bool) error {
+func run(ctx context.Context, path string, opt gamma.Options, tel *cli.TelemetryFlags, initSet string, stats, typecheck, prof bool) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -103,9 +116,16 @@ func run(ctx context.Context, path string, opt gamma.Options, initSet string, st
 		}
 	}
 	var col *profile.Collector
+	var tracers []telemetry.Tracer
 	if prof {
 		col = profile.NewCollector()
-		opt.Tracer = col
+		tracers = append(tracers, col)
+	}
+	if p := tel.Provenance(); p != nil {
+		tracers = append(tracers, p)
+	}
+	if tr := telemetry.MultiTracer(tracers...); tr != nil {
+		opt.Tracer = tr
 	}
 	st, err := plan.RunContext(ctx, m, opt)
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/cli"
 	"repro/internal/gamma"
 	"repro/internal/rt"
 )
@@ -25,10 +26,10 @@ func TestRunWithFileInit(t *testing.T) {
 init {[5], [2], [9], [4]}
 R = replace (x, y) by x where x < y
 `)
-	if err := run(context.Background(), path, gamma.Options{Workers: 1, MaxSteps: 1000}, "", true, true, false); err != nil {
+	if err := run(context.Background(), path, gamma.Options{Workers: 1, MaxSteps: 1000}, &cli.TelemetryFlags{}, "", true, true, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(context.Background(), path, gamma.Options{Workers: 1, MaxSteps: 1000}, "", false, false, true); err != nil {
+	if err := run(context.Background(), path, gamma.Options{Workers: 1, MaxSteps: 1000}, &cli.TelemetryFlags{}, "", false, false, true); err != nil {
 		t.Fatalf("profile mode: %v", err)
 	}
 }
@@ -37,50 +38,50 @@ func TestRunWithFlagInit(t *testing.T) {
 	path := writeTemp(t, "ex1.gamma", `
 R1 = replace [id1, 'A1'], [id2, 'B1'] by [id1 + id2, 'B2']
 `)
-	if err := run(context.Background(), path, gamma.Options{Workers: 2, Seed: 1, MaxSteps: 1000}, `{[1,'A1'],[5,'B1']}`, false, false, false); err != nil {
+	if err := run(context.Background(), path, gamma.Options{Workers: 2, Seed: 1, MaxSteps: 1000}, &cli.TelemetryFlags{}, `{[1,'A1'],[5,'B1']}`, false, false, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(context.Background(), "/nonexistent.gamma", gamma.Options{Workers: 1}, "", false, false, false); err == nil {
+	if err := run(context.Background(), "/nonexistent.gamma", gamma.Options{Workers: 1}, &cli.TelemetryFlags{}, "", false, false, false); err == nil {
 		t.Error("missing file should error")
 	}
 	bad := writeTemp(t, "bad.gamma", "replace")
-	if err := run(context.Background(), bad, gamma.Options{Workers: 1}, "", false, false, false); err == nil {
+	if err := run(context.Background(), bad, gamma.Options{Workers: 1}, &cli.TelemetryFlags{}, "", false, false, false); err == nil {
 		t.Error("parse error should surface")
 	}
 	noInit := writeTemp(t, "noinit.gamma", "R = replace [x, 'a'] by [x, 'b']")
-	if err := run(context.Background(), noInit, gamma.Options{Workers: 1}, "", false, false, false); err == nil {
+	if err := run(context.Background(), noInit, gamma.Options{Workers: 1}, &cli.TelemetryFlags{}, "", false, false, false); err == nil {
 		t.Error("missing init should error")
 	}
-	if err := run(context.Background(), noInit, gamma.Options{Workers: 1}, "{bad", false, false, false); err == nil {
+	if err := run(context.Background(), noInit, gamma.Options{Workers: 1}, &cli.TelemetryFlags{}, "{bad", false, false, false); err == nil {
 		t.Error("bad -init should error")
 	}
 	diverge := writeTemp(t, "div.gamma", `
 init {[0, 'a']}
 R = replace [x, 'a'] by [x + 1, 'a']
 `)
-	if err := run(context.Background(), diverge, gamma.Options{Workers: 1, MaxSteps: 10}, "", false, false, false); err == nil {
+	if err := run(context.Background(), diverge, gamma.Options{Workers: 1, MaxSteps: 10}, &cli.TelemetryFlags{}, "", false, false, false); err == nil {
 		t.Error("diverging program should hit maxsteps")
 	}
 }
 
 func TestRunClassifiesErrors(t *testing.T) {
 	bad := writeTemp(t, "bad.gamma", "replace")
-	if err := run(context.Background(), bad, gamma.Options{Workers: 1}, "", false, false, false); !errors.Is(err, rt.ErrParse) {
+	if err := run(context.Background(), bad, gamma.Options{Workers: 1}, &cli.TelemetryFlags{}, "", false, false, false); !errors.Is(err, rt.ErrParse) {
 		t.Errorf("parse error not classified: %v", err)
 	}
 	diverge := writeTemp(t, "div.gamma", `
 init {[0, 'a']}
 R = replace [x, 'a'] by [x + 1, 'a']
 `)
-	if err := run(context.Background(), diverge, gamma.Options{Workers: 1, MaxSteps: 10}, "", false, false, false); !errors.Is(err, rt.ErrMaxSteps) {
+	if err := run(context.Background(), diverge, gamma.Options{Workers: 1, MaxSteps: 10}, &cli.TelemetryFlags{}, "", false, false, false); !errors.Is(err, rt.ErrMaxSteps) {
 		t.Errorf("budget error not classified: %v", err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if err := run(ctx, diverge, gamma.Options{Workers: 1}, "", false, false, false); !errors.Is(err, rt.ErrCanceled) {
+	if err := run(ctx, diverge, gamma.Options{Workers: 1}, &cli.TelemetryFlags{}, "", false, false, false); !errors.Is(err, rt.ErrCanceled) {
 		t.Errorf("canceled run not classified: %v", err)
 	}
 }

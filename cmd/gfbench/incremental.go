@@ -40,6 +40,10 @@ type benchRecord struct {
 	// multiset clone happens before the window so only the engine is charged.
 	AllocsPerStep float64 `json:"allocs_per_step"`
 	BytesPerStep  float64 `json:"bytes_per_step"`
+	// TraceOverheadPct is the wall-clock cost of running with a full telemetry
+	// recorder attached, relative to the untraced run, in percent. Measured on
+	// the tournament n=10^4 reference rows only (see e19); 0 elsewhere.
+	TraceOverheadPct float64 `json:"trace_overhead_pct,omitempty"`
 }
 
 // benchRecords accumulates e16's measurements for -bench-json.
@@ -68,7 +72,7 @@ func tournamentSource(stages int) string {
 
 func expE16() error {
 	t := metrics.NewTable("incremental matching engine vs seed full rescan (sequential)",
-		"workload", "n", "engine", "steps", "probes", "time", "allocs/step", "B/step")
+		"workload", "n", "engine", "steps", "probes", "time", "allocs/step", "B/step", "trace-ovh")
 
 	type workload struct {
 		name     string
@@ -187,15 +191,34 @@ func expE16() error {
 			allocsPerStep[ei] = float64(ms1.Mallocs-ms0.Mallocs) / float64(steps)
 			bytesPerStep[ei] = float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(steps)
 		}
+		// Trace overhead on the reference rows: the tournament at n=10^4 is
+		// the workload the ≤2% disabled-overhead budget is stated against.
+		var tracePct [2]float64
+		traced := w.name == "tournament" && w.n == 10000
+		if traced {
+			for ei, eng := range engines {
+				_, _, pct, err := traceOverhead(w.prog, w.init,
+					gamma.Options{FullScan: eng.fullScan, MaxSteps: w.maxSteps}, 9)
+				if err != nil {
+					return err
+				}
+				tracePct[ei] = pct
+			}
+		}
 		for ei, eng := range engines {
 			st := stats[ei]
+			ovh := "-"
+			if traced {
+				ovh = fmt.Sprintf("%+.1f%%", tracePct[ei])
+			}
 			t.Row(w.name, w.n, eng.name, st.Steps, st.Probes, wall[ei],
-				fmt.Sprintf("%.1f", allocsPerStep[ei]), fmt.Sprintf("%.0f", bytesPerStep[ei]))
+				fmt.Sprintf("%.1f", allocsPerStep[ei]), fmt.Sprintf("%.0f", bytesPerStep[ei]), ovh)
 			benchRecords = append(benchRecords, benchRecord{
 				Workload: w.name, N: w.n, Engine: eng.name,
 				MaxSteps: w.maxSteps, Steps: st.Steps, Probes: st.Probes,
 				WallNS:        wall[ei].Nanoseconds(),
 				AllocsPerStep: allocsPerStep[ei], BytesPerStep: bytesPerStep[ei],
+				TraceOverheadPct: tracePct[ei],
 			})
 		}
 		// Cross-check: both engines are the same semantics, so same stable

@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"repro/internal/cli"
+	"repro/internal/multiset"
 	"repro/internal/rt"
 )
 
@@ -35,7 +36,12 @@ var experiments = []struct {
 	{"e15", "work/span/parallelism profiles across both models", expE15},
 	{"e16", "incremental matching engine: delta scheduling vs full rescan", expE16},
 	{"e17", "cancellation & fault-injection matrix (DESIGN.md §9)", expE17},
+	{"e19", "telemetry: recorder overhead & traced Fig. 1 fidelity (DESIGN.md §11)", expE19},
 }
+
+// benchTel carries the -trace/-metrics flags; e19's traced Fig. 1 run exports
+// through it when set.
+var benchTel = &cli.TelemetryFlags{}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (e1, e3, ...) or all")
@@ -44,14 +50,22 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this long, e.g. 10m (0 = no deadline)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	blockProfile := flag.String("blockprofile", "", "write a goroutine blocking profile to this file at exit")
+	mutexProfile := flag.String("mutexprofile", "", "write a mutex contention profile to this file at exit")
 	flag.BoolVar(&benchShort, "short", false, "e16 only: restrict to the tournament workload (CI smoke)")
 	flag.BoolVar(&benchGuard, "guard", false, "e16 only: fail unless incremental wall < fullscan at n=10^4")
+	benchTel.Register(flag.CommandLine)
 	flag.Parse()
-	profStop, err := cli.StartProfiles(*cpuProfile, *memProfile)
+	spec := cli.ProfileSpec{CPU: *cpuProfile, Mem: *memProfile, Block: *blockProfile, Mutex: *mutexProfile}
+	profStop, err := spec.Start()
 	if err != nil {
 		cli.Exit("gfbench", err)
 	}
 	defer profStop()
+	if err := benchTel.Start(multiset.PrettyKey); err != nil {
+		profStop()
+		cli.Exit("gfbench", err)
+	}
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
 	if *figures != "" {
@@ -94,5 +108,10 @@ func main() {
 			profStop()
 			cli.Exit("gfbench", err)
 		}
+	}
+	if err := benchTel.Finish(); err != nil {
+		stop()
+		profStop()
+		cli.Exit("gfbench", err)
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"sync"
 	"syscall"
 	"time"
 
@@ -79,16 +80,35 @@ func Exit(prog string, err error) {
 	os.Exit(ExitCode(err))
 }
 
-// StartProfiles wires the -cpuprofile/-memprofile convention shared by the
-// cmd/ binaries: cpu (when non-empty) starts a CPU profile immediately, mem
-// (when non-empty) captures a heap profile at stop time. The returned stop
-// function finishes both and must run before the process exits — including
-// the error paths, so call it explicitly before cli.Exit rather than only
-// deferring it past an os.Exit. Empty paths make it a no-op.
-func StartProfiles(cpu, mem string) (stop func(), err error) {
+// ProfileSpec names the profile outputs of one command run — the
+// -cpuprofile/-memprofile/-blockprofile/-mutexprofile convention shared by
+// the cmd/ binaries. Empty paths disable the corresponding profile.
+type ProfileSpec struct {
+	// CPU starts a CPU profile at Start and stops it at flush time.
+	CPU string
+	// Mem captures a heap profile (after a settling GC) at flush time.
+	Mem string
+	// Block enables block profiling (SetBlockProfileRate(1)) for the run and
+	// captures the blocking profile at flush time.
+	Block string
+	// Mutex enables mutex profiling (SetMutexProfileFraction(1)) for the run
+	// and captures the contention profile at flush time.
+	Mutex string
+}
+
+// Start begins the requested profiles and returns the stop function that
+// flushes and closes them all. Flushing is idempotent and additionally hooked
+// to SIGINT/SIGTERM: a run killed mid-flight still gets its profiles written
+// before the signal-driven exit path unwinds, instead of only on the
+// normal-exit call. Call stop explicitly before cli.Exit (which os.Exits past
+// any defer); the signal hook is released by it.
+func (s ProfileSpec) Start() (stop func(), err error) {
+	if s == (ProfileSpec{}) {
+		return func() {}, nil
+	}
 	var cpuFile *os.File
-	if cpu != "" {
-		cpuFile, err = os.Create(cpu)
+	if s.CPU != "" {
+		cpuFile, err = os.Create(s.CPU)
 		if err != nil {
 			return nil, fmt.Errorf("cpuprofile: %w", err)
 		}
@@ -97,26 +117,76 @@ func StartProfiles(cpu, mem string) (stop func(), err error) {
 			return nil, fmt.Errorf("cpuprofile: %w", err)
 		}
 	}
-	return func() {
+	if s.Block != "" {
+		runtime.SetBlockProfileRate(1)
+	}
+	if s.Mutex != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
+	flush := func() {
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
 			cpuFile.Close()
-			cpuFile = nil
 		}
-		if mem != "" {
-			f, err := os.Create(mem)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
-				return
-			}
+		if s.Mem != "" {
 			runtime.GC() // settle live objects so the heap profile is meaningful
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
-			}
-			f.Close()
-			mem = ""
+			writeProfile(s.Mem, "memprofile", func(f *os.File) error {
+				return pprof.WriteHeapProfile(f)
+			})
 		}
+		if s.Block != "" {
+			writeProfile(s.Block, "blockprofile", func(f *os.File) error {
+				return pprof.Lookup("block").WriteTo(f, 0)
+			})
+			runtime.SetBlockProfileRate(0)
+		}
+		if s.Mutex != "" {
+			writeProfile(s.Mutex, "mutexprofile", func(f *os.File) error {
+				return pprof.Lookup("mutex").WriteTo(f, 0)
+			})
+			runtime.SetMutexProfileFraction(0)
+		}
+	}
+	var once sync.Once
+	sigs := make(chan os.Signal, 1)
+	done := make(chan struct{})
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		select {
+		case <-sigs:
+			once.Do(flush)
+		case <-done:
+		}
+	}()
+	var stopOnce sync.Once
+	return func() {
+		stopOnce.Do(func() {
+			signal.Stop(sigs)
+			close(done)
+		})
+		once.Do(flush)
 	}, nil
+}
+
+// writeProfile creates path and hands it to write, reporting failures to
+// stderr rather than aborting the exit path (a profile is diagnostics, not
+// the command's result).
+func writeProfile(path, what string, write func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", what, err)
+		return
+	}
+	if err := write(f); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", what, err)
+	}
+	f.Close()
+}
+
+// StartProfiles is the legacy two-profile form of ProfileSpec.Start, kept for
+// call sites that predate block/mutex profiling.
+func StartProfiles(cpu, mem string) (stop func(), err error) {
+	return ProfileSpec{CPU: cpu, Mem: mem}.Start()
 }
 
 // Context returns the root context for a command run: canceled on SIGINT or

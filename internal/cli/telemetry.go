@@ -1,0 +1,124 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/telemetry"
+)
+
+// TelemetryFlags bundles the observability flags shared by the cmd/ binaries
+// (-trace, -trace-format, -metrics, -metrics-addr) and their lifecycle: flag
+// registration, recorder construction, the live metrics endpoint, and the
+// end-of-run export. A command that registers the flags but whose user passes
+// none of them gets a nil Recorder — the runtimes' disabled fast path.
+type TelemetryFlags struct {
+	// Trace is the output file of the execution trace; empty disables it.
+	Trace string
+	// TraceFormat selects the trace export: "perfetto" (Chrome trace-event
+	// JSON for ui.perfetto.dev), "dot" (Graphviz provenance DAG of the firing
+	// dependencies — on a Gamma run, the paper's dataflow graph) or "jsonl".
+	TraceFormat string
+	// Metrics prints the registry as a table on stdout after the run.
+	Metrics bool
+	// MetricsAddr serves live registry snapshots as JSON over HTTP for the
+	// duration of the run; empty disables the endpoint.
+	MetricsAddr string
+
+	format   telemetry.Format
+	rec      *telemetry.Recorder
+	prov     *telemetry.Provenance
+	closeSrv func()
+}
+
+// Register declares the telemetry flags on fs (the default FlagSet in the
+// cmd/ binaries).
+func (t *TelemetryFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&t.Trace, "trace", "", "write an execution trace to this file (see -trace-format)")
+	fs.StringVar(&t.TraceFormat, "trace-format", "perfetto", "trace format: perfetto, dot (provenance DAG) or jsonl")
+	fs.BoolVar(&t.Metrics, "metrics", false, "print the telemetry metrics table after the run")
+	fs.StringVar(&t.MetricsAddr, "metrics-addr", "", "serve live metrics JSON on this HTTP address during the run (e.g. localhost:6060)")
+}
+
+// Enabled reports whether any telemetry output was requested.
+func (t *TelemetryFlags) Enabled() bool {
+	return t.Trace != "" || t.Metrics || t.MetricsAddr != ""
+}
+
+// Start validates the flags and builds the collectors: the recorder (nil when
+// nothing was requested, keeping the runtimes on their fast path), the
+// provenance tracer for the dot format (labeler renders element keys; nil
+// keeps them raw), and the live metrics endpoint. Call Finish before exiting.
+func (t *TelemetryFlags) Start(labeler func(string) string) error {
+	if t.Trace != "" {
+		f, err := telemetry.ParseFormat(t.TraceFormat)
+		if err != nil {
+			return err
+		}
+		t.format = f
+	}
+	if !t.Enabled() {
+		return nil
+	}
+	t.rec = telemetry.New(0)
+	if t.format == telemetry.FormatDOT {
+		t.prov = telemetry.NewProvenance()
+		t.prov.Labeler = labeler
+	}
+	if t.MetricsAddr != "" {
+		addr, closeSrv, err := telemetry.ServeMetrics(t.MetricsAddr, t.rec.Metrics)
+		if err != nil {
+			return err
+		}
+		t.closeSrv = closeSrv
+		fmt.Fprintf(os.Stderr, "metrics: serving on http://%s/metrics\n", addr)
+	}
+	return nil
+}
+
+// Recorder is the recorder to pass into the runtime Options; nil when
+// telemetry is disabled.
+func (t *TelemetryFlags) Recorder() *telemetry.Recorder { return t.rec }
+
+// Provenance is the firing tracer to combine into Options.Tracer (via
+// telemetry.MultiTracer); non-nil only for the dot trace format.
+func (t *TelemetryFlags) Provenance() *telemetry.Provenance { return t.prov }
+
+// Finish stops the metrics endpoint, writes the trace file in the selected
+// format and prints the metrics table. Safe to call when telemetry is
+// disabled, and on error paths — a partial run's trace is often exactly what
+// is wanted.
+func (t *TelemetryFlags) Finish() error {
+	if t.closeSrv != nil {
+		t.closeSrv()
+		t.closeSrv = nil
+	}
+	if t.rec == nil {
+		return nil
+	}
+	if t.Trace != "" {
+		f, err := os.Create(t.Trace)
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		switch t.format {
+		case telemetry.FormatPerfetto:
+			err = telemetry.WritePerfetto(f, t.rec)
+		case telemetry.FormatDOT:
+			err = t.prov.WriteDOT(f)
+		case telemetry.FormatJSONL:
+			err = telemetry.WriteJSONL(f, t.rec)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	if t.Metrics {
+		fmt.Print(t.rec.Metrics.Table())
+	}
+	return nil
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/rt"
+	"repro/internal/telemetry"
 	"repro/internal/value"
 )
 
@@ -108,6 +109,11 @@ type Options struct {
 	// error, and a panic inside it exercises the PE pool's panic recovery.
 	// For stress tests; leave nil in production runs.
 	FaultInjector rt.FaultInjector
+	// Recorder, when set, receives the execution's telemetry: one event
+	// track per PE (firing spans with latency and token depth) and registry
+	// counters mirroring the Result fields increment for increment. Nil
+	// costs one branch per record site on the hot paths.
+	Recorder *telemetry.Recorder
 }
 
 // Run executes the graph until no token is in flight and returns the outputs.
@@ -352,17 +358,19 @@ func fireRouting(g *Graph, n *Node, tag int64, operands []value.Value) ([]Token,
 }
 
 // initialTokens fires every const vertex once with tag 0.
-func initialTokens(g *Graph, opt Options, res *Result) []Token {
+func initialTokens(g *Graph, opt Options, res *Result, ts *dfSink) []Token {
 	var toks []Token
 	for _, n := range g.Nodes {
 		if n.Kind != KindConst {
 			continue
 		}
+		t0 := ts.begin()
 		out, _ := fireRouting(g, n, 0, nil) // const firing cannot fail
 		traceFiring(g, opt, n.Name, nil, out)
 		toks = append(toks, out...)
 		res.Firings++
 		res.PerNode[n.Name]++
+		ts.firing(n.ID, n.Name, t0, int64(len(toks)), len(out))
 	}
 	return toks
 }
@@ -416,7 +424,8 @@ func runSequential(ctx context.Context, g *Graph, opt Options) (res *Result, err
 		stores[i] = make(store)
 	}
 	ops := compilePureOps(g)
-	queue := initialTokens(g, opt, res)
+	ts := newDFSink(opt, g, 0)
+	queue := initialTokens(g, opt, res, ts)
 	for len(queue) > 0 {
 		tok := queue[0]
 		queue = queue[1:]
@@ -443,6 +452,8 @@ func runSequential(ctx context.Context, g *Graph, opt Options) (res *Result, err
 				return res, ferr
 			}
 		}
+		mh0 := res.MemoHits
+		t0 := ts.begin()
 		out, err := fire(g, n, tok.Tag, operands, ops, opt, res)
 		if err != nil {
 			return res, err
@@ -450,6 +461,12 @@ func runSequential(ctx context.Context, g *Graph, opt Options) (res *Result, err
 		traceFiring(g, opt, n.Name, keys, out)
 		res.Firings++
 		res.PerNode[n.Name]++
+		if ts != nil {
+			if res.MemoHits > mh0 {
+				ts.memoHit()
+			}
+			ts.firing(n.ID, n.Name, t0, int64(len(queue)+len(out)), len(out))
+		}
 		if opt.MaxFirings > 0 && res.Firings > opt.MaxFirings {
 			return res, ErrMaxFirings
 		}

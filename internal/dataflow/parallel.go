@@ -64,7 +64,7 @@ func runParallel(ctx context.Context, g *Graph, opt Options) (*Result, error) {
 	// Inject the const tokens. Count them first so the in-flight counter
 	// cannot transiently hit zero between sends.
 	seed := newResult(workers)
-	toks := initialTokens(g, opt, seed)
+	toks := initialTokens(g, opt, seed, newDFSink(opt, g, -1))
 	if len(toks) == 0 {
 		eng.shutdown()
 	} else {
@@ -147,16 +147,17 @@ func (e *parEngine) route(t Token) {
 
 func (e *parEngine) peLoop(id int, stores []store, res *Result) {
 	box := e.boxes[id]
+	ts := newDFSink(e.opt, e.g, id)
 	for {
 		tok, ok := box.pop()
 		if !ok {
 			return
 		}
-		e.process(id, tok, stores, res)
+		e.process(id, tok, stores, res, ts)
 	}
 }
 
-func (e *parEngine) process(pe int, tok Token, stores []store, res *Result) {
+func (e *parEngine) process(pe int, tok Token, stores []store, res *Result, ts *dfSink) {
 	defer func() {
 		if e.inflight.Add(-1) == 0 {
 			e.shutdown()
@@ -198,6 +199,8 @@ func (e *parEngine) process(pe int, tok Token, stores []store, res *Result) {
 			return
 		}
 	}
+	mh0 := res.MemoHits
+	t0 := ts.begin()
 	out, err := fire(e.g, n, tok.Tag, operands, e.ops, e.opt, res)
 	if err != nil {
 		e.fail(err)
@@ -206,6 +209,12 @@ func (e *parEngine) process(pe int, tok Token, stores []store, res *Result) {
 	traceFiring(e.g, e.opt, n.Name, keys, out)
 	res.Firings++
 	res.PerNode[n.Name]++
+	if ts != nil {
+		if res.MemoHits > mh0 {
+			ts.memoHit()
+		}
+		ts.firing(n.ID, n.Name, t0, e.inflight.Load()+int64(len(out)), len(out))
+	}
 	if e.opt.MaxFirings > 0 && e.firings.Add(1) > e.opt.MaxFirings {
 		e.fail(ErrMaxFirings)
 		return

@@ -49,6 +49,7 @@ import (
 	"repro/internal/gamma"
 	"repro/internal/multiset"
 	"repro/internal/rt"
+	"repro/internal/telemetry"
 )
 
 // Topology selects which peers a node may diffuse elements to.
@@ -110,6 +111,11 @@ type Options struct {
 	// instead of the delta-driven incremental scheduler; the baseline knob
 	// for cluster-level measurements.
 	FullScan bool
+	// Recorder, when non-nil, receives cluster-level telemetry (rounds,
+	// migrations, gathers, dead-node adoptions on the "cluster" track) and is
+	// passed through to every node's local Gamma runtime, whose firings land
+	// on "node<i>/w<j>" tracks. Nil disables telemetry at nil-check cost.
+	Recorder *telemetry.Recorder
 }
 
 // Stats reports a cluster execution.
@@ -194,6 +200,10 @@ func (c *Cluster) Run(m *multiset.Multiset) (*multiset.Multiset, *Stats, error) 
 func (c *Cluster) RunContext(ctx context.Context, m *multiset.Multiset) (*multiset.Multiset, *Stats, error) {
 	rng := rand.New(rand.NewSource(c.opt.Seed + 1))
 	stats := &Stats{PerNode: make([]int64, c.opt.Nodes)}
+	cs := newClusterSink(c.opt)
+	// Migrations are incremented deep inside scatter/moveBatch; reconcile the
+	// registry mirror on every exit path so the two accountings agree exactly.
+	defer func() { cs.syncMigrations(stats.Migrations) }()
 	alive := make([]bool, c.opt.Nodes)
 	for i := range alive {
 		alive[i] = true
@@ -207,6 +217,7 @@ func (c *Cluster) RunContext(ctx context.Context, m *multiset.Multiset) (*multis
 		shards[i] = multiset.New()
 	}
 	scatter(m, shards, alive, rng, &stats.Migrations)
+	cs.syncMigrations(stats.Migrations)
 
 	for round := 0; ; round++ {
 		if err := ctx.Err(); err != nil {
@@ -216,6 +227,7 @@ func (c *Cluster) RunContext(ctx context.Context, m *multiset.Multiset) (*multis
 			return nil, stats, ErrMaxRounds
 		}
 		stats.Rounds++
+		t0 := cs.begin()
 
 		// React phase: all live nodes to their local stable state,
 		// concurrently. Each node runs the same incremental matching engine
@@ -247,6 +259,7 @@ func (c *Cluster) RunContext(ctx context.Context, m *multiset.Multiset) (*multis
 			}
 		}
 		stats.Steps += fired
+		cs.round(t0, fired, liveCount)
 
 		// Bury dead nodes: survivors adopt the shard (still consistent — the
 		// node stopped at a commit boundary) and the run degrades rather than
@@ -265,12 +278,14 @@ func (c *Cluster) RunContext(ctx context.Context, m *multiset.Multiset) (*multis
 			liveCount--
 			stats.DeadNodes = append(stats.DeadNodes, n)
 			stats.Degraded = true
+			cs.adopt(n, liveCount)
 			if liveCount == 0 {
 				return nil, stats, fmt.Errorf("dist: all nodes dead: %w", errs[n])
 			}
 			scatter(shards[n], shards, alive, rng, &stats.Migrations)
 			shards[n] = multiset.New()
 		}
+		cs.syncMigrations(stats.Migrations)
 
 		if fired == 0 && round > 0 {
 			// Quiescent round: check Eq. 1's global condition on the union.
@@ -283,6 +298,7 @@ func (c *Cluster) RunContext(ctx context.Context, m *multiset.Multiset) (*multis
 					return true
 				})
 			}
+			cs.gather(union.Len())
 			enabled, err := gamma.Enabled(c.prog, union)
 			if err != nil {
 				return nil, stats, err
@@ -308,6 +324,7 @@ func (c *Cluster) RunContext(ctx context.Context, m *multiset.Multiset) (*multis
 				peer := pickPeer(n, alive, c.opt.Topology, rng)
 				stats.Migrations += moveBatch(shards[n], shards[peer], c.opt.DiffusionBatch, rng)
 			}
+			cs.syncMigrations(stats.Migrations)
 		}
 	}
 }
@@ -333,10 +350,12 @@ func (c *Cluster) runNode(ctx context.Context, n, round int, shard *multiset.Mul
 			nctx, cancel = context.WithTimeout(ctx, c.opt.NodeTimeout)
 		}
 		st, err := gamma.RunContext(nctx, c.prog, shard, gamma.Options{
-			Workers:  c.opt.WorkersPerNode,
-			Seed:     c.opt.Seed + int64(round)*31 + int64(n) + 1 + int64(attempt)*101,
-			MaxSteps: c.opt.MaxStepsPerRound,
-			FullScan: c.opt.FullScan,
+			Workers:    c.opt.WorkersPerNode,
+			Seed:       c.opt.Seed + int64(round)*31 + int64(n) + 1 + int64(attempt)*101,
+			MaxSteps:   c.opt.MaxStepsPerRound,
+			FullScan:   c.opt.FullScan,
+			Recorder:   c.opt.Recorder,
+			TrackLabel: fmt.Sprintf("node%d", n),
 		})
 		cancel()
 		if st != nil {

@@ -1,0 +1,105 @@
+package dist
+
+import (
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// clusterSink is the coordinator's telemetry state, resolved once per run so
+// a disabled recorder costs one nil-check branch per record site (all methods
+// no-op on a nil receiver). Node-local firing telemetry is not recorded here:
+// each node's react phase runs the full gamma runtime with the recorder
+// passed through, so node work lands on "node<i>/w<j>" tracks and the shared
+// gamma.* registry instruments. The coordinator accounts the cluster-level
+// vocabulary — rounds, migrations, gathers, dead-node adoptions — and its
+// counters mirror the Stats fields exactly (migrations, incremented deep
+// inside scatter/moveBatch via pointer, are mirrored by delta at the
+// coordinator's observation points).
+type clusterSink struct {
+	track *telemetry.Track
+
+	rounds     *telemetry.Counter
+	steps      *telemetry.Counter
+	migrations *telemetry.Counter
+	gathers    *telemetry.Counter
+	adoptions  *telemetry.Counter
+	liveNodes  *telemetry.Gauge
+
+	lastMig int64
+}
+
+// newClusterSink resolves the coordinator track and instruments; nil when
+// telemetry is disabled.
+func newClusterSink(opt Options) *clusterSink {
+	rec := opt.Recorder
+	if rec == nil {
+		return nil
+	}
+	reg := rec.Metrics
+	return &clusterSink{
+		track:      rec.Track("cluster"),
+		rounds:     reg.Counter("dist.rounds"),
+		steps:      reg.Counter("dist.steps"),
+		migrations: reg.Counter("dist.migrations"),
+		gathers:    reg.Counter("dist.gathers"),
+		adoptions:  reg.Counter("dist.adoptions"),
+		liveNodes:  reg.Gauge("dist.live_nodes"),
+	}
+}
+
+// begin stamps the start of a round; the zero time when disabled.
+func (s *clusterSink) begin() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// round accounts one completed react phase: a span from the round's start
+// with the firings it produced and the live-node count in the payload.
+func (s *clusterSink) round(start time.Time, fired int64, live int) {
+	if s == nil {
+		return
+	}
+	s.rounds.Inc()
+	s.steps.Add(fired)
+	s.liveNodes.Set(int64(live))
+	s.track.Span(telemetry.KindRound, "round", start, fired, int64(live))
+}
+
+// adopt accounts one dead-node burial: the survivors adopt node n's shard.
+func (s *clusterSink) adopt(node, live int) {
+	if s == nil {
+		return
+	}
+	s.adoptions.Inc()
+	s.liveNodes.Set(int64(live))
+	s.track.Instant(telemetry.KindAdopt, "adopt", int64(node), int64(live))
+}
+
+// gather accounts one global stability check over a union of the given
+// cardinality.
+func (s *clusterSink) gather(card int) {
+	if s == nil {
+		return
+	}
+	s.gathers.Inc()
+	s.track.Instant(telemetry.KindGather, "gather", int64(card), 0)
+}
+
+// syncMigrations mirrors Stats.Migrations into the registry by delta. The
+// field is incremented through a pointer inside scatter and moveBatch, so the
+// coordinator reconciles at its observation points (after placement, each
+// diffuse phase, and on every exit path) rather than at each increment; total
+// is monotone, so the delta is always the elements moved since the last sync.
+func (s *clusterSink) syncMigrations(total int64) {
+	if s == nil {
+		return
+	}
+	if d := total - s.lastMig; d > 0 {
+		s.migrations.Add(d)
+		s.lastMig = total
+		s.track.Instant(telemetry.KindMigrate, "migrate", d, 0)
+	}
+}

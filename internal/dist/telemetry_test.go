@@ -1,0 +1,155 @@
+package dist
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/multiset"
+	"repro/internal/telemetry"
+	"repro/internal/value"
+)
+
+// checkClusterTelemetryAgrees holds the cluster-level registry counters to
+// exact agreement with dist.Stats, and the node-level gamma counters to the
+// aggregated node work — the distributed leg of the differential contract.
+func checkClusterTelemetryAgrees(t *testing.T, rec *telemetry.Recorder, st *Stats) {
+	t.Helper()
+	reg := rec.Metrics
+	for _, c := range []struct {
+		name string
+		want int64
+	}{
+		{"dist.rounds", int64(st.Rounds)},
+		{"dist.steps", st.Steps},
+		{"dist.migrations", st.Migrations},
+		{"dist.gathers", int64(st.Gathers)},
+		{"dist.adoptions", int64(len(st.DeadNodes))},
+		{"gamma.steps", st.Steps},
+		{"gamma.probes", st.Probes},
+		{"gamma.conflicts", st.Conflicts},
+		{"gamma.retries", st.Retries},
+	} {
+		if got := reg.CounterValue(c.name); got != c.want {
+			t.Errorf("counter %s = %d, stats say %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestTelemetryDifferentialCluster(t *testing.T) {
+	for _, nodes := range []int{1, 4} {
+		rec := telemetry.New(0)
+		c, err := NewCluster(minProg(t), Options{Nodes: nodes, Seed: int64(nodes), Recorder: rec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := multiset.New()
+		for i := int64(1); i <= 64; i++ {
+			m.Add(multiset.New1(value.Int(i)))
+		}
+		_, st, err := c.Run(m)
+		if err != nil {
+			t.Fatalf("nodes=%d: %v", nodes, err)
+		}
+		checkClusterTelemetryAgrees(t, rec, st)
+		if st.Steps != 63 {
+			t.Errorf("nodes=%d: steps = %d, want 63", nodes, st.Steps)
+		}
+		// Node shards must land on their own named tracks.
+		found := false
+		for _, tr := range rec.Snapshot() {
+			if tr.Name == "node0/w0" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("nodes=%d: no node0/w0 track in snapshot", nodes)
+		}
+	}
+}
+
+func TestTelemetryDifferentialClusterMultiWorker(t *testing.T) {
+	rec := telemetry.New(0)
+	c, err := NewCluster(minProg(t), Options{Nodes: 2, WorkersPerNode: 3, Seed: 11, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := multiset.New()
+	for i := int64(1); i <= 96; i++ {
+		m.Add(multiset.New1(value.Int(i)))
+	}
+	_, st, err := c.Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkClusterTelemetryAgrees(t, rec, st)
+}
+
+func TestTelemetryDifferentialClusterDeadNode(t *testing.T) {
+	rec := telemetry.New(0)
+	c, err := NewCluster(minProg(t), Options{
+		Nodes: 4, Seed: 3, Recorder: rec,
+		FaultInjector: func(node, round int) error {
+			if node == 2 {
+				return errors.New("node 2 unplugged")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := multiset.New()
+	for i := int64(1); i <= 64; i++ {
+		m.Add(multiset.New1(value.Int(i)))
+	}
+	_, st, err := c.Run(m)
+	if err != nil {
+		t.Fatalf("degraded run must succeed, got %v", err)
+	}
+	if !st.Degraded || len(st.DeadNodes) != 1 {
+		t.Fatalf("degradation not recorded: %+v", st)
+	}
+	// The dead node's adoption and the redistribution migrations must all be
+	// mirrored; the partial work its attempts did counts in both accountings.
+	checkClusterTelemetryAgrees(t, rec, st)
+	adopts := 0
+	for _, tr := range rec.Snapshot() {
+		if tr.Name != "cluster" {
+			continue
+		}
+		for _, e := range tr.Events {
+			if e.Kind == telemetry.KindAdopt {
+				adopts++
+			}
+		}
+	}
+	if adopts != 1 {
+		t.Errorf("adopt events = %d, want 1", adopts)
+	}
+}
+
+func TestTelemetryClusterRoundEvents(t *testing.T) {
+	rec := telemetry.New(0)
+	c, err := NewCluster(minProg(t), Options{Nodes: 2, Seed: 5, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := c.Run(intSet(9, 4, 7, 1, 8, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds := 0
+	for _, tr := range rec.Snapshot() {
+		if tr.Name != "cluster" {
+			continue
+		}
+		for _, e := range tr.Events {
+			if e.Kind == telemetry.KindRound {
+				rounds++
+			}
+		}
+	}
+	if rounds != st.Rounds {
+		t.Errorf("round events = %d, stats.Rounds = %d", rounds, st.Rounds)
+	}
+}

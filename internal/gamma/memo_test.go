@@ -31,7 +31,7 @@ func applyMatch(t *testing.T, r *Reaction, m *multiset.Multiset, opt Options, st
 		t.Fatal("no match")
 	}
 	defer k.putSearcher(s)
-	return applyAction(r, k, s, opt, stats)
+	return applyAction(r, k, s, opt, stats, nil)
 }
 
 func TestMemoPlanShapes(t *testing.T) {

@@ -13,6 +13,7 @@ import (
 	"repro/internal/multiset"
 	"repro/internal/rt"
 	"repro/internal/symtab"
+	"repro/internal/telemetry"
 	"repro/internal/value"
 )
 
@@ -79,6 +80,15 @@ type Options struct {
 	// with that error, and a panic inside it exercises the worker pool's
 	// panic recovery. For stress tests; leave nil in production runs.
 	FaultInjector rt.FaultInjector
+	// Recorder, when set, receives the execution's telemetry: per-worker
+	// event tracks (firing spans with latency, commit conflicts, retries)
+	// and registry counters/gauges/histograms mirroring Stats increment for
+	// increment. Nil costs one branch per record site on the hot paths.
+	Recorder *telemetry.Recorder
+	// TrackLabel prefixes this run's telemetry track names (default
+	// "gamma"); dist sets it per node so a cluster trace shows one track
+	// group per node.
+	TrackLabel string
 }
 
 // traceFiring reports one committed reaction application to the tracer.
@@ -229,7 +239,7 @@ type memoEntry struct {
 // applyAction evaluates the enabled branch's products over the firing's slot
 // environment (compiled kernel path), honoring the memo table and work
 // factor.
-func applyAction(r *Reaction, k *kernel, s *searcher, opt Options, stats *Stats) ([]multiset.Tuple, error) {
+func applyAction(r *Reaction, k *kernel, s *searcher, opt Options, stats *Stats, ts *telSink) ([]multiset.Tuple, error) {
 	if opt.Memo == nil {
 		spin(opt.WorkFactor)
 		return k.produce(r.Name, s.branch, s.env)
@@ -247,6 +257,7 @@ func applyAction(r *Reaction, k *kernel, s *searcher, opt Options, stats *Stats)
 	}
 	if cached, ok := opt.Memo.LookupReaction(key); ok {
 		stats.MemoHits++
+		ts.memoHit()
 		return refreshProducts(r, k, plan, cached, s.env)
 	}
 	spin(opt.WorkFactor)
@@ -364,6 +375,7 @@ func runSequential(ctx context.Context, p *Program, m *multiset.Multiset, opt Op
 	if n == 0 {
 		return stats, nil
 	}
+	ts := newTelSink(opt, p, 0)
 	subs := p.subs()
 	dirty := make([]bool, n)
 	for i := range dirty {
@@ -387,6 +399,8 @@ func runSequential(ctx context.Context, p *Program, m *multiset.Multiset, opt Op
 			return stats, rt.FromContext(cerr)
 		}
 		stats.Probes++
+		t0 := ts.begin()
+		ts.probe(r.Name)
 		k := r.kernel()
 		s, err := findFiring(r, m, rng)
 		if err != nil {
@@ -409,7 +423,7 @@ func runSequential(ctx context.Context, p *Program, m *multiset.Multiset, opt Op
 				return stats, ferr
 			}
 		}
-		products, err := applyAction(r, k, s, opt, stats)
+		products, err := applyAction(r, k, s, opt, stats, ts)
 		if err != nil {
 			k.putSearcher(s)
 			return stats, err
@@ -428,9 +442,11 @@ func runSequential(ctx context.Context, p *Program, m *multiset.Multiset, opt Op
 			stats.Fired[r.Name]++
 			// The fired reaction stays dirty: consuming elements may leave it
 			// enabled on what remains.
+			woken := n - remaining
 			for j := 0; j < n; j++ {
 				markDirty(j)
 			}
+			ts.firing(i, r.Name, t0, m, woken, remaining)
 			continue
 		}
 		// Incremental commit: the firing's consume+produce lands as one
@@ -447,7 +463,13 @@ func runSequential(ctx context.Context, p *Program, m *multiset.Multiset, opt Op
 		k.putSearcher(s)
 		stats.Steps++
 		stats.Fired[r.Name]++
-		subs.forEachSym(syms, markDirty)
+		if ts == nil {
+			subs.forEachSym(syms, markDirty)
+		} else {
+			before := remaining
+			subs.forEachSym(syms, markDirty)
+			ts.firing(i, r.Name, t0, m, remaining-before, remaining)
+		}
 	}
 	return stats, nil
 }
@@ -574,14 +596,14 @@ func conflictBackoff(retries int) {
 // *rt.PanicError carrying the reaction and worker identity, the pool is told
 // to stop, and the worker exits cleanly instead of taking the process down or
 // leaving its peers waiting on an idle count that can never complete.
-func safeTryFire(ctx context.Context, p *Program, m *multiset.Multiset, opt Options, sh *parShared, stats *Stats, rng *rand.Rand, idx, worker int, requeue bool) (fired, stop bool) {
+func safeTryFire(ctx context.Context, p *Program, m *multiset.Multiset, opt Options, sh *parShared, stats *Stats, rng *rand.Rand, ts *telSink, idx, worker int, requeue bool) (fired, stop bool) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			sh.fail(rt.NewPanicError("gamma", p.Reactions[idx].Name, worker, rec))
 			fired, stop = false, true
 		}
 	}()
-	return tryFire(ctx, p, m, opt, sh, stats, rng, idx, worker, requeue)
+	return tryFire(ctx, p, m, opt, sh, stats, rng, ts, idx, worker, requeue)
 }
 
 // tryFire probes reaction idx once and fires it if enabled, with the bounded
@@ -589,7 +611,7 @@ func safeTryFire(ctx context.Context, p *Program, m *multiset.Multiset, opt Opti
 // up on a contended commit (worklist mode). Returns whether a firing
 // committed and whether the worker must stop (error, cancellation or
 // MaxSteps).
-func tryFire(ctx context.Context, p *Program, m *multiset.Multiset, opt Options, sh *parShared, stats *Stats, rng *rand.Rand, idx, worker int, requeue bool) (fired, stop bool) {
+func tryFire(ctx context.Context, p *Program, m *multiset.Multiset, opt Options, sh *parShared, stats *Stats, rng *rand.Rand, ts *telSink, idx, worker int, requeue bool) (fired, stop bool) {
 	r := p.Reactions[idx]
 	subs := p.subs()
 	k := r.kernel()
@@ -600,6 +622,8 @@ func tryFire(ctx context.Context, p *Program, m *multiset.Multiset, opt Options,
 			return false, true
 		}
 		stats.Probes++
+		t0 := ts.begin()
+		ts.probe(r.Name)
 		s, err := findFiring(r, m, rng)
 		if err != nil {
 			sh.fail(err)
@@ -615,7 +639,7 @@ func tryFire(ctx context.Context, p *Program, m *multiset.Multiset, opt Options,
 				return false, true
 			}
 		}
-		products, err := applyAction(r, k, s, opt, stats)
+		products, err := applyAction(r, k, s, opt, stats, ts)
 		if err != nil {
 			k.putSearcher(s)
 			sh.fail(err)
@@ -638,8 +662,10 @@ func tryFire(ctx context.Context, p *Program, m *multiset.Multiset, opt Options,
 		if !committed {
 			k.putSearcher(s)
 			stats.Conflicts++
+			ts.conflict(r.Name)
 			if retries < maxConflictRetries {
 				stats.Retries++
+				ts.retry(r.Name)
 				conflictBackoff(retries)
 				continue // rematch: its molecules changed under us
 			}
@@ -660,16 +686,20 @@ func tryFire(ctx context.Context, p *Program, m *multiset.Multiset, opt Options,
 		stats.Steps++
 		stats.Fired[r.Name]++
 
+		woken, depth := 0, 0
 		sh.mu.Lock()
 		sh.version++
 		sh.steps++
 		over := opt.MaxSteps > 0 && sh.steps >= opt.MaxSteps
 		if !opt.FullScan {
+			before := len(sh.queue)
 			subs.forEachSym(syms, sh.enqueueLocked)
 			sh.enqueueLocked(idx) // may still be enabled on what remains
+			woken, depth = len(sh.queue)-before, len(sh.queue)
 		}
 		sh.cond.Broadcast()
 		sh.mu.Unlock()
+		ts.firing(idx, r.Name, t0, m, woken, depth)
 		if over {
 			sh.fail(ErrMaxSteps)
 			return true, true
@@ -680,6 +710,7 @@ func tryFire(ctx context.Context, p *Program, m *multiset.Multiset, opt Options,
 
 func workerLoop(ctx context.Context, p *Program, m *multiset.Multiset, opt Options, sh *parShared, stats *Stats, id int) {
 	rng := rand.New(rand.NewSource(opt.Seed + int64(id)*0x9e3779b9 + 1))
+	ts := newTelSink(opt, p, id)
 	n := len(p.Reactions)
 	for {
 		sh.mu.Lock()
@@ -698,7 +729,7 @@ func workerLoop(ctx context.Context, p *Program, m *multiset.Multiset, opt Optio
 
 		if idx >= 0 {
 			// Worklist mode: probe just the delta-scheduled reaction.
-			if _, stop := safeTryFire(ctx, p, m, opt, sh, stats, rng, idx, id, true); stop {
+			if _, stop := safeTryFire(ctx, p, m, opt, sh, stats, rng, ts, idx, id, true); stop {
 				return
 			}
 			continue
@@ -710,7 +741,7 @@ func workerLoop(ctx context.Context, p *Program, m *multiset.Multiset, opt Optio
 		fired := false
 		start := rng.Intn(n)
 		for k := 0; k < n; k++ {
-			firedHere, stop := safeTryFire(ctx, p, m, opt, sh, stats, rng, (start+k)%n, id, false)
+			firedHere, stop := safeTryFire(ctx, p, m, opt, sh, stats, rng, ts, (start+k)%n, id, false)
 			if stop {
 				return
 			}

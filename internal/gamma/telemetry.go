@@ -1,0 +1,129 @@
+package gamma
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/multiset"
+	"repro/internal/telemetry"
+)
+
+// telSink is the per-worker telemetry state of one execution, resolved once
+// at loop start so the hot paths pay a single nil-check branch when the
+// recorder is disabled (every method is a no-op on a nil receiver) and no
+// map lookups when it is enabled. Counters mirror the Stats fields increment
+// for increment — the differential tests in telemetry_test.go hold the two
+// accountings to exact agreement.
+type telSink struct {
+	track   *telemetry.Track
+	verbose bool
+
+	steps     *telemetry.Counter
+	probes    *telemetry.Counter
+	conflicts *telemetry.Counter
+	retries   *telemetry.Counter
+	memoHits  *telemetry.Counter
+	fired     []*telemetry.Counter   // per reaction index
+	lat       []*telemetry.Histogram // per reaction index
+	card      *telemetry.Gauge
+	depth     *telemetry.Gauge
+}
+
+// newTelSink resolves the worker's track and instruments; nil when telemetry
+// is disabled. The track name is "<label>/w<worker>", where label defaults
+// to "gamma" and is overridden by Options.TrackLabel (dist names node
+// shards).
+func newTelSink(opt Options, p *Program, worker int) *telSink {
+	rec := opt.Recorder
+	if rec == nil {
+		return nil
+	}
+	label := opt.TrackLabel
+	if label == "" {
+		label = "gamma"
+	}
+	reg := rec.Metrics
+	ts := &telSink{
+		track:     rec.Track(fmt.Sprintf("%s/w%d", label, worker)),
+		verbose:   rec.Verbose,
+		steps:     reg.Counter("gamma.steps"),
+		probes:    reg.Counter("gamma.probes"),
+		conflicts: reg.Counter("gamma.conflicts"),
+		retries:   reg.Counter("gamma.retries"),
+		memoHits:  reg.Counter("gamma.memo_hits"),
+		card:      reg.Gauge("gamma.cardinality"),
+		depth:     reg.Gauge("gamma.worklist_depth"),
+	}
+	ts.fired = make([]*telemetry.Counter, len(p.Reactions))
+	ts.lat = make([]*telemetry.Histogram, len(p.Reactions))
+	for i, r := range p.Reactions {
+		ts.fired[i] = reg.Counter("gamma.fired." + r.Name)
+		ts.lat[i] = reg.Histogram("gamma.firing_ns." + r.Name)
+	}
+	return ts
+}
+
+// begin stamps the start of a probe→commit attempt; the zero time when
+// telemetry is disabled.
+func (t *telSink) begin() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// probe accounts one match attempt. Event volume is counter-only unless the
+// recorder is verbose: probes outnumber firings by the probe→match ratio and
+// would dominate both the ring and the enabled-mode overhead.
+func (t *telSink) probe(name string) {
+	if t == nil {
+		return
+	}
+	t.probes.Inc()
+	if t.verbose {
+		t.track.Instant(telemetry.KindProbe, name, 0, 0)
+	}
+}
+
+// firing accounts one committed reaction application: the latency span since
+// begin, with the post-commit cardinality and the scheduler wakeups the
+// commit caused folded into the event payload (one ring write per firing).
+func (t *telSink) firing(idx int, name string, start time.Time, m *multiset.Multiset, woken, depth int) {
+	if t == nil {
+		return
+	}
+	t.steps.Inc()
+	t.fired[idx].Inc()
+	card := int64(m.Len())
+	t.card.Set(card)
+	t.depth.Set(int64(depth))
+	lat := time.Since(start)
+	t.lat[idx].Observe(lat.Nanoseconds())
+	t.track.SpanDur(telemetry.KindFiring, name, start, lat, card, int64(woken))
+}
+
+// conflict accounts one failed optimistic commit.
+func (t *telSink) conflict(name string) {
+	if t == nil {
+		return
+	}
+	t.conflicts.Inc()
+	t.track.Instant(telemetry.KindConflict, name, 0, 0)
+}
+
+// retry accounts one in-place conflict rematch.
+func (t *telSink) retry(name string) {
+	if t == nil {
+		return
+	}
+	t.retries.Inc()
+	t.track.Instant(telemetry.KindRetry, name, 0, 0)
+}
+
+// memoHit accounts one reaction application answered from the memo table.
+func (t *telSink) memoHit() {
+	if t == nil {
+		return
+	}
+	t.memoHits.Inc()
+}

@@ -100,6 +100,25 @@ func (t Tuple) Key() string {
 	return b.String()
 }
 
+// PrettyKey renders a Tuple.Key back into the paper's bracketed tuple form
+// ("[1, 'A1']"): fields are split on the key separator and stripped of their
+// kind byte. Consumers of execution traces (the telemetry provenance DOT)
+// use it to label elements that are only known by key. Strings that are not
+// well-formed keys are returned unchanged.
+func PrettyKey(key string) string {
+	if key == "" {
+		return key
+	}
+	parts := strings.Split(key, "\x1f")
+	for i, p := range parts {
+		if p == "" {
+			return key
+		}
+		parts[i] = p[1:]
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
 // String renders the tuple in the paper's bracketed style: [1, 'A1', 0].
 func (t Tuple) String() string {
 	parts := make([]string, len(t))

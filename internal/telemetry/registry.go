@@ -1,0 +1,273 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+)
+
+// Counter is a monotone atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (worklist depth, cardinality, live
+// nodes). Unlike a Counter it moves both ways and keeps a high-water mark.
+type Gauge struct {
+	v   atomic.Int64
+	max atomic.Int64
+}
+
+// Set records the current value and updates the high-water mark.
+func (g *Gauge) Set(n int64) {
+	g.v.Store(n)
+	for {
+		m := g.max.Load()
+		if n <= m || g.max.CompareAndSwap(m, n) {
+			return
+		}
+	}
+}
+
+// Value reads the last set value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Max reads the high-water mark.
+func (g *Gauge) Max() int64 { return g.max.Load() }
+
+// histBuckets is the bucket count of a Histogram: bucket i counts
+// observations v with bits.Len64(v) == i, i.e. power-of-two latency bands.
+const histBuckets = 64
+
+// Histogram accumulates a latency distribution in power-of-two buckets. It
+// trades precision (quantiles are exact only to a factor of 2, interpolated
+// within a bucket) for a fixed footprint and lock-free concurrent Observe.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one value (nanoseconds by convention); negatives clamp to 0.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			break
+		}
+	}
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Max returns the largest observation.
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Mean returns the average observation, 0 when empty.
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// within the containing power-of-two bucket.
+func (h *Histogram) Quantile(q float64) int64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := q * float64(n-1)
+	seen := int64(0)
+	for i := 0; i < histBuckets; i++ {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		if float64(seen+c) > rank {
+			lo := int64(0)
+			if i > 0 {
+				lo = int64(1) << uint(i-1)
+			}
+			hi := int64(1)<<uint(i) - 1
+			if i == 0 {
+				hi = 0
+			}
+			frac := (rank - float64(seen)) / float64(c)
+			return lo + int64(math.Round(frac*float64(hi-lo)))
+		}
+		seen += c
+	}
+	return h.max.Load()
+}
+
+// Registry is a name-indexed store of counters, gauges and histograms.
+// Instruments are created on first use and live for the registry's lifetime;
+// hot paths resolve them once and hold the pointer.
+type Registry struct {
+	mu     sync.Mutex
+	counts map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: make(map[string]*Counter),
+		gauges: make(map[string]*Gauge),
+		hists:  make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counts[name]
+	if !ok {
+		c = &Counter{}
+		r.counts[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterValue reads a counter by name; 0 when it was never created.
+func (r *Registry) CounterValue(name string) int64 {
+	r.mu.Lock()
+	c, ok := r.counts[name]
+	r.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return c.Value()
+}
+
+// HistSnapshot is a histogram's summary in a Snapshot.
+type HistSnapshot struct {
+	Count int64   `json:"count"`
+	SumNS int64   `json:"sum_ns"`
+	Mean  float64 `json:"mean_ns"`
+	P50   int64   `json:"p50_ns"`
+	P90   int64   `json:"p90_ns"`
+	P99   int64   `json:"p99_ns"`
+	Max   int64   `json:"max_ns"`
+}
+
+// GaugeSnapshot is a gauge's summary in a Snapshot.
+type GaugeSnapshot struct {
+	Value int64 `json:"value"`
+	Max   int64 `json:"max"`
+}
+
+// Snapshot is a point-in-time copy of every instrument, JSON-marshalable —
+// the payload of the -metrics-addr HTTP endpoint.
+type Snapshot struct {
+	Counters   map[string]int64         `json:"counters"`
+	Gauges     map[string]GaugeSnapshot `json:"gauges"`
+	Histograms map[string]HistSnapshot  `json:"histograms"`
+}
+
+// Snapshot captures every instrument's current value. Safe to call while the
+// observed run is still executing.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counts)),
+		Gauges:     make(map[string]GaugeSnapshot, len(r.gauges)),
+		Histograms: make(map[string]HistSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counts {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = GaugeSnapshot{Value: g.Value(), Max: g.Max()}
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = HistSnapshot{
+			Count: h.Count(), SumNS: h.Sum(), Mean: h.Mean(),
+			P50: h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99),
+			Max: h.Max(),
+		}
+	}
+	return s
+}
+
+// Table renders the registry as the -metrics summary table, instruments
+// sorted by name within kind.
+func (r *Registry) Table() *metrics.Table {
+	s := r.Snapshot()
+	t := metrics.NewTable("telemetry metrics", "metric", "kind", "value", "detail")
+	for _, name := range sortedKeys(s.Counters) {
+		t.Row(name, "counter", s.Counters[name], "")
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		g := s.Gauges[name]
+		t.Row(name, "gauge", g.Value, fmt.Sprintf("max=%d", g.Max))
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		t.Row(name, "histogram", h.Count,
+			fmt.Sprintf("mean=%.0fns p50=%dns p99=%dns max=%dns", h.Mean, h.P50, h.P99, h.Max))
+	}
+	return t
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,303 @@
+// Package telemetry is the runtime observability layer shared by the gamma,
+// dataflow and dist runtimes: a low-overhead event recorder (per-worker ring
+// buffers of timestamped events), a registry of atomic counters, gauges and
+// latency histograms, and exporters — Chrome trace-event JSON (loadable in
+// Perfetto, one track per worker/PE), a JSONL event stream, and a provenance
+// DOT of the firing DAG (provenance.go).
+//
+// The design center is the disabled fast path: every runtime carries a
+// *Recorder in its Options, and a nil recorder costs exactly one
+// pointer-is-nil branch on the hot paths (the runtimes resolve a per-worker
+// sink once per run and guard each record with `if sink == nil`). When
+// enabled, the hot commit path records a single span event per committed
+// firing — the firing latency, with the multiset cardinality and scheduler
+// wakeup count folded into the event payload — while high-frequency
+// occurrences (probes, memo hits) only bump atomic counters unless Verbose
+// is set. Rare occurrences (commit conflicts, retries, dist rounds,
+// migrations, dead-node adoptions) are individual events.
+//
+// Concurrency contract: a Track has a single writer at a time (each worker
+// or PE owns its track; sequential phases may reuse a track across rounds
+// when ordered by happens-before, as dist's round barrier does). The
+// Registry is safe for arbitrary concurrent use. Snapshots of the event
+// buffers must be taken after the traced run returns; Registry snapshots may
+// be taken live (the -metrics-addr HTTP endpoint does).
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/symtab"
+)
+
+// EventKind classifies an event. The vocabulary is shared across runtimes;
+// DESIGN.md §11 documents which runtime emits what.
+type EventKind uint8
+
+const (
+	// KindFiring is a committed reaction application (gamma: the ApplyDelta
+	// commit) or vertex activation (dataflow). A span: Dur is the latency
+	// from probe/operand-match start to commit. Arg carries the multiset
+	// cardinality (gamma) or pending-token depth (dataflow) after the
+	// commit; Arg2 the number of scheduler wakeups the commit caused.
+	KindFiring EventKind = iota
+	// KindProbe is one match attempt. Only recorded as an event when
+	// Recorder.Verbose is set (probes outnumber firings by the probe→match
+	// ratio); always counted in the registry.
+	KindProbe
+	// KindConflict is a failed optimistic commit (parallel gamma).
+	KindConflict
+	// KindRetry is a conflict rematch attempt (parallel gamma).
+	KindRetry
+	// KindRound is one dist react-diffuse round (a span on the coordinator
+	// track; Arg = firings in the round, Arg2 = live nodes).
+	KindRound
+	// KindMigrate is a batch of element migrations (Arg = elements moved).
+	KindMigrate
+	// KindGather is a dist global stability check on the union multiset.
+	KindGather
+	// KindAdopt is a dead-node shard adoption (Arg = the dead node).
+	KindAdopt
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case KindFiring:
+		return "firing"
+	case KindProbe:
+		return "probe"
+	case KindConflict:
+		return "conflict"
+	case KindRetry:
+		return "retry"
+	case KindRound:
+		return "round"
+	case KindMigrate:
+		return "migrate"
+	case KindGather:
+		return "gather"
+	case KindAdopt:
+		return "adopt"
+	}
+	return "unknown"
+}
+
+// Event is one recorded occurrence. TS is nanoseconds since the recorder was
+// created; spans additionally carry Dur. Name is the reaction/vertex/phase
+// name. Arg and Arg2 are kind-specific payloads (see EventKind).
+type Event struct {
+	TS   int64
+	Dur  int64
+	Arg  int64
+	Arg2 int64
+	Name string
+	Kind EventKind
+}
+
+// ringEvent is the in-buffer form of an Event: the name is interned to a
+// symtab.Sym so the struct is pointer-free. That keeps the ring out of the
+// garbage collector entirely — the buffer lives in no-scan memory, appends
+// need no write barrier, and a multi-megabyte ring adds zero marking work to
+// the traced run (the dominant enabled-recorder cost before interning).
+// Snapshot resolves names back to strings.
+type ringEvent struct {
+	ts   int64
+	dur  int64
+	arg  int64
+	arg2 int64
+	name symtab.Sym
+	kind EventKind
+}
+
+// DefaultEventCap is the per-track ring capacity when New is given 0.
+const DefaultEventCap = 1 << 14
+
+// Recorder owns the event tracks and the metrics registry of one observed
+// run (or several, when reused across dist rounds).
+type Recorder struct {
+	start time.Time
+	cap   int
+	// Verbose additionally records per-probe instant events. Off by default:
+	// probe events dominate the timeline volume and the registry's probe
+	// counter already carries the aggregate.
+	Verbose bool
+	// Metrics is the recorder's registry; never nil.
+	Metrics *Registry
+
+	mu     sync.Mutex
+	tracks []*Track
+	byName map[string]*Track
+}
+
+// New returns a Recorder whose tracks hold up to eventCap events each
+// (oldest overwritten first). eventCap 0 selects DefaultEventCap; negative
+// selects a metrics-only recorder that buffers no events at all.
+func New(eventCap int) *Recorder {
+	switch {
+	case eventCap == 0:
+		eventCap = DefaultEventCap
+	case eventCap < 0:
+		eventCap = 0
+	}
+	return &Recorder{
+		start:   time.Now(),
+		cap:     eventCap,
+		Metrics: NewRegistry(),
+		byName:  make(map[string]*Track),
+	}
+}
+
+// Track returns the track with the given name, creating it on first use.
+// Names follow the "<runtime-or-node>/w<worker>" convention; each track
+// renders as one Perfetto thread. The returned track must have a single
+// writer at a time.
+func (r *Recorder) Track(name string) *Track {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t, ok := r.byName[name]; ok {
+		return t
+	}
+	t := &Track{name: name, rec: r}
+	if r.cap > 0 {
+		t.buf = make([]ringEvent, r.cap)
+	}
+	r.tracks = append(r.tracks, t)
+	r.byName[name] = t
+	return t
+}
+
+// Since returns the recorder-relative timestamp of t in nanoseconds.
+func (r *Recorder) Since(t time.Time) int64 { return t.Sub(r.start).Nanoseconds() }
+
+// now is the current recorder-relative timestamp.
+func (r *Recorder) now() int64 { return time.Since(r.start).Nanoseconds() }
+
+// Track is one worker/PE event ring. Appends are lock-free single-writer;
+// the buffer keeps the most recent cap events and counts what it dropped.
+type Track struct {
+	name    string
+	rec     *Recorder
+	buf     []ringEvent
+	head    int   // next write position
+	total   int64 // events ever appended
+	dropped int64 // events overwritten or discarded (metrics-only recorder)
+}
+
+// Name returns the track's name.
+func (t *Track) Name() string { return t.name }
+
+func (t *Track) append(e ringEvent) {
+	if len(t.buf) == 0 {
+		t.dropped++
+		return
+	}
+	if t.total >= int64(len(t.buf)) {
+		t.dropped++
+	}
+	t.buf[t.head] = e
+	t.head++
+	if t.head == len(t.buf) {
+		t.head = 0
+	}
+	t.total++
+}
+
+// Instant records a point event at the current time.
+func (t *Track) Instant(kind EventKind, name string, arg, arg2 int64) {
+	t.append(ringEvent{ts: t.rec.now(), kind: kind, name: symtab.Intern(name), arg: arg, arg2: arg2})
+}
+
+// Span records an event that started at start and ends now.
+func (t *Track) Span(kind EventKind, name string, start time.Time, arg, arg2 int64) {
+	ts := t.rec.Since(start)
+	t.append(ringEvent{ts: ts, dur: t.rec.now() - ts, kind: kind, name: symtab.Intern(name), arg: arg, arg2: arg2})
+}
+
+// SpanDur records a span that started at start and lasted dur. Callers that
+// already measured the latency (the gamma firing path feeds the same reading
+// to its histogram) use this to avoid a second clock read.
+func (t *Track) SpanDur(kind EventKind, name string, start time.Time, dur time.Duration, arg, arg2 int64) {
+	t.append(ringEvent{ts: t.rec.Since(start), dur: dur.Nanoseconds(), kind: kind, name: symtab.Intern(name), arg: arg, arg2: arg2})
+}
+
+// TrackEvents is one track's snapshot: its buffered events in chronological
+// order and the count of events that no longer fit the ring.
+type TrackEvents struct {
+	Name    string
+	Events  []Event
+	Dropped int64
+}
+
+// Snapshot copies every track's buffered events, oldest first. Call it after
+// the traced run has returned (tracks are single-writer, not locked).
+func (r *Recorder) Snapshot() []TrackEvents {
+	r.mu.Lock()
+	tracks := make([]*Track, len(r.tracks))
+	copy(tracks, r.tracks)
+	r.mu.Unlock()
+	out := make([]TrackEvents, 0, len(tracks))
+	for _, t := range tracks {
+		n := t.total
+		if n > int64(len(t.buf)) {
+			n = int64(len(t.buf))
+		}
+		evs := make([]Event, 0, n)
+		if n > 0 {
+			// Oldest-first: the ring wraps at head.
+			start := 0
+			if t.total > int64(len(t.buf)) {
+				start = t.head
+			}
+			for i := int64(0); i < n; i++ {
+				e := t.buf[(start+int(i))%len(t.buf)]
+				evs = append(evs, Event{
+					TS: e.ts, Dur: e.dur, Arg: e.arg, Arg2: e.arg2,
+					Name: symtab.Name(e.name), Kind: e.kind,
+				})
+			}
+		}
+		// Spans are appended at their end time but stamped with their start
+		// time, so an instant recorded mid-span can precede it in the buffer
+		// while following it in TS order. Restore per-track TS monotonicity
+		// for the exporters.
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].TS < evs[j].TS })
+		out = append(out, TrackEvents{Name: t.name, Events: evs, Dropped: t.dropped})
+	}
+	return out
+}
+
+// Tracer is the structural firing-trace interface shared by gamma.Tracer and
+// dataflow.Tracer; Provenance implements it, and MultiTracer fans one firing
+// out to several implementations.
+type Tracer interface {
+	RecordFiring(name string, consumed, produced []string)
+}
+
+type multiTracer []Tracer
+
+func (m multiTracer) RecordFiring(name string, consumed, produced []string) {
+	for _, t := range m {
+		t.RecordFiring(name, consumed, produced)
+	}
+}
+
+// MultiTracer combines tracers, dropping nils. It returns nil when none
+// remain and the single tracer unwrapped when one does, so the result can be
+// assigned directly to an Options.Tracer field.
+func MultiTracer(ts ...Tracer) Tracer {
+	var live []Tracer
+	for _, t := range ts {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return multiTracer(live)
+}
