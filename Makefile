@@ -33,9 +33,10 @@ bench-smoke:
 bench-compare:
 	$(GO) run ./cmd/gfbench -exp e16 -guard
 
-# Refresh the machine-readable matching-engine measurements.
+# Refresh the machine-readable matching-engine measurements (sequential
+# engines via e16, work-stealing parallel rows via e20).
 snapshot:
-	$(GO) run ./cmd/gfbench -exp e16 -bench-json BENCH_gamma.json
+	$(GO) run ./cmd/gfbench -exp e16,e20 -bench-json BENCH_gamma.json
 
 # Observability demo: trace the paper's Fig. 1 program and emit a
 # Perfetto-loadable timeline (open trace.json at https://ui.perfetto.dev) plus
@@ -48,9 +49,10 @@ trace-demo:
 # Cancellation / fault-model stress: the context, panic-recovery and
 # dead-node tests under the race detector, plus the compiled-vs-interpreted
 # differential suites (kernel matcher, expression compiler, pure dataflow
-# ops, batched multiset commits) — DESIGN.md §9 and §10.
+# ops, batched multiset commits, steal-scheduler determinism and batch-vs-
+# sequential equivalence) — DESIGN.md §9, §10 and §12.
 stress:
-	$(GO) test -race -count=2 -run 'Cancel|Panic|Fault|Dead|Deadline|Wedge|Retr|Differential|KernelMatches|ApplyDelta' \
+	$(GO) test -race -count=2 -run 'Cancel|Panic|Fault|Dead|Deadline|Wedge|Retr|Differential|KernelMatches|ApplyDelta|Steal|Batch' \
 		./internal/gamma/ ./internal/dataflow/ ./internal/dist/ ./internal/rt/ \
 		./internal/expr/ ./internal/multiset/ .
 
@@ -59,9 +61,15 @@ check: vet fmt-check build race bench-smoke
 # CI gate: like check but with explicit timeouts so a wedged pool fails the
 # build instead of hanging it. The engine-comparison guard runs in its
 # tournament-only short mode: CI machines are noisy, but a 4x-fewer-probes
-# engine losing outright is a regression, not noise.
+# engine losing outright is a regression, not noise. The parallel
+# differential suites repeat under GOMAXPROCS=2 and GOMAXPROCS=8 so the
+# steal scheduler is exercised both time-sliced on few cores and genuinely
+# concurrent; the bench smoke compares against the committed BENCH_gamma.json
+# snapshot within tolerance (step counts exact, probes and wall bounded).
 check-ci: vet fmt-check build
 	$(GO) test -race -timeout 5m ./...
 	$(GO) test -race -timeout 2m -count=2 -run 'Cancel|Panic|Fault|Dead' \
 		./internal/gamma/ ./internal/dataflow/ ./internal/dist/
-	$(GO) run ./cmd/gfbench -exp e16 -short -guard
+	GOMAXPROCS=2 $(GO) test -race -timeout 2m -count=2 -run 'Steal|Batch|Differential' ./internal/gamma/
+	GOMAXPROCS=8 $(GO) test -race -timeout 2m -count=2 -run 'Steal|Batch|Differential' ./internal/gamma/
+	$(GO) run ./cmd/gfbench -exp e16,e20 -short -guard -baseline BENCH_gamma.json

@@ -30,6 +30,9 @@ type benchRecord struct {
 	Workload string `json:"workload"`
 	N        int    `json:"n"`
 	Engine   string `json:"engine"`
+	// Workers is the worker count of the parallel-engine rows (e20); 0 on
+	// the sequential e16 rows.
+	Workers int `json:"workers,omitempty"`
 	// MaxSteps is the step cap of the run; 0 means it ran to the stable state.
 	MaxSteps int64 `json:"max_steps,omitempty"`
 	Steps    int64 `json:"steps"`
@@ -44,6 +47,11 @@ type benchRecord struct {
 	// recorder attached, relative to the untraced run, in percent. Measured on
 	// the tournament n=10^4 reference rows only (see e19); 0 elsewhere.
 	TraceOverheadPct float64 `json:"trace_overhead_pct,omitempty"`
+	// Steals and Batches carry the work-stealing scheduler's accounting on
+	// the parallel rows: steals are deque takeovers, batches are multi-firing
+	// ApplyDeltas commits (steps/batches = average firings per commit).
+	Steals  int64 `json:"steals,omitempty"`
+	Batches int64 `json:"batches,omitempty"`
 }
 
 // benchRecords accumulates e16's measurements for -bench-json.
@@ -250,8 +258,8 @@ func expE16() error {
 	return nil
 }
 
-// writeBenchJSON persists the e16 measurements, running e16 first if it has
-// not run in this invocation.
+// writeBenchJSON persists the e16/e20 measurements, running e16 first if
+// nothing has measured in this invocation.
 func writeBenchJSON(path string) error {
 	if len(benchRecords) == 0 {
 		if err := expE16(); err != nil {
@@ -263,4 +271,62 @@ func writeBenchJSON(path string) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// baselineWallFactor is how much slower than the recorded baseline a row's
+// wall time may be before -baseline fails the run. Wide, because the
+// snapshot was taken on one particular machine and CI runs on another; the
+// deterministic columns (steps, probes) are compared strictly instead.
+const baselineWallFactor = 4.0
+
+// checkBaseline regression-checks this invocation's measurements against a
+// previously written BENCH_gamma.json: rows are matched by (workload, n,
+// engine, workers, max_steps); matched rows must reproduce the recorded step
+// count, must not probe more than the baseline on the deterministic
+// sequential engines, and must stay within baselineWallFactor of its wall
+// time. Rows without a baseline counterpart (new experiments) pass.
+func checkBaseline(path string) error {
+	if len(benchRecords) == 0 {
+		return fmt.Errorf("-baseline: no measurements to compare; combine with -exp e16, e20 or all")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base []benchRecord
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("-baseline %s: %w", path, err)
+	}
+	type key struct {
+		workload string
+		n        int
+		engine   string
+		workers  int
+		maxSteps int64
+	}
+	idx := make(map[key]benchRecord, len(base))
+	for _, b := range base {
+		idx[key{b.Workload, b.N, b.Engine, b.Workers, b.MaxSteps}] = b
+	}
+	compared := 0
+	for _, r := range benchRecords {
+		b, ok := idx[key{r.Workload, r.N, r.Engine, r.Workers, r.MaxSteps}]
+		if !ok {
+			continue
+		}
+		compared++
+		id := fmt.Sprintf("%s n=%d engine=%s workers=%d", r.Workload, r.N, r.Engine, r.Workers)
+		if r.Steps != b.Steps {
+			return fmt.Errorf("baseline: %s: steps %d, baseline %d", id, r.Steps, b.Steps)
+		}
+		if (r.Engine == "incremental" || r.Engine == "fullscan") && r.Probes > b.Probes {
+			return fmt.Errorf("baseline: %s: probes %d regressed above baseline %d", id, r.Probes, b.Probes)
+		}
+		if float64(r.WallNS) > baselineWallFactor*float64(b.WallNS) {
+			return fmt.Errorf("baseline: %s: wall %.1fms exceeds %.0fx baseline %.1fms",
+				id, float64(r.WallNS)/1e6, baselineWallFactor, float64(b.WallNS)/1e6)
+		}
+	}
+	fmt.Printf("baseline: %d rows within tolerance of %s\n", compared, path)
+	return nil
 }

@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/cli"
 	"repro/internal/multiset"
@@ -37,6 +38,7 @@ var experiments = []struct {
 	{"e16", "incremental matching engine: delta scheduling vs full rescan", expE16},
 	{"e17", "cancellation & fault-injection matrix (DESIGN.md §9)", expE17},
 	{"e19", "telemetry: recorder overhead & traced Fig. 1 fidelity (DESIGN.md §11)", expE19},
+	{"e20", "work-stealing parallel runtime: workers × n scalability (DESIGN.md §12)", expE20},
 }
 
 // benchTel carries the -trace/-metrics flags; e19's traced Fig. 1 run exports
@@ -44,7 +46,7 @@ var experiments = []struct {
 var benchTel = &cli.TelemetryFlags{}
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1, e3, ...) or all")
+	exp := flag.String("exp", "all", "comma-separated experiment ids (e1, e3, ...) or all")
 	figures := flag.String("figures", "", "write the paper's figures (DOT + dfir + gamma) into this directory and exit")
 	benchJSON := flag.String("bench-json", "", "write the e16 engine measurements to this file (e.g. BENCH_gamma.json)")
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this long, e.g. 10m (0 = no deadline)")
@@ -52,8 +54,9 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	blockProfile := flag.String("blockprofile", "", "write a goroutine blocking profile to this file at exit")
 	mutexProfile := flag.String("mutexprofile", "", "write a mutex contention profile to this file at exit")
-	flag.BoolVar(&benchShort, "short", false, "e16 only: restrict to the tournament workload (CI smoke)")
-	flag.BoolVar(&benchGuard, "guard", false, "e16 only: fail unless incremental wall < fullscan at n=10^4")
+	flag.BoolVar(&benchShort, "short", false, "e16/e20: restrict to the tournament workload (CI smoke)")
+	flag.BoolVar(&benchGuard, "guard", false, "e16: fail unless incremental wall < fullscan at n=10^4; e20: fail on parallel overhead collapse")
+	baseline := flag.String("baseline", "", "compare this run's e16/e20 measurements against a prior BENCH_gamma.json and fail outside tolerance")
 	benchTel.Register(flag.CommandLine)
 	flag.Parse()
 	spec := cli.ProfileSpec{CPU: *cpuProfile, Mem: *memProfile, Block: *blockProfile, Mutex: *mutexProfile}
@@ -76,9 +79,15 @@ func main() {
 		}
 		return
 	}
+	// -exp accepts a comma-separated list so one invocation can combine
+	// measurements (e.g. -exp e16,e20 -bench-json records both engines' rows).
+	wanted := map[string]bool{}
+	for _, id := range strings.Split(*exp, ",") {
+		wanted[strings.TrimSpace(id)] = true
+	}
 	ran := false
 	for _, e := range experiments {
-		if *exp != "all" && *exp != e.id {
+		if !wanted["all"] && !wanted[e.id] {
 			continue
 		}
 		// Experiments are checkpointed between runs: an interrupt or an
@@ -101,6 +110,15 @@ func main() {
 	if !ran {
 		fmt.Fprintf(os.Stderr, "gfbench: unknown experiment %q\n", *exp)
 		os.Exit(cli.ExitUsage)
+	}
+	// The baseline check compares the fresh measurements against the old
+	// snapshot, so it must run before -bench-json overwrites it.
+	if *baseline != "" {
+		if err := checkBaseline(*baseline); err != nil {
+			stop()
+			profStop()
+			cli.Exit("gfbench", err)
+		}
 	}
 	if *benchJSON != "" {
 		if err := writeBenchJSON(*benchJSON); err != nil {

@@ -1,0 +1,201 @@
+package main
+
+// e20: workers × n scalability of the work-stealing parallel runtime
+// (internal/gamma run.go): per-worker deques with Chase-Lev stealing,
+// multi-firing ApplyDeltas batch commits, and per-worker arenas, measured
+// against the single-worker engine on the EXPERIMENTS.md E20 protocol.
+//
+// The workers=1 rows are the reference: Options.Workers=1 selects the
+// deterministic sequential interpreter, so the speedup column reads
+// "parallel wall / sequential wall" directly. Correctness cross-checks per
+// row: the step count must equal the reference (both workloads fire a
+// count-determined number of steps regardless of scheduling), and the min
+// workload must reach the exact reference stable state (its stable state is
+// schedule-independent; the tournament's leftover elements are not, so only
+// its cardinality is pinned).
+//
+// With -guard the experiment enforces a bounded-overhead gate rather than a
+// speedup gate: wall(8 workers) must stay within e20GuardFactor of wall(1).
+// A speedup assertion would encode the machine into the repo — on a
+// single-core host (GOMAXPROCS=1) any parallel speedup is physically
+// impossible and the honest requirement is that the scheduler does not
+// collapse; EXPERIMENTS.md E20 records the interpretation.
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/gamma"
+	"repro/internal/gammalang"
+	"repro/internal/metrics"
+	"repro/internal/multiset"
+	"repro/internal/paper"
+	"repro/internal/value"
+)
+
+// e20GuardFactor bounds how much slower the 8-worker run may be than the
+// 1-worker run before -guard fails the build. Generous because CI hosts are
+// noisy and may schedule all workers on one core.
+const e20GuardFactor = 3.0
+
+func expE20() error {
+	t := metrics.NewTable("work-stealing parallel runtime: workers × n (incremental engine)",
+		"workload", "n", "workers", "steps", "batches", "steals", "conflicts", "time", "speedup", "allocs/step")
+
+	type workload struct {
+		name string
+		prog *gamma.Program
+		init *multiset.Multiset
+		n    int
+	}
+	var ws []workload
+
+	tournament := func(n, stages int) (workload, error) {
+		prog, err := gammalang.ParseProgram("tournament", tournamentSource(stages))
+		if err != nil {
+			return workload{}, err
+		}
+		m := multiset.New()
+		for i := 0; i < n; i++ {
+			m.Add(multiset.Pair(value.Int(int64((i*2654435761+17)%(4*n))), "L0"))
+		}
+		return workload{"tournament", prog, m, n}, nil
+	}
+	if benchShort {
+		w, err := tournament(100000, 17)
+		if err != nil {
+			return err
+		}
+		ws = append(ws, w)
+	} else {
+		for _, cfg := range []struct{ n, stages int }{{100000, 17}, {1000000, 20}} {
+			w, err := tournament(cfg.n, cfg.stages)
+			if err != nil {
+				return err
+			}
+			ws = append(ws, w)
+		}
+		min, err := gammalang.ParseProgram("min", paper.MinElementListing)
+		if err != nil {
+			return err
+		}
+		// min stays at n=10^5: the *sequential* reference is the limit, not
+		// the parallel engine. The deterministic matcher binds x to the
+		// first candidate in shard-iteration order, and when that entry is
+		// numerically large the y-scan rescans a growing prefix every probe
+		// — whether a given (n, values) layout hits the bad case is a
+		// lottery over the key-hash shard routing, and at n=10^6 the bad
+		// case runs for minutes (ROADMAP item 2 follow-up c). The parallel
+		// engine's rng-rotated enumeration has no preferred first candidate
+		// and handles min at 10^6+ without issue, but its speedup column
+		// needs the sequential wall to be meaningful. This n and value set
+		// are verified to sit in the sane regime.
+		ints := multiset.New()
+		for i := 0; i < 100000; i++ {
+			ints.Add(multiset.New1(value.Int(int64((i*2654435761 + 17) % 400000))))
+		}
+		ws = append(ws, workload{"min", min, ints, 100000})
+	}
+
+	workerCounts := []int{1, 2, 4, 8}
+	if benchShort {
+		workerCounts = []int{1, 8}
+	}
+	for _, w := range ws {
+		var refStable *multiset.Multiset
+		var refSteps int64
+		var baseWall, wall8 time.Duration
+		for _, workers := range workerCounts {
+			// Workers=1 runs the deterministic sequential interpreter with
+			// Seed 0: a non-zero seed would switch it to the randomized
+			// snapshot+shuffle candidate order, which is O(candidates) per
+			// probe — quadratic on these workloads and not the engine the
+			// speedup column should be measured against.
+			opts := gamma.Options{Workers: workers}
+			if workers > 1 {
+				opts.Seed = 1
+			}
+			run := func(m *multiset.Multiset) *gamma.Stats {
+				st, err := gamma.Run(w.prog, m, opts)
+				if err != nil {
+					panic(fmt.Sprintf("e20: %s n=%d workers=%d: %v", w.name, w.n, workers, err))
+				}
+				return st
+			}
+			run(w.init.Clone()) // warm (kernels, pools, heap goal)
+			var best time.Duration
+			var st *gamma.Stats
+			var m *multiset.Multiset
+			for rep := 0; rep < 2; rep++ {
+				runtime.GC()
+				var d time.Duration
+				d = metrics.Time(func() {
+					m = w.init.Clone()
+					st = run(m)
+				})
+				if rep == 0 || d < best {
+					best = d
+				}
+			}
+			// Allocation cost on a separate run, clone outside the window.
+			ma := w.init.Clone()
+			var ms0, ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
+			sta := run(ma)
+			runtime.ReadMemStats(&ms1)
+			allocsPerStep := float64(ms1.Mallocs-ms0.Mallocs) / float64(max64(sta.Steps, 1))
+			bytesPerStep := float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(max64(sta.Steps, 1))
+
+			if workers == 1 {
+				refStable, refSteps, baseWall = m, st.Steps, best
+			} else {
+				if st.Steps != refSteps {
+					return fmt.Errorf("e20: %s n=%d workers=%d: steps %d, sequential fired %d",
+						w.name, w.n, workers, st.Steps, refSteps)
+				}
+				if w.name == "min" && !m.Equal(refStable) {
+					return fmt.Errorf("e20: %s n=%d workers=%d: stable state diverged from sequential", w.name, w.n, workers)
+				}
+				if m.Len() != refStable.Len() {
+					return fmt.Errorf("e20: %s n=%d workers=%d: cardinality %d, sequential %d",
+						w.name, w.n, workers, m.Len(), refStable.Len())
+				}
+			}
+			if workers == 8 {
+				wall8 = best
+			}
+			speedup := float64(baseWall) / float64(best)
+			t.Row(w.name, w.n, workers, st.Steps, st.Batches, st.Steals, st.Conflicts, best,
+				fmt.Sprintf("%.2fx", speedup), fmt.Sprintf("%.2f", allocsPerStep))
+			benchRecords = append(benchRecords, benchRecord{
+				Workload: w.name, N: w.n, Engine: "parallel", Workers: workers,
+				Steps: st.Steps, Probes: st.Probes, WallNS: best.Nanoseconds(),
+				AllocsPerStep: allocsPerStep, BytesPerStep: bytesPerStep,
+				Steals: st.Steals, Batches: st.Batches,
+			})
+		}
+		// The gate pins the labeled tournament workload only: min's
+		// label-free patterns force the batch matcher to view-lock every
+		// shard, an overhead a single core cannot hide (~13x there, honest
+		// and recorded in the table/JSON, bounded by cores elsewhere).
+		if benchGuard && w.name == "tournament" && wall8 > 0 && float64(wall8) > e20GuardFactor*float64(baseWall) {
+			return fmt.Errorf("e20 guard: %s n=%d: 8-worker wall %.1fms exceeds %.1fx single-worker %.1fms",
+				w.name, w.n, float64(wall8.Nanoseconds())/1e6, e20GuardFactor,
+				float64(baseWall.Nanoseconds())/1e6)
+		}
+	}
+	fmt.Print(t)
+	fmt.Printf("host: GOMAXPROCS=%d NumCPU=%d — speedups saturate at the core count;\n",
+		runtime.GOMAXPROCS(0), runtime.NumCPU())
+	fmt.Println("claim: batch commits amortize lock acquisitions (steps/batches > 1) and the")
+	fmt.Println("       arena path holds incremental allocations near zero per firing")
+	return nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

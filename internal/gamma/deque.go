@@ -1,0 +1,118 @@
+// Work-stealing scheduling state of the parallel runtime.
+//
+// The seed parallel runner kept one shared FIFO of reaction indexes behind
+// the coordination mutex: every pop, every re-enqueue and every commit's
+// subscriber wakeups serialized on the same lock the termination protocol
+// uses, so past a few workers the scheduler itself became the bottleneck
+// (ROADMAP item 2). This file replaces the shared queue with one bounded
+// Chase-Lev deque per worker: owners push and pop lock-free at the bottom,
+// idle workers steal lock-free from victims' tops, and the coordination
+// mutex shrinks to what genuinely needs it — the idle/termination protocol
+// and the error latch.
+//
+// Membership dedup keeps the seed semantics: a global per-reaction atomic
+// flag is claimed (CAS false→true) before a push and released *before* the
+// taker probes, so a commit that lands mid-probe re-enqueues the reaction
+// rather than losing the wakeup. The flags also bound total deque occupancy
+// by the reaction count, which makes the fixed deque capacity (next power of
+// two ≥ len(reactions)) impossible to overflow.
+package gamma
+
+import "sync/atomic"
+
+// deque is a fixed-capacity Chase-Lev work-stealing deque of reaction
+// indexes. The owner pushes and pops at the bottom (LIFO keeps recently
+// woken reactions hot in cache); thieves steal from the top (FIFO, oldest
+// first). All slots are atomics so the unsynchronized top/bottom handoff is
+// both correct and race-detector clean.
+type deque struct {
+	top    atomic.Int64
+	bottom atomic.Int64
+	buf    []atomic.Int32
+	mask   int64
+}
+
+func newDeque(capacity int) *deque {
+	c := 1
+	for c < capacity {
+		c <<= 1
+	}
+	return &deque{buf: make([]atomic.Int32, c), mask: int64(c - 1)}
+}
+
+// push appends x at the bottom. Owner only.
+func (d *deque) push(x int32) {
+	b := d.bottom.Load()
+	if b-d.top.Load() >= int64(len(d.buf)) {
+		// Unreachable: the queued flags bound occupancy by len(reactions) and
+		// capacity is at least that. A panic beats silent loss of a wakeup.
+		panic("gamma: work deque overflow")
+	}
+	d.buf[b&d.mask].Store(x)
+	d.bottom.Store(b + 1)
+}
+
+// pop removes the newest element. Owner only.
+func (d *deque) pop() (int32, bool) {
+	b := d.bottom.Load() - 1
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Empty: restore bottom.
+		d.bottom.Store(t)
+		return 0, false
+	}
+	x := d.buf[b&d.mask].Load()
+	if t == b {
+		// Last element: race the thieves for it.
+		won := d.top.CompareAndSwap(t, t+1)
+		d.bottom.Store(t + 1)
+		if !won {
+			return 0, false
+		}
+	}
+	return x, true
+}
+
+// steal removes the oldest element. Safe from any goroutine; a false return
+// means empty or a lost race with the owner or another thief — the caller
+// just moves to the next victim.
+func (d *deque) steal() (int32, bool) {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return 0, false
+	}
+	x := d.buf[t&d.mask].Load()
+	if !d.top.CompareAndSwap(t, t+1) {
+		return 0, false
+	}
+	return x, true
+}
+
+// size reports the current occupancy (approximate under concurrency; used
+// for telemetry only).
+func (d *deque) size() int {
+	n := d.bottom.Load() - d.top.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
+// victimOrder fills buf with the steal order for worker self among workers
+// peers: every other worker exactly once, starting at an offset drawn from
+// the worker's seeded rng. Deriving the order from the stream (rather than
+// from shared mutable state) is what makes single-worker runs — and the
+// scheduler unit tests — deterministic for a fixed seed.
+func victimOrder(rng interface{ Intn(int) int }, self, workers int, buf []int) []int {
+	buf = buf[:0]
+	if workers <= 1 {
+		return buf
+	}
+	off := rng.Intn(workers - 1)
+	for i := 0; i < workers-1; i++ {
+		buf = append(buf, (self+1+(off+i)%(workers-1))%workers)
+	}
+	return buf
+}

@@ -122,6 +122,13 @@ type kernel struct {
 	pats     []kpat
 	branches []kbranch
 
+	// View plan for the parallel batch matcher: the label symbols this
+	// reaction's patterns can enumerate (deduplicated), or viewAll when any
+	// pattern is generic and needs the whole multiset. multiset.LockView
+	// read-locks exactly these shards for the duration of a probe batch.
+	viewSyms []symtab.Sym
+	viewAll  bool
+
 	searchers sync.Pool // *searcher scratch, see getSearcher
 }
 
@@ -170,6 +177,20 @@ func compileKernel(r *Reaction) *kernel {
 			}
 		}
 		k.pats = append(k.pats, kp)
+		if kp.hasLabel {
+			dup := false
+			for _, s := range k.viewSyms {
+				if s == kp.labelSym {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				k.viewSyms = append(k.viewSyms, kp.labelSym)
+			}
+		} else {
+			k.viewAll = true
+		}
 	}
 	k.nslots = len(slots)
 	k.branches = make([]kbranch, len(r.Branches))
@@ -245,6 +266,29 @@ func (k *kernel) produce(name string, idx int, env []value.Value) ([]multiset.Tu
 	return out, nil
 }
 
+// produceInto is produce onto caller-owned arenas: product value cells append
+// to vals, tuple headers (capacity-clamped subslices of vals) append to out,
+// and both grown slices return to the caller. A mid-batch realloc of vals is
+// harmless — earlier headers keep reading the old backing, whose cells are
+// immutable and already correct. Callers must not retain the headers past the
+// commit that clones them (the memoized path therefore uses produce instead:
+// the memo table stores product slices indefinitely).
+func (k *kernel) produceInto(name string, idx int, env []value.Value, vals []value.Value, out []multiset.Tuple) ([]value.Value, []multiset.Tuple, error) {
+	prods := k.branches[idx].prods
+	for _, tpl := range prods {
+		start := len(vals)
+		for _, ce := range tpl {
+			v, err := ce(env)
+			if err != nil {
+				return vals, out, fmt.Errorf("gamma: reaction %s action: %w", name, err)
+			}
+			vals = append(vals, v)
+		}
+		out = append(out, multiset.Tuple(vals[start:len(vals):len(vals)]))
+	}
+	return vals, out, nil
+}
+
 // getSearcher returns recycled searcher scratch bound to (r, m, rng). Release
 // with putSearcher once the firing's chosen/env/keys are no longer read.
 func (k *kernel) getSearcher(r *Reaction, m *multiset.Multiset, rng *rand.Rand) *searcher {
@@ -264,6 +308,7 @@ func (k *kernel) getSearcher(r *Reaction, m *multiset.Multiset, rng *rand.Rand) 
 func (k *kernel) putSearcher(s *searcher) {
 	s.m = nil
 	s.rng = nil
+	s.view = nil
 	for i := range s.chosen {
 		s.chosen[i] = nil
 		s.keys[i] = ""

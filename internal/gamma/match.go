@@ -84,12 +84,26 @@ type searcher struct {
 	r      *Reaction
 	m      *multiset.Multiset
 	rng    *rand.Rand
+	view   *multiset.View // when set, candidates come from the locked view
 	env    []value.Value  // slot-indexed bindings; invalid Value = unbound
 	used   map[string]int // occurrences of each tuple key already claimed
 	chosen []multiset.Tuple
 	keys   []string // cached Key() of each chosen tuple
 	branch int
 	err    error
+}
+
+// nextInBatch readies the searcher for the next search of a multi-firing
+// batch: the slot environment is cleared but the claim tracker is kept, so
+// the occurrences chosen by the batch's earlier (not yet committed) firings
+// stay claimed — that is what makes the batch's deltas pairwise disjoint and
+// the single ApplyDeltas commit equivalent to firing them one by one. The
+// caller must copy chosen/keys out before calling; the next search overwrites
+// them.
+func (s *searcher) nextInBatch() {
+	for i := range s.env {
+		s.env[i] = value.Value{}
+	}
 }
 
 func (s *searcher) search(i int) bool {
@@ -134,6 +148,24 @@ func (s *searcher) search(i int) bool {
 // searches snapshot and shuffle. Every candidate carries the multiset's
 // cached key fingerprint.
 func (s *searcher) eachCandidate(kp *kpat, fn func(t multiset.Tuple, n int, key string) bool) {
+	if s.view != nil {
+		// View-backed path (parallel batch matcher): the shard read locks are
+		// held by the caller, so the live chunked indexes can be walked
+		// zero-copy. A rotation drawn from the worker's rng replaces the
+		// snapshot+shuffle — enumeration starts at a random position and
+		// wraps, which decorrelates concurrent searchers without copying.
+		rot := s.rng.Uint64()
+		if kp.hasLabel {
+			if tag, ok := s.tagOf(kp); ok {
+				s.view.EachSymTag(kp.labelSym, tag, rot, fn)
+			} else {
+				s.view.EachSym(kp.labelSym, rot, fn)
+			}
+		} else {
+			s.view.EachAll(rot, fn)
+		}
+		return
+	}
 	if s.rng == nil {
 		switch {
 		case kp.hasLabel:

@@ -128,6 +128,16 @@ type Stats struct {
 	Retries int64
 	// MemoHits counts reaction applications answered from Options.Memo.
 	MemoHits int64
+	// Steals counts reaction indexes taken from another worker's deque
+	// (parallel runtime only): work-stealing load balancing events.
+	Steals int64
+	// Batches counts committed ApplyDeltas batches (parallel incremental
+	// runtime only). Steps / Batches is the average firings per commit; at
+	// 1.0 batching found no independent co-enabled firings.
+	Batches int64
+	// BackoffWaits counts timed conflict backoffs: retries that slept (with
+	// cancellation observed) rather than just yielding the processor.
+	BackoffWaits int64
 	// Workers echoes the worker count used.
 	Workers int
 }
@@ -142,6 +152,9 @@ func (s *Stats) merge(o *Stats) {
 	s.Conflicts += o.Conflicts
 	s.Retries += o.Retries
 	s.MemoHits += o.MemoHits
+	s.Steals += o.Steals
+	s.Batches += o.Batches
+	s.BackoffWaits += o.BackoffWaits
 	for k, v := range o.Fired {
 		s.Fired[k] += v
 	}
@@ -474,65 +487,125 @@ func runSequential(ctx context.Context, p *Program, m *multiset.Multiset, opt Op
 	return stats, nil
 }
 
-// parShared is the coordination state of the parallel runtime.
-type parShared struct {
+// stealSched is the coordination state of the parallel runtime: per-worker
+// Chase-Lev deques (deque.go) with a global membership filter replace the
+// seed's shared mutex-guarded worklist, so the scheduler's hot path — pop,
+// enqueue, the post-commit wake check — is lock-free and the mutex guards
+// only the cold idle/termination protocol and the error latch.
+type stealSched struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	workers int
-	version uint64 // bumped on every successful commit
-	idle    int
-	done    bool
-	err     error
-	steps   int64
-	// queue is the shared worklist of reaction indexes worth probing, FIFO;
-	// queued dedupes membership. Both are guarded by mu and unused (empty)
-	// in FullScan mode.
-	queue  []int
-	queued []bool
+	idle    atomic.Int32 // workers parked in the idle wait; mutated under mu, read lock-free by wake
+	done    bool         // stable state reached; under mu
+	err     error        // first failure; under mu
+	stopped atomic.Bool  // mirrors done||err≠nil for lock-free loop checks
+
+	version atomic.Uint64 // bumped on every successful commit
+	steps   atomic.Int64  // total committed firings, for the MaxSteps budget
+
+	// queued[i] marks reaction i as present in exactly one deque; the CAS
+	// claim on enqueue both dedupes wakeups and bounds total deque occupancy
+	// by the reaction count, which is what makes the fixed deque capacity
+	// safe. The taker clears the flag *before* probing, so a commit landing
+	// mid-probe re-enqueues the reaction rather than losing the wakeup.
+	// Unused (all false, deques empty) in FullScan mode.
+	queued []atomic.Bool
+	deques []*deque
 }
 
-// enqueueLocked appends reaction idx to the worklist unless already present.
-// Callers hold sh.mu.
-func (sh *parShared) enqueueLocked(idx int) {
-	if !sh.queued[idx] {
-		sh.queued[idx] = true
-		sh.queue = append(sh.queue, idx)
+// enqueue marks reaction idx runnable and pushes it onto worker w's own
+// deque, unless some deque already holds it. Must be called from worker w —
+// deque pushes are owner-only — except for the initial seeding, which runs
+// before the workers start and is ordered by the goroutine spawns. Reports
+// whether the reaction was newly queued.
+func (sh *stealSched) enqueue(w, idx int) bool {
+	if !sh.queued[idx].CompareAndSwap(false, true) {
+		return false
+	}
+	sh.deques[w].push(int32(idx))
+	return true
+}
+
+// take pops the newest entry of worker w's own deque, clearing its membership
+// flag before returning so concurrent commits can re-enqueue the reaction
+// while it is being probed.
+func (sh *stealSched) take(w int) (int, bool) {
+	idx, ok := sh.deques[w].pop()
+	if !ok {
+		return 0, false
+	}
+	sh.queued[idx].Store(false)
+	return int(idx), true
+}
+
+// wake unparks idle workers after a commit. The fast path is one atomic load:
+// with nobody idle — the steady state under load — no lock is taken. A worker
+// concurrently parking is not missed: it re-checks the version (already
+// bumped by this commit, sequentially consistent with the idle load here)
+// inside its wait-loop guard before blocking, and a worker that incremented
+// idle before our load is seen and broadcast to.
+func (sh *stealSched) wake() {
+	if sh.idle.Load() > 0 {
+		sh.mu.Lock()
+		sh.cond.Broadcast()
+		sh.mu.Unlock()
 	}
 }
 
 // runParallel executes reactions with a pool of workers performing
 // optimistic grab–compute–commit cycles:
 //
-//  1. match: find an enabled combination of molecules (randomized order, the
-//     model's nondeterminism);
-//  2. compute: instantiate the enabled branch's products;
-//  3. commit: atomically claim the matched molecules (TryRemoveAll); on
-//     conflict with a concurrent worker, drop the products and rematch;
-//  4. on success, insert the products and bump the multiset version.
+//  1. match: find enabled combinations of molecules (randomized order, the
+//     model's nondeterminism) — in incremental mode up to batchMaxFirings
+//     pairwise-disjoint matches of the reaction under one shard view;
+//  2. compute: instantiate the enabled branches' products (into per-worker
+//     arenas when no memo table retains them);
+//  3. commit: atomically claim the matched molecules (one ApplyDeltas per
+//     batch; TryRemoveAll in FullScan mode); claims a concurrent worker beat
+//     us to fail individually, and a fully failed batch is rematched with
+//     cancellation-aware backoff;
+//  4. on success, bump the multiset version and wake the subscribers of the
+//     labels the commit added.
 //
-// Scheduling is delta-driven: workers drain a shared worklist of reaction
-// indexes, seeded with every reaction and refilled on each commit with the
-// reactions subscribed to the labels the commit added (schedule.go). The
-// worklist is a best-effort accelerator — a probe may be wasted, never the
-// other way around, because every commit re-enqueues its subscribers.
+// Scheduling is delta-driven work stealing: each worker drains its own deque
+// of reaction indexes (seeded round-robin with every reaction, refilled on
+// each of its commits with the subscribed reactions per schedule.go), and an
+// empty-handed worker steals from a peer's deque before falling back to a
+// scan. The deques are a best-effort accelerator — a probe may be wasted,
+// never the other way around, because every commit re-enqueues its
+// subscribers.
 //
 // Global termination reproduces Eq. 1's stability test exactly and does not
-// rely on the worklist: a worker that finds the worklist empty falls back to
-// a full scan of every reaction; if the scan fires nothing it goes idle *at
-// a version*, and if the version is still current and all workers are idle at
+// rely on the deques: a worker that finds every deque empty falls back to a
+// full scan of every reaction; if the scan fires nothing it goes idle *at a
+// version*, and if the version is still current and all workers are idle at
 // it, no molecule has changed since a full unsuccessful scan, so no reaction
 // is enabled and the stable state is reached.
-// Cancellation propagates two ways: workers poll ctx once per probe, and a
-// watcher goroutine turns ctx.Done() into sh.fail + cond broadcast so workers
-// parked in the idle wait wake immediately — a canceled run returns in probe
-// time, not in wait time.
+// Cancellation propagates three ways: workers poll ctx once per probe batch,
+// timed conflict backoffs select on ctx.Done, and a watcher goroutine turns
+// ctx.Done into sh.fail + cond broadcast so workers parked in the idle wait
+// wake immediately — a canceled run returns in probe time, not in wait time.
 func runParallel(ctx context.Context, p *Program, m *multiset.Multiset, opt Options) (*Stats, error) {
 	workers := opt.Workers
-	sh := &parShared{workers: workers, queued: make([]bool, len(p.Reactions))}
+	n := len(p.Reactions)
+	if n == 0 {
+		return newStats(workers), nil
+	}
+	sh := &stealSched{
+		workers: workers,
+		queued:  make([]atomic.Bool, n),
+		deques:  make([]*deque, workers),
+	}
 	sh.cond = sync.NewCond(&sh.mu)
+	for w := range sh.deques {
+		sh.deques[w] = newDeque(n)
+	}
 	if !opt.FullScan {
-		for i := range p.Reactions {
-			sh.enqueueLocked(i)
+		// Seed every reaction once, round-robin, so workers start with
+		// balanced local work instead of racing one shared list.
+		for i := 0; i < n; i++ {
+			sh.enqueue(i%workers, i)
 		}
 	}
 	watchDone := make(chan struct{})
@@ -578,17 +651,28 @@ const maxConflictRetries = 8
 // that the worker backs off exponentially, capped at 64µs, instead of
 // spinning the match engine against the same hot molecules — under heavy
 // contention a spinning loser just burns probes and memory bandwidth that the
-// commit winner needs to make progress.
-func conflictBackoff(retries int) {
+// commit winner needs to make progress. Timed waits select on ctx.Done, so a
+// canceled run is never delayed by parked contended workers; they are
+// surfaced in Stats.BackoffWaits. Reports whether ctx ended the wait.
+func conflictBackoff(ctx context.Context, retries int, stats *Stats, ts *telSink) (canceled bool) {
 	if retries < 2 {
 		runtime.Gosched()
-		return
+		return false
 	}
 	shift := retries - 2
 	if shift > 6 {
 		shift = 6
 	}
-	time.Sleep(time.Duration(1<<uint(shift)) * time.Microsecond)
+	stats.BackoffWaits++
+	ts.backoffWait()
+	timer := time.NewTimer(time.Duration(1<<uint(shift)) * time.Microsecond)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return true
+	case <-timer.C:
+		return false
+	}
 }
 
 // safeTryFire is tryFire behind the worker pool's panic barrier: a panic in a
@@ -596,26 +680,41 @@ func conflictBackoff(retries int) {
 // *rt.PanicError carrying the reaction and worker identity, the pool is told
 // to stop, and the worker exits cleanly instead of taking the process down or
 // leaving its peers waiting on an idle count that can never complete.
-func safeTryFire(ctx context.Context, p *Program, m *multiset.Multiset, opt Options, sh *parShared, stats *Stats, rng *rand.Rand, ts *telSink, idx, worker int, requeue bool) (fired, stop bool) {
+func safeTryFire(ctx context.Context, p *Program, m *multiset.Multiset, opt Options, sh *stealSched, stats *Stats, rng *rand.Rand, ts *telSink, idx, worker int) (fired, stop bool) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			sh.fail(rt.NewPanicError("gamma", p.Reactions[idx].Name, worker, rec))
 			fired, stop = false, true
 		}
 	}()
-	return tryFire(ctx, p, m, opt, sh, stats, rng, ts, idx, worker, requeue)
+	return tryFire(ctx, p, m, opt, sh, stats, rng, ts, idx, worker)
+}
+
+// safeTryFireBatch is tryFireBatch behind the same panic barrier, with the
+// additional duty of releasing the worker's shard view — a panic while the
+// view's read locks are held would otherwise deadlock every later commit
+// touching those shards.
+func safeTryFireBatch(ctx context.Context, p *Program, m *multiset.Multiset, opt Options, sh *stealSched, stats *Stats, rng *rand.Rand, ts *telSink, bw *batchWorker, idx, worker int, requeue bool) (fired, stop bool) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			bw.view.Unlock() // idempotent; no-op when not held
+			sh.fail(rt.NewPanicError("gamma", p.Reactions[idx].Name, worker, rec))
+			fired, stop = false, true
+		}
+	}()
+	return tryFireBatch(ctx, p, m, opt, sh, stats, rng, ts, bw, idx, worker, requeue)
 }
 
 // tryFire probes reaction idx once and fires it if enabled, with the bounded
-// optimistic-commit retry loop. requeue re-enqueues the reaction after giving
-// up on a contended commit (worklist mode). Returns whether a firing
-// committed and whether the worker must stop (error, cancellation or
+// optimistic-commit retry loop — the FullScan engine's single-firing path,
+// kept verbatim from the seed (snapshot matcher, two-phase TryRemoveAll +
+// AddAll commit) as the measurement baseline and differential oracle. The
+// incremental engine fires through tryFireBatch instead. Returns whether a
+// firing committed and whether the worker must stop (error, cancellation or
 // MaxSteps).
-func tryFire(ctx context.Context, p *Program, m *multiset.Multiset, opt Options, sh *parShared, stats *Stats, rng *rand.Rand, ts *telSink, idx, worker int, requeue bool) (fired, stop bool) {
+func tryFire(ctx context.Context, p *Program, m *multiset.Multiset, opt Options, sh *stealSched, stats *Stats, rng *rand.Rand, ts *telSink, idx, worker int) (fired, stop bool) {
 	r := p.Reactions[idx]
-	subs := p.subs()
 	k := r.kernel()
-	var symsArr [8]symtab.Sym
 	for retries := 0; ; retries++ {
 		if cerr := ctx.Err(); cerr != nil {
 			sh.fail(rt.FromContext(cerr))
@@ -645,62 +744,38 @@ func tryFire(ctx context.Context, p *Program, m *multiset.Multiset, opt Options,
 			sh.fail(err)
 			return false, true
 		}
-		// Commit. Incremental mode batches the claim and insert into one
-		// ApplyDelta (single lock acquisition per shard; the returned label
-		// symbols feed the worklist); FullScan keeps the seed engine's
-		// two-phase TryRemoveAll + AddAll. A failed claim either way means a
-		// concurrent worker consumed a matched molecule first.
-		var syms []symtab.Sym
-		committed := false
-		if opt.FullScan {
-			if committed = m.TryRemoveAll(s.chosen); committed {
-				m.AddAll(products)
-			}
-		} else {
-			committed, syms = m.ApplyDelta(s.chosen, s.keys, products, symsArr[:0])
-		}
-		if !committed {
+		// Seed-engine commit: separate claim and insert phases. A failed
+		// claim means a concurrent worker consumed a matched molecule first.
+		if !m.TryRemoveAll(s.chosen) {
 			k.putSearcher(s)
 			stats.Conflicts++
 			ts.conflict(r.Name)
 			if retries < maxConflictRetries {
 				stats.Retries++
 				ts.retry(r.Name)
-				conflictBackoff(retries)
+				if conflictBackoff(ctx, retries, stats, ts) {
+					sh.fail(rt.FromContext(ctx.Err()))
+					return false, true
+				}
 				continue // rematch: its molecules changed under us
 			}
 			// Heavily contended: yield so the other reactions and workers
 			// make progress. The commit that beat us bumped the version, so
 			// the stability test cannot conclude while this reaction is
 			// still enabled.
-			if requeue {
-				sh.mu.Lock()
-				sh.enqueueLocked(idx)
-				sh.mu.Unlock()
-			}
 			runtime.Gosched()
 			return false, false
 		}
+		m.AddAll(products)
 		traceFiring(opt, r.Name, s.chosen, products)
 		k.putSearcher(s)
 		stats.Steps++
 		stats.Fired[r.Name]++
-
-		woken, depth := 0, 0
-		sh.mu.Lock()
-		sh.version++
-		sh.steps++
-		over := opt.MaxSteps > 0 && sh.steps >= opt.MaxSteps
-		if !opt.FullScan {
-			before := len(sh.queue)
-			subs.forEachSym(syms, sh.enqueueLocked)
-			sh.enqueueLocked(idx) // may still be enabled on what remains
-			woken, depth = len(sh.queue)-before, len(sh.queue)
-		}
-		sh.cond.Broadcast()
-		sh.mu.Unlock()
-		ts.firing(idx, r.Name, t0, m, woken, depth)
-		if over {
+		newSteps := sh.steps.Add(1)
+		sh.version.Add(1)
+		sh.wake()
+		ts.firing(idx, r.Name, t0, m, 0, 0)
+		if opt.MaxSteps > 0 && newSteps >= opt.MaxSteps {
 			sh.fail(ErrMaxSteps)
 			return true, true
 		}
@@ -708,40 +783,247 @@ func tryFire(ctx context.Context, p *Program, m *multiset.Multiset, opt Options,
 	}
 }
 
-func workerLoop(ctx context.Context, p *Program, m *multiset.Multiset, opt Options, sh *parShared, stats *Stats, id int) {
+// batchMaxFirings bounds how many firings of one reaction a worker matches
+// before committing the batch. Small enough to keep the shard view's read
+// locks short and the optimistic-claim staleness window tight; large enough
+// to amortize the commit's write-lock acquisitions and scheduler wakeups
+// across several firings.
+const batchMaxFirings = 8
+
+// batchWorker is one worker's reusable batch scratch: the shard view, the
+// delta list for ApplyDeltas, and the arenas the batch's tuples live in.
+// Consume headers point at multiset entry tuples (immutable backings that are
+// never recycled), produce headers at cells of the worker-owned vals arena;
+// everything is truncated — not freed — between batches, so a steady-state
+// batch allocates nothing.
+type batchWorker struct {
+	view    multiset.View
+	deltas  []multiset.Delta
+	applied []bool
+	symsBuf []symtab.Sym
+	consume []multiset.Tuple
+	keys    []string
+	produce []multiset.Tuple
+	vals    []value.Value
+	victims []int // reusable steal-order scratch
+}
+
+func (b *batchWorker) reset() {
+	b.deltas = b.deltas[:0]
+	b.consume = b.consume[:0]
+	b.keys = b.keys[:0]
+	b.produce = b.produce[:0]
+	b.vals = b.vals[:0]
+}
+
+// tryFireBatch probes reaction idx under a shard view and fires up to
+// batchMaxFirings pairwise-disjoint matches as one ApplyDeltas commit — the
+// incremental engine's firing path. One searcher is held across the whole
+// batch: each successful search leaves its occurrence claims in the claim
+// tracker (a failed search's backtracking undoes only its own), so the next
+// search can only choose molecules the batch has not consumed yet, which
+// makes the deltas pairwise disjoint and the single commit equivalent to
+// firing them one at a time (batch_test.go pins the equivalence). requeue
+// re-enqueues the reaction after giving up on a contended commit (deque
+// mode; the stability scan passes false — the winning commit bumped the
+// version, so the scan repeats regardless).
+func tryFireBatch(ctx context.Context, p *Program, m *multiset.Multiset, opt Options, sh *stealSched, stats *Stats, rng *rand.Rand, ts *telSink, bw *batchWorker, idx, worker int, requeue bool) (fired, stop bool) {
+	r := p.Reactions[idx]
+	subs := p.subs()
+	k := r.kernel()
+	for retries := 0; ; retries++ {
+		if cerr := ctx.Err(); cerr != nil {
+			sh.fail(rt.FromContext(cerr))
+			return false, true
+		}
+		maxB := batchMaxFirings
+		if opt.MaxSteps > 0 {
+			rem := opt.MaxSteps - sh.steps.Load()
+			if rem <= 0 {
+				// Another worker's commit exhausted the budget already.
+				sh.fail(ErrMaxSteps)
+				return false, true
+			}
+			if int64(maxB) > rem {
+				maxB = int(rem)
+			}
+		}
+		bw.reset()
+		t0 := ts.begin()
+		m.LockView(&bw.view, k.viewSyms, k.viewAll)
+		s := k.getSearcher(r, m, rng)
+		s.view = &bw.view
+		var ferr error
+		for len(bw.deltas) < maxB {
+			stats.Probes++
+			ts.probe(r.Name)
+			ok := s.search(0)
+			if s.err != nil {
+				ferr = s.err
+				break
+			}
+			if !ok {
+				break // reaction exhausted under the batch's claims
+			}
+			if opt.FaultInjector != nil {
+				if ferr = opt.FaultInjector(r.Name, worker); ferr != nil {
+					break
+				}
+			}
+			ps := len(bw.produce)
+			if opt.Memo == nil {
+				// Arena path: product cells land in the worker's vals buffer,
+				// headers in the produce list. Safe because the commit clones
+				// what it inserts and nothing retains the headers past it.
+				spin(opt.WorkFactor)
+				bw.vals, bw.produce, ferr = k.produceInto(r.Name, s.branch, s.env, bw.vals, bw.produce)
+			} else {
+				// Memoized path: the memo table retains product slices, so
+				// they must be freshly allocated, never arena-backed.
+				var prods []multiset.Tuple
+				prods, ferr = applyAction(r, k, s, opt, stats, ts)
+				bw.produce = append(bw.produce, prods...)
+			}
+			if ferr != nil {
+				break
+			}
+			cs := len(bw.consume)
+			bw.consume = append(bw.consume, s.chosen...)
+			bw.keys = append(bw.keys, s.keys...)
+			// Capacity-clamped subslices: later appends cannot write through
+			// earlier deltas, and an arena realloc leaves them reading the
+			// old backing, whose cells are immutable and already correct.
+			bw.deltas = append(bw.deltas, multiset.Delta{
+				Consume: bw.consume[cs:len(bw.consume):len(bw.consume)],
+				CKeys:   bw.keys[cs:len(bw.keys):len(bw.keys)],
+				Produce: bw.produce[ps:len(bw.produce):len(bw.produce)],
+			})
+			s.nextInBatch()
+		}
+		bw.view.Unlock()
+		k.putSearcher(s)
+		if ferr != nil {
+			sh.fail(ferr)
+			return false, true
+		}
+		matched := len(bw.deltas)
+		if matched == 0 {
+			return false, false
+		}
+		// Commit: one write-lock acquisition over the shard union, per-firing
+		// all-or-nothing claims. Individual claims can still fail — a
+		// concurrent worker consumed a matched molecule between the view
+		// unlock and the commit — without voiding the rest of the batch.
+		if cap(bw.applied) < matched {
+			bw.applied = make([]bool, matched)
+		}
+		applied := bw.applied[:matched]
+		n, syms := m.ApplyDeltas(bw.deltas, applied, bw.symsBuf[:0])
+		bw.symsBuf = syms
+		if failedN := matched - n; failedN > 0 {
+			stats.Conflicts += int64(failedN)
+			ts.conflictN(r.Name, failedN)
+		}
+		if n == 0 {
+			if retries < maxConflictRetries {
+				stats.Retries++
+				ts.retry(r.Name)
+				if conflictBackoff(ctx, retries, stats, ts) {
+					sh.fail(rt.FromContext(ctx.Err()))
+					return false, true
+				}
+				continue // rematch: the molecules changed under us
+			}
+			// Heavily contended: yield so the other reactions and workers
+			// make progress.
+			if requeue {
+				sh.enqueue(worker, idx)
+			}
+			runtime.Gosched()
+			return false, false
+		}
+		if opt.Tracer != nil {
+			for i := range bw.deltas {
+				if applied[i] {
+					traceFiring(opt, r.Name, bw.deltas[i].Consume, bw.deltas[i].Produce)
+				}
+			}
+		}
+		stats.Steps += int64(n)
+		stats.Fired[r.Name] += int64(n)
+		stats.Batches++
+		newSteps := sh.steps.Add(int64(n))
+		sh.version.Add(1)
+		woken := 0
+		wakeIdx := func(j int) {
+			if sh.enqueue(worker, j) {
+				woken++
+			}
+		}
+		subs.forEachSym(syms, wakeIdx)
+		wakeIdx(idx) // may still be enabled on what remains
+		sh.wake()
+		ts.batchCommit(idx, r.Name, t0, m, woken, sh.deques[worker].size(), n)
+		if opt.MaxSteps > 0 && newSteps >= opt.MaxSteps {
+			sh.fail(ErrMaxSteps)
+			return true, true
+		}
+		return true, false
+	}
+}
+
+func workerLoop(ctx context.Context, p *Program, m *multiset.Multiset, opt Options, sh *stealSched, stats *Stats, id int) {
 	rng := rand.New(rand.NewSource(opt.Seed + int64(id)*0x9e3779b9 + 1))
 	ts := newTelSink(opt, p, id)
 	n := len(p.Reactions)
+	bw := &batchWorker{}
+	probe := func(idx int, requeue bool) (fired, stop bool) {
+		if opt.FullScan {
+			return safeTryFire(ctx, p, m, opt, sh, stats, rng, ts, idx, id)
+		}
+		return safeTryFireBatch(ctx, p, m, opt, sh, stats, rng, ts, bw, idx, id, requeue)
+	}
 	for {
-		sh.mu.Lock()
-		if sh.done || sh.err != nil {
-			sh.mu.Unlock()
+		if sh.stopped.Load() {
 			return
 		}
-		idx := -1
-		if len(sh.queue) > 0 {
-			idx = sh.queue[0]
-			sh.queue = sh.queue[1:]
-			sh.queued[idx] = false
-		}
-		scanVersion := sh.version
-		sh.mu.Unlock()
-
-		if idx >= 0 {
-			// Worklist mode: probe just the delta-scheduled reaction.
-			if _, stop := safeTryFire(ctx, p, m, opt, sh, stats, rng, ts, idx, id, true); stop {
+		// 1. Own deque, newest first (hot in cache).
+		if idx, ok := sh.take(id); ok {
+			if _, stop := probe(idx, true); stop {
 				return
 			}
 			continue
 		}
-
-		// Empty worklist: full scan, the exact Eq. 1 stability test. The
-		// worklist is best-effort under concurrency; this backstop keeps
-		// termination exact regardless of scheduling races.
+		// 2. Steal, oldest first, each peer tried once in an order derived
+		// from the worker's own rng stream (deterministic for a fixed seed).
+		stole := false
+		bw.victims = victimOrder(rng, id, sh.workers, bw.victims)
+		for _, v := range bw.victims {
+			x, ok := sh.deques[v].steal()
+			if !ok {
+				continue
+			}
+			sh.queued[x].Store(false)
+			stats.Steals++
+			ts.steal()
+			stole = true
+			if _, stop := probe(int(x), true); stop {
+				return
+			}
+			break
+		}
+		if stole {
+			continue
+		}
+		// 3. Every deque empty: full scan, the exact Eq. 1 stability test.
+		// The deques are best-effort under concurrency; this backstop keeps
+		// termination exact regardless of scheduling races — a probe may be
+		// wasted, never the other way around.
+		scanVersion := sh.version.Load()
 		fired := false
 		start := rng.Intn(n)
 		for k := 0; k < n; k++ {
-			firedHere, stop := safeTryFire(ctx, p, m, opt, sh, stats, rng, ts, (start+k)%n, id, false)
+			firedHere, stop := probe((start+k)%n, false)
 			if stop {
 				return
 			}
@@ -753,24 +1035,30 @@ func workerLoop(ctx context.Context, p *Program, m *multiset.Multiset, opt Optio
 		if fired {
 			continue
 		}
-		// Full scan with no enabled reaction. Go idle at scanVersion; if all
-		// workers are idle at an unchanged version, the multiset is stable.
+		// 4. Full scan with no enabled reaction. Go idle at scanVersion; if
+		// all workers are idle at an unchanged version, no molecule has
+		// changed since a full unsuccessful scan, so no reaction is enabled
+		// and the stable state of Eq. 1 is reached. The scan probed every
+		// reaction directly, so the conclusion never depends on deque
+		// contents — and at this point every deque is empty anyway, because
+		// an owner drains its own deque before scanning and only owners push.
 		sh.mu.Lock()
-		if sh.version != scanVersion {
+		if sh.version.Load() != scanVersion {
 			sh.mu.Unlock() // something committed mid-scan; rescan
 			continue
 		}
-		sh.idle++
-		if sh.idle == sh.workers { // all idle: stable state
+		sh.idle.Add(1)
+		if int(sh.idle.Load()) == sh.workers { // all idle: stable state
 			sh.done = true
+			sh.stopped.Store(true)
 			sh.cond.Broadcast()
 			sh.mu.Unlock()
 			return
 		}
-		for sh.version == scanVersion && !sh.done && sh.err == nil {
+		for sh.version.Load() == scanVersion && !sh.done && sh.err == nil {
 			sh.cond.Wait()
 		}
-		sh.idle--
+		sh.idle.Add(-1)
 		done := sh.done || sh.err != nil
 		sh.mu.Unlock()
 		if done {
@@ -779,13 +1067,14 @@ func workerLoop(ctx context.Context, p *Program, m *multiset.Multiset, opt Optio
 	}
 }
 
-func (sh *parShared) fail(err error) {
+func (sh *stealSched) fail(err error) {
 	sh.mu.Lock()
 	// A failure after the stable state was already reached (e.g. the context
 	// watcher losing the race with completion) must not turn success into an
 	// error.
 	if sh.err == nil && !sh.done {
 		sh.err = err
+		sh.stopped.Store(true)
 	}
 	sh.cond.Broadcast()
 	sh.mu.Unlock()

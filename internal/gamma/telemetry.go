@@ -18,15 +18,19 @@ type telSink struct {
 	track   *telemetry.Track
 	verbose bool
 
-	steps     *telemetry.Counter
-	probes    *telemetry.Counter
-	conflicts *telemetry.Counter
-	retries   *telemetry.Counter
-	memoHits  *telemetry.Counter
-	fired     []*telemetry.Counter   // per reaction index
-	lat       []*telemetry.Histogram // per reaction index
-	card      *telemetry.Gauge
-	depth     *telemetry.Gauge
+	steps        *telemetry.Counter
+	probes       *telemetry.Counter
+	conflicts    *telemetry.Counter
+	retries      *telemetry.Counter
+	memoHits     *telemetry.Counter
+	steals       *telemetry.Counter
+	batches      *telemetry.Counter
+	backoffWaits *telemetry.Counter
+	fired        []*telemetry.Counter   // per reaction index
+	lat          []*telemetry.Histogram // per reaction index
+	batchSize    *telemetry.Histogram
+	card         *telemetry.Gauge
+	depth        *telemetry.Gauge
 }
 
 // newTelSink resolves the worker's track and instruments; nil when telemetry
@@ -44,15 +48,19 @@ func newTelSink(opt Options, p *Program, worker int) *telSink {
 	}
 	reg := rec.Metrics
 	ts := &telSink{
-		track:     rec.Track(fmt.Sprintf("%s/w%d", label, worker)),
-		verbose:   rec.Verbose,
-		steps:     reg.Counter("gamma.steps"),
-		probes:    reg.Counter("gamma.probes"),
-		conflicts: reg.Counter("gamma.conflicts"),
-		retries:   reg.Counter("gamma.retries"),
-		memoHits:  reg.Counter("gamma.memo_hits"),
-		card:      reg.Gauge("gamma.cardinality"),
-		depth:     reg.Gauge("gamma.worklist_depth"),
+		track:        rec.Track(fmt.Sprintf("%s/w%d", label, worker)),
+		verbose:      rec.Verbose,
+		steps:        reg.Counter("gamma.steps"),
+		probes:       reg.Counter("gamma.probes"),
+		conflicts:    reg.Counter("gamma.conflicts"),
+		retries:      reg.Counter("gamma.retries"),
+		memoHits:     reg.Counter("gamma.memo_hits"),
+		steals:       reg.Counter("gamma.steals"),
+		batches:      reg.Counter("gamma.batches"),
+		backoffWaits: reg.Counter("gamma.backoff_waits"),
+		batchSize:    reg.Histogram("gamma.batch_size"),
+		card:         reg.Gauge("gamma.cardinality"),
+		depth:        reg.Gauge("gamma.worklist_depth"),
 	}
 	ts.fired = make([]*telemetry.Counter, len(p.Reactions))
 	ts.lat = make([]*telemetry.Histogram, len(p.Reactions))
@@ -102,6 +110,26 @@ func (t *telSink) firing(idx int, name string, start time.Time, m *multiset.Mult
 	t.track.SpanDur(telemetry.KindFiring, name, start, lat, card, int64(woken))
 }
 
+// batchCommit accounts one committed multi-firing batch: k firings of the
+// same reaction landed in one ApplyDeltas commit. Counters advance by k so
+// the Stats cross-check stays exact; the span and latency cover the whole
+// batch (one ring write per commit, the point of batching).
+func (t *telSink) batchCommit(idx int, name string, start time.Time, m *multiset.Multiset, woken, depth, k int) {
+	if t == nil {
+		return
+	}
+	t.steps.Add(int64(k))
+	t.fired[idx].Add(int64(k))
+	t.batches.Inc()
+	t.batchSize.Observe(int64(k))
+	card := int64(m.Len())
+	t.card.Set(card)
+	t.depth.Set(int64(depth))
+	lat := time.Since(start)
+	t.lat[idx].Observe(lat.Nanoseconds())
+	t.track.SpanDur(telemetry.KindFiring, name, start, lat, card, int64(woken))
+}
+
 // conflict accounts one failed optimistic commit.
 func (t *telSink) conflict(name string) {
 	if t == nil {
@@ -109,6 +137,31 @@ func (t *telSink) conflict(name string) {
 	}
 	t.conflicts.Inc()
 	t.track.Instant(telemetry.KindConflict, name, 0, 0)
+}
+
+// conflictN accounts n failed claims out of one batched commit.
+func (t *telSink) conflictN(name string, n int) {
+	if t == nil {
+		return
+	}
+	t.conflicts.Add(int64(n))
+	t.track.Instant(telemetry.KindConflict, name, int64(n), 0)
+}
+
+// steal accounts one successful steal from another worker's deque.
+func (t *telSink) steal() {
+	if t == nil {
+		return
+	}
+	t.steals.Inc()
+}
+
+// backoffWait accounts one timed (sleeping, not yielding) conflict backoff.
+func (t *telSink) backoffWait() {
+	if t == nil {
+		return
+	}
+	t.backoffWaits.Inc()
 }
 
 // retry accounts one in-place conflict rematch.

@@ -25,6 +25,9 @@ func checkTelemetryAgrees(t *testing.T, rec *telemetry.Recorder, st *Stats) {
 		{"gamma.conflicts", st.Conflicts},
 		{"gamma.retries", st.Retries},
 		{"gamma.memo_hits", st.MemoHits},
+		{"gamma.steals", st.Steals},
+		{"gamma.batches", st.Batches},
+		{"gamma.backoff_waits", st.BackoffWaits},
 	} {
 		if got := reg.CounterValue(c.name); got != c.want {
 			t.Errorf("counter %s = %d, stats say %d", c.name, got, c.want)
@@ -211,9 +214,13 @@ func TestTelemetryDisabledIsNil(t *testing.T) {
 	// Every method must be a no-op on the nil receiver, not a panic.
 	nilSink.probe("r")
 	nilSink.firing(0, "r", nilSink.begin(), multiset.New(), 0, 0)
+	nilSink.batchCommit(0, "r", nilSink.begin(), multiset.New(), 0, 0, 1)
 	nilSink.conflict("r")
+	nilSink.conflictN("r", 2)
 	nilSink.retry("r")
 	nilSink.memoHit()
+	nilSink.steal()
+	nilSink.backoffWait()
 }
 
 func ExampleOptions_recorder() {

@@ -1,0 +1,79 @@
+package multiset
+
+import (
+	"unsafe"
+
+	"repro/internal/value"
+)
+
+// shardArena amortizes the three allocations that linking a distinct tuple
+// into a shard otherwise costs — the entry struct, the key string, and the
+// defensive copy of the tuple cells — by carving each from append-only
+// chunks. A chunk region is written exactly once, when carved, and never
+// again: later carves append strictly past it and a full chunk is replaced
+// by a fresh one rather than grown (growing would relocate live carves). That
+// write-once discipline is what makes the unsafe.String view over the key
+// bytes sound, and it preserves the shard contract that tuple backings and
+// key strings handed to searchers, memo keys and traces are never reused.
+//
+// Chunk memory is reclaimed by the GC once every entry, key and tuple carved
+// from it dies; a long-lived carve pins at most one chunk of each kind.
+// All methods require the owning shard's write lock.
+type shardArena struct {
+	entries []entry
+	keys    []byte
+	cells   []value.Value
+}
+
+const (
+	entryChunk = 256
+	keyChunk   = 4096
+	cellChunk  = 1024
+)
+
+// newEntry carves a zeroed entry, switching to a fresh chunk when full.
+func (a *shardArena) newEntry() *entry {
+	if len(a.entries) == cap(a.entries) {
+		a.entries = make([]entry, 0, entryChunk)
+	}
+	a.entries = a.entries[:len(a.entries)+1]
+	return &a.entries[len(a.entries)-1]
+}
+
+// internKey copies the fingerprint bytes into the key chunk and returns a
+// string viewing them. Oversized keys get their own allocation so one huge
+// key cannot waste most of a chunk.
+func (a *shardArena) internKey(kb []byte) string {
+	n := len(kb)
+	if n == 0 {
+		return ""
+	}
+	if n > keyChunk/4 {
+		return string(kb)
+	}
+	if cap(a.keys)-len(a.keys) < n {
+		a.keys = make([]byte, 0, keyChunk)
+	}
+	off := len(a.keys)
+	a.keys = append(a.keys, kb...)
+	return unsafe.String(&a.keys[off], n)
+}
+
+// cloneTuple copies t's cells into the cell chunk and returns a capacity-
+// clamped tuple over them, equivalent to t.Clone() without the per-tuple
+// allocation.
+func (a *shardArena) cloneTuple(t Tuple) Tuple {
+	n := len(t)
+	if n == 0 {
+		return nil
+	}
+	if n > cellChunk/4 {
+		return t.Clone()
+	}
+	if cap(a.cells)-len(a.cells) < n {
+		a.cells = make([]value.Value, 0, cellChunk)
+	}
+	off := len(a.cells)
+	a.cells = append(a.cells, t...)
+	return Tuple(a.cells[off : off+n : off+n])
+}

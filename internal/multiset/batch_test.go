@@ -1,0 +1,230 @@
+package multiset
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/symtab"
+	"repro/internal/value"
+)
+
+// randDeltaTuple draws from a small universe so claims collide often enough
+// to exercise the partial-failure paths.
+func randDeltaTuple(rng *rand.Rand) Tuple {
+	labels := []string{"A", "B", "C"}
+	tp := Tuple{value.Int(int64(rng.Intn(4)))}
+	if rng.Intn(4) > 0 {
+		tp = append(tp, value.Str(labels[rng.Intn(len(labels))]))
+		if rng.Intn(2) == 0 {
+			tp = append(tp, value.Int(int64(rng.Intn(3))))
+		}
+	}
+	return tp
+}
+
+// TestApplyDeltasMatchesSequential is the batch-commit property test: over
+// 500 seeds, a k-firing ApplyDeltas must be observationally equal to k
+// sequential ApplyDelta commits — the same per-delta claims succeed
+// (including partial-claim failures mid-batch), the final multisets are
+// equal, and the deduplicated produce symbols agree.
+func TestApplyDeltasMatchesSequential(t *testing.T) {
+	for seed := 0; seed < 500; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		batched := New()
+		sequential := New()
+		for i, n := 0, rng.Intn(10); i < n; i++ {
+			tp := randDeltaTuple(rng)
+			k := 1 + rng.Intn(2)
+			batched.AddN(tp, k)
+			sequential.AddN(tp, k)
+		}
+		for round := 0; round < 4; round++ {
+			k := 1 + rng.Intn(5)
+			ds := make([]Delta, k)
+			for i := range ds {
+				var consume, produce []Tuple
+				for j, n := 0, rng.Intn(3); j < n; j++ {
+					consume = append(consume, randDeltaTuple(rng))
+				}
+				for j, n := 0, rng.Intn(3); j < n; j++ {
+					produce = append(produce, randDeltaTuple(rng))
+				}
+				ds[i] = Delta{Consume: consume, Produce: produce}
+				if rng.Intn(2) == 0 {
+					keys := make([]string, len(consume))
+					for j, tp := range consume {
+						keys[j] = tp.Key()
+					}
+					ds[i].CKeys = keys
+				}
+			}
+			applied := make([]bool, k)
+			gotN, gotSyms := batched.ApplyDeltas(ds, applied, nil)
+
+			wantN := 0
+			var wantSyms []symtab.Sym
+			for i := range ds {
+				ok, syms := sequential.ApplyDelta(ds[i].Consume, ds[i].CKeys, ds[i].Produce, wantSyms)
+				wantSyms = syms
+				if ok {
+					wantN++
+				}
+				if ok != applied[i] {
+					t.Fatalf("seed %d round %d delta %d: batch applied=%v, sequential=%v (consume=%v)",
+						seed, round, i, applied[i], ok, ds[i].Consume)
+				}
+			}
+			if gotN != wantN {
+				t.Fatalf("seed %d round %d: batch applied %d deltas, sequential %d", seed, round, gotN, wantN)
+			}
+			if len(gotSyms) != len(wantSyms) {
+				t.Fatalf("seed %d round %d: syms %v vs sequential %v", seed, round, gotSyms, wantSyms)
+			}
+			for i := range gotSyms {
+				if gotSyms[i] != wantSyms[i] {
+					t.Fatalf("seed %d round %d: syms %v vs sequential %v", seed, round, gotSyms, wantSyms)
+				}
+			}
+			if !batched.Equal(sequential) {
+				t.Fatalf("seed %d round %d: states diverged:\n batch:      %s\n sequential: %s",
+					seed, round, batched, sequential)
+			}
+		}
+	}
+}
+
+// TestApplyDeltasLaterSeesEarlier pins the in-batch ordering semantics: a
+// delta may consume what an earlier delta of the same batch produced, and a
+// delta whose claim fails must not affect later deltas.
+func TestApplyDeltasLaterSeesEarlier(t *testing.T) {
+	m := New(IntElem(1, "A", 0))
+	applied := make([]bool, 3)
+	n, syms := m.ApplyDeltas([]Delta{
+		{Consume: []Tuple{IntElem(1, "A", 0)}, Produce: []Tuple{IntElem(2, "B", 0)}},
+		{Consume: []Tuple{IntElem(1, "A", 0)}, Produce: []Tuple{IntElem(7, "C", 0)}}, // gone: claimed by delta 0
+		{Consume: []Tuple{IntElem(2, "B", 0)}, Produce: []Tuple{IntElem(3, "C", 0)}}, // produced by delta 0
+	}, applied, nil)
+	if n != 2 || !applied[0] || applied[1] || !applied[2] {
+		t.Fatalf("applied = %v (n=%d), want [true false true]", applied, n)
+	}
+	if !m.Contains(IntElem(3, "C", 0)) || m.Contains(IntElem(7, "C", 0)) || m.Len() != 1 {
+		t.Fatalf("unexpected final state %s", m)
+	}
+	bSym, _ := symtab.SymOf("B")
+	cSym, _ := symtab.SymOf("C")
+	if len(syms) != 2 || syms[0] != bSym || syms[1] != cSym {
+		t.Fatalf("syms = %v, want [B C]", syms)
+	}
+}
+
+// TestApplyDeltaAnnihilation checks that a consume/produce pair with equal
+// fingerprints (the within-delta annihilation fast path) keeps exact
+// remove-then-insert semantics: counts unchanged, claim still gross.
+func TestApplyDeltaAnnihilation(t *testing.T) {
+	m := New(IntElem(1, "A", 0), IntElem(2, "A", 0))
+	// consume {1A, 2A}, produce {1A}: net removal of 2A only.
+	ok, syms := m.ApplyDelta(
+		[]Tuple{IntElem(1, "A", 0), IntElem(2, "A", 0)}, nil,
+		[]Tuple{IntElem(1, "A", 0)}, nil)
+	if !ok {
+		t.Fatal("claim failed on available molecules")
+	}
+	if m.Count(IntElem(1, "A", 0)) != 1 || m.Contains(IntElem(2, "A", 0)) || m.Len() != 1 {
+		t.Fatalf("unexpected state %s", m)
+	}
+	aSym, _ := symtab.SymOf("A")
+	if len(syms) != 1 || syms[0] != aSym {
+		t.Fatalf("syms = %v, want [A]: annihilation must not change the reported delta", syms)
+	}
+	// Gross claim: consume {x}, produce {x} on an absent x must still fail.
+	if ok, _ := m.ApplyDelta([]Tuple{IntElem(9, "Z", 0)}, nil, []Tuple{IntElem(9, "Z", 0)}, nil); ok {
+		t.Fatal("net-noop delta claimed an absent molecule")
+	}
+}
+
+// TestViewEnumerationExhaustive checks that rotated View enumeration visits
+// exactly the index's candidates for any rotation, with correct counts and
+// cached keys.
+func TestViewEnumerationExhaustive(t *testing.T) {
+	m := New()
+	for i := int64(0); i < 100; i++ {
+		m.Add(IntElem(i, "L", i%4))
+		if i%3 == 0 {
+			m.Add(New1(value.Int(i))) // unlabeled, for EachAll
+		}
+	}
+	sym := symtab.Intern("L")
+	want := m.BySym(sym)
+	var v View
+	for _, rot := range []uint64{0, 1, 7<<32 | 13, ^uint64(0)} {
+		m.LockView(&v, []symtab.Sym{sym}, false)
+		seen := map[string]int{}
+		v.EachSym(sym, rot, func(tp Tuple, n int, key string) bool {
+			if key != tp.Key() {
+				t.Fatalf("cached key %q != Key() %q", key, tp.Key())
+			}
+			seen[key] += n
+			return true
+		})
+		v.Unlock()
+		v.Unlock() // idempotent
+		if len(seen) != len(want) {
+			t.Fatalf("rot %d: EachSym saw %d distinct, want %d", rot, len(seen), len(want))
+		}
+		for _, c := range want {
+			if seen[c.Key] != c.N {
+				t.Fatalf("rot %d: key %q count %d, want %d", rot, c.Key, seen[c.Key], c.N)
+			}
+		}
+
+		m.LockView(&v, nil, true)
+		all := 0
+		v.EachAll(rot, func(tp Tuple, n int, key string) bool { all++; return true })
+		tagged := 0
+		v.EachSymTag(sym, 2, rot, func(tp Tuple, n int, key string) bool { tagged++; return true })
+		v.Unlock()
+		if all != m.Distinct() {
+			t.Fatalf("rot %d: EachAll saw %d distinct, want %d", rot, all, m.Distinct())
+		}
+		if wantTagged := len(m.BySymTag(sym, 2)); tagged != wantTagged {
+			t.Fatalf("rot %d: EachSymTag saw %d, want %d", rot, tagged, wantTagged)
+		}
+	}
+}
+
+// TestViewEarlyExit checks that a false return stops rotated enumeration.
+func TestViewEarlyExit(t *testing.T) {
+	m := New()
+	for i := int64(0); i < 50; i++ {
+		m.Add(Pair(value.Int(i), "L"))
+	}
+	sym := symtab.Intern("L")
+	var v View
+	m.LockView(&v, []symtab.Sym{sym}, false)
+	defer v.Unlock()
+	calls := 0
+	v.EachSym(sym, 3<<32|11, func(Tuple, int, string) bool {
+		calls++
+		return calls < 5
+	})
+	if calls != 5 {
+		t.Fatalf("early exit after %d calls, want 5", calls)
+	}
+}
+
+// TestViewOutsideShardSetPanics pins the misroute guard: enumerating a label
+// whose shard the view does not hold must panic rather than race writers.
+func TestViewOutsideShardSetPanics(t *testing.T) {
+	m := New(Pair(value.Int(1), "A"))
+	aSym := symtab.Intern("A")
+	other := aSym + 1 // routes to the next shard by construction
+	var v View
+	m.LockView(&v, []symtab.Sym{aSym}, false)
+	defer v.Unlock()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EachSym outside the locked shard set did not panic")
+		}
+	}()
+	v.EachSym(other, 0, func(Tuple, int, string) bool { return true })
+}

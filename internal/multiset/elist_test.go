@@ -1,0 +1,135 @@
+package multiset
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func elistKeys(l *elist) []string {
+	var keys []string
+	l.each(func(e *entry) bool {
+		keys = append(keys, e.key)
+		return true
+	})
+	return keys
+}
+
+// checkElist verifies the structural invariants after every mutation: chunks
+// non-empty and within bounds, globally ascending keys, total consistent.
+func checkElist(t *testing.T, l *elist) {
+	t.Helper()
+	n := 0
+	prev := ""
+	for ci, c := range l.chunks {
+		if len(c) == 0 {
+			t.Fatalf("chunk %d empty", ci)
+		}
+		if len(c) > chunkMax {
+			t.Fatalf("chunk %d holds %d > chunkMax", ci, len(c))
+		}
+		for _, e := range c {
+			if n > 0 && e.key <= prev {
+				t.Fatalf("keys out of order: %q after %q", e.key, prev)
+			}
+			prev = e.key
+			n++
+		}
+	}
+	if n != l.total {
+		t.Fatalf("total = %d, entries = %d", l.total, n)
+	}
+}
+
+// TestElistChurn drives random insert/remove churn against a sorted-slice
+// model, checking order, membership and chunk invariants throughout.
+func TestElistChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var l elist
+	model := map[string]*entry{}
+	for step := 0; step < 20000; step++ {
+		key := fmt.Sprintf("k%06d", rng.Intn(3000))
+		if e, ok := model[key]; ok && rng.Intn(2) == 0 {
+			l.remove(e.key)
+			delete(model, key)
+		} else if !ok {
+			e := &entry{key: key}
+			l.insert(e)
+			model[key] = e
+		}
+		if step%500 == 0 {
+			checkElist(t, &l)
+		}
+	}
+	checkElist(t, &l)
+	want := make([]string, 0, len(model))
+	for k := range model {
+		want = append(want, k)
+	}
+	sort.Strings(want)
+	got := elistKeys(&l)
+	if len(got) != len(want) {
+		t.Fatalf("elist holds %d keys, model %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("at %d: %q vs model %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestElistRotExhaustive checks eachRot visits every entry exactly once for
+// arbitrary rotations, across enough entries to span multiple chunks.
+func TestElistRotExhaustive(t *testing.T) {
+	var l elist
+	const n = 2000 // several chunks
+	for i := 0; i < n; i++ {
+		l.insert(&entry{key: fmt.Sprintf("k%06d", i)})
+	}
+	checkElist(t, &l)
+	if len(l.chunks) < 3 {
+		t.Fatalf("want ≥3 chunks for rotation coverage, got %d", len(l.chunks))
+	}
+	for _, rot := range []uint64{0, 1, 5<<32 | 999, ^uint64(0), 1 << 31} {
+		seen := map[string]bool{}
+		l.eachRot(rot, func(e *entry) bool {
+			if seen[e.key] {
+				t.Fatalf("rot %d: key %q visited twice", rot, e.key)
+			}
+			seen[e.key] = true
+			return true
+		})
+		if len(seen) != n {
+			t.Fatalf("rot %d: visited %d of %d entries", rot, len(seen), n)
+		}
+	}
+	// Early exit stops the walk.
+	calls := 0
+	l.eachRot(7, func(e *entry) bool { calls++; return calls < 10 })
+	if calls != 10 {
+		t.Fatalf("early exit after %d calls, want 10", calls)
+	}
+}
+
+// TestElistCursor checks the merge cursor walks in order to the end.
+func TestElistCursor(t *testing.T) {
+	var l elist
+	for i := 0; i < 1500; i++ {
+		l.insert(&entry{key: fmt.Sprintf("k%06d", (i*7+3)%1500)}) // 7 ⟂ 1500: a permutation
+	}
+	cur := ecursor{l: &l}
+	prev := ""
+	n := 0
+	for e := cur.peek(); e != nil; e = cur.peek() {
+		if n > 0 && e.key <= prev {
+			t.Fatalf("cursor out of order: %q after %q", e.key, prev)
+		}
+		prev = e.key
+		n++
+		cur.advance()
+	}
+	if n != l.len() {
+		t.Fatalf("cursor visited %d, len %d", n, l.len())
+	}
+}

@@ -1,0 +1,40 @@
+package multiset
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// TestAppendKeyMatchesKey pins the byte-built fingerprint against Key() over
+// every value kind and shape the commit path can see, including the float
+// formatting corners (".0" suffix, exponents, negatives, NaN/Inf).
+func TestAppendKeyMatchesKey(t *testing.T) {
+	tuples := []Tuple{
+		{value.Int(0)},
+		{value.Int(-42)},
+		{value.Float(2)},
+		{value.Float(2.5)},
+		{value.Float(1e21)},
+		{value.Float(-0.0000001)},
+		{value.Float(math.Inf(1))},
+		{value.Float(math.NaN())},
+		{value.Bool(true)},
+		{value.Bool(false)},
+		{value.Str("")},
+		{value.Str("with \x1f separator byte")},
+		{value.Value{}}, // invalid
+		Pair(value.Int(7), "A1"),
+		Elem(value.Float(3.5), "B2", 9),
+		{value.Int(1), value.Str("x"), value.Int(2), value.Bool(true), value.Float(0.5)},
+	}
+	var buf []byte
+	for _, tp := range tuples {
+		buf = buf[:0]
+		buf = tp.AppendKey(buf)
+		if string(buf) != tp.Key() {
+			t.Errorf("AppendKey(%v) = %q, Key() = %q", tp, buf, tp.Key())
+		}
+	}
+}

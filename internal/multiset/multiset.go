@@ -2,7 +2,6 @@ package multiset
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"strings"
 	"sync"
@@ -45,22 +44,29 @@ type entry struct {
 // same label land in the same shard, so a label-constrained pattern match
 // takes exactly one shard lock.
 //
-// Every index is a slice of entries kept incrementally sorted by key (binary
-// insertion on the first Add of a distinct tuple, binary removal when its
-// count reaches zero). Candidate enumeration for the reaction matcher is
-// therefore a plain in-order walk: no per-probe sort.Slice, no map-iteration
-// order to launder.
+// Every index is a chunked list of entries kept incrementally sorted by key
+// (see elist.go): candidate enumeration for the reaction matcher is a plain
+// in-order walk — no per-probe sort.Slice, no map-iteration order to launder —
+// and insertion/removal memmoves are bounded by the chunk size instead of the
+// index population.
 type shard struct {
 	mu sync.RWMutex
 	// byKey maps Tuple.Key() to its entry.
 	byKey map[string]*entry
 	// sorted holds every entry of the shard in ascending key order.
-	sorted []*entry
+	sorted elist
 	// bySym maps an element label symbol to its entries, ascending key order.
-	bySym map[symtab.Sym][]*entry
+	bySym map[symtab.Sym]*elist
 	// bySymTag maps (label symbol, tag) to its entries, ascending key order;
 	// this is the dynamic-dataflow tag-matching index.
-	bySymTag map[symTag][]*entry
+	bySymTag map[symTag]*elist
+	// free recycles entry structs across remove/add cycles (bounded by
+	// freeMax). Only the struct is recycled: tuple backings and key strings
+	// escape to searchers, memo keys and traces, so they are never reused.
+	free []*entry
+	// arena chunk-allocates entries, key strings and tuple-cell copies for
+	// freelist misses (see arena.go) — the commit path's hot allocations.
+	arena shardArena
 }
 
 type symTag struct {
@@ -68,24 +74,29 @@ type symTag struct {
 	tag int64
 }
 
-// insertSorted places e into list keeping ascending key order.
-func insertSorted(list []*entry, e *entry) []*entry {
-	i := sort.Search(len(list), func(i int) bool { return list[i].key >= e.key })
-	list = append(list, nil)
-	copy(list[i+1:], list[i:])
-	list[i] = e
-	return list
+// freeMax bounds the per-shard entry freelist.
+const freeMax = 1024
+
+// getEntry returns a recycled or fresh entry struct.
+func (s *shard) getEntry() *entry {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return e
+	}
+	return s.arena.newEntry()
 }
 
-// removeSorted deletes the entry with the given key from list.
-func removeSorted(list []*entry, key string) []*entry {
-	i := sort.Search(len(list), func(i int) bool { return list[i].key >= key })
-	if i < len(list) && list[i].key == key {
-		copy(list[i:], list[i+1:])
-		list[len(list)-1] = nil
-		list = list[:len(list)-1]
+// putEntry recycles e after it was unlinked from every index, dropping its
+// references so the tuple and key can be collected once external readers
+// (searchers holding the consumed tuples) let go.
+func (s *shard) putEntry(e *entry) {
+	if len(s.free) >= freeMax {
+		return
 	}
-	return list
+	*e = entry{}
+	s.free = append(s.free, e)
 }
 
 // Multiset is the Gamma model's single database: a counted multiset of
@@ -102,8 +113,8 @@ func New(tuples ...Tuple) *Multiset {
 	for i := range m.shards {
 		s := &m.shards[i]
 		s.byKey = make(map[string]*entry)
-		s.bySym = make(map[symtab.Sym][]*entry)
-		s.bySymTag = make(map[symTag][]*entry)
+		s.bySym = make(map[symtab.Sym]*elist)
+		s.bySymTag = make(map[symTag]*elist)
 	}
 	for _, t := range tuples {
 		m.Add(t)
@@ -130,14 +141,36 @@ func shardIndex(sym symtab.Sym, key string) uint32 {
 	return hashString(key) & (shardCount - 1)
 }
 
+// shardIndexBytes is shardIndex for a fingerprint held as bytes; the two hash
+// identically so a key routes to the same shard in either form.
+func shardIndexBytes(sym symtab.Sym, key []byte) uint32 {
+	if sym != symtab.None {
+		return uint32(sym) & (shardCount - 1)
+	}
+	return hashBytes(key) & (shardCount - 1)
+}
+
 func (m *Multiset) shardForSym(sym symtab.Sym) *shard {
 	return &m.shards[uint32(sym)&(shardCount-1)]
 }
 
+// hashString is 32-bit FNV-1a, inlined so neither form allocates a hasher.
 func hashString(s string) uint32 {
-	h := fnv.New32a()
-	h.Write([]byte(s))
-	return h.Sum32()
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func hashBytes(b []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
 }
 
 func (m *Multiset) addSize(delta int64) {
@@ -165,22 +198,38 @@ func (m *Multiset) AddN(t Tuple, n int) {
 
 // addLocked inserts n occurrences into an already locked shard.
 func (s *shard) addLocked(t Tuple, key string, sym symtab.Sym, n int) {
-	e, ok := s.byKey[key]
-	if ok {
+	if e, ok := s.byKey[key]; ok {
 		e.count += n
 		return
 	}
-	e = &entry{tuple: t.Clone(), key: key, count: n, sym: sym}
+	s.addEntryLocked(t, key, sym, n)
+}
+
+// addEntryLocked links a new distinct tuple into every index of an already
+// locked shard. The caller has established that key is absent from byKey.
+func (s *shard) addEntryLocked(t Tuple, key string, sym symtab.Sym, n int) {
+	e := s.getEntry()
+	e.tuple, e.key, e.count, e.sym = s.arena.cloneTuple(t), key, n, sym
 	if tag, ok := t.Tag(); ok && sym != symtab.None {
 		e.tag, e.hasTag = tag, true
 	}
 	s.byKey[key] = e
-	s.sorted = insertSorted(s.sorted, e)
+	s.sorted.insert(e)
 	if sym != symtab.None {
-		s.bySym[sym] = insertSorted(s.bySym[sym], e)
+		l := s.bySym[sym]
+		if l == nil {
+			l = new(elist)
+			s.bySym[sym] = l
+		}
+		l.insert(e)
 		if e.hasTag {
 			st := symTag{sym, e.tag}
-			s.bySymTag[st] = insertSorted(s.bySymTag[st], e)
+			lt := s.bySymTag[st]
+			if lt == nil {
+				lt = new(elist)
+				s.bySymTag[st] = lt
+			}
+			lt.insert(e)
 		}
 	}
 }
@@ -213,29 +262,32 @@ func (m *Multiset) AddAll(ts []Tuple) []string {
 }
 
 // removeLocked decrements e inside an already locked shard, unlinking it from
-// every index when the count reaches zero.
+// every index and recycling the struct when the count reaches zero.
 func (s *shard) removeLocked(e *entry) {
 	e.count--
 	if e.count > 0 {
 		return
 	}
 	delete(s.byKey, e.key)
-	s.sorted = removeSorted(s.sorted, e.key)
+	s.sorted.remove(e.key)
 	if e.sym != symtab.None {
-		if list := removeSorted(s.bySym[e.sym], e.key); len(list) > 0 {
-			s.bySym[e.sym] = list
-		} else {
-			delete(s.bySym, e.sym)
+		if l := s.bySym[e.sym]; l != nil {
+			l.remove(e.key)
+			if l.len() == 0 {
+				delete(s.bySym, e.sym)
+			}
 		}
 		if e.hasTag {
 			st := symTag{e.sym, e.tag}
-			if list := removeSorted(s.bySymTag[st], e.key); len(list) > 0 {
-				s.bySymTag[st] = list
-			} else {
-				delete(s.bySymTag, st)
+			if l := s.bySymTag[st]; l != nil {
+				l.remove(e.key)
+				if l.len() == 0 {
+					delete(s.bySymTag, st)
+				}
 			}
 		}
 	}
+	s.putEntry(e)
 }
 
 // Remove deletes one occurrence of t, reporting whether one existed.
@@ -256,22 +308,106 @@ func (m *Multiset) Remove(t Tuple) bool {
 	return ok
 }
 
-// deltaScratch holds the per-commit scratch of TryRemoveAll and ApplyDelta so
-// the hot commit path performs no bookkeeping allocations: precomputed keys,
-// shard routes and label symbols for both sides of the delta.
+// deltaScratch holds the per-commit scratch of TryRemoveAll, ApplyDelta and
+// ApplyDeltas so the hot commit path performs no bookkeeping allocations:
+// staged keys, shard routes and label symbols for both sides of the delta,
+// the byte buffer produce fingerprints are built into (a key string is
+// materialized only when a genuinely new entry is inserted), and the
+// per-firing annihilation marks.
 type deltaScratch struct {
 	ckeys   []string
 	cshards []uint32
-	pkeys   []string
 	pshards []uint32
 	psyms   []symtab.Sym
+	kbuf    []byte // produce fingerprints, back to back
+	koff    []int  // start offset of each produce fingerprint in kbuf
+	ccan    []bool // annihilation marks of the firing being applied
+	pcan    []bool
 }
 
 var deltaPool = sync.Pool{New: func() any { return new(deltaScratch) }}
 
 func (d *deltaScratch) reset() {
 	d.ckeys, d.cshards = d.ckeys[:0], d.cshards[:0]
-	d.pkeys, d.pshards, d.psyms = d.pkeys[:0], d.pshards[:0], d.psyms[:0]
+	d.pshards, d.psyms = d.pshards[:0], d.psyms[:0]
+	d.kbuf, d.koff = d.kbuf[:0], d.koff[:0]
+	d.ccan, d.pcan = d.ccan[:0], d.pcan[:0]
+}
+
+// stageConsume appends the consume side's keys and shard routes. ckeys, when
+// non-nil, supplies each tuple's cached fingerprint; a nil ckeys computes
+// them here.
+func (d *deltaScratch) stageConsume(consume []Tuple, ckeys []string, involved *[shardCount]bool) {
+	for i, t := range consume {
+		var key string
+		if ckeys != nil {
+			key = ckeys[i]
+		} else {
+			key = t.Key()
+		}
+		si := shardIndex(labelSymOf(t), key)
+		d.ckeys = append(d.ckeys, key)
+		d.cshards = append(d.cshards, si)
+		involved[si] = true
+	}
+}
+
+// stageProduce appends the produce side's fingerprints (into kbuf), shard
+// routes and label symbols.
+func (d *deltaScratch) stageProduce(produce []Tuple, involved *[shardCount]bool) {
+	for _, t := range produce {
+		sym := labelSymOf(t)
+		off := len(d.kbuf)
+		d.koff = append(d.koff, off)
+		d.kbuf = t.AppendKey(d.kbuf)
+		si := shardIndexBytes(sym, d.kbuf[off:])
+		d.pshards = append(d.pshards, si)
+		d.psyms = append(d.psyms, sym)
+		involved[si] = true
+	}
+}
+
+// pkey returns the i-th staged produce fingerprint.
+func (d *deltaScratch) pkey(i int) []byte {
+	end := len(d.kbuf)
+	if i+1 < len(d.koff) {
+		end = d.koff[i+1]
+	}
+	return d.kbuf[d.koff[i]:end]
+}
+
+// eqBytesString reports b == s without converting either side.
+func eqBytesString(b []byte, s string) bool {
+	if len(b) != len(s) {
+		return false
+	}
+	for i := 0; i < len(b); i++ {
+		if b[i] != s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// appendSymsDedup appends the label symbols in add to syms, deduplicated,
+// with NoLabelSym standing in for unlabeled tuples.
+func appendSymsDedup(syms []symtab.Sym, add []symtab.Sym) []symtab.Sym {
+	for _, sym := range add {
+		if sym == symtab.None {
+			sym = NoLabelSym
+		}
+		seen := false
+		for _, have := range syms {
+			if have == sym {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			syms = append(syms, sym)
+		}
+	}
+	return syms
 }
 
 // lockShards locks every shard whose bit is set in involved, in index order
@@ -292,15 +428,14 @@ func (m *Multiset) unlockShards(involved *[shardCount]bool) {
 	}
 }
 
-// claimLocked verifies that one occurrence of every consume tuple is
-// available (duplicates require that many occurrences) and, if so, removes
-// them. Shards must already be locked. Reports whether the claim succeeded;
-// on failure nothing is modified.
-func (m *Multiset) claimLocked(consume []Tuple, d *deltaScratch) bool {
-	for i := range consume {
+// claimRangeLocked verifies that one firing's staged consume range [cs, ce)
+// is fully available: duplicates within the range require that many
+// occurrences. Shards must already be locked; nothing is modified.
+func (m *Multiset) claimRangeLocked(cs, ce int, d *deltaScratch) bool {
+	for i := cs; i < ce; i++ {
 		key := d.ckeys[i]
 		need := 1
-		for j := 0; j < i; j++ {
+		for j := cs; j < i; j++ {
 			if d.ckeys[j] == key {
 				need++
 			}
@@ -310,11 +445,56 @@ func (m *Multiset) claimLocked(consume []Tuple, d *deltaScratch) bool {
 			return false
 		}
 	}
-	for i := range consume {
-		s := &m.shards[d.cshards[i]]
-		s.removeLocked(s.byKey[d.ckeys[i]])
-	}
 	return true
+}
+
+// applyRangeLocked commits one firing whose claim already passed: the staged
+// consume range [cs, ce) is removed and the produce tuples (staged at
+// [ps, pe)) inserted. A consume/produce pair with identical fingerprints
+// annihilates — its net effect on every count is zero, so neither side
+// touches the indexes or materializes a key string. The claim was checked
+// gross, so observable semantics stay exactly remove-then-insert.
+func (m *Multiset) applyRangeLocked(produce []Tuple, d *deltaScratch, cs, ce, ps, pe int) {
+	d.ccan = d.ccan[:0]
+	d.pcan = d.pcan[:0]
+	for i := cs; i < ce; i++ {
+		d.ccan = append(d.ccan, false)
+	}
+	for i := ps; i < pe; i++ {
+		d.pcan = append(d.pcan, false)
+	}
+	for pi := ps; pi < pe; pi++ {
+		kb := d.pkey(pi)
+		for cj := cs; cj < ce; cj++ {
+			if !d.ccan[cj-cs] && eqBytesString(kb, d.ckeys[cj]) {
+				d.ccan[cj-cs] = true
+				d.pcan[pi-ps] = true
+				break
+			}
+		}
+	}
+	for cj := cs; cj < ce; cj++ {
+		if d.ccan[cj-cs] {
+			continue
+		}
+		s := &m.shards[d.cshards[cj]]
+		s.removeLocked(s.byKey[d.ckeys[cj]])
+	}
+	for pi := ps; pi < pe; pi++ {
+		if d.pcan[pi-ps] {
+			continue
+		}
+		s := &m.shards[d.pshards[pi]]
+		kb := d.pkey(pi)
+		if e, ok := s.byKey[string(kb)]; ok {
+			e.count++
+		} else {
+			// internKey: the byte fingerprint becomes a chunk-backed string,
+			// so the common miss path (every insert of a fresh tuple) does
+			// not pay a per-key allocation.
+			s.addEntryLocked(produce[pi-ps], s.arena.internKey(kb), d.psyms[pi], 1)
+		}
+	}
 }
 
 // TryRemoveAll atomically removes one occurrence of every tuple in ts — all
@@ -332,15 +512,15 @@ func (m *Multiset) TryRemoveAll(ts []Tuple) bool {
 	defer deltaPool.Put(d)
 	d.reset()
 	var involved [shardCount]bool
-	for _, t := range ts {
-		key := t.Key()
-		si := shardIndex(labelSymOf(t), key)
-		d.ckeys = append(d.ckeys, key)
-		d.cshards = append(d.cshards, si)
-		involved[si] = true
-	}
+	d.stageConsume(ts, nil, &involved)
 	m.lockShards(&involved)
-	ok := m.claimLocked(ts, d)
+	ok := m.claimRangeLocked(0, len(ts), d)
+	if ok {
+		for i := range ts {
+			s := &m.shards[d.cshards[i]]
+			s.removeLocked(s.byKey[d.ckeys[i]])
+		}
+	}
 	m.unlockShards(&involved)
 	if ok {
 		m.addSize(-int64(len(ts)))
@@ -368,53 +548,19 @@ func (m *Multiset) ApplyDelta(consume []Tuple, ckeys []string, produce []Tuple, 
 	defer deltaPool.Put(d)
 	d.reset()
 	var involved [shardCount]bool
-	for i, t := range consume {
-		var key string
-		if ckeys != nil {
-			key = ckeys[i]
-		} else {
-			key = t.Key()
-		}
-		si := shardIndex(labelSymOf(t), key)
-		d.ckeys = append(d.ckeys, key)
-		d.cshards = append(d.cshards, si)
-		involved[si] = true
-	}
-	for _, t := range produce {
-		key := t.Key()
-		sym := labelSymOf(t)
-		si := shardIndex(sym, key)
-		d.pkeys = append(d.pkeys, key)
-		d.pshards = append(d.pshards, si)
-		d.psyms = append(d.psyms, sym)
-		involved[si] = true
-	}
+	d.stageConsume(consume, ckeys, &involved)
+	d.stageProduce(produce, &involved)
 	m.lockShards(&involved)
-	if !m.claimLocked(consume, d) {
-		m.unlockShards(&involved)
-		return false, syms
-	}
-	for i, t := range produce {
-		m.shards[d.pshards[i]].addLocked(t, d.pkeys[i], d.psyms[i], 1)
+	ok := m.claimRangeLocked(0, len(consume), d)
+	if ok {
+		m.applyRangeLocked(produce, d, 0, len(consume), 0, len(produce))
 	}
 	m.unlockShards(&involved)
-	m.addSize(int64(len(produce)) - int64(len(consume)))
-	for _, sym := range d.psyms {
-		if sym == symtab.None {
-			sym = NoLabelSym
-		}
-		seen := false
-		for _, have := range syms {
-			if have == sym {
-				seen = true
-				break
-			}
-		}
-		if !seen {
-			syms = append(syms, sym)
-		}
+	if !ok {
+		return false, syms
 	}
-	return true, syms
+	m.addSize(int64(len(produce)) - int64(len(consume)))
+	return true, appendSymsDedup(syms, d.psyms)
 }
 
 // Count returns the multiplicity of t.
@@ -445,7 +591,7 @@ func (m *Multiset) Distinct() int {
 	for i := range m.shards {
 		s := &m.shards[i]
 		s.mu.RLock()
-		n += len(s.sorted)
+		n += s.sorted.len()
 		s.mu.RUnlock()
 	}
 	return n
@@ -458,11 +604,15 @@ func (m *Multiset) BySym(sym symtab.Sym) []Counted {
 	s := m.shardForSym(sym)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	list := s.bySym[sym]
-	out := make([]Counted, 0, len(list))
-	for _, e := range list {
-		out = append(out, Counted{Tuple: e.tuple, N: e.count, Key: e.key})
+	l := s.bySym[sym]
+	if l == nil {
+		return nil
 	}
+	out := make([]Counted, 0, l.len())
+	l.each(func(e *entry) bool {
+		out = append(out, Counted{Tuple: e.tuple, N: e.count, Key: e.key})
+		return true
+	})
 	return out
 }
 
@@ -473,11 +623,15 @@ func (m *Multiset) BySymTag(sym symtab.Sym, tag int64) []Counted {
 	s := m.shardForSym(sym)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	list := s.bySymTag[symTag{sym, tag}]
-	out := make([]Counted, 0, len(list))
-	for _, e := range list {
-		out = append(out, Counted{Tuple: e.tuple, N: e.count, Key: e.key})
+	l := s.bySymTag[symTag{sym, tag}]
+	if l == nil {
+		return nil
 	}
+	out := make([]Counted, 0, l.len())
+	l.each(func(e *entry) bool {
+		out = append(out, Counted{Tuple: e.tuple, N: e.count, Key: e.key})
+		return true
+	})
 	return out
 }
 
@@ -511,10 +665,8 @@ func (m *Multiset) IterSym(sym symtab.Sym, fn func(t Tuple, n int, key string) b
 	s := m.shardForSym(sym)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	for _, e := range s.bySym[sym] {
-		if !fn(e.tuple, e.count, e.key) {
-			return
-		}
+	if l := s.bySym[sym]; l != nil {
+		l.each(func(e *entry) bool { return fn(e.tuple, e.count, e.key) })
 	}
 }
 
@@ -524,10 +676,8 @@ func (m *Multiset) IterSymTag(sym symtab.Sym, tag int64, fn func(t Tuple, n int,
 	s := m.shardForSym(sym)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	for _, e := range s.bySymTag[symTag{sym, tag}] {
-		if !fn(e.tuple, e.count, e.key) {
-			return
-		}
+	if l := s.bySymTag[symTag{sym, tag}]; l != nil {
+		l.each(func(e *entry) bool { return fn(e.tuple, e.count, e.key) })
 	}
 }
 
@@ -565,24 +715,27 @@ func (m *Multiset) IterAll(fn func(t Tuple, n int, key string) bool) {
 			m.shards[i].mu.RUnlock()
 		}
 	}()
-	var cursors [shardCount]int
+	var cursors [shardCount]ecursor
+	for i := range m.shards {
+		cursors[i].l = &m.shards[i].sorted
+	}
 	for {
 		best := -1
 		var bestKey string
-		for i := range m.shards {
-			c := cursors[i]
-			if c >= len(m.shards[i].sorted) {
+		for i := range cursors {
+			e := cursors[i].peek()
+			if e == nil {
 				continue
 			}
-			if k := m.shards[i].sorted[c].key; best < 0 || k < bestKey {
-				best, bestKey = i, k
+			if best < 0 || e.key < bestKey {
+				best, bestKey = i, e.key
 			}
 		}
 		if best < 0 {
 			return
 		}
-		e := m.shards[best].sorted[cursors[best]]
-		cursors[best]++
+		e := cursors[best].peek()
+		cursors[best].advance()
 		if !fn(e.tuple, e.count, e.key) {
 			return
 		}
@@ -603,9 +756,10 @@ func (m *Multiset) AllCounted() []Counted {
 	for i := range m.shards {
 		s := &m.shards[i]
 		s.mu.RLock()
-		for _, e := range s.sorted {
+		s.sorted.each(func(e *entry) bool {
 			out = append(out, Counted{Tuple: e.tuple, N: e.count, Key: e.key})
-		}
+			return true
+		})
 		s.mu.RUnlock()
 	}
 	return out
@@ -626,13 +780,11 @@ func (m *Multiset) ForEach(fn func(t Tuple, n int) bool) {
 	for i := range m.shards {
 		s := &m.shards[i]
 		s.mu.RLock()
-		for _, e := range s.sorted {
-			if !fn(e.tuple, e.count) {
-				s.mu.RUnlock()
-				return
-			}
-		}
+		done := !s.sorted.each(func(e *entry) bool { return fn(e.tuple, e.count) })
 		s.mu.RUnlock()
+		if done {
+			return
+		}
 	}
 }
 

@@ -100,6 +100,21 @@ func (t Tuple) Key() string {
 	return b.String()
 }
 
+// AppendKey appends exactly Key()'s fingerprint of t to b and returns the
+// extended slice — the allocation-free form the commit path uses to look up
+// produced tuples (map indexing by string(b) does not allocate) so the key
+// string is materialized only when a genuinely new entry is inserted.
+func (t Tuple) AppendKey(b []byte) []byte {
+	for i, v := range t {
+		if i > 0 {
+			b = append(b, 0x1f)
+		}
+		b = append(b, byte('0'+v.Kind()))
+		b = v.Append(b)
+	}
+	return b
+}
+
 // PrettyKey renders a Tuple.Key back into the paper's bracketed tuple form
 // ("[1, 'A1']"): fields are split on the key separator and stripped of their
 // kind byte. Consumers of execution traces (the telemetry provenance DOT)

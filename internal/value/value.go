@@ -148,6 +148,34 @@ func (v Value) String() string {
 	}
 }
 
+// Append appends exactly String()'s rendering of v to b and returns the
+// extended slice. It is the allocation-free form used by the multiset's hot
+// commit path to build tuple fingerprints into reusable buffers; the two
+// renderings must stay byte-identical, which TestAppendMatchesString pins.
+func (v Value) Append(b []byte) []byte {
+	switch v.kind {
+	case KindInt:
+		return strconv.AppendInt(b, v.i, 10)
+	case KindFloat:
+		n := len(b)
+		b = strconv.AppendFloat(b, v.f, 'g', -1, 64)
+		for _, c := range b[n:] {
+			if c == '.' || c == 'e' || c == 'E' {
+				return b
+			}
+		}
+		return append(b, '.', '0')
+	case KindBool:
+		return strconv.AppendBool(b, v.b)
+	case KindString:
+		b = append(b, '\'')
+		b = append(b, v.s...)
+		return append(b, '\'')
+	default:
+		return append(b, "<invalid>"...)
+	}
+}
+
 // GoString implements fmt.GoStringer for debugging output.
 func (v Value) GoString() string { return fmt.Sprintf("value.Value(%s:%s)", v.kind, v.String()) }
 
