@@ -34,9 +34,10 @@ bench-compare:
 	$(GO) run ./cmd/gfbench -exp e16 -guard
 
 # Refresh the machine-readable matching-engine measurements (sequential
-# engines via e16, work-stealing parallel rows via e20).
+# engines via e16, work-stealing parallel rows via e20, gammad service load
+# rows via e21).
 snapshot:
-	$(GO) run ./cmd/gfbench -exp e16,e20 -bench-json BENCH_gamma.json
+	$(GO) run ./cmd/gfbench -exp e16,e20,e21 -bench-json BENCH_gamma.json
 
 # Observability demo: trace the paper's Fig. 1 program and emit a
 # Perfetto-loadable timeline (open trace.json at https://ui.perfetto.dev) plus
@@ -66,10 +67,15 @@ check: vet fmt-check build race bench-smoke
 # steal scheduler is exercised both time-sliced on few cores and genuinely
 # concurrent; the bench smoke compares against the committed BENCH_gamma.json
 # snapshot within tolerance (step counts exact, probes and wall bounded).
+# The serving stack gates twice: gammad -selfcheck boots the server on a
+# loopback port and drives the client-package smoke (lifecycle, taxonomy
+# over the wire, backpressure), and gfbench e21 puts it under closed-loop
+# load with the p99 collapse guard and the per-response oracle check.
 check-ci: vet fmt-check build
 	$(GO) test -race -timeout 5m ./...
 	$(GO) test -race -timeout 2m -count=2 -run 'Cancel|Panic|Fault|Dead' \
 		./internal/gamma/ ./internal/dataflow/ ./internal/dist/
 	GOMAXPROCS=2 $(GO) test -race -timeout 2m -count=2 -run 'Steal|Batch|Differential' ./internal/gamma/
 	GOMAXPROCS=8 $(GO) test -race -timeout 2m -count=2 -run 'Steal|Batch|Differential' ./internal/gamma/
-	$(GO) run ./cmd/gfbench -exp e16,e20 -short -guard -baseline BENCH_gamma.json
+	$(GO) run ./cmd/gammad -selfcheck
+	$(GO) run ./cmd/gfbench -exp e16,e20,e21 -short -guard -baseline BENCH_gamma.json

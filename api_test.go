@@ -26,7 +26,7 @@ func TestContextAPIAcrossModels(t *testing.T) {
 	defer cancel()
 	<-ctx.Done()
 
-	cfg := RunConfig{Workers: 2, MaxSteps: 1000}
+	cfg := RunConfig{RunSpec: RunSpec{Workers: 2, MaxSteps: 1000}}
 	res, gerr := RunGraphContext(ctx, g, GraphOptions{RunConfig: cfg})
 	if !errors.Is(gerr, ErrDeadline) || !errors.Is(gerr, context.DeadlineExceeded) {
 		t.Errorf("graph err = %v, want ErrDeadline", gerr)
@@ -80,7 +80,7 @@ func TestFacadeFaultInjection(t *testing.T) {
 		m.Add(ScalarElem(Int(i * 3 % 17)))
 	}
 	st, err := RunProgram(prog, m, ProgramOptions{
-		RunConfig:     RunConfig{Workers: 2},
+		RunConfig:     RunConfig{RunSpec: RunSpec{Workers: 2}},
 		FaultInjector: func(site string, worker int) error { panic("injected") },
 	})
 	var pe *PanicError
@@ -99,5 +99,52 @@ func TestParseErrorsClassified(t *testing.T) {
 	}
 	if _, err := CompileSource("bad", "int = ;"); !errors.Is(err, ErrParse) {
 		t.Errorf("compiler parse error = %v, want ErrParse", err)
+	}
+}
+
+// TestRunSpecDrivesTheFacade pins the serving-era options plumbing: the
+// serializable RunSpec (the gammad wire struct) is the single source of the
+// engine, timeout and budget knobs for in-process runs too.
+func TestRunSpecDrivesTheFacade(t *testing.T) {
+	g, err := CompileSource("ex1", `
+	    int x = 1; int y = 5; int k = 3; int j = 2; int m;
+	    m = (x + y) - (k * j);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, init, err := ToGamma(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Unknown engines are rejected before any execution.
+	bad := ProgramOptions{RunConfig: RunConfig{RunSpec: RunSpec{Engine: "quantum"}}}
+	if _, err := RunProgramContext(context.Background(), prog, init.Clone(), bad); !errors.Is(err, ErrInvalid) {
+		t.Errorf("unknown engine: err = %v, want ErrInvalid", err)
+	}
+
+	// EngineSeq forces the deterministic interpreter even with Workers set;
+	// the run must still reach the stable state.
+	seq := ProgramOptions{RunConfig: RunConfig{RunSpec: RunSpec{Engine: EngineSeq, Workers: 8, MaxSteps: 1000}}}
+	m := init.Clone()
+	if _, err := RunProgramContext(context.Background(), prog, m, seq); err != nil {
+		t.Fatalf("EngineSeq run: %v", err)
+	}
+
+	// TimeoutMS behaves like a context deadline: same class, same context
+	// sentinel, partial stats. A counter program never stabilizes, so the
+	// deadline is guaranteed to be what stops it.
+	counter, err := ParseProgram("counter", `R = replace [x, 'G'] by [x + 1, 'G']`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	work := NewMultiset(PairElem(Int(0), "G"))
+	slow := ProgramOptions{RunConfig: RunConfig{RunSpec: RunSpec{TimeoutMS: 20}}}
+	st, err := RunProgramContext(context.Background(), counter, work, slow)
+	if !errors.Is(err, ErrDeadline) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("TimeoutMS expiry: err = %v, want ErrDeadline", err)
+	}
+	if st == nil {
+		t.Error("TimeoutMS expiry must return partial stats")
 	}
 }

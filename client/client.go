@@ -1,0 +1,189 @@
+// Package client is the typed Go client for gammad, the networked Gamma
+// service (cmd/gammad). It speaks the versioned v1 wire format of
+// internal/schema and reconstructs the runtime error taxonomy from wire
+// codes, so errors.Is(err, gammaflow.ErrMaxSteps) works on remote runs
+// exactly as on in-process ones.
+//
+//	c := client.New("http://localhost:8080")
+//	resp, err := c.Run(ctx, client.NewGammaRequest(program, init,
+//	    client.RunSpec{MaxSteps: 10000}))
+//	fmt.Println(resp.Result.Multiset)
+package client
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/schema"
+)
+
+// Aliases re-export the wire types so callers need only this package.
+type (
+	RunSpec     = schema.RunSpec
+	RunRequest  = schema.RunRequest
+	RunResponse = schema.RunResponse
+	RunResult   = schema.RunResult
+	Health      = schema.Health
+	WireError   = schema.WireError
+)
+
+// NewGammaRequest and NewGraphRequest build v1 envelopes.
+var (
+	NewGammaRequest = schema.NewGammaRequest
+	NewGraphRequest = schema.NewGraphRequest
+)
+
+// BusyError is the client-side face of an admission-control rejection
+// (HTTP 429): back off for RetryAfter and resubmit.
+type BusyError struct {
+	// RetryAfter is the server's suggested backoff.
+	RetryAfter time.Duration
+	// Message is the server's rejection reason.
+	Message string
+}
+
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("gammad busy (retry after %s): %s", e.RetryAfter, e.Message)
+}
+
+// Client talks to one gammad instance. The zero value is not usable; call
+// New. Clients are safe for concurrent use.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// APIKey, when set, is sent as the bearer token and names the tenant.
+	APIKey string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// New returns a client for the gammad at baseURL.
+func New(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, HTTPClient: http.DefaultClient}
+}
+
+// Submit enqueues a run asynchronously and returns its pending envelope;
+// poll with Get or Wait. Admission rejections return *BusyError.
+func (c *Client) Submit(ctx context.Context, req RunRequest) (*RunResponse, error) {
+	return c.post(ctx, "/v1/runs", req)
+}
+
+// Run submits synchronously: one round trip to the run's terminal state.
+// A failed run returns both the response envelope and the reconstructed
+// error (errors.Is-compatible with the rt taxonomy).
+func (c *Client) Run(ctx context.Context, req RunRequest) (*RunResponse, error) {
+	return c.post(ctx, "/v1/runs?wait=true", req)
+}
+
+// Get polls one run.
+func (c *Client) Get(ctx context.Context, id string) (*RunResponse, error) {
+	return c.do(ctx, "GET", "/v1/runs/"+id, nil)
+}
+
+// Cancel asks the server to stop a run.
+func (c *Client) Cancel(ctx context.Context, id string) (*RunResponse, error) {
+	return c.do(ctx, "DELETE", "/v1/runs/"+id, nil)
+}
+
+// Wait polls a run every interval (default 10ms) until it is terminal or
+// ctx expires.
+func (c *Client) Wait(ctx context.Context, id string, interval time.Duration) (*RunResponse, error) {
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		resp, err := c.Get(ctx, id)
+		if err != nil {
+			return resp, err
+		}
+		if schema.TerminalState(resp.State) {
+			return resp, resp.Error.Err()
+		}
+		select {
+		case <-ctx.Done():
+			return resp, ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// Health fetches the server's load snapshot.
+func (c *Client) Health(ctx context.Context) (*Health, error) {
+	hreq, err := http.NewRequestWithContext(ctx, "GET", c.BaseURL+"/v1/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	body, _, err := c.roundTrip(hreq)
+	if err != nil {
+		return nil, err
+	}
+	return schema.DecodeHealth(body)
+}
+
+func (c *Client) post(ctx context.Context, path string, req RunRequest) (*RunResponse, error) {
+	payload, err := req.Encode()
+	if err != nil {
+		return nil, err
+	}
+	return c.do(ctx, "POST", path, payload)
+}
+
+func (c *Client) do(ctx context.Context, method, path string, payload []byte) (*RunResponse, error) {
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if payload != nil {
+		hreq.Header.Set("Content-Type", "application/json")
+	}
+	raw, hres, err := c.roundTrip(hreq)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := schema.DecodeRunResponse(raw)
+	if err != nil {
+		return nil, fmt.Errorf("gammad: bad response (status %d): %w", hres.StatusCode, err)
+	}
+	if hres.StatusCode == http.StatusTooManyRequests {
+		after, _ := strconv.Atoi(hres.Header.Get("Retry-After"))
+		msg := ""
+		if resp.Error != nil {
+			msg = resp.Error.Message
+		}
+		return resp, &BusyError{RetryAfter: time.Duration(after) * time.Second, Message: msg}
+	}
+	// Terminal failures carry the reconstructed taxonomy error; submissions
+	// and polls of healthy runs return a nil error.
+	return resp, resp.Error.Err()
+}
+
+func (c *Client) roundTrip(hreq *http.Request) ([]byte, *http.Response, error) {
+	if c.APIKey != "" {
+		hreq.Header.Set("Authorization", "Bearer "+c.APIKey)
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	hres, err := hc.Do(hreq)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer hres.Body.Close()
+	raw, err := io.ReadAll(hres.Body)
+	if err != nil {
+		return nil, hres, err
+	}
+	return raw, hres, nil
+}

@@ -1,0 +1,79 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/paper"
+	"repro/internal/rt"
+	"repro/internal/schema"
+	"repro/internal/service"
+)
+
+func newPair(t *testing.T, cfg service.Config) *Client {
+	t.Helper()
+	s := service.New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	c := New(ts.URL)
+	c.HTTPClient = ts.Client()
+	return c
+}
+
+// TestClientRoundTrip drives async submit + Wait and the error taxonomy
+// through the typed client.
+func TestClientRoundTrip(t *testing.T) {
+	c := newPair(t, service.Config{Pool: 2})
+	ctx := context.Background()
+
+	resp, err := c.Submit(ctx, NewGammaRequest(
+		paper.Example1GammaListing, paper.Example1InitialMultiset,
+		RunSpec{MaxSteps: 10000}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Wait(ctx, resp.ID, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != schema.StateDone || final.Result.Steps != 3 {
+		t.Fatalf("final = %+v", final)
+	}
+
+	// A truncated divergent run reconstructs ErrMaxSteps client-side.
+	_, err = c.Run(ctx, NewGammaRequest(
+		`R = replace [x, 'G'] by [x + 1, 'G']`, `{[0, 'G']}`, RunSpec{MaxSteps: 50}))
+	if !errors.Is(err, rt.ErrMaxSteps) {
+		t.Fatalf("divergent err = %v, want ErrMaxSteps", err)
+	}
+}
+
+// TestClientBusy pins the 429 → BusyError mapping.
+func TestClientBusy(t *testing.T) {
+	c := newPair(t, service.Config{Pool: 1, Quota: service.Quota{MaxConcurrent: 1}})
+	c.APIKey = "k"
+	ctx := context.Background()
+
+	first, err := c.Submit(ctx, NewGammaRequest(
+		`R = replace [x, 'G'] by [x + 1, 'G']`, `{[0, 'G']}`, RunSpec{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var busy *BusyError
+	if _, err := c.Submit(ctx, NewGammaRequest(
+		`R = replace [x, 'G'] by [x + 1, 'G']`, `{[0, 'G']}`, RunSpec{})); !errors.As(err, &busy) {
+		t.Fatalf("second submit err = %v, want BusyError", err)
+	}
+	if busy.RetryAfter <= 0 {
+		t.Errorf("BusyError.RetryAfter = %v, want > 0", busy.RetryAfter)
+	}
+	if _, err := c.Cancel(ctx, first.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, first.ID, time.Millisecond); !errors.Is(err, rt.ErrCanceled) {
+		t.Fatalf("canceled wait err = %v, want ErrCanceled", err)
+	}
+}

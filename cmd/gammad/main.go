@@ -1,0 +1,217 @@
+// Command gammad serves Gamma over HTTP: a multi-tenant run service
+// multiplexing concurrent Gamma programs and dataflow graphs (the v1 wire
+// format of internal/schema) over a shared bounded executor pool.
+//
+// Usage:
+//
+//	gammad [-addr :8080] [-pool N] [-queue N] [-max-steps-cap N]
+//	       [-concurrent N] [-step-budget N] [-tenant key=conc,steps,budget]...
+//	       [-metrics-addr host:port] [-selfcheck]
+//
+// API (see package internal/service):
+//
+//	POST   /v1/runs        submit (202; ?wait=true blocks for the result)
+//	GET    /v1/runs/{id}   poll
+//	DELETE /v1/runs/{id}   cancel
+//	GET    /v1/healthz     load snapshot
+//
+// Admission control rejects with 429 + Retry-After when the pending queue is
+// full or the tenant (API key) is over its concurrency or step-budget quota.
+//
+// -selfcheck starts the server on a loopback port, drives a smoke test
+// through the client package (lifecycle, taxonomy mapping, backpressure) and
+// exits; it is the deployment health gate used by make check-ci.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"repro/client"
+	"repro/internal/cli"
+	"repro/internal/paper"
+	"repro/internal/rt"
+	"repro/internal/schema"
+	"repro/internal/service"
+	"repro/internal/telemetry"
+)
+
+// tenantFlags collects repeatable -tenant key=concurrent,maxsteps,budget
+// overrides (0 fields inherit the defaults).
+type tenantFlags map[string]service.Quota
+
+func (t tenantFlags) String() string { return fmt.Sprintf("%d tenants", len(t)) }
+
+func (t tenantFlags) Set(v string) error {
+	key, spec, ok := strings.Cut(v, "=")
+	if !ok || key == "" {
+		return fmt.Errorf("want key=concurrent,maxsteps,budget, got %q", v)
+	}
+	parts := strings.Split(spec, ",")
+	if len(parts) != 3 {
+		return fmt.Errorf("want three comma-separated numbers, got %q", spec)
+	}
+	var q service.Quota
+	var err error
+	if q.MaxConcurrent, err = strconv.Atoi(parts[0]); err != nil {
+		return err
+	}
+	if q.MaxSteps, err = strconv.ParseInt(parts[1], 10, 64); err != nil {
+		return err
+	}
+	if q.StepBudget, err = strconv.ParseInt(parts[2], 10, 64); err != nil {
+		return err
+	}
+	t[key] = q
+	return nil
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	pool := flag.Int("pool", 4, "executor goroutines runs are multiplexed over")
+	queue := flag.Int("queue", 64, "pending-queue depth (full queue rejects with 429)")
+	stepsCap := flag.Int64("max-steps-cap", 10_000_000, "per-run step cap when the spec asks for more (or nothing)")
+	retain := flag.Int("retain", 1024, "terminal runs kept for polling before eviction")
+	maxBody := flag.Int64("max-body", 1<<20, "request body cap in bytes")
+	concurrent := flag.Int("concurrent", 0, "default per-tenant concurrent-run quota (0 = unbounded)")
+	stepBudget := flag.Int64("step-budget", 0, "default per-tenant cumulative step budget (0 = unlimited)")
+	metricsAddr := flag.String("metrics-addr", "", "serve live service metrics JSON on this HTTP address")
+	selfcheck := flag.Bool("selfcheck", false, "start on a loopback port, run the client smoke test and exit")
+	tenants := tenantFlags{}
+	flag.Var(tenants, "tenant", "per-API-key quota override key=concurrent,maxsteps,budget (repeatable)")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: gammad [flags]")
+		flag.PrintDefaults()
+		os.Exit(cli.ExitUsage)
+	}
+
+	cfg := service.Config{
+		Pool:        *pool,
+		QueueDepth:  *queue,
+		Quota:       service.Quota{MaxConcurrent: *concurrent, StepBudget: *stepBudget},
+		Tenants:     tenants,
+		MaxStepsCap: *stepsCap,
+		Retain:      *retain,
+		MaxBody:     *maxBody,
+	}
+
+	if *selfcheck {
+		if err := runSelfcheck(cfg); err != nil {
+			cli.Exit("gammad", err)
+		}
+		fmt.Println("gammad selfcheck: PASS")
+		return
+	}
+
+	s := service.New(cfg)
+	defer s.Close()
+
+	if *metricsAddr != "" {
+		bound, closeSrv, err := telemetry.ServeMetrics(*metricsAddr, s.Registry())
+		if err != nil {
+			cli.Exit("gammad", err)
+		}
+		defer closeSrv()
+		fmt.Fprintf(os.Stderr, "gammad: metrics on http://%s/metrics\n", bound)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		cli.Exit("gammad", err)
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	fmt.Fprintf(os.Stderr, "gammad: serving on http://%s (pool %d, queue %d)\n",
+		ln.Addr(), cfg.Pool, cfg.QueueDepth)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		srv.Shutdown(context.Background()) //nolint:errcheck // exiting anyway
+	}()
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		cli.Exit("gammad", err)
+	}
+}
+
+// runSelfcheck boots the service on a loopback port and exercises the whole
+// serving stack through the public client: submit/wait lifecycle with the
+// paper's Example 1, the error-taxonomy mapping on a truncated divergent
+// run, per-tenant backpressure, cancel, and the health endpoint.
+func runSelfcheck(cfg service.Config) error {
+	// Selfcheck wants deterministic backpressure: one tenant slot.
+	cfg.Tenants = map[string]service.Quota{"selfcheck-quota": {MaxConcurrent: 1}}
+	s := service.New(cfg)
+	defer s.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go srv.Serve(ln) //nolint:errcheck // torn down with the listener
+	defer srv.Close()
+
+	ctx := context.Background()
+	c := client.New("http://" + ln.Addr().String())
+
+	// 1. Health.
+	h, err := c.Health(ctx)
+	if err != nil {
+		return fmt.Errorf("selfcheck health: %w", err)
+	}
+	if h.Status != "ok" {
+		return fmt.Errorf("selfcheck health: status %q", h.Status)
+	}
+
+	// 2. Example 1 to its stable state, synchronously.
+	resp, err := c.Run(ctx, client.NewGammaRequest(
+		paper.Example1GammaListing, paper.Example1InitialMultiset,
+		client.RunSpec{MaxSteps: 10000}))
+	if err != nil {
+		return fmt.Errorf("selfcheck example1: %w", err)
+	}
+	if resp.State != schema.StateDone || !strings.Contains(resp.Result.Multiset, "'m'") {
+		return fmt.Errorf("selfcheck example1: state %s result %+v", resp.State, resp.Result)
+	}
+
+	// 3. A divergent counter truncated by its step cap maps to ErrMaxSteps
+	// across the wire.
+	divergent := client.NewGammaRequest(
+		`R = replace [x, 'G'] by [x + 1, 'G']`, `{[0, 'G']}`,
+		client.RunSpec{MaxSteps: 100})
+	if _, err := c.Run(ctx, divergent); !errors.Is(err, rt.ErrMaxSteps) {
+		return fmt.Errorf("selfcheck taxonomy: err = %v, want ErrMaxSteps", err)
+	}
+
+	// 4. Backpressure: with a one-slot quota, a second concurrent run
+	// bounces as BusyError; canceling the first frees the slot.
+	qc := client.New(c.BaseURL)
+	qc.APIKey = "selfcheck-quota"
+	unbounded := client.NewGammaRequest(
+		`R = replace [x, 'G'] by [x + 1, 'G']`, `{[0, 'G']}`, client.RunSpec{})
+	first, err := qc.Submit(ctx, unbounded)
+	if err != nil {
+		return fmt.Errorf("selfcheck quota submit: %w", err)
+	}
+	var busy *client.BusyError
+	if _, err := qc.Submit(ctx, unbounded); !errors.As(err, &busy) {
+		return fmt.Errorf("selfcheck quota: err = %v, want BusyError", err)
+	}
+	if _, err := qc.Cancel(ctx, first.ID); err != nil {
+		return fmt.Errorf("selfcheck cancel: %w", err)
+	}
+	if _, err := qc.Wait(ctx, first.ID, 0); !errors.Is(err, rt.ErrCanceled) {
+		return fmt.Errorf("selfcheck cancel wait: err = %v, want ErrCanceled", err)
+	}
+	return nil
+}

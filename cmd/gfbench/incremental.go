@@ -52,6 +52,12 @@ type benchRecord struct {
 	// ApplyDeltas commits (steps/batches = average firings per commit).
 	Steals  int64 `json:"steals,omitempty"`
 	Batches int64 `json:"batches,omitempty"`
+	// RPS, P50NS and P99NS are the service rows of e21 (engine "service"):
+	// sustained closed-loop request throughput against an in-process gammad
+	// and the request-latency quantiles. 0 on the in-process rows.
+	RPS   float64 `json:"rps,omitempty"`
+	P50NS int64   `json:"p50_ns,omitempty"`
+	P99NS int64   `json:"p99_ns,omitempty"`
 }
 
 // benchRecords accumulates e16's measurements for -bench-json.

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	gfbench [-exp e1|e3|e4|e5|e7|e8|e9|e11|e12|e13|e14|e15|e16|e17|all] [-bench-json BENCH_gamma.json]
+//	gfbench [-exp e1|e3|e4|e5|e7|e8|e9|e11|e12|e13|e14|e15|e16|e17|e19|e20|e21|all] [-bench-json BENCH_gamma.json]
 package main
 
 import (
@@ -39,6 +39,7 @@ var experiments = []struct {
 	{"e17", "cancellation & fault-injection matrix (DESIGN.md §9)", expE17},
 	{"e19", "telemetry: recorder overhead & traced Fig. 1 fidelity (DESIGN.md §11)", expE19},
 	{"e20", "work-stealing parallel runtime: workers × n scalability (DESIGN.md §12)", expE20},
+	{"e21", "gammad service under closed-loop load: rps, p50/p99, leakage check (DESIGN.md §13)", expE21},
 }
 
 // benchTel carries the -trace/-metrics flags; e19's traced Fig. 1 run exports

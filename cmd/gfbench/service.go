@@ -1,0 +1,180 @@
+package main
+
+// e21: gammad under load. A closed-loop generator drives an in-process
+// service (the same internal/service.Server cmd/gammad serves) through real
+// HTTP with the typed client package: C concurrent clients each submit
+// synchronous runs back to back until the request budget is spent. Every
+// response is differentially checked against the in-process oracle — under
+// concurrency, a wrong multiset is the signature of cross-run state leakage
+// — and the row records sustained throughput (rps) and latency quantiles
+// (p50/p99) into BENCH_gamma.json.
+//
+// With -guard the experiment turns into the CI gate of make check-ci: it
+// fails if the service mangles any response or if p99 blows past a generous
+// bounded-overhead ceiling (the host is a single shared core, so the gate is
+// about gross collapse, not about absolute speed).
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/client"
+	"repro/internal/gamma"
+	"repro/internal/gammalang"
+	"repro/internal/metrics"
+	"repro/internal/multiset"
+	"repro/internal/paper"
+	"repro/internal/schema"
+	"repro/internal/service"
+	"repro/internal/value"
+)
+
+// guardServiceP99 is the -guard ceiling on e21's p99 request latency. Very
+// generous: Example 1 completes in microseconds in-process, so hundreds of
+// milliseconds through the local HTTP stack only happen when the pool or the
+// scheduler has collapsed.
+const guardServiceP99 = 2 * time.Second
+
+// serviceWorkload is one e21 load shape.
+type serviceWorkload struct {
+	name     string
+	program  string
+	init     string
+	n        int // initial multiset size (table column)
+	requests int
+	clients  int
+	spec     client.RunSpec
+}
+
+func expE21() error {
+	t := metrics.NewTable("gammad service under closed-loop load (e21)",
+		"workload", "n", "clients", "requests", "rps", "p50", "p99", "steps")
+
+	// The heavy row amortizes the HTTP round trip over a real reduction: a
+	// 256-element tournament is 255 firings per request.
+	tn := 256
+	tm := multiset.New()
+	for i := 0; i < tn; i++ {
+		tm.Add(multiset.Pair(value.Int(int64((i*2654435761+17)%(4*tn))), "L0"))
+	}
+	ws := []serviceWorkload{
+		{"service-example1", paper.Example1GammaListing, paper.Example1InitialMultiset,
+			4, 400, 8, client.RunSpec{MaxSteps: 10000}},
+		{"service-tournament", tournamentSource(8), tm.String(),
+			tn, 60, 4, client.RunSpec{MaxSteps: 100000}},
+	}
+	if benchShort {
+		ws[0].requests, ws[0].clients = 150, 4
+		ws = ws[:1]
+	}
+
+	srv := service.New(service.Config{Pool: 4, QueueDepth: 256})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hsrv := &http.Server{Handler: srv.Handler()}
+	go hsrv.Serve(ln) //nolint:errcheck // torn down with the listener
+	defer hsrv.Close()
+	c := client.New("http://" + ln.Addr().String())
+
+	for _, w := range ws {
+		// In-process oracle: the stable state every response must reproduce.
+		prog, err := gammalang.ParseProgram(w.name, w.program)
+		if err != nil {
+			return err
+		}
+		om, err := multiset.Parse(w.init)
+		if err != nil {
+			return err
+		}
+		ost, err := gamma.Run(prog, om, gamma.Options{MaxSteps: w.spec.MaxSteps})
+		if err != nil {
+			return err
+		}
+		oracle := om.String()
+
+		req := client.NewGammaRequest(w.program, w.init, w.spec)
+		latencies := make([][]time.Duration, w.clients)
+		perClient := w.requests / w.clients
+		var wg sync.WaitGroup
+		var firstErr error
+		var errMu sync.Mutex
+		start := time.Now()
+		for ci := 0; ci < w.clients; ci++ {
+			wg.Add(1)
+			go func(ci int) {
+				defer wg.Done()
+				lats := make([]time.Duration, 0, perClient)
+				for i := 0; i < perClient; i++ {
+					t0 := time.Now()
+					resp, err := c.Run(context.Background(), req)
+					lats = append(lats, time.Since(t0))
+					if err == nil && (resp.State != schema.StateDone || resp.Result.Multiset != oracle) {
+						err = fmt.Errorf("response diverged from oracle: state %s, multiset %q, want %q",
+							resp.State, resp.Result.Multiset, oracle)
+					}
+					if err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = fmt.Errorf("e21 %s client %d request %d: %w", w.name, ci, i, err)
+						}
+						errMu.Unlock()
+						return
+					}
+				}
+				latencies[ci] = lats
+			}(ci)
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		if firstErr != nil {
+			return firstErr
+		}
+
+		var all []time.Duration
+		for _, lats := range latencies {
+			all = append(all, lats...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		total := len(all)
+		p50 := all[total/2]
+		p99 := all[total*99/100]
+		rps := float64(total) / wall.Seconds()
+		// Steps is per-request (deterministic), so baseline matching by
+		// (workload, n, engine) compares like with like across runs.
+		t.Row(w.name, w.n, w.clients, total, fmt.Sprintf("%.0f", rps),
+			fmtDur(p50), fmtDur(p99), ost.Steps)
+		benchRecords = append(benchRecords, benchRecord{
+			Workload: w.name, N: w.n, Engine: "service",
+			Workers: w.clients, Steps: ost.Steps,
+			WallNS: wall.Nanoseconds(), RPS: rps,
+			P50NS: p50.Nanoseconds(), P99NS: p99.Nanoseconds(),
+		})
+		if benchGuard && p99 > guardServiceP99 {
+			return fmt.Errorf("e21 guard: %s p99 %s above the %s collapse ceiling",
+				w.name, p99, guardServiceP99)
+		}
+	}
+	fmt.Print(t)
+	fmt.Println("claim: the stable state under Eq. 1 is a service response — hundreds of concurrent")
+	fmt.Println("       tenants multiplex over one bounded pool with no cross-run leakage")
+	return nil
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.0fµs", float64(d.Nanoseconds())/1e3)
+	}
+}

@@ -47,7 +47,7 @@ func main() {
 	}
 	fmt.Printf("ingested %d sensor reports across %d tracks x 4 scans\n", reports, len(truth))
 
-	stats, err := gammaflow.RunProgram(prog, m, gammaflow.ProgramOptions{RunConfig: gammaflow.RunConfig{Workers: 4, Seed: 3}})
+	stats, err := gammaflow.RunProgram(prog, m, gammaflow.ProgramOptions{RunConfig: gammaflow.RunConfig{RunSpec: gammaflow.RunSpec{Workers: 4, Seed: 3}}})
 	if err != nil {
 		log.Fatal(err)
 	}

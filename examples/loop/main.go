@@ -24,7 +24,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := gammaflow.RunGraph(g, gammaflow.GraphOptions{RunConfig: gammaflow.RunConfig{MaxSteps: 100000}})
+	res, err := gammaflow.RunGraph(g, gammaflow.GraphOptions{RunConfig: gammaflow.RunConfig{RunSpec: gammaflow.RunSpec{MaxSteps: 100000}}})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func main() {
 		len(prog.Reactions), init.Len())
 
 	work := init.Clone()
-	stats, err := gammaflow.RunProgram(prog, work, gammaflow.ProgramOptions{RunConfig: gammaflow.RunConfig{MaxSteps: 100000}})
+	stats, err := gammaflow.RunProgram(prog, work, gammaflow.ProgramOptions{RunConfig: gammaflow.RunConfig{RunSpec: gammaflow.RunSpec{MaxSteps: 100000}}})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,7 +55,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res2, err := gammaflow.RunGraph(back, gammaflow.GraphOptions{RunConfig: gammaflow.RunConfig{MaxSteps: 100000}})
+	res2, err := gammaflow.RunGraph(back, gammaflow.GraphOptions{RunConfig: gammaflow.RunConfig{RunSpec: gammaflow.RunSpec{MaxSteps: 100000}}})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -63,13 +63,13 @@ func main() {
 	fmt.Printf("round trip (gamma -> dataflow): x = %s\n", x2)
 
 	// Parallel execution of the same loop: 4 PEs, 4 Gamma workers.
-	resP, err := gammaflow.RunGraph(g, gammaflow.GraphOptions{RunConfig: gammaflow.RunConfig{Workers: 4, MaxSteps: 100000}})
+	resP, err := gammaflow.RunGraph(g, gammaflow.GraphOptions{RunConfig: gammaflow.RunConfig{RunSpec: gammaflow.RunSpec{Workers: 4, MaxSteps: 100000}}})
 	if err != nil {
 		log.Fatal(err)
 	}
 	xp, _ := resP.Output("x")
 	mp := init.Clone()
-	if _, err := gammaflow.RunProgram(prog, mp, gammaflow.ProgramOptions{RunConfig: gammaflow.RunConfig{Workers: 4, Seed: 1, MaxSteps: 100000}}); err != nil {
+	if _, err := gammaflow.RunProgram(prog, mp, gammaflow.ProgramOptions{RunConfig: gammaflow.RunConfig{RunSpec: gammaflow.RunSpec{Workers: 4, Seed: 1, MaxSteps: 100000}}}); err != nil {
 		log.Fatal(err)
 	}
 	outsP := gammaflow.OutputsFromMultiset(mp, []string{"x"})

@@ -45,7 +45,7 @@ func main() {
 
 	// Parallel, nondeterministic order — same stable state.
 	m = build()
-	stats, err = gammaflow.RunProgram(prog, m, gammaflow.ProgramOptions{RunConfig: gammaflow.RunConfig{Workers: 4, Seed: 7}})
+	stats, err = gammaflow.RunProgram(prog, m, gammaflow.ProgramOptions{RunConfig: gammaflow.RunConfig{RunSpec: gammaflow.RunSpec{Workers: 4, Seed: 7}}})
 	if err != nil {
 		log.Fatal(err)
 	}

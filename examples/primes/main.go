@@ -43,7 +43,7 @@ func main() {
 
 	// The nondeterministic parallel runtime reaches the same stable state.
 	m = build()
-	if _, err := gammaflow.RunProgram(prog, m, gammaflow.ProgramOptions{RunConfig: gammaflow.RunConfig{Workers: 4, Seed: 11}}); err != nil {
+	if _, err := gammaflow.RunProgram(prog, m, gammaflow.ProgramOptions{RunConfig: gammaflow.RunConfig{RunSpec: gammaflow.RunSpec{Workers: 4, Seed: 11}}}); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("parallel run agrees: %v\n", collect(m))

@@ -35,7 +35,7 @@ func main() {
 		m.Add(gammaflow.Tuple{gammaflow.Int(v), gammaflow.Int(int64(idx))})
 	}
 
-	stats, err := gammaflow.RunProgram(prog, m, gammaflow.ProgramOptions{RunConfig: gammaflow.RunConfig{Seed: 2}})
+	stats, err := gammaflow.RunProgram(prog, m, gammaflow.ProgramOptions{RunConfig: gammaflow.RunConfig{RunSpec: gammaflow.RunSpec{Seed: 2}}})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func main() {
 	for idx, v := range input {
 		m2.Add(gammaflow.Tuple{gammaflow.Int(v), gammaflow.Int(int64(idx))})
 	}
-	stats2, err := gammaflow.RunProgram(prog, m2, gammaflow.ProgramOptions{RunConfig: gammaflow.RunConfig{Workers: 4, Seed: 9}})
+	stats2, err := gammaflow.RunProgram(prog, m2, gammaflow.ProgramOptions{RunConfig: gammaflow.RunConfig{RunSpec: gammaflow.RunSpec{Workers: 4, Seed: 9}}})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -94,27 +94,56 @@ type Tracer interface {
 	RecordFiring(name string, consumed, produced []string)
 }
 
-// RunConfig holds the execution knobs shared by both runtimes. It is
-// embedded in ProgramOptions and GraphOptions, so the shared knobs are set
-// the same way regardless of model:
+// RunSpec is the serializable core of a run configuration: engine, workers,
+// seed, step budget and timeout. It is the exact struct the gammad service
+// (cmd/gammad) accepts in its wire envelope, so a run is configured from one
+// struct whether it executes in-process or over HTTP.
+type RunSpec = schema.RunSpec
+
+// Engines selectable in a RunSpec.
+const (
+	EngineAuto     = schema.EngineAuto
+	EngineSeq      = schema.EngineSeq
+	EngineParallel = schema.EngineParallel
+)
+
+// RunRequest and RunResponse are the gammad service's v1 wire envelopes;
+// package client wraps them in a typed Go API.
+type (
+	RunRequest  = schema.RunRequest
+	RunResponse = schema.RunResponse
+)
+
+// NewGammaRequest and NewGraphRequest build v1 service submissions from the
+// same text formats the cmd/ tools read (Fig. 3 grammar + multiset literal,
+// dfir).
+var (
+	NewGammaRequest = schema.NewGammaRequest
+	NewGraphRequest = schema.NewGraphRequest
+)
+
+// RunConfig holds the execution knobs shared by both runtimes: the
+// serializable RunSpec plus the process-local hooks that cannot travel over
+// a wire. It is embedded in ProgramOptions and GraphOptions, so the shared
+// knobs are set the same way regardless of model:
 //
-//	gammaflow.ProgramOptions{RunConfig: gammaflow.RunConfig{Workers: 8}}
-//	gammaflow.GraphOptions{RunConfig: gammaflow.RunConfig{Workers: 8}}
+//	gammaflow.ProgramOptions{RunConfig: gammaflow.RunConfig{RunSpec: gammaflow.RunSpec{Workers: 8}}}
+//	gammaflow.GraphOptions{RunConfig: gammaflow.RunConfig{RunSpec: gammaflow.RunSpec{Workers: 8}}}
+//
+// RunSpec.TimeoutMS, when set, bounds the run like a context deadline
+// (ErrDeadline); RunSpec.Engine selects the scheduler explicitly (EngineSeq,
+// EngineParallel) or leaves it to Workers (EngineAuto). An invalid spec
+// (unknown engine, negative knobs) fails the run with ErrInvalid before any
+// execution.
 type RunConfig struct {
-	// Workers is the number of concurrent executors (reaction workers or
-	// dataflow PEs). 0 or 1 selects the deterministic sequential scheduler.
-	Workers int
-	// Seed seeds nondeterministic choices. The dataflow runtime is
-	// tag-deterministic and ignores it.
-	Seed int64
-	// MaxSteps bounds total reaction firings (Gamma) or vertex activations
-	// (dataflow); 0 means no bound. Exhaustion returns ErrMaxSteps.
-	MaxSteps int64
+	// RunSpec holds the serializable knobs (Engine, Workers, Seed, MaxSteps,
+	// TimeoutMS), promoted so opt.Workers etc. read as before.
+	RunSpec
 	// WorkFactor emulates instruction/action cost by spinning this many
-	// iterations per application.
+	// iterations per application. Process-local: not part of the wire spec.
 	WorkFactor int
 	// Tracer, when set, receives every firing with its consumed and produced
-	// keys.
+	// keys. Process-local: not part of the wire spec.
 	Tracer Tracer
 }
 
@@ -178,7 +207,7 @@ type ProgramOptions struct {
 
 func (o ProgramOptions) lower() gamma.Options {
 	return gamma.Options{
-		Workers:       o.Workers,
+		Workers:       o.EffectiveWorkers(),
 		Seed:          o.Seed,
 		MaxSteps:      o.MaxSteps,
 		WorkFactor:    o.WorkFactor,
@@ -193,6 +222,11 @@ func (o ProgramOptions) lower() gamma.Options {
 // under ctx. Early exits return partial ProgramStats alongside a classified
 // error.
 func RunProgramContext(ctx context.Context, p *Program, m *Multiset, opt ProgramOptions) (*ProgramStats, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	ctx, cancel := opt.RunSpec.Context(ctx)
+	defer cancel()
 	return gamma.RunContext(ctx, p, m, opt.lower())
 }
 
@@ -203,6 +237,11 @@ func RunProgram(p *Program, m *Multiset, opt ProgramOptions) (*ProgramStats, err
 
 // RunPlanContext executes a sequential composition stage by stage under ctx.
 func RunPlanContext(ctx context.Context, pl *Plan, m *Multiset, opt ProgramOptions) (*ProgramStats, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	ctx, cancel := opt.RunSpec.Context(ctx)
+	defer cancel()
 	return pl.RunContext(ctx, m, opt.lower())
 }
 
@@ -271,7 +310,7 @@ type GraphOptions struct {
 
 func (o GraphOptions) lower() dataflow.Options {
 	return dataflow.Options{
-		Workers:       o.Workers,
+		Workers:       o.EffectiveWorkers(),
 		MaxFirings:    o.MaxSteps,
 		WorkFactor:    o.WorkFactor,
 		Tracer:        o.Tracer,
@@ -283,6 +322,11 @@ func (o GraphOptions) lower() dataflow.Options {
 // RunGraphContext executes a graph until no token is in flight, under ctx.
 // Early exits return a partial GraphResult alongside a classified error.
 func RunGraphContext(ctx context.Context, g *Graph, opt GraphOptions) (*GraphResult, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	ctx, cancel := opt.RunSpec.Context(ctx)
+	defer cancel()
 	return dataflow.RunContext(ctx, g, opt.lower())
 }
 

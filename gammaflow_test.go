@@ -74,7 +74,7 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunGraph(back, GraphOptions{RunConfig: RunConfig{MaxSteps: 100000}})
+	res, err := RunGraph(back, GraphOptions{RunConfig: RunConfig{RunSpec: RunSpec{MaxSteps: 100000}}})
 	if err != nil {
 		t.Fatal(err)
 	}

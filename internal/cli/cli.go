@@ -1,6 +1,7 @@
 // Package cli holds the shared command-line conventions of the cmd/
-// binaries: the mapping from the runtime error taxonomy (package rt) to
-// process exit codes, and the interrupt/timeout context plumbing.
+// binaries: the mappings from the runtime error taxonomy (package rt) to
+// process exit codes and to HTTP response statuses, and the
+// interrupt/timeout context plumbing.
 //
 // Exit codes are part of each binary's interface — scripts driving the tools
 // branch on them — so every command maps the same error class to the same
@@ -21,6 +22,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -68,6 +70,52 @@ func ExitCode(err error) int {
 		return ExitParse
 	default:
 		return ExitError
+	}
+}
+
+// HTTP status codes for the error classes of package rt — the wire
+// counterpart of the exit-code table above, used by the gammad service
+// (internal/service) to finish synchronous runs and by its clients to
+// interpret them. One class, one status:
+//
+//	200  success
+//	400  parse error or invalid program/graph (rt.ErrParse, rt.ErrInvalid)
+//	408  the run's deadline or step budget expired (rt.ErrDeadline, rt.ErrMaxSteps)
+//	422  execution judged divergent (rt.ErrDivergent)
+//	499  canceled by the client (rt.ErrCanceled; nginx's client-closed-request)
+//	500  a worker panicked, a cluster node died, or the error is unclassified
+//
+// StatusClientClosed is 499: not an IANA code, but the de-facto standard for
+// "the client gave up first" and distinct from the server-owned 4xx/5xx.
+const (
+	StatusClientClosed = 499
+)
+
+// HTTPStatus maps err to the HTTP response status for its error class. The
+// specific classes are tested before the broad ones, in the same order as
+// ExitCode, so the two mappings always agree on the class an error reports.
+func HTTPStatus(err error) int {
+	var pe *rt.PanicError
+	var ne *rt.NodeError
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.As(err, &pe):
+		return http.StatusInternalServerError
+	case errors.As(err, &ne):
+		return http.StatusInternalServerError
+	case errors.Is(err, rt.ErrDivergent):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, rt.ErrCanceled):
+		return StatusClientClosed
+	case errors.Is(err, rt.ErrDeadline):
+		return http.StatusRequestTimeout
+	case errors.Is(err, rt.ErrMaxSteps):
+		return http.StatusRequestTimeout
+	case errors.Is(err, rt.ErrParse), errors.Is(err, rt.ErrInvalid):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
 	}
 }
 

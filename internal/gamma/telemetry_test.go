@@ -3,6 +3,7 @@ package gamma
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/multiset"
@@ -86,13 +87,12 @@ func TestTelemetryDifferentialFaultInjected(t *testing.T) {
 		for i := int64(1); i <= 100; i++ {
 			m.Add(multiset.New1(value.Int(i)))
 		}
-		fired := 0
+		var fired atomic.Int64 // the injector runs on every worker concurrently
 		p := MustProgram("min", minReaction())
 		st, err := Run(p, m, Options{
 			Workers: workers, Seed: 7, Recorder: rec,
 			FaultInjector: func(site string, worker int) error {
-				fired++
-				if fired > 20 {
+				if fired.Add(1) > 20 {
 					return boom
 				}
 				return nil

@@ -84,6 +84,77 @@ type marked struct {
 func (m *marked) Error() string   { return m.err.Error() }
 func (m *marked) Unwrap() []error { return []error{m.err, m.class} }
 
+// Stable wire identifiers of the taxonomy classes. They are part of the
+// gammad service's v1 wire contract (internal/schema.WireError.Code): like
+// the exit codes of internal/cli they may gain new values but existing ones
+// never change meaning.
+const (
+	CodeOK        = "ok"
+	CodePanic     = "panic"
+	CodeNodeDead  = "node_dead"
+	CodeDivergent = "divergent"
+	CodeCanceled  = "canceled"
+	CodeDeadline  = "deadline"
+	CodeMaxSteps  = "max_steps"
+	CodeParse     = "parse"
+	CodeInvalid   = "invalid"
+	CodeInternal  = "internal"
+)
+
+// Code maps err to the stable wire identifier of its taxonomy class. The
+// specific classes are tested before the broad ones, in the same order as
+// cli.ExitCode, so both mappings always agree on which class an error
+// reports. Unclassified errors are CodeInternal.
+func Code(err error) string {
+	var pe *PanicError
+	var ne *NodeError
+	switch {
+	case err == nil:
+		return CodeOK
+	case errors.As(err, &pe):
+		return CodePanic
+	case errors.As(err, &ne):
+		return CodeNodeDead
+	case errors.Is(err, ErrDivergent):
+		return CodeDivergent
+	case errors.Is(err, ErrCanceled):
+		return CodeCanceled
+	case errors.Is(err, ErrDeadline):
+		return CodeDeadline
+	case errors.Is(err, ErrMaxSteps):
+		return CodeMaxSteps
+	case errors.Is(err, ErrParse):
+		return CodeParse
+	case errors.Is(err, ErrInvalid):
+		return CodeInvalid
+	default:
+		return CodeInternal
+	}
+}
+
+// FromCode maps a wire identifier back to its sentinel class, so a client
+// that received an error over the wire can route it with errors.Is exactly
+// like a local caller. Codes without a sentinel (ok, panic, node_dead,
+// internal — the first has no error, the others are typed values that cannot
+// be reconstructed remotely) return nil.
+func FromCode(code string) error {
+	switch code {
+	case CodeDivergent:
+		return ErrDivergent
+	case CodeCanceled:
+		return ErrCanceled
+	case CodeDeadline:
+		return ErrDeadline
+	case CodeMaxSteps:
+		return ErrMaxSteps
+	case CodeParse:
+		return ErrParse
+	case CodeInvalid:
+		return ErrInvalid
+	}
+	return nil
+}
+
 // FromContext maps a context error into the taxonomy: DeadlineExceeded →
 // ErrDeadline, Canceled → ErrCanceled; anything else (including nil) passes
 // through.

@@ -111,3 +111,47 @@ func TestNodeError(t *testing.T) {
 		t.Error("NodeError must unwrap to its cause")
 	}
 }
+
+func TestCode(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, CodeOK},
+		{errors.New("io"), CodeInternal},
+		{Mark(ErrParse, errors.New("bad token")), CodeParse},
+		{Mark(ErrInvalid, errors.New("dangling edge")), CodeInvalid},
+		{fmt.Errorf("gamma: %w", ErrMaxSteps), CodeMaxSteps},
+		{ErrCanceled, CodeCanceled},
+		{ErrDeadline, CodeDeadline},
+		{Mark(ErrDivergent, fmt.Errorf("wrap: %w", ErrMaxSteps)), CodeDivergent},
+		{NewPanicError("gamma", "R1", 2, "boom"), CodePanic},
+		{fmt.Errorf("dist: %w", &NodeError{Node: 1, Attempts: 3, Err: errors.New("x")}), CodeNodeDead},
+	}
+	for _, c := range cases {
+		if got := Code(c.err); got != c.want {
+			t.Errorf("Code(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}
+
+// TestFromCodeRoundTrip pins the client-side reconstruction: for every
+// sentinel class, FromCode(Code(err)) yields an error the original satisfies
+// errors.Is against, so remote errors route exactly like local ones.
+func TestFromCodeRoundTrip(t *testing.T) {
+	for _, class := range []error{ErrMaxSteps, ErrCanceled, ErrDeadline, ErrDivergent, ErrParse, ErrInvalid} {
+		err := Mark(class, errors.New("detail"))
+		back := FromCode(Code(err))
+		if back == nil {
+			t.Fatalf("FromCode(Code(%v)) = nil", class)
+		}
+		if !errors.Is(err, back) {
+			t.Errorf("errors.Is(%v, FromCode(%q)) = false", err, Code(err))
+		}
+	}
+	for _, code := range []string{CodeOK, CodePanic, CodeNodeDead, CodeInternal, "unknown"} {
+		if got := FromCode(code); got != nil {
+			t.Errorf("FromCode(%q) = %v, want nil", code, got)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package schema
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/paper"
+	"repro/internal/rt"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the wire golden files from this build's encoder")
+
+// TestWireGoldenExample1 pins the v1 JSON of the paper's Example 1 byte for
+// byte: the envelope a v1 client produces for the canonical workload must
+// never drift, because deployed servers parse it. Regenerate deliberately
+// with go test ./internal/schema -run Golden -update after a (minor,
+// additive) format change.
+func TestWireGoldenExample1(t *testing.T) {
+	req := NewGammaRequest(paper.Example1GammaListing, paper.Example1InitialMultiset,
+		RunSpec{MaxSteps: 10000})
+	got, err := req.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "example1_v1.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("example1 v1 envelope drifted from golden %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+
+	// And the golden decodes back to the identical request (round trip).
+	back, err := DecodeRunRequest(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *back != req {
+		t.Fatalf("golden round trip changed the request:\ngot  %+v\nwant %+v", *back, req)
+	}
+}
+
+func TestWireVersionChecks(t *testing.T) {
+	for _, v := range []string{"1.0", "1.1", "1.99"} {
+		if err := CheckWireVersion(v); err != nil {
+			t.Errorf("CheckWireVersion(%q) = %v, want nil (minor bumps are additive)", v, err)
+		}
+	}
+	for _, v := range []string{"", "2.0", "0.9", "x.y", "3"} {
+		err := CheckWireVersion(v)
+		if !errors.Is(err, rt.ErrInvalid) {
+			t.Errorf("CheckWireVersion(%q) = %v, want rt.ErrInvalid", v, err)
+		}
+	}
+}
+
+func TestDecodeToleratesUnknownFields(t *testing.T) {
+	// A newer minor version may add fields; this build must ignore them.
+	data := []byte(`{
+		"version": "1.7",
+		"kind": "gamma",
+		"program": "R = replace [x], [y] by [x] if x < y",
+		"init": "{[3], [1], [2]}",
+		"spec": {"max_steps": 100, "priority": "batch"},
+		"labels": {"team": "runtime"}
+	}`)
+	req, err := DecodeRunRequest(data)
+	if err != nil {
+		t.Fatalf("DecodeRunRequest with unknown fields: %v", err)
+	}
+	if req.Kind != KindGamma || req.Spec.MaxSteps != 100 {
+		t.Fatalf("known fields mis-decoded: %+v", req)
+	}
+
+	resp := []byte(`{"version": "1.3", "id": "r-1", "state": "done", "shard": 4}`)
+	r, err := DecodeRunResponse(resp)
+	if err != nil || r.ID != "r-1" || r.State != StateDone {
+		t.Fatalf("DecodeRunResponse with unknown fields: %+v, %v", r, err)
+	}
+}
+
+func TestDecodeRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+		want error
+	}{
+		{"not json", `{`, rt.ErrParse},
+		{"missing version", `{"kind": "gamma", "program": "R = replace [x] by 0"}`, rt.ErrInvalid},
+		{"major 2", `{"version": "2.0", "kind": "gamma", "program": "R = replace [x] by 0"}`, rt.ErrInvalid},
+		{"missing kind", `{"version": "1.0", "program": "R = replace [x] by 0"}`, rt.ErrInvalid},
+		{"unknown kind", `{"version": "1.0", "kind": "petri", "program": "x"}`, rt.ErrInvalid},
+		{"gamma without program", `{"version": "1.0", "kind": "gamma"}`, rt.ErrInvalid},
+		{"gamma with graph", `{"version": "1.0", "kind": "gamma", "program": "x", "graph": "y"}`, rt.ErrInvalid},
+		{"dataflow without graph", `{"version": "1.0", "kind": "dataflow"}`, rt.ErrInvalid},
+		{"dataflow with program", `{"version": "1.0", "kind": "dataflow", "graph": "g", "program": "x"}`, rt.ErrInvalid},
+		{"bad engine", `{"version": "1.0", "kind": "dataflow", "graph": "g", "spec": {"engine": "quantum"}}`, rt.ErrInvalid},
+		{"negative steps", `{"version": "1.0", "kind": "dataflow", "graph": "g", "spec": {"max_steps": -1}}`, rt.ErrInvalid},
+	}
+	for _, c := range cases {
+		_, err := DecodeRunRequest([]byte(c.data))
+		if !errors.Is(err, c.want) {
+			t.Errorf("%s: DecodeRunRequest = %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+func TestRunSpecEffectiveWorkers(t *testing.T) {
+	cases := []struct {
+		spec RunSpec
+		want func(int) bool
+		desc string
+	}{
+		{RunSpec{}, func(w int) bool { return w == 0 }, "auto default sequential"},
+		{RunSpec{Workers: 8}, func(w int) bool { return w == 8 }, "auto explicit workers"},
+		{RunSpec{Engine: EngineSeq, Workers: 8}, func(w int) bool { return w == 1 }, "seq forces 1"},
+		{RunSpec{Engine: EngineParallel, Workers: 4}, func(w int) bool { return w == 4 }, "parallel explicit"},
+		{RunSpec{Engine: EngineParallel}, func(w int) bool { return w >= 2 }, "parallel default >= 2"},
+	}
+	for _, c := range cases {
+		if got := c.spec.EffectiveWorkers(); !c.want(got) {
+			t.Errorf("%s: EffectiveWorkers() = %d", c.desc, got)
+		}
+	}
+}
+
+func TestWireErrorRoundTrip(t *testing.T) {
+	orig := rt.Mark(rt.ErrMaxSteps, errors.New("gamma: maximum step count exceeded"))
+	we := NewWireError(orig)
+	if we.Code != rt.CodeMaxSteps {
+		t.Fatalf("code = %q, want %q", we.Code, rt.CodeMaxSteps)
+	}
+	back := we.Err()
+	if !errors.Is(back, rt.ErrMaxSteps) {
+		t.Fatalf("reconstructed error lost its class: %v", back)
+	}
+	if NewWireError(nil) != nil || (*WireError)(nil).Err() != nil {
+		t.Fatal("nil error must round-trip to nil")
+	}
+}

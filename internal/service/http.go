@@ -1,0 +1,142 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/cli"
+	"repro/internal/rt"
+	"repro/internal/schema"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/runs        submit a schema.RunRequest; 202 + RunResponse
+//	                       (?wait=true blocks for the terminal state)
+//	GET    /v1/runs/{id}   poll a run; 200 + RunResponse
+//	DELETE /v1/runs/{id}   cancel a run; 202 + RunResponse
+//	GET    /v1/healthz     load snapshot; 200 + schema.Health
+//
+// Tenancy comes from the Authorization bearer token or X-API-Key header;
+// absent both, the request is accounted to AnonymousTenant. Admission
+// rejections are 429 with Retry-After; terminal errors map through
+// cli.HTTPStatus (the same taxonomy the CLI maps to exit codes).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	return mux
+}
+
+// tenantOf extracts the API-key identity of a request.
+func tenantOf(r *http.Request) string {
+	if auth := r.Header.Get("Authorization"); auth != "" {
+		if tok, ok := strings.CutPrefix(auth, "Bearer "); ok {
+			return strings.TrimSpace(tok)
+		}
+	}
+	if key := r.Header.Get("X-API-Key"); key != "" {
+		return key
+	}
+	return AnonymousTenant
+}
+
+// writeJSON writes one JSON body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the connection is gone; nothing to do
+}
+
+// writeError renders err as a wire error envelope on the mapped status.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	var busy *TooBusyError
+	if errors.As(err, &busy) {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(busy.RetryAfter.Seconds())))
+		writeJSON(w, http.StatusTooManyRequests, &schema.RunResponse{
+			Version: schema.WireVersion,
+			State:   schema.StateFailed,
+			Tenant:  busy.Tenant,
+			Error:   &schema.WireError{Code: "too_busy", Message: busy.Error()},
+		})
+		return
+	}
+	status := cli.HTTPStatus(err)
+	if errors.Is(err, ErrUnknownRun) {
+		status = http.StatusNotFound
+	}
+	writeJSON(w, status, &schema.RunResponse{
+		Version: schema.WireVersion,
+		State:   schema.StateFailed,
+		Error:   schema.NewWireError(err),
+	})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeError(w, rt.Mark(rt.ErrInvalid, fmt.Errorf("service: request body over %d bytes", tooBig.Limit)))
+			return
+		}
+		s.writeError(w, rt.Mark(rt.ErrParse, err))
+		return
+	}
+	req, err := schema.DecodeRunRequest(raw)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	run, err := s.Submit(req, tenantOf(r))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+
+	if r.URL.Query().Get("wait") == "true" {
+		// Synchronous mode: hold the request open until the run finishes.
+		// A client that disconnects mid-run cancels it — the run's budget
+		// should not be spent on an answer nobody will read.
+		select {
+		case <-run.Done():
+		case <-r.Context().Done():
+			run.Cancel()
+			<-run.Done()
+		}
+		resp := run.snapshot()
+		writeJSON(w, cli.HTTPStatus(run.Err()), resp)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, run.snapshot())
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	run, err := s.Lookup(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, run.snapshot())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	run, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, run.snapshot())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Health())
+}

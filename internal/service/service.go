@@ -1,0 +1,564 @@
+// Package service is the networked, multi-tenant Gamma service behind
+// cmd/gammad: it accepts Gamma programs and dataflow graphs over the
+// versioned internal/schema wire format and multiplexes many concurrent runs
+// over one shared bounded executor pool (each run executing on the
+// work-stealing runtime of internal/gamma / internal/dataflow).
+//
+// The paper's Γ model is naturally a server: a stable state under Eq. 1 is a
+// response. Each submission is an isolated process in the Kahn sense — its
+// own multiset, its own context — scheduled over shared processing elements.
+//
+// # Admission control
+//
+// Three gates protect the pool, every rejection an HTTP 429 with Retry-After
+// so well-behaved clients back off instead of hammering:
+//
+//   - a bounded pending queue (Config.QueueDepth) — global backpressure;
+//   - a per-tenant in-flight cap (Quota.MaxConcurrent) — one tenant cannot
+//     occupy the whole queue;
+//   - a per-tenant cumulative step budget (Quota.StepBudget) — reaction
+//     firings are the service's cost unit, and a tenant that has spent its
+//     budget is rejected until the operator raises it.
+//
+// Every run additionally gets an effective per-run step cap (the spec's
+// MaxSteps clamped to Quota.MaxSteps) and an optional wall-clock timeout, so
+// a divergent program costs a bounded amount of pool time.
+//
+// Tenancy is by API key: the Authorization bearer token or X-API-Key header
+// names the tenant; requests without one share the "anonymous" tenant.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dataflow"
+	"repro/internal/dfir"
+	"repro/internal/gamma"
+	"repro/internal/gammalang"
+	"repro/internal/multiset"
+	"repro/internal/rt"
+	"repro/internal/schema"
+	"repro/internal/telemetry"
+)
+
+// AnonymousTenant is the tenant identity of requests carrying no API key.
+const AnonymousTenant = "anonymous"
+
+// Quota bounds one tenant's use of the service. The zero value applies the
+// server defaults (Config.Quota), whose own zero fields mean "unbounded
+// concurrency, default per-run cap, unlimited cumulative budget".
+type Quota struct {
+	// MaxConcurrent caps the tenant's in-flight (pending + running) runs;
+	// 0 means unbounded (the queue is still the global backstop).
+	MaxConcurrent int
+	// MaxSteps caps any single run's step budget; 0 applies
+	// Config.MaxStepsCap. A submission asking for more is clamped, not
+	// rejected.
+	MaxSteps int64
+	// StepBudget is the tenant's cumulative firing allowance across all its
+	// runs (partial executions count); 0 means unlimited. An exhausted
+	// budget rejects new submissions with 429.
+	StepBudget int64
+}
+
+// Config configures a Server.
+type Config struct {
+	// Pool is the number of executor goroutines runs are multiplexed over;
+	// <= 0 means 4. Each executor runs one submission at a time; the
+	// submission itself may use several workers (RunSpec.Workers).
+	Pool int
+	// QueueDepth bounds the pending queue; <= 0 means 64. A full queue
+	// rejects submissions with 429.
+	QueueDepth int
+	// Quota is the default per-tenant quota.
+	Quota Quota
+	// Tenants overrides the quota for specific API keys.
+	Tenants map[string]Quota
+	// MaxStepsCap is the per-run step cap applied when neither the spec nor
+	// the tenant quota bounds the run; <= 0 means 10,000,000.
+	MaxStepsCap int64
+	// Retain is how many terminal runs are kept for polling before the
+	// oldest are evicted; <= 0 means 1024.
+	Retain int
+	// MaxBody caps the request body in bytes; <= 0 means 1 MiB.
+	MaxBody int64
+	// Registry receives the service's counters, gauges and histograms; nil
+	// allocates a private one. Share it with telemetry.ServeMetrics to
+	// expose the pool on -metrics-addr.
+	Registry *telemetry.Registry
+}
+
+func (c *Config) fill() {
+	if c.Pool <= 0 {
+		c.Pool = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxStepsCap <= 0 {
+		c.MaxStepsCap = 10_000_000
+	}
+	if c.Retain <= 0 {
+		c.Retain = 1024
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 1 << 20
+	}
+	if c.Registry == nil {
+		c.Registry = telemetry.NewRegistry()
+	}
+}
+
+// TooBusyError is the admission-control rejection: the service is saturated
+// or the tenant is over quota. The HTTP layer renders it as 429 with the
+// suggested Retry-After.
+type TooBusyError struct {
+	// Reason is one of "queue full", "concurrency quota", "step budget".
+	Reason string
+	// Tenant is the rejected tenant.
+	Tenant string
+	// RetryAfter is the suggested backoff.
+	RetryAfter time.Duration
+}
+
+func (e *TooBusyError) Error() string {
+	return fmt.Sprintf("service: tenant %s rejected: %s", e.Tenant, e.Reason)
+}
+
+// ErrUnknownRun reports a run id the server does not know (never submitted,
+// or evicted after Config.Retain newer terminal runs).
+var ErrUnknownRun = errors.New("service: unknown run id")
+
+// ErrClosed reports a submission to a server that has been Closed.
+var ErrClosed = errors.New("service: server closed")
+
+// tenantState is one tenant's live accounting.
+type tenantState struct {
+	inflight  int
+	stepsUsed int64
+}
+
+// Run is one submitted execution. Fields set at submission are immutable;
+// the mutable outcome is guarded by mu.
+type Run struct {
+	// ID is the server-assigned identity ("r-1", "r-2", ...).
+	ID string
+	// Tenant is the API-key identity the run is accounted against.
+	Tenant string
+	// Kind is schema.KindGamma or schema.KindDataflow.
+	Kind string
+	// Spec is the submitted spec; MaxSteps holds the effective (clamped)
+	// per-run cap.
+	Spec schema.RunSpec
+
+	plan  *gamma.Plan
+	init  *multiset.Multiset
+	graph *dataflow.Graph
+
+	ctx      context.Context
+	cancel   context.CancelFunc
+	enqueued time.Time
+	done     chan struct{}
+
+	mu     sync.Mutex
+	state  string
+	result *schema.RunResult
+	err    error
+}
+
+// Done is closed when the run reaches a terminal state.
+func (r *Run) Done() <-chan struct{} { return r.done }
+
+// Cancel asks the run to stop; pending runs are canceled immediately,
+// running ones when their context check fires.
+func (r *Run) Cancel() { r.cancel() }
+
+// snapshot renders the run's current state as a response envelope.
+func (r *Run) snapshot() *schema.RunResponse {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return &schema.RunResponse{
+		Version: schema.WireVersion,
+		ID:      r.ID,
+		State:   r.state,
+		Kind:    r.Kind,
+		Tenant:  r.Tenant,
+		Result:  r.result,
+		Error:   schema.NewWireError(r.err),
+	}
+}
+
+// Err returns the run's terminal error (nil while not failed/canceled).
+func (r *Run) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// Server multiplexes Gamma and dataflow runs over a shared executor pool.
+// Create with New, serve its Handler, and Close it to cancel everything.
+type Server struct {
+	cfg Config
+	reg *telemetry.Registry
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	queue      chan *Run
+	wg         sync.WaitGroup
+	nRunning   atomic.Int64
+
+	mu       sync.Mutex
+	closed   bool
+	seq      int64
+	runs     map[string]*Run
+	terminal []string // terminal run ids in completion order, for eviction
+	tenants  map[string]*tenantState
+
+	cSubmitted, cDone, cFailed, cCanceled  *telemetry.Counter
+	cRejQueue, cRejConcurrency, cRejBudget *telemetry.Counter
+	cSteps                                 *telemetry.Counter
+	gPending, gRunning                     *telemetry.Gauge
+	hQueueWait, hRunWall, hRunSteps        *telemetry.Histogram
+}
+
+// New starts a server: Config.Pool executor goroutines draining the pending
+// queue. Close releases them.
+func New(cfg Config) *Server {
+	cfg.fill()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		reg:        cfg.Registry,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		queue:      make(chan *Run, cfg.QueueDepth),
+		runs:       make(map[string]*Run),
+		tenants:    make(map[string]*tenantState),
+	}
+	s.cSubmitted = s.reg.Counter("service.submitted")
+	s.cDone = s.reg.Counter("service.done")
+	s.cFailed = s.reg.Counter("service.failed")
+	s.cCanceled = s.reg.Counter("service.canceled")
+	s.cRejQueue = s.reg.Counter("service.rejected.queue")
+	s.cRejConcurrency = s.reg.Counter("service.rejected.concurrency")
+	s.cRejBudget = s.reg.Counter("service.rejected.budget")
+	s.cSteps = s.reg.Counter("service.steps")
+	s.gPending = s.reg.Gauge("service.pending")
+	s.gRunning = s.reg.Gauge("service.running")
+	s.hQueueWait = s.reg.Histogram("service.queue_wait_ns")
+	s.hRunWall = s.reg.Histogram("service.run_wall_ns")
+	s.hRunSteps = s.reg.Histogram("service.run_steps")
+	for i := 0; i < cfg.Pool; i++ {
+		s.wg.Add(1)
+		go s.executor()
+	}
+	return s
+}
+
+// Close stops the pool: running runs are canceled, queued ones marked
+// canceled, and new submissions rejected with ErrClosed. Blocks until the
+// executors have drained.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.baseCancel()
+	s.wg.Wait()
+	// The executors are gone; whatever is still queued will never run.
+	for {
+		select {
+		case r := <-s.queue:
+			s.finish(r, nil, rt.ErrCanceled, 0, nil)
+		default:
+			return
+		}
+	}
+}
+
+// quotaFor resolves the tenant's quota, field by field, against the default.
+func (s *Server) quotaFor(tenant string) Quota {
+	q := s.cfg.Quota
+	if o, ok := s.cfg.Tenants[tenant]; ok {
+		if o.MaxConcurrent != 0 {
+			q.MaxConcurrent = o.MaxConcurrent
+		}
+		if o.MaxSteps != 0 {
+			q.MaxSteps = o.MaxSteps
+		}
+		if o.StepBudget != 0 {
+			q.StepBudget = o.StepBudget
+		}
+	}
+	return q
+}
+
+// Submit validates, parses and admits one run. The returned Run is already
+// queued; watch Done or poll Lookup. Parse failures are rt.ErrParse /
+// rt.ErrInvalid; admission failures are *TooBusyError.
+func (s *Server) Submit(req *schema.RunRequest, tenant string) (*Run, error) {
+	if tenant == "" {
+		tenant = AnonymousTenant
+	}
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Run{Tenant: tenant, Kind: req.Kind, Spec: req.Spec, done: make(chan struct{}), state: schema.StatePending}
+	switch req.Kind {
+	case schema.KindGamma:
+		f, err := gammalang.ParseFile(req.Program)
+		if err != nil {
+			return nil, err
+		}
+		init := f.Init
+		if req.Init != "" {
+			if init, err = multiset.Parse(req.Init); err != nil {
+				return nil, rt.Mark(rt.ErrParse, err)
+			}
+		}
+		if init == nil {
+			init = multiset.New()
+		}
+		r.init = init
+		if r.plan, err = f.Plan("run"); err != nil {
+			return nil, rt.Mark(rt.ErrInvalid, err)
+		}
+	case schema.KindDataflow:
+		g, err := dfir.Unmarshal(req.Graph)
+		if err != nil {
+			return nil, rt.Mark(rt.ErrParse, err)
+		}
+		r.graph = g
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	q := s.quotaFor(tenant)
+	ts := s.tenants[tenant]
+	if ts == nil {
+		ts = &tenantState{}
+		s.tenants[tenant] = ts
+	}
+	if q.MaxConcurrent > 0 && ts.inflight >= q.MaxConcurrent {
+		s.mu.Unlock()
+		s.cRejConcurrency.Inc()
+		return nil, &TooBusyError{Reason: "concurrency quota", Tenant: tenant, RetryAfter: time.Second}
+	}
+	if q.StepBudget > 0 && ts.stepsUsed >= q.StepBudget {
+		s.mu.Unlock()
+		s.cRejBudget.Inc()
+		return nil, &TooBusyError{Reason: "step budget", Tenant: tenant, RetryAfter: time.Minute}
+	}
+	// Effective per-run cap: the spec's ask clamped to the tenant's per-run
+	// cap (default Config.MaxStepsCap), and to what remains of a cumulative
+	// budget — a run can never overdraw, it is truncated at the boundary
+	// with rt.ErrMaxSteps like any other budget exhaustion.
+	cap := q.MaxSteps
+	if cap <= 0 {
+		cap = s.cfg.MaxStepsCap
+	}
+	eff := r.Spec.MaxSteps
+	if eff <= 0 || eff > cap {
+		eff = cap
+	}
+	if q.StepBudget > 0 {
+		if rem := q.StepBudget - ts.stepsUsed; rem < eff {
+			eff = rem
+		}
+	}
+	r.Spec.MaxSteps = eff
+
+	s.seq++
+	r.ID = fmt.Sprintf("r-%d", s.seq)
+	r.ctx, r.cancel = context.WithCancel(s.baseCtx)
+	r.enqueued = time.Now()
+	select {
+	case s.queue <- r:
+	default:
+		s.mu.Unlock()
+		s.cRejQueue.Inc()
+		return nil, &TooBusyError{Reason: "queue full", Tenant: tenant, RetryAfter: time.Second}
+	}
+	ts.inflight++
+	s.runs[r.ID] = r
+	s.mu.Unlock()
+
+	s.cSubmitted.Inc()
+	s.gPending.Set(int64(len(s.queue)))
+	return r, nil
+}
+
+// Lookup returns a run by id.
+func (s *Server) Lookup(id string) (*Run, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.runs[id]
+	if !ok {
+		return nil, ErrUnknownRun
+	}
+	return r, nil
+}
+
+// Cancel cancels a run by id and returns it.
+func (s *Server) Cancel(id string) (*Run, error) {
+	r, err := s.Lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	r.Cancel()
+	return r, nil
+}
+
+// executor is one pool worker: it drains the pending queue until Close.
+func (s *Server) executor() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case r := <-s.queue:
+			s.execute(r)
+		}
+	}
+}
+
+// execute runs one submission to its terminal state.
+func (s *Server) execute(r *Run) {
+	s.gPending.Set(int64(len(s.queue)))
+	s.hQueueWait.Observe(time.Since(r.enqueued).Nanoseconds())
+
+	// A cancellation that arrived while pending wins before any work.
+	if r.ctx.Err() != nil {
+		s.finish(r, nil, rt.ErrCanceled, 0, nil)
+		return
+	}
+	r.mu.Lock()
+	r.state = schema.StateRunning
+	r.mu.Unlock()
+	s.gRunning.Set(s.nRunning.Add(1))
+	defer func() { s.gRunning.Set(s.nRunning.Add(-1)) }()
+
+	ctx, cancel := r.Spec.Context(r.ctx)
+	defer cancel()
+
+	start := time.Now()
+	switch r.Kind {
+	case schema.KindGamma:
+		opt := gamma.Options{
+			Workers:  r.Spec.EffectiveWorkers(),
+			Seed:     r.Spec.Seed,
+			MaxSteps: r.Spec.MaxSteps,
+		}
+		st, err := r.plan.RunContext(ctx, r.init, opt)
+		wall := time.Since(start)
+		res := &schema.RunResult{Multiset: r.init.String(), WallMS: float64(wall.Nanoseconds()) / 1e6}
+		var steps int64
+		if st != nil {
+			steps = st.Steps
+			res.Steps = st.Steps
+		}
+		s.finish(r, res, err, steps, &wall)
+	case schema.KindDataflow:
+		opt := dataflow.Options{
+			Workers:    r.Spec.EffectiveWorkers(),
+			MaxFirings: r.Spec.MaxSteps,
+		}
+		dres, err := dataflow.RunContext(ctx, r.graph, opt)
+		wall := time.Since(start)
+		res := &schema.RunResult{WallMS: float64(wall.Nanoseconds()) / 1e6}
+		var steps int64
+		if dres != nil {
+			steps = dres.Firings
+			res.Steps = dres.Firings
+			res.Outputs = make(map[string][]string, len(dres.Outputs))
+			for label, series := range dres.Outputs {
+				out := make([]string, len(series))
+				for i, tv := range series {
+					out[i] = fmt.Sprintf("%s@%d", tv.Val, tv.Tag)
+				}
+				res.Outputs[label] = out
+			}
+		}
+		s.finish(r, res, err, steps, &wall)
+	}
+}
+
+// finish moves a run to its terminal state and settles the accounting: the
+// tenant's in-flight slot is released, the steps actually executed (partial
+// runs included) are charged against its budget, and the terminal-run ring
+// evicts past Config.Retain.
+func (s *Server) finish(r *Run, res *schema.RunResult, err error, steps int64, wall *time.Duration) {
+	state := schema.StateDone
+	switch {
+	case err == nil:
+	case errors.Is(err, rt.ErrCanceled):
+		state = schema.StateCanceled
+	default:
+		state = schema.StateFailed
+	}
+
+	r.mu.Lock()
+	r.state = state
+	r.result = res
+	r.err = err
+	r.mu.Unlock()
+	r.cancel() // release the context resources either way
+	close(r.done)
+
+	switch state {
+	case schema.StateDone:
+		s.cDone.Inc()
+	case schema.StateCanceled:
+		s.cCanceled.Inc()
+	default:
+		s.cFailed.Inc()
+	}
+	if steps > 0 {
+		s.cSteps.Add(steps)
+		s.hRunSteps.Observe(steps)
+	}
+	if wall != nil {
+		s.hRunWall.Observe(wall.Nanoseconds())
+	}
+
+	s.mu.Lock()
+	if ts := s.tenants[r.Tenant]; ts != nil {
+		ts.inflight--
+		ts.stepsUsed += steps
+	}
+	s.terminal = append(s.terminal, r.ID)
+	for len(s.terminal) > s.cfg.Retain {
+		delete(s.runs, s.terminal[0])
+		s.terminal = s.terminal[1:]
+	}
+	s.mu.Unlock()
+}
+
+// Health reports the server's instantaneous load.
+func (s *Server) Health() *schema.Health {
+	status := "ok"
+	s.mu.Lock()
+	if s.closed {
+		status = "closed"
+	}
+	s.mu.Unlock()
+	return &schema.Health{
+		Version:    schema.WireVersion,
+		Status:     status,
+		Pool:       s.cfg.Pool,
+		QueueDepth: s.cfg.QueueDepth,
+		Pending:    len(s.queue),
+		Running:    int(s.nRunning.Load()),
+		Completed:  s.cDone.Value() + s.cFailed.Value() + s.cCanceled.Value(),
+	}
+}
+
+// Registry exposes the server's telemetry registry (for -metrics-addr).
+func (s *Server) Registry() *telemetry.Registry { return s.reg }

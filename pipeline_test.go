@@ -34,7 +34,7 @@ func TestPipelineSources(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: compile: %v", name, err)
 		}
-		res, err := RunGraph(g, GraphOptions{RunConfig: RunConfig{MaxSteps: 1_000_000}})
+		res, err := RunGraph(g, GraphOptions{RunConfig: RunConfig{RunSpec: RunSpec{MaxSteps: 1_000_000}}})
 		if err != nil {
 			t.Fatalf("%s: run: %v", name, err)
 		}
@@ -69,7 +69,7 @@ func TestPipelineSources(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: reconstruct: %v", name, err)
 		}
-		res2, err := RunGraph(back, GraphOptions{RunConfig: RunConfig{MaxSteps: 1_000_000}})
+		res2, err := RunGraph(back, GraphOptions{RunConfig: RunConfig{RunSpec: RunSpec{MaxSteps: 1_000_000}}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -134,7 +134,7 @@ func TestPipelineProfileAndReuse(t *testing.T) {
 	}
 	col := NewProfileCollector()
 	tbl := NewReuseTable(0)
-	res, err := RunGraph(g, GraphOptions{RunConfig: RunConfig{Tracer: col, MaxSteps: 1_000_000}, Memo: tbl})
+	res, err := RunGraph(g, GraphOptions{RunConfig: RunConfig{RunSpec: RunSpec{MaxSteps: 1_000_000}, Tracer: col}, Memo: tbl})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +157,7 @@ func TestPipelineProfileAndReuse(t *testing.T) {
 		t.Fatal(err)
 	}
 	colG := NewProfileCollector()
-	stats, err := RunProgram(prog, init, ProgramOptions{RunConfig: RunConfig{Tracer: colG, MaxSteps: 1_000_000}})
+	stats, err := RunProgram(prog, init, ProgramOptions{RunConfig: RunConfig{RunSpec: RunSpec{MaxSteps: 1_000_000}, Tracer: colG}})
 	if err != nil {
 		t.Fatal(err)
 	}
