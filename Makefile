@@ -35,9 +35,9 @@ bench-compare:
 
 # Refresh the machine-readable matching-engine measurements (sequential
 # engines via e16, work-stealing parallel rows via e20, gammad service load
-# rows via e21).
+# rows via e21, matrix dataflow engine rows via e22).
 snapshot:
-	$(GO) run ./cmd/gfbench -exp e16,e20,e21 -bench-json BENCH_gamma.json
+	$(GO) run ./cmd/gfbench -exp e16,e20,e21,e22 -bench-json BENCH_gamma.json
 
 # Observability demo: trace the paper's Fig. 1 program and emit a
 # Perfetto-loadable timeline (open trace.json at https://ui.perfetto.dev) plus
@@ -51,11 +51,12 @@ trace-demo:
 # dead-node tests under the race detector, plus the compiled-vs-interpreted
 # differential suites (kernel matcher, expression compiler, pure dataflow
 # ops, batched multiset commits, steal-scheduler determinism and batch-vs-
-# sequential equivalence) — DESIGN.md §9, §10 and §12.
+# sequential equivalence, three-way dataflow engine differentials) —
+# DESIGN.md §9, §10, §12 and §14.
 stress:
 	$(GO) test -race -count=2 -run 'Cancel|Panic|Fault|Dead|Deadline|Wedge|Retr|Differential|KernelMatches|ApplyDelta|Steal|Batch' \
 		./internal/gamma/ ./internal/dataflow/ ./internal/dist/ ./internal/rt/ \
-		./internal/expr/ ./internal/multiset/ .
+		./internal/expr/ ./internal/multiset/ ./internal/equiv/ .
 
 check: vet fmt-check build race bench-smoke
 
@@ -78,4 +79,4 @@ check-ci: vet fmt-check build
 	GOMAXPROCS=2 $(GO) test -race -timeout 2m -count=2 -run 'Steal|Batch|Differential' ./internal/gamma/
 	GOMAXPROCS=8 $(GO) test -race -timeout 2m -count=2 -run 'Steal|Batch|Differential' ./internal/gamma/
 	$(GO) run ./cmd/gammad -selfcheck
-	$(GO) run ./cmd/gfbench -exp e16,e20,e21 -short -guard -baseline BENCH_gamma.json
+	$(GO) run ./cmd/gfbench -exp e16,e20,e21,e22 -short -guard -baseline BENCH_gamma.json

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	dfrun [-workers N] [-maxfirings N] [-timeout D] [-dot out.dot] [-compile] file
+//	dfrun [-engine E] [-workers N] [-maxfirings N] [-timeout D] [-dot out.dot] [-compile] file
 //
 // The input is a .dfir graph description by default; with -compile it is a
 // source file in the paper's von Neumann mini language, translated first.
@@ -25,10 +25,12 @@ import (
 	"repro/internal/dfir"
 	"repro/internal/profile"
 	"repro/internal/rt"
+	"repro/internal/schema"
 	"repro/internal/telemetry"
 )
 
 func main() {
+	engine := flag.String("engine", "", "execution engine: seq, parallel, or matrix (default: workers decide)")
 	workers := flag.Int("workers", 1, "processing elements (1 = sequential deterministic)")
 	maxFirings := flag.Int64("maxfirings", 1_000_000, "abort after this many vertex activations (0 = unlimited)")
 	dot := flag.String("dot", "", "also write the graph as Graphviz DOT to this file")
@@ -47,7 +49,7 @@ func main() {
 		cli.Exit("dfrun", err)
 	}
 	ctx, stop := cli.Context(*timeout)
-	err := run(ctx, flag.Arg(0), &tel, *workers, *maxFirings, *dot, *compile, *prof)
+	err := run(ctx, flag.Arg(0), &tel, *engine, *workers, *maxFirings, *dot, *compile, *prof)
 	stop()
 	if terr := tel.Finish(); err == nil {
 		err = terr
@@ -55,7 +57,13 @@ func main() {
 	cli.Exit("dfrun", err)
 }
 
-func run(ctx context.Context, path string, tel *cli.TelemetryFlags, workers int, maxFirings int64, dot string, compile, prof bool) error {
+func run(ctx context.Context, path string, tel *cli.TelemetryFlags, engine string, workers int, maxFirings int64, dot string, compile, prof bool) error {
+	// Route engine selection through the wire spec so the CLI accepts exactly
+	// the enum gammad does and inherits its worker-forcing rules.
+	spec := schema.RunSpec{Engine: engine, Workers: workers}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -75,7 +83,10 @@ func run(ctx context.Context, path string, tel *cli.TelemetryFlags, workers int,
 			return err
 		}
 	}
-	opt := dataflow.Options{Workers: workers, MaxFirings: maxFirings, Recorder: tel.Recorder()}
+	opt := dataflow.Options{Workers: spec.EffectiveWorkers(), MaxFirings: maxFirings, Recorder: tel.Recorder()}
+	if spec.Engine == schema.EngineMatrix {
+		opt.Engine = dataflow.EngineMatrix
+	}
 	var col *profile.Collector
 	var tracers []telemetry.Tracer
 	if prof {

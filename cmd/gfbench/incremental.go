@@ -47,6 +47,9 @@ type benchRecord struct {
 	// recorder attached, relative to the untraced run, in percent. Measured on
 	// the tournament n=10^4 reference rows only (see e19); 0 elsewhere.
 	TraceOverheadPct float64 `json:"trace_overhead_pct,omitempty"`
+	// Ticks is the bulk-synchronous round count of the matrix dataflow engine
+	// on the e22 rows; 0 under the token-at-a-time engines.
+	Ticks int64 `json:"ticks,omitempty"`
 	// Steals and Batches carry the work-stealing scheduler's accounting on
 	// the parallel rows: steals are deque takeovers, batches are multi-firing
 	// ApplyDeltas commits (steps/batches = average firings per commit).

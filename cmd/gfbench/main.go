@@ -40,6 +40,7 @@ var experiments = []struct {
 	{"e19", "telemetry: recorder overhead & traced Fig. 1 fidelity (DESIGN.md §11)", expE19},
 	{"e20", "work-stealing parallel runtime: workers × n scalability (DESIGN.md §12)", expE20},
 	{"e21", "gammad service under closed-loop load: rps, p50/p99, leakage check (DESIGN.md §13)", expE21},
+	{"e22", "bulk-synchronous matrix dataflow engine vs PE pool on wide graphs (DESIGN.md §14)", expE22},
 }
 
 // benchTel carries the -trace/-metrics flags; e19's traced Fig. 1 run exports
@@ -55,8 +56,8 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	blockProfile := flag.String("blockprofile", "", "write a goroutine blocking profile to this file at exit")
 	mutexProfile := flag.String("mutexprofile", "", "write a mutex contention profile to this file at exit")
-	flag.BoolVar(&benchShort, "short", false, "e16/e20: restrict to the tournament workload (CI smoke)")
-	flag.BoolVar(&benchGuard, "guard", false, "e16: fail unless incremental wall < fullscan at n=10^4; e20: fail on parallel overhead collapse")
+	flag.BoolVar(&benchShort, "short", false, "e16/e20/e22: restrict to the smallest workloads (CI smoke)")
+	flag.BoolVar(&benchGuard, "guard", false, "e16: fail unless incremental wall < fullscan at n=10^4; e20: fail on parallel overhead collapse or matcher candidate pathology; e22: fail on matrix engine overhead collapse")
 	baseline := flag.String("baseline", "", "compare this run's e16/e20 measurements against a prior BENCH_gamma.json and fail outside tolerance")
 	benchTel.Register(flag.CommandLine)
 	flag.Parse()

@@ -1,0 +1,180 @@
+package main
+
+// e22: bulk-synchronous matrix engine vs the token-at-a-time engines on wide,
+// shallow Algorithm-2-style dataflow graphs (DESIGN.md §14).
+//
+// The workload replicates one conditional-expression instance — consts, a
+// comparison, a steer, and an arithmetic chain on each steer branch — width
+// times side by side. That is the shape Algorithm 2 produces for a
+// data-parallel Gamma program: enormous instantaneous parallelism (every
+// instance is independent) and a depth bounded by the expression, not the
+// data. It is the matrix engine's best case (each tick fires ~width vertices
+// from one readiness sweep, and the tick count stays depth-determined,
+// width-independent) and the PE worker pool's worst case on a small host
+// (every firing pays queue and scheduling overhead that the sweep amortizes).
+//
+// Engines per configuration: the sequential reference (workers=1), the PE
+// worker pool at 8 workers, and the matrix engine. Correctness cross-checks
+// per row: identical terminal outputs, firing counts and pending counts
+// across all three. With -guard the matrix engine must beat the worker pool
+// within e22GuardPoolFactor and stay within e22GuardSeqFactor of the
+// sequential engine at the widest configuration — bounded-overhead gates
+// (this host has one core; EXPERIMENTS.md E22 records the interpretation).
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"time"
+
+	"repro/internal/dataflow"
+	"repro/internal/metrics"
+	"repro/internal/value"
+)
+
+const (
+	// e22GuardPoolFactor bounds matrix wall against the 8-worker pool: the
+	// sweep must at least hold its own against per-firing scheduling.
+	e22GuardPoolFactor = 1.2
+	// e22GuardSeqFactor bounds matrix wall against the sequential engine: the
+	// per-tick edge sweep is overhead a 1-core host cannot pay back with
+	// parallelism, so the gate only requires it stays bounded.
+	e22GuardSeqFactor = 2.5
+)
+
+// wideGraph builds width independent instances of a conditional expression:
+//
+//	x ──┬─► (< 500) ──► steer.ctl
+//	    └─────────────► steer.data ──► +1 ─► +2 ─► … (true branch, depth deep)
+//	                              └──► *2 ─► *2 ─► … (false branch)
+//
+// Each instance's constant varies with i and seed so both branches are taken
+// across the population; the untaken branch of every instance simply never
+// fires (and strands nothing: the steer consumed its operands).
+func wideGraph(width, depth int, seed int64) *dataflow.Graph {
+	g := dataflow.NewGraph(fmt.Sprintf("wide%dx%d", width, depth))
+	connect := func(from dataflow.NodeID, fp int, to dataflow.NodeID, tp int, label string) {
+		if _, err := g.Connect(from, fp, to, tp, label); err != nil {
+			panic(fmt.Sprintf("e22: wiring %s: %v", label, err))
+		}
+	}
+	for i := 0; i < width; i++ {
+		vx := (int64(i)*2654435761 + seed) % 1000
+		x := g.AddConst(fmt.Sprintf("x%d", i), value.Int(vx))
+		c := g.AddCompareImm(fmt.Sprintf("c%d", i), "<", value.Int(500))
+		st := g.AddSteer(fmt.Sprintf("st%d", i))
+		connect(x, 0, c, 0, fmt.Sprintf("e%d.c", i))
+		connect(x, 0, st, 0, fmt.Sprintf("e%d.d", i))
+		connect(c, 0, st, 1, fmt.Sprintf("e%d.s", i))
+		tn, tp := st, dataflow.PortTrue
+		fn, fp := st, dataflow.PortFalse
+		for d := 0; d < depth; d++ {
+			t := g.AddArithImm(fmt.Sprintf("t%d.%d", i, d), "+", value.Int(int64(d+1)))
+			connect(tn, tp, t, 0, fmt.Sprintf("e%d.t%d", i, d))
+			tn, tp = t, 0
+			f := g.AddArithImm(fmt.Sprintf("f%d.%d", i, d), "*", value.Int(2))
+			connect(fn, fp, f, 0, fmt.Sprintf("e%d.f%d", i, d))
+			fn, fp = f, 0
+		}
+		if _, err := g.ConnectOut(tn, tp, fmt.Sprintf("outT%d", i)); err != nil {
+			panic(fmt.Sprintf("e22: out: %v", err))
+		}
+		if _, err := g.ConnectOut(fn, fp, fmt.Sprintf("outF%d", i)); err != nil {
+			panic(fmt.Sprintf("e22: out: %v", err))
+		}
+	}
+	return g
+}
+
+func expE22() error {
+	t := metrics.NewTable("bulk-synchronous matrix engine vs PE pool: width × depth",
+		"workload", "width", "engine", "workers", "firings", "ticks", "time", "vs seq")
+
+	type cfg struct {
+		name  string
+		depth int
+	}
+	cfgs := []cfg{{"alg2-wide-d4", 4}, {"alg2-wide-d16", 16}}
+	widths := []int{1024, 8192, 32768}
+	if benchShort {
+		cfgs = cfgs[:1]
+		widths = []int{1024, 8192}
+	}
+	type engine struct {
+		name string
+		opt  dataflow.Options
+	}
+	engines := []engine{
+		{"seq", dataflow.Options{Workers: 1}},
+		{"parallel", dataflow.Options{Workers: 8}},
+		{"matrix", dataflow.Options{Engine: dataflow.EngineMatrix}},
+	}
+	for _, c := range cfgs {
+		for wi, width := range widths {
+			g := wideGraph(width, c.depth, 17)
+			var ref *dataflow.Result
+			var seqWall, poolWall, matWall time.Duration
+			for _, e := range engines {
+				run := func() *dataflow.Result {
+					res, err := dataflow.Run(g, e.opt)
+					if err != nil {
+						panic(fmt.Sprintf("e22: %s width=%d engine=%s: %v", c.name, width, e.name, err))
+					}
+					return res
+				}
+				run() // warm
+				var best time.Duration
+				var res *dataflow.Result
+				for rep := 0; rep < 2; rep++ {
+					runtime.GC()
+					d := metrics.Time(func() { res = run() })
+					if rep == 0 || d < best {
+						best = d
+					}
+				}
+				switch e.name {
+				case "seq":
+					ref, seqWall = res, best
+				case "parallel":
+					poolWall = best
+				case "matrix":
+					matWall = best
+				}
+				if e.name != "seq" {
+					if !reflect.DeepEqual(res.Outputs, ref.Outputs) {
+						return fmt.Errorf("e22: %s width=%d: %s outputs diverge from seq", c.name, width, e.name)
+					}
+					if res.Firings != ref.Firings || res.Pending != ref.Pending {
+						return fmt.Errorf("e22: %s width=%d: %s firings/pending (%d,%d), seq (%d,%d)",
+							c.name, width, e.name, res.Firings, res.Pending, ref.Firings, ref.Pending)
+					}
+				}
+				t.Row(c.name, width, e.name, res.Workers, res.Firings, res.Ticks, best,
+					fmt.Sprintf("%.2fx", float64(best)/float64(max64(int64(seqWall), 1))))
+				benchRecords = append(benchRecords, benchRecord{
+					Workload: c.name, N: width, Engine: e.name, Workers: res.Workers,
+					Steps: res.Firings, WallNS: best.Nanoseconds(), Ticks: res.Ticks,
+				})
+			}
+			if benchGuard && wi == len(widths)-1 {
+				if float64(matWall) > e22GuardPoolFactor*float64(poolWall) {
+					return fmt.Errorf("e22 guard: %s width=%d: matrix wall %.1fms exceeds %.1fx pool %.1fms",
+						c.name, width, float64(matWall.Nanoseconds())/1e6, e22GuardPoolFactor,
+						float64(poolWall.Nanoseconds())/1e6)
+				}
+				if float64(matWall) > e22GuardSeqFactor*float64(seqWall) {
+					return fmt.Errorf("e22 guard: %s width=%d: matrix wall %.1fms exceeds %.1fx seq %.1fms",
+						c.name, width, float64(matWall.Nanoseconds())/1e6, e22GuardSeqFactor,
+						float64(seqWall.Nanoseconds())/1e6)
+				}
+			}
+		}
+	}
+	fmt.Print(t)
+	fmt.Printf("host: GOMAXPROCS=%d NumCPU=%d — 1 core: the matrix column measures sweep\n",
+		runtime.GOMAXPROCS(0), runtime.NumCPU())
+	fmt.Println("overhead, not parallel speedup; ticks stay depth-determined as width grows")
+	fmt.Println("claim: one readiness sweep per tick replaces per-firing queue traffic, so the")
+	fmt.Println("       bulk-synchronous engine overtakes the PE pool as width grows")
+	return nil
+}

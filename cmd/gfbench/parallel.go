@@ -23,6 +23,7 @@ package main
 
 import (
 	"fmt"
+	"math/rand"
 	"runtime"
 	"time"
 
@@ -190,6 +191,95 @@ func expE20() error {
 		runtime.GOMAXPROCS(0), runtime.NumCPU())
 	fmt.Println("claim: batch commits amortize lock acquisitions (steps/batches > 1) and the")
 	fmt.Println("       arena path holds incremental allocations near zero per firing")
+	fmt.Println()
+	return e20MinOrder()
+}
+
+// e20MinOrderGuardFactor bounds how much slower the adversarial value layout
+// may run than the benign one. Before the rotated candidate pick the ratio
+// was O(n) probes/step vs O(1) — three orders of magnitude at n=20000 — so a
+// single-digit bound pins the fix with plenty of noise margin.
+const e20MinOrderGuardFactor = 4.0
+
+// e20MinOrder measures the sequential matcher's candidate-order pathology
+// (ROADMAP 2c): the min reduction over a value set whose numeric maximum
+// sorts lexicographically first. The deterministic matcher used to pin the
+// first pattern to the global lex-first candidate on every probe; when that
+// candidate is the numeric maximum it can never be the kept element, so each
+// probe rescanned the whole multiset before backtracking onto a workable
+// binding — O(n) candidates visited per step, O(n²) for the run. The state-derived
+// rotated enumeration (multiset.IterAllRot) removes the preferred first
+// candidate; the guard pins that by bounding the adversarial wall against a
+// benign layout of the same size. Runs in -short: it is the regression gate
+// for the fix, not a scaling study.
+func e20MinOrder() error {
+	minProg, err := gammalang.ParseProgram("min", paper.MinElementListing)
+	if err != nil {
+		return err
+	}
+	const n = 20000
+	rng := rand.New(rand.NewSource(11))
+	benign := multiset.New()
+	adv := multiset.New()
+	// Numeric maximum of the whole set, yet lexicographically first among the
+	// keys ("1999999" < "2xxxxx"): the worst possible fixed first candidate.
+	adv.Add(multiset.New1(value.Int(1999999)))
+	for i := 0; i < n; i++ {
+		v := int64(200000 + rng.Intn(100000))
+		benign.Add(multiset.New1(value.Int(v)))
+		if i > 0 {
+			adv.Add(multiset.New1(value.Int(v)))
+		}
+	}
+
+	t := metrics.NewTable("sequential matcher candidate order: min with a lex-first numeric maximum",
+		"workload", "n", "steps", "probes", "time", "probes/step")
+	measure := func(name string, init *multiset.Multiset) (time.Duration, error) {
+		run := func() (*gamma.Stats, *multiset.Multiset, error) {
+			m := init.Clone()
+			st, err := gamma.Run(minProg, m, gamma.Options{Workers: 1})
+			return st, m, err
+		}
+		if _, _, err := run(); err != nil { // warm
+			return 0, fmt.Errorf("e20 min-order %s: %w", name, err)
+		}
+		var best time.Duration
+		var st *gamma.Stats
+		for rep := 0; rep < 2; rep++ {
+			runtime.GC()
+			var rerr error
+			d := metrics.Time(func() { st, _, rerr = run() })
+			if rerr != nil {
+				return 0, fmt.Errorf("e20 min-order %s: %w", name, rerr)
+			}
+			if rep == 0 || d < best {
+				best = d
+			}
+		}
+		t.Row(name, n, st.Steps, st.Probes, best,
+			fmt.Sprintf("%.1f", float64(st.Probes)/float64(max64(st.Steps, 1))))
+		benchRecords = append(benchRecords, benchRecord{
+			Workload: name, N: n, Engine: "sequential", Workers: 1,
+			Steps: st.Steps, Probes: st.Probes, WallNS: best.Nanoseconds(),
+		})
+		return best, nil
+	}
+	benignWall, err := measure("min-benign", benign)
+	if err != nil {
+		return err
+	}
+	advWall, err := measure("min-adversarial", adv)
+	if err != nil {
+		return err
+	}
+	fmt.Print(t)
+	fmt.Println("claim: rotated candidate enumeration keeps the deterministic matcher's")
+	fmt.Println("       per-step cost O(1) regardless of the key order of the value set")
+	if benchGuard && float64(advWall) > e20MinOrderGuardFactor*float64(benignWall) {
+		return fmt.Errorf("e20 min-order guard: adversarial wall %.1fms exceeds %.1fx benign %.1fms — lex-first candidate pathology is back",
+			float64(advWall.Nanoseconds())/1e6, e20MinOrderGuardFactor,
+			float64(benignWall.Nanoseconds())/1e6)
+	}
 	return nil
 }
 

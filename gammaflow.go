@@ -37,6 +37,7 @@ package gammaflow
 
 import (
 	"context"
+	"fmt"
 
 	"repro/internal/compiler"
 	"repro/internal/core"
@@ -100,11 +101,14 @@ type Tracer interface {
 // struct whether it executes in-process or over HTTP.
 type RunSpec = schema.RunSpec
 
-// Engines selectable in a RunSpec.
+// Engines selectable in a RunSpec. EngineMatrix is dataflow-only: the
+// bulk-synchronous sparse-matrix engine firing every enabled vertex per tick
+// (Gamma runs reject it with ErrInvalid).
 const (
 	EngineAuto     = schema.EngineAuto
 	EngineSeq      = schema.EngineSeq
 	EngineParallel = schema.EngineParallel
+	EngineMatrix   = schema.EngineMatrix
 )
 
 // RunRequest and RunResponse are the gammad service's v1 wire envelopes;
@@ -205,6 +209,18 @@ type ProgramOptions struct {
 	FaultInjector FaultInjector
 }
 
+// validate extends the spec check with the Gamma-side engine constraint: the
+// matrix engine schedules dataflow ticks, not reactions.
+func (o ProgramOptions) validate() error {
+	if err := o.Validate(); err != nil {
+		return err
+	}
+	if o.Engine == EngineMatrix {
+		return rt.Mark(rt.ErrInvalid, fmt.Errorf("gammaflow: engine %q runs dataflow graphs only", o.Engine))
+	}
+	return nil
+}
+
 func (o ProgramOptions) lower() gamma.Options {
 	return gamma.Options{
 		Workers:       o.EffectiveWorkers(),
@@ -222,7 +238,7 @@ func (o ProgramOptions) lower() gamma.Options {
 // under ctx. Early exits return partial ProgramStats alongside a classified
 // error.
 func RunProgramContext(ctx context.Context, p *Program, m *Multiset, opt ProgramOptions) (*ProgramStats, error) {
-	if err := opt.Validate(); err != nil {
+	if err := opt.validate(); err != nil {
 		return nil, err
 	}
 	ctx, cancel := opt.RunSpec.Context(ctx)
@@ -237,7 +253,7 @@ func RunProgram(p *Program, m *Multiset, opt ProgramOptions) (*ProgramStats, err
 
 // RunPlanContext executes a sequential composition stage by stage under ctx.
 func RunPlanContext(ctx context.Context, pl *Plan, m *Multiset, opt ProgramOptions) (*ProgramStats, error) {
-	if err := opt.Validate(); err != nil {
+	if err := opt.validate(); err != nil {
 		return nil, err
 	}
 	ctx, cancel := opt.RunSpec.Context(ctx)
@@ -309,7 +325,7 @@ type GraphOptions struct {
 }
 
 func (o GraphOptions) lower() dataflow.Options {
-	return dataflow.Options{
+	opt := dataflow.Options{
 		Workers:       o.EffectiveWorkers(),
 		MaxFirings:    o.MaxSteps,
 		WorkFactor:    o.WorkFactor,
@@ -317,6 +333,10 @@ func (o GraphOptions) lower() dataflow.Options {
 		Memo:          o.Memo,
 		FaultInjector: o.FaultInjector,
 	}
+	if o.Engine == EngineMatrix {
+		opt.Engine = dataflow.EngineMatrix
+	}
+	return opt
 }
 
 // RunGraphContext executes a graph until no token is in flight, under ctx.

@@ -44,6 +44,10 @@ type Result struct {
 	Pending int
 	// Workers echoes the PE count used.
 	Workers int
+	// Ticks counts the bulk-synchronous rounds of the matrix engine: one
+	// readiness sweep plus one batched apply pass per tick. Zero under the
+	// token-at-a-time engines.
+	Ticks int64
 }
 
 // Output returns the single output value for label, for the common case of
@@ -85,12 +89,22 @@ type Tracer interface {
 	RecordFiring(name string, consumed, produced []string)
 }
 
+// EngineMatrix selects the bulk-synchronous sparse-matrix engine (matrix.go)
+// via Options.Engine. The string equals schema.EngineMatrix so specs pass
+// through the facade and service unchanged.
+const EngineMatrix = "matrix"
+
 // Options configures an execution.
 type Options struct {
 	// Workers is the number of processing elements (PEs). 0 or 1 selects the
 	// deterministic sequential scheduler; more selects the parallel runtime
 	// where vertices are partitioned over PE goroutines.
 	Workers int
+	// Engine overrides the Workers-driven scheduler choice. Empty leaves the
+	// choice to Workers; EngineMatrix selects the bulk-synchronous
+	// sparse-matrix engine (which is single-threaded — Workers is ignored and
+	// echoed as 1). Any other value is rt.ErrInvalid.
+	Engine string
 	// MaxFirings bounds total vertex activations; 0 means no bound.
 	MaxFirings int64
 	// Memo, when set, caches the results of pure vertices (arithmetic,
@@ -142,6 +156,14 @@ func RunContext(ctx context.Context, g *Graph, opt Options) (*Result, error) {
 			workers = 1
 		}
 		return newResult(workers), rt.FromContext(err)
+	}
+	switch opt.Engine {
+	case "":
+		// Workers decides below.
+	case EngineMatrix:
+		return runMatrix(ctx, g, opt)
+	default:
+		return nil, rt.Mark(rt.ErrInvalid, fmt.Errorf("dataflow: unknown engine %q", opt.Engine))
 	}
 	if opt.Workers <= 1 {
 		return runSequential(ctx, g, opt)
@@ -245,34 +267,68 @@ func (k NodeKind) isPure() bool {
 	return k == KindArith || k == KindCompare || k == KindUnaryOp
 }
 
-// fire computes a vertex activation: given the matched operands and their
-// tag, it returns the emitted tokens. ops holds the run's compiled pure
-// vertices (nil falls back to the tree-walking pureResult); opt supplies the
-// memo table and work factor; res accounts memo hits.
-func fire(g *Graph, n *Node, tag int64, operands []value.Value, ops []pureOp, opt Options, res *Result) ([]Token, error) {
+// route computes a vertex activation down to its single routed emission: the
+// output port, the value, and the tag it carries. Every node kind emits
+// exactly one (port, value, tag) triple, fanned over that port's edges by the
+// caller — pure kinds via memo/compiled evaluation, the routing kinds (const,
+// steer, inctag, copy, settag) by moving an operand. Factoring this below
+// fire lets the matrix engine emit straight into its flat per-edge queues
+// without materializing []Token slices.
+func route(n *Node, tag int64, operands []value.Value, ops []pureOp, opt Options, res *Result) (int, value.Value, int64, error) {
 	if n.Kind.isPure() {
 		if opt.Memo != nil {
 			key := memoKey(n, operands)
 			if v, ok := opt.Memo.LookupFiring(key); ok {
 				res.MemoHits++
-				return emitAll(g, n, 0, v, tag), nil
+				return 0, v, tag, nil
 			}
 			spin(opt.WorkFactor)
 			v, err := evalPure(n, operands, ops)
 			if err != nil {
-				return nil, err
+				return 0, value.Value{}, 0, err
 			}
 			opt.Memo.StoreFiring(key, v)
-			return emitAll(g, n, 0, v, tag), nil
+			return 0, v, tag, nil
 		}
 		spin(opt.WorkFactor)
 		v, err := evalPure(n, operands, ops)
 		if err != nil {
-			return nil, err
+			return 0, value.Value{}, 0, err
 		}
-		return emitAll(g, n, 0, v, tag), nil
+		return 0, v, tag, nil
 	}
-	return fireRouting(g, n, tag, operands)
+	switch n.Kind {
+	case KindConst:
+		return 0, n.Init, tag, nil
+	case KindSteer:
+		ctl, err := operands[1].Truthy()
+		if err != nil {
+			return 0, value.Value{}, 0, fmt.Errorf("dataflow: steer %s control: %w", n.Name, err)
+		}
+		if ctl {
+			return PortTrue, operands[0], tag, nil
+		}
+		return PortFalse, operands[0], tag, nil
+	case KindIncTag:
+		return 0, operands[0], tag + 1, nil
+	case KindCopy:
+		return 0, operands[0], tag, nil
+	case KindSetTag:
+		return 0, operands[0], 0, nil
+	}
+	return 0, value.Value{}, 0, fmt.Errorf("dataflow: node %s has invalid kind", n.Name)
+}
+
+// fire computes a vertex activation: given the matched operands and their
+// tag, it returns the emitted tokens. ops holds the run's compiled pure
+// vertices (nil falls back to the tree-walking pureResult); opt supplies the
+// memo table and work factor; res accounts memo hits.
+func fire(g *Graph, n *Node, tag int64, operands []value.Value, ops []pureOp, opt Options, res *Result) ([]Token, error) {
+	port, v, outTag, err := route(n, tag, operands, ops, opt, res)
+	if err != nil {
+		return nil, err
+	}
+	return emitAll(g, n, port, v, outTag), nil
 }
 
 // evalPure evaluates a pure vertex through its compiled op when one exists,
@@ -333,30 +389,6 @@ func emitAll(g *Graph, n *Node, port int, v value.Value, tag int64) []Token {
 	return toks
 }
 
-// fireRouting handles the non-pure kinds: const, steer, inctag, copy.
-func fireRouting(g *Graph, n *Node, tag int64, operands []value.Value) ([]Token, error) {
-	switch n.Kind {
-	case KindConst:
-		return emitAll(g, n, 0, n.Init, tag), nil
-	case KindSteer:
-		ctl, err := operands[1].Truthy()
-		if err != nil {
-			return nil, fmt.Errorf("dataflow: steer %s control: %w", n.Name, err)
-		}
-		if ctl {
-			return emitAll(g, n, PortTrue, operands[0], tag), nil
-		}
-		return emitAll(g, n, PortFalse, operands[0], tag), nil
-	case KindIncTag:
-		return emitAll(g, n, 0, operands[0], tag+1), nil
-	case KindCopy:
-		return emitAll(g, n, 0, operands[0], tag), nil
-	case KindSetTag:
-		return emitAll(g, n, 0, operands[0], 0), nil
-	}
-	return nil, fmt.Errorf("dataflow: node %s has invalid kind", n.Name)
-}
-
 // initialTokens fires every const vertex once with tag 0.
 func initialTokens(g *Graph, opt Options, res *Result, ts *dfSink) []Token {
 	var toks []Token
@@ -365,7 +397,7 @@ func initialTokens(g *Graph, opt Options, res *Result, ts *dfSink) []Token {
 			continue
 		}
 		t0 := ts.begin()
-		out, _ := fireRouting(g, n, 0, nil) // const firing cannot fail
+		out, _ := fire(g, n, 0, nil, nil, opt, res) // const firing cannot fail
 		traceFiring(g, opt, n.Name, nil, out)
 		toks = append(toks, out...)
 		res.Firings++

@@ -21,6 +21,8 @@ type dfSink struct {
 	fired    []*telemetry.Counter // by NodeID
 	lat      *telemetry.Histogram
 	depth    *telemetry.Gauge
+	ticks    *telemetry.Counter   // matrix engine bulk-synchronous rounds
+	perTick  *telemetry.Histogram // activations fired per round
 }
 
 // newDFSink resolves the PE's track and instruments; nil when telemetry is
@@ -43,6 +45,8 @@ func newDFSink(opt Options, g *Graph, pe int) *dfSink {
 		memoHits: reg.Counter("dataflow.memo_hits"),
 		lat:      reg.Histogram("dataflow.firing_ns"),
 		depth:    reg.Gauge("dataflow.queue_depth"),
+		ticks:    reg.Counter("dataflow.ticks"),
+		perTick:  reg.Histogram("dataflow.fired_per_tick"),
 	}
 	s.fired = make([]*telemetry.Counter, len(g.Nodes))
 	for _, n := range g.Nodes {
@@ -80,4 +84,14 @@ func (s *dfSink) memoHit() {
 		return
 	}
 	s.memoHits.Inc()
+}
+
+// tick accounts one bulk-synchronous round of the matrix engine and the size
+// of its fire-vector.
+func (s *dfSink) tick(fired int) {
+	if s == nil {
+		return
+	}
+	s.ticks.Inc()
+	s.perTick.Observe(int64(fired))
 }

@@ -1,0 +1,53 @@
+package equiv
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+
+	"repro/internal/dataflow"
+)
+
+// CrossCheckEngines runs g under all three dataflow engines — sequential,
+// parallel (with the given worker count), and bulk-synchronous matrix — and
+// verifies they agree on every deterministic observable: terminal outputs,
+// total firing count, and stuck-operand count. The dataflow firing rule is
+// confluent (§II-A: a fireable vertex stays fireable until it fires, and
+// firings on distinct tags commute), so any schedule must reach the same
+// stable state; a disagreement is an engine bug, never legitimate
+// nondeterminism. Returns nil when all engines agree.
+func CrossCheckEngines(ctx context.Context, g *dataflow.Graph, workers int, maxSteps int64) error {
+	type run struct {
+		name string
+		opt  dataflow.Options
+	}
+	runs := []run{
+		{"seq", dataflow.Options{Workers: 1, MaxFirings: maxSteps}},
+		{"parallel", dataflow.Options{Workers: workers, MaxFirings: maxSteps}},
+		{"matrix", dataflow.Options{Engine: dataflow.EngineMatrix, MaxFirings: maxSteps}},
+	}
+	var ref *dataflow.Result
+	for _, r := range runs {
+		res, err := dataflow.RunContext(ctx, g, r.opt)
+		if err != nil {
+			return fmt.Errorf("equiv: %s engine: %w", r.name, markBudget(err))
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if !reflect.DeepEqual(res.Outputs, ref.Outputs) {
+			return fmt.Errorf("equiv: %s engine outputs diverge from seq: %v vs %v",
+				r.name, res.Outputs, ref.Outputs)
+		}
+		if res.Firings != ref.Firings {
+			return fmt.Errorf("equiv: %s engine fired %d times, seq fired %d",
+				r.name, res.Firings, ref.Firings)
+		}
+		if res.Pending != ref.Pending {
+			return fmt.Errorf("equiv: %s engine left %d pending operands, seq left %d",
+				r.name, res.Pending, ref.Pending)
+		}
+	}
+	return nil
+}

@@ -31,6 +31,9 @@ type Options struct {
 	// sequential deterministic).
 	DataflowWorkers int
 	GammaWorkers    int
+	// DataflowEngine overrides the dataflow execution engine ("" = let
+	// DataflowWorkers decide; dataflow.EngineMatrix = bulk-synchronous).
+	DataflowEngine string
 	// GammaSeed randomizes the Gamma matcher's nondeterministic choices.
 	GammaSeed int64
 	// MaxSteps bounds both executions (0 = none); diverging graphs error.
@@ -63,7 +66,9 @@ func Check(g *dataflow.Graph, opt Options) (*Report, error) {
 // rt.ErrDivergent — for the harness, "didn't stabilize within the budget" is
 // evidence of divergence, not an infrastructure failure.
 func CheckContext(ctx context.Context, g *dataflow.Graph, opt Options) (*Report, error) {
-	dfRes, err := dataflow.RunContext(ctx, g, dataflow.Options{Workers: opt.DataflowWorkers, MaxFirings: opt.MaxSteps})
+	dfRes, err := dataflow.RunContext(ctx, g, dataflow.Options{
+		Workers: opt.DataflowWorkers, MaxFirings: opt.MaxSteps, Engine: opt.DataflowEngine,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("equiv: dataflow run: %w", markBudget(err))
 	}

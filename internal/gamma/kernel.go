@@ -294,6 +294,16 @@ func (k *kernel) produceInto(name string, idx int, env []value.Value, vals []val
 func (k *kernel) getSearcher(r *Reaction, m *multiset.Multiset, rng *rand.Rand) *searcher {
 	s := k.searchers.Get().(*searcher)
 	s.r, s.m, s.rng, s.err = r, m, rng, nil
+	if rng == nil && k.viewAll {
+		// Deterministic search with a generic pattern: derive the whole-set
+		// enumeration rotation from the multiset state, not a counter, so the
+		// probe order is a pure function of the state — identical across
+		// engines and across repeated runs (the equivalence harness compares
+		// stable states reached from the same state sequence).
+		s.det = detRotation(m.Len())
+	} else {
+		s.det = 0
+	}
 	for i := range s.env {
 		s.env[i] = value.Value{}
 	}

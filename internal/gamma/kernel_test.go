@@ -12,9 +12,12 @@ import (
 
 // findMatchOracle is the interpreted matcher the kernel replaced: a
 // backtracking search using Pattern.match over a MapEnv and the tree-walking
-// selectBranch, enumerating all candidates in ascending key order (label and
-// tag filtering only skip candidates that would fail Pattern.match anyway, so
-// the full key-ordered walk finds the same first match as the indexed walk).
+// selectBranch. Candidate order mirrors the kernel's deterministic
+// enumeration: patterns with a literal label walk ascending key order (label
+// and tag filtering only skip candidates that would fail Pattern.match
+// anyway, so the key-ordered walk finds the same first match as the indexed
+// walk), while generic patterns walk the whole multiset in the same
+// state-derived rotated order as IterAllRot.
 func findMatchOracle(r *Reaction, m *multiset.Multiset) (*Match, error) {
 	cands := m.AllCounted()
 	for i := 0; i < len(cands); i++ {
@@ -24,7 +27,12 @@ func findMatchOracle(r *Reaction, m *multiset.Multiset) (*Match, error) {
 			}
 		}
 	}
-	s := &oracleSearcher{r: r, cands: cands,
+	var rotCands []multiset.Counted
+	m.IterAllRot(detRotation(m.Len()), func(t multiset.Tuple, n int, key string) bool {
+		rotCands = append(rotCands, multiset.Counted{Tuple: t, N: n, Key: key})
+		return true
+	})
+	s := &oracleSearcher{r: r, cands: cands, rotCands: rotCands,
 		env:    make(expr.MapEnv),
 		used:   make(map[string]int),
 		chosen: make([]multiset.Tuple, len(r.Patterns)),
@@ -40,13 +48,14 @@ func findMatchOracle(r *Reaction, m *multiset.Multiset) (*Match, error) {
 }
 
 type oracleSearcher struct {
-	r      *Reaction
-	cands  []multiset.Counted
-	env    expr.MapEnv
-	used   map[string]int
-	chosen []multiset.Tuple
-	branch int
-	err    error
+	r        *Reaction
+	cands    []multiset.Counted // ascending key order, for labeled patterns
+	rotCands []multiset.Counted // IterAllRot order, for generic patterns
+	env      expr.MapEnv
+	used     map[string]int
+	chosen   []multiset.Tuple
+	branch   int
+	err      error
 }
 
 func (s *oracleSearcher) search(i int) bool {
@@ -62,7 +71,11 @@ func (s *oracleSearcher) search(i int) bool {
 		s.branch = idx
 		return true
 	}
-	for _, c := range s.cands {
+	cands := s.cands
+	if _, hasLabel := patternLabel(s.r.Patterns[i]); !hasLabel {
+		cands = s.rotCands
+	}
+	for _, c := range cands {
 		if s.used[c.Key] >= c.N {
 			continue
 		}

@@ -85,6 +85,7 @@ type searcher struct {
 	m      *multiset.Multiset
 	rng    *rand.Rand
 	view   *multiset.View // when set, candidates come from the locked view
+	det    uint64         // rotation for deterministic generic-pattern probes
 	env    []value.Value  // slot-indexed bindings; invalid Value = unbound
 	used   map[string]int // occurrences of each tuple key already claimed
 	chosen []multiset.Tuple
@@ -175,7 +176,16 @@ func (s *searcher) eachCandidate(kp *kpat, fn func(t multiset.Tuple, n int, key 
 				s.m.IterSym(kp.labelSym, fn)
 			}
 		default:
-			s.m.IterAll(fn)
+			// Generic patterns walk the whole multiset. Starting every probe
+			// at the global lex-first key is an adversarial trap: if that
+			// element never matches (e.g. computing min over values whose
+			// numeric maximum sorts lexicographically first), each probe
+			// re-rejects the same prefix and the run degrades to O(n) per
+			// step. Rotate the start by a value derived from the multiset's
+			// size instead — deterministic for a given state, so sequential
+			// runs stay reproducible, but the hot spot moves as the run
+			// progresses.
+			s.m.IterAllRot(s.det, fn)
 		}
 		return
 	}
@@ -195,6 +205,17 @@ func (s *searcher) eachCandidate(kp *kpat, fn func(t multiset.Tuple, n int, key 
 			return
 		}
 	}
+}
+
+// detRotation maps a multiset size to an enumeration rotation via a
+// splitmix64 finalizer round: consecutive sizes land on well-scattered
+// rotations, so a shrinking (or growing) multiset keeps moving the probe's
+// starting shard and offset.
+func detRotation(n int) uint64 {
+	z := uint64(n) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 // tagOf resolves a concrete integer tag for kp's enumeration, per the

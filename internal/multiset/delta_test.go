@@ -91,6 +91,72 @@ func TestIterSortedAgreesWithSnapshot(t *testing.T) {
 	}
 }
 
+// TestIterAllRotExhaustive checks that the rotated whole-set walk visits
+// exactly IterAll's element set — every distinct tuple once, with the same
+// count and cached key — for many rotations, that a fixed rotation yields a
+// fixed order (determinism), and that early exit works.
+func TestIterAllRotExhaustive(t *testing.T) {
+	m := New()
+	for i := 0; i < 150; i++ {
+		m.Add(New1(value.Int(int64(i * 53 % 97))))
+		if i%4 == 0 {
+			m.Add(Pair(value.Int(int64(i)), "L"))
+		}
+	}
+	want := map[string]int{}
+	m.IterAll(func(tp Tuple, n int, key string) bool {
+		want[key] = n
+		return true
+	})
+	for _, rot := range []uint64{0, 1, 31, 32, 1 << 40, ^uint64(0), detRotTest(151)} {
+		got := map[string]int{}
+		var order1, order2 []string
+		m.IterAllRot(rot, func(tp Tuple, n int, key string) bool {
+			if tp.Key() != key {
+				t.Fatalf("rot %d: cached key %q != Key() %q", rot, key, tp.Key())
+			}
+			got[key] = n
+			order1 = append(order1, key)
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("rot %d: visited %d distinct tuples, want %d", rot, len(got), len(want))
+		}
+		for k, n := range want {
+			if got[k] != n {
+				t.Fatalf("rot %d: key %q count %d, want %d", rot, k, got[k], n)
+			}
+		}
+		m.IterAllRot(rot, func(tp Tuple, n int, key string) bool {
+			order2 = append(order2, key)
+			return true
+		})
+		for i := range order1 {
+			if order1[i] != order2[i] {
+				t.Fatalf("rot %d: order not deterministic at %d: %q vs %q", rot, i, order1[i], order2[i])
+			}
+		}
+	}
+	calls := 0
+	m.IterAllRot(7, func(Tuple, int, string) bool {
+		calls++
+		return calls < 3
+	})
+	if calls != 3 {
+		t.Fatalf("IterAllRot early exit after %d calls, want 3", calls)
+	}
+}
+
+// detRotTest is a splitmix64 round, the same mixing the gamma matcher uses to
+// derive rotations from multiset sizes; here it just provides one more
+// arbitrary rotation value.
+func detRotTest(n int) uint64 {
+	z := uint64(n) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // TestIterEarlyExit checks that returning false stops all three iterators.
 func TestIterEarlyExit(t *testing.T) {
 	m := New()

@@ -2,16 +2,20 @@ package multiset
 
 import "sort"
 
-// elist is a chunked ordered list of entries in ascending key order — the
-// storage behind every sorted index of a shard (sorted, bySym, bySymTag).
+// elist is a paged, chunked ordered list of entries in ascending key order —
+// the storage behind every sorted index of a shard (sorted, bySym, bySymTag).
 //
 // The seed representation was a flat sorted []*entry with binary insertion:
 // correct, but every insert/remove memmoves O(population) pointers, which is
-// quadratic over a run that churns one element per firing. At the n=10⁶
-// workloads the parallel runner targets, a single label's index holds 10⁵-10⁶
-// entries and the memmove traffic alone dwarfs the matching work. Chunking
-// caps the memmove at one chunk (≤ chunkMax entries) while keeping the two
-// properties the matcher relies on:
+// quadratic over a run that churns one element per firing. Chunking capped
+// the entry memmove at one chunk (≤ chunkMax entries), but the first cut kept
+// a flat chunk directory, so every chunk split or drop still memmoved
+// O(#chunks) slice headers — at 10⁶ entries that is thousands of chunks, and
+// the directory traffic became the new quadratic term. The directory is now
+// paged: chunks live in pages of at most pageMax, so a chunk split or drop
+// memmoves at most pageMax headers within one page, and only a page split or
+// drop — pageMax times rarer — touches the (pageMax-times shorter) page
+// directory. Two properties the matcher relies on are preserved exactly:
 //
 //   - exact ascending-key iteration order, which the deterministic sequential
 //     matcher (and the golden traces pinned on it) observe;
@@ -19,29 +23,50 @@ import "sort"
 //     candidate enumeration at a randomized offset instead of snapshotting
 //     and shuffling the whole index per probe.
 //
-// Chunk sizes stay within [chunkMin, chunkMax] (except the last survivor):
-// a split at >chunkMax yields two half chunks, a removal that drains a chunk
-// below chunkMin merges it into a neighbor when the result fits. The wide
-// hysteresis band means an insert/remove cycle at a boundary cannot thrash
-// split/merge.
+// Chunk sizes stay within [chunkMin, chunkMax] and pages within
+// [pageMin, pageMax] (except the last survivor at each level): a split at
+// >max yields two halves, a removal that drains below min merges into a
+// neighbor when the result fits. The wide hysteresis bands mean an
+// insert/remove cycle at a boundary cannot thrash split/merge.
 type elist struct {
-	chunks [][]*entry // non-empty, each ascending; chunks ascending overall
-	total  int
+	pages   []epage // non-empty, each ascending; pages ascending overall
+	nchunks int
+	total   int
 }
+
+// epage is one directory page: a short ordered run of chunks.
+type epage [][]*entry
 
 const (
 	chunkMax = 512
 	chunkMin = 64
+	pageMax  = 32
+	pageMin  = 4
 )
 
 func (l *elist) len() int { return l.total }
 
-// chunkFor returns the index of the first chunk whose last key is >= key:
-// the only chunk that can contain key. Equals len(l.chunks) when key sorts
-// after everything.
-func (l *elist) chunkFor(key string) int {
-	return sort.Search(len(l.chunks), func(i int) bool {
-		c := l.chunks[i]
+// lastKey returns the largest key in the page (pages and chunks are never
+// empty).
+func (p epage) lastKey() string {
+	c := p[len(p)-1]
+	return c[len(c)-1].key
+}
+
+// pageFor returns the index of the first page whose last key is >= key: the
+// only page that can contain key. Equals len(l.pages) when key sorts after
+// everything.
+func (l *elist) pageFor(key string) int {
+	return sort.Search(len(l.pages), func(i int) bool {
+		return l.pages[i].lastKey() >= key
+	})
+}
+
+// chunkFor returns the index of the first chunk in p whose last key is >=
+// key, len(p) when key sorts after the whole page.
+func chunkFor(p epage, key string) int {
+	return sort.Search(len(p), func(i int) bool {
+		c := p[i]
 		return c[len(c)-1].key >= key
 	})
 }
@@ -50,47 +75,82 @@ func (l *elist) chunkFor(key string) int {
 // tuple), so equality cannot occur.
 func (l *elist) insert(e *entry) {
 	l.total++
-	if len(l.chunks) == 0 {
-		l.chunks = append(l.chunks, append(make([]*entry, 0, chunkMin), e))
+	if len(l.pages) == 0 {
+		c := append(make([]*entry, 0, chunkMin), e)
+		l.pages = append(l.pages, append(make(epage, 0, pageMin), c))
+		l.nchunks = 1
 		return
 	}
-	ci := l.chunkFor(e.key)
-	if ci == len(l.chunks) {
-		ci-- // beyond every key: grow the last chunk
+	pi := l.pageFor(e.key)
+	if pi == len(l.pages) {
+		pi-- // beyond every key: grow the last page
 	}
-	c := l.chunks[ci]
+	p := l.pages[pi]
+	ci := chunkFor(p, e.key)
+	if ci == len(p) {
+		ci-- // beyond the page (only possible in the last one): grow its last chunk
+	}
+	c := p[ci]
 	i := sort.Search(len(c), func(i int) bool { return c[i].key >= e.key })
 	c = append(c, nil)
 	copy(c[i+1:], c[i:])
 	c[i] = e
-	l.chunks[ci] = c
+	p[ci] = c
 	if len(c) > chunkMax {
-		l.split(ci)
+		l.splitChunk(pi, ci)
 	}
 }
 
-// split halves chunk ci in place.
-func (l *elist) split(ci int) {
-	c := l.chunks[ci]
+// splitChunk halves chunk ci of page pi in place; the header memmove is
+// bounded by pageMax.
+func (l *elist) splitChunk(pi, ci int) {
+	p := l.pages[pi]
+	c := p[ci]
 	mid := len(c) / 2
 	right := make([]*entry, len(c)-mid, chunkMax/2+chunkMin)
 	copy(right, c[mid:])
 	for i := mid; i < len(c); i++ {
 		c[i] = nil
 	}
-	l.chunks[ci] = c[:mid]
-	l.chunks = append(l.chunks, nil)
-	copy(l.chunks[ci+2:], l.chunks[ci+1:])
-	l.chunks[ci+1] = right
+	p[ci] = c[:mid]
+	p = append(p, nil)
+	copy(p[ci+2:], p[ci+1:])
+	p[ci+1] = right
+	l.pages[pi] = p
+	l.nchunks++
+	if len(p) > pageMax {
+		l.splitPage(pi)
+	}
+}
+
+// splitPage halves page pi in place; the page-directory memmove is over a
+// directory pageMax times shorter than the chunk population.
+func (l *elist) splitPage(pi int) {
+	p := l.pages[pi]
+	mid := len(p) / 2
+	right := make(epage, len(p)-mid, pageMax/2+pageMin)
+	copy(right, p[mid:])
+	for i := mid; i < len(p); i++ {
+		p[i] = nil
+	}
+	l.pages[pi] = p[:mid]
+	l.pages = append(l.pages, nil)
+	copy(l.pages[pi+2:], l.pages[pi+1:])
+	l.pages[pi+1] = right
 }
 
 // remove deletes the entry with the given key, if present.
 func (l *elist) remove(key string) {
-	ci := l.chunkFor(key)
-	if ci == len(l.chunks) {
+	pi := l.pageFor(key)
+	if pi == len(l.pages) {
 		return
 	}
-	c := l.chunks[ci]
+	p := l.pages[pi]
+	ci := chunkFor(p, key)
+	if ci == len(p) {
+		return
+	}
+	c := p[ci]
 	i := sort.Search(len(c), func(i int) bool { return c[i].key >= key })
 	if i >= len(c) || c[i].key != key {
 		return
@@ -98,44 +158,78 @@ func (l *elist) remove(key string) {
 	copy(c[i:], c[i+1:])
 	c[len(c)-1] = nil
 	c = c[:len(c)-1]
-	l.chunks[ci] = c
+	p[ci] = c
 	l.total--
 	switch {
 	case len(c) == 0:
-		l.dropChunk(ci)
+		l.dropChunk(pi, ci)
 	case len(c) < chunkMin:
-		l.mergeAt(ci)
+		l.mergeChunk(pi, ci)
 	}
 }
 
-func (l *elist) dropChunk(ci int) {
-	copy(l.chunks[ci:], l.chunks[ci+1:])
-	l.chunks[len(l.chunks)-1] = nil
-	l.chunks = l.chunks[:len(l.chunks)-1]
+func (l *elist) dropChunk(pi, ci int) {
+	p := l.pages[pi]
+	copy(p[ci:], p[ci+1:])
+	p[len(p)-1] = nil
+	p = p[:len(p)-1]
+	l.pages[pi] = p
+	l.nchunks--
+	switch {
+	case len(p) == 0:
+		l.dropPage(pi)
+	case len(p) < pageMin:
+		l.mergePage(pi)
+	}
 }
 
-// mergeAt folds the underfull chunk ci into a neighbor when the combination
-// stays within chunkMax; otherwise the small chunk simply persists (it is
-// still ordered and bounded below only by emptiness).
-func (l *elist) mergeAt(ci int) {
-	if ci+1 < len(l.chunks) && len(l.chunks[ci])+len(l.chunks[ci+1]) <= chunkMax {
-		l.chunks[ci] = append(l.chunks[ci], l.chunks[ci+1]...)
-		l.dropChunk(ci + 1)
+func (l *elist) dropPage(pi int) {
+	copy(l.pages[pi:], l.pages[pi+1:])
+	l.pages[len(l.pages)-1] = nil
+	l.pages = l.pages[:len(l.pages)-1]
+}
+
+// mergeChunk folds the underfull chunk ci into a same-page neighbor when the
+// combination stays within chunkMax; otherwise the small chunk simply
+// persists (it is still ordered and bounded below only by emptiness). Not
+// merging across a page boundary keeps the operation page-local; at most two
+// persistent small chunks per page boundary is within the hysteresis budget.
+func (l *elist) mergeChunk(pi, ci int) {
+	p := l.pages[pi]
+	if ci+1 < len(p) && len(p[ci])+len(p[ci+1]) <= chunkMax {
+		p[ci] = append(p[ci], p[ci+1]...)
+		l.dropChunk(pi, ci+1)
 		return
 	}
-	if ci > 0 && len(l.chunks[ci-1])+len(l.chunks[ci]) <= chunkMax {
-		l.chunks[ci-1] = append(l.chunks[ci-1], l.chunks[ci]...)
-		l.dropChunk(ci)
+	if ci > 0 && len(p[ci-1])+len(p[ci]) <= chunkMax {
+		p[ci-1] = append(p[ci-1], p[ci]...)
+		l.dropChunk(pi, ci)
+	}
+}
+
+// mergePage folds the underfull page pi into a neighbor when the combination
+// stays within pageMax; mirrors mergeChunk one level up.
+func (l *elist) mergePage(pi int) {
+	if pi+1 < len(l.pages) && len(l.pages[pi])+len(l.pages[pi+1]) <= pageMax {
+		l.pages[pi] = append(l.pages[pi], l.pages[pi+1]...)
+		l.dropPage(pi + 1)
+		return
+	}
+	if pi > 0 && len(l.pages[pi-1])+len(l.pages[pi]) <= pageMax {
+		l.pages[pi-1] = append(l.pages[pi-1], l.pages[pi]...)
+		l.dropPage(pi)
 	}
 }
 
 // each walks every entry in ascending key order until fn returns false.
 // Reports whether the walk ran to completion.
 func (l *elist) each(fn func(e *entry) bool) bool {
-	for _, c := range l.chunks {
-		for _, e := range c {
-			if !fn(e) {
-				return false
+	for _, p := range l.pages {
+		for _, c := range p {
+			for _, e := range c {
+				if !fn(e) {
+					return false
+				}
 			}
 		}
 	}
@@ -149,34 +243,45 @@ func (l *elist) each(fn func(e *entry) bool) bool {
 // decorrelate concurrent searchers (the model's nondeterministic selection),
 // and the walk stays exhaustive, which is what correctness needs.
 func (l *elist) eachRot(r uint64, fn func(e *entry) bool) {
-	nc := len(l.chunks)
-	if nc == 0 {
+	if l.nchunks == 0 {
 		return
 	}
-	ci := int(uint32(r) % uint32(nc))
-	off := int(uint32(r>>32) % uint32(len(l.chunks[ci])))
-	// Tail of the starting chunk, the following chunks, the preceding chunks,
-	// then the head of the starting chunk.
-	for _, e := range l.chunks[ci][off:] {
+	// Locate the rotated global chunk index; the page scan is O(#pages),
+	// which eachRot callers (one scan per probe over many candidates) absorb.
+	g := int(uint32(r) % uint32(l.nchunks))
+	pi := 0
+	for g >= len(l.pages[pi]) {
+		g -= len(l.pages[pi])
+		pi++
+	}
+	ci := g
+	start := l.pages[pi][ci]
+	off := int(uint32(r>>32) % uint32(len(start)))
+	// Tail of the starting chunk, the following chunks wrapping around, then
+	// the head of the starting chunk.
+	for _, e := range start[off:] {
 		if !fn(e) {
 			return
 		}
 	}
-	for i := ci + 1; i < nc; i++ {
-		for _, e := range l.chunks[i] {
+	for p, c := pi, ci; ; {
+		c++
+		if c >= len(l.pages[p]) {
+			p, c = p+1, 0
+		}
+		if p >= len(l.pages) {
+			p, c = 0, 0
+		}
+		if p == pi && c == ci {
+			break
+		}
+		for _, e := range l.pages[p][c] {
 			if !fn(e) {
 				return
 			}
 		}
 	}
-	for i := 0; i < ci; i++ {
-		for _, e := range l.chunks[i] {
-			if !fn(e) {
-				return
-			}
-		}
-	}
-	for _, e := range l.chunks[ci][:off] {
+	for _, e := range start[:off] {
 		if !fn(e) {
 			return
 		}
@@ -187,22 +292,29 @@ func (l *elist) eachRot(r uint64, fn func(e *entry) bool) {
 // ordered merge.
 type ecursor struct {
 	l   *elist
+	pi  int
 	ci  int
 	off int
 }
 
 // peek returns the entry under the cursor, nil at the end.
 func (c *ecursor) peek() *entry {
-	if c.ci >= len(c.l.chunks) {
+	if c.pi >= len(c.l.pages) {
 		return nil
 	}
-	return c.l.chunks[c.ci][c.off]
+	return c.l.pages[c.pi][c.ci][c.off]
 }
 
 func (c *ecursor) advance() {
 	c.off++
-	if c.off >= len(c.l.chunks[c.ci]) {
-		c.ci++
-		c.off = 0
+	if c.off < len(c.l.pages[c.pi][c.ci]) {
+		return
 	}
+	c.off = 0
+	c.ci++
+	if c.ci < len(c.l.pages[c.pi]) {
+		return
+	}
+	c.ci = 0
+	c.pi++
 }

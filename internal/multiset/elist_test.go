@@ -16,29 +16,42 @@ func elistKeys(l *elist) []string {
 	return keys
 }
 
-// checkElist verifies the structural invariants after every mutation: chunks
-// non-empty and within bounds, globally ascending keys, total consistent.
+// checkElist verifies the structural invariants after every mutation: pages
+// and chunks non-empty and within bounds, globally ascending keys, total and
+// nchunks consistent.
 func checkElist(t *testing.T, l *elist) {
 	t.Helper()
-	n := 0
+	n, nc := 0, 0
 	prev := ""
-	for ci, c := range l.chunks {
-		if len(c) == 0 {
-			t.Fatalf("chunk %d empty", ci)
+	for pi, p := range l.pages {
+		if len(p) == 0 {
+			t.Fatalf("page %d empty", pi)
 		}
-		if len(c) > chunkMax {
-			t.Fatalf("chunk %d holds %d > chunkMax", ci, len(c))
+		if len(p) > pageMax {
+			t.Fatalf("page %d holds %d chunks > pageMax", pi, len(p))
 		}
-		for _, e := range c {
-			if n > 0 && e.key <= prev {
-				t.Fatalf("keys out of order: %q after %q", e.key, prev)
+		for ci, c := range p {
+			if len(c) == 0 {
+				t.Fatalf("page %d chunk %d empty", pi, ci)
 			}
-			prev = e.key
-			n++
+			if len(c) > chunkMax {
+				t.Fatalf("page %d chunk %d holds %d > chunkMax", pi, ci, len(c))
+			}
+			nc++
+			for _, e := range c {
+				if n > 0 && e.key <= prev {
+					t.Fatalf("keys out of order: %q after %q", e.key, prev)
+				}
+				prev = e.key
+				n++
+			}
 		}
 	}
 	if n != l.total {
 		t.Fatalf("total = %d, entries = %d", l.total, n)
+	}
+	if nc != l.nchunks {
+		t.Fatalf("nchunks = %d, counted %d", l.nchunks, nc)
 	}
 }
 
@@ -88,8 +101,8 @@ func TestElistRotExhaustive(t *testing.T) {
 		l.insert(&entry{key: fmt.Sprintf("k%06d", i)})
 	}
 	checkElist(t, &l)
-	if len(l.chunks) < 3 {
-		t.Fatalf("want ≥3 chunks for rotation coverage, got %d", len(l.chunks))
+	if l.nchunks < 3 {
+		t.Fatalf("want ≥3 chunks for rotation coverage, got %d", l.nchunks)
 	}
 	for _, rot := range []uint64{0, 1, 5<<32 | 999, ^uint64(0), 1 << 31} {
 		seen := map[string]bool{}
@@ -109,6 +122,81 @@ func TestElistRotExhaustive(t *testing.T) {
 	l.eachRot(7, func(e *entry) bool { calls++; return calls < 10 })
 	if calls != 10 {
 		t.Fatalf("early exit after %d calls, want 10", calls)
+	}
+}
+
+// TestElistPageChurn grows the list far past one page, drains it back down,
+// and churns around the page boundaries — the regime where the old flat chunk
+// directory memmoved O(#chunks) headers per split/drop and where page
+// split/merge/drop now do the work. Invariants are checked continuously and
+// the surviving contents are compared against a model at the end.
+func TestElistPageChurn(t *testing.T) {
+	var l elist
+	key := func(i int) string { return fmt.Sprintf("k%07d", i) }
+	// Grow to several pages (n entries / chunkMax ≈ chunks; / pageMax ≈ pages).
+	// Sequential ascending inserts leave ~half-full chunks and pages, so this
+	// yields ~96 chunks across ~6 pages.
+	const n = 3 * chunkMax * pageMax / 2
+	for i := 0; i < n; i++ {
+		l.insert(&entry{key: key(i)})
+	}
+	checkElist(t, &l)
+	if len(l.pages) < 3 {
+		t.Fatalf("want ≥3 pages after %d inserts, got %d", n, len(l.pages))
+	}
+	// Drain from the middle outward so chunk drops land on interior pages and
+	// page merges/drops fire.
+	for i := n / 4; i < 3*n/4; i++ {
+		l.remove(key(i))
+		if i%997 == 0 {
+			checkElist(t, &l)
+		}
+	}
+	checkElist(t, &l)
+	// Churn inserts/removes straddling the surviving boundary regions.
+	rng := rand.New(rand.NewSource(7))
+	live := map[int]bool{}
+	for i := 0; i < n/4; i++ {
+		live[i] = true
+	}
+	for i := 3 * n / 4; i < n; i++ {
+		live[i] = true
+	}
+	for step := 0; step < 30000; step++ {
+		i := rng.Intn(n)
+		if live[i] {
+			l.remove(key(i))
+			delete(live, i)
+		} else {
+			l.insert(&entry{key: key(i)})
+			live[i] = true
+		}
+		if step%1000 == 0 {
+			checkElist(t, &l)
+		}
+	}
+	checkElist(t, &l)
+	if l.len() != len(live) {
+		t.Fatalf("len = %d, model %d", l.len(), len(live))
+	}
+	got := elistKeys(&l)
+	want := make([]string, 0, len(live))
+	for i := range live {
+		want = append(want, key(i))
+	}
+	sort.Strings(want)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("at %d: %q vs model %q", i, got[i], want[i])
+		}
+	}
+	// Drain completely: the last survivor path at both levels.
+	for i := range live {
+		l.remove(key(i))
+	}
+	checkElist(t, &l)
+	if l.len() != 0 || len(l.pages) != 0 || l.nchunks != 0 {
+		t.Fatalf("drained list not empty: len=%d pages=%d nchunks=%d", l.len(), len(l.pages), l.nchunks)
 	}
 }
 

@@ -742,6 +742,37 @@ func (m *Multiset) IterAll(fn func(t Tuple, n int, key string) bool) {
 	}
 }
 
+// IterAllRot calls fn once per distinct tuple exactly like IterAll, but
+// enumeration starts at a position derived from rot — shard order and the
+// position within each shard both rotate — instead of the global ascending
+// key order. The walk is still exhaustive and, for a fixed rot and multiset
+// state, still deterministic; only the starting point moves. This is the
+// deterministic matcher's defense against adversarial key order: a fixed
+// lex-first start revisits (and re-rejects) the same unmatchable prefix on
+// every probe, degrading generic-pattern searches to O(n) per step on
+// workloads whose extreme element sorts first. Locking contract as IterAll:
+// all shard read locks held throughout, no concurrent writers, fn must not
+// mutate.
+func (m *Multiset) IterAllRot(rot uint64, fn func(t Tuple, n int, key string) bool) {
+	for i := range m.shards {
+		m.shards[i].mu.RLock()
+	}
+	defer func() {
+		for i := range m.shards {
+			m.shards[i].mu.RUnlock()
+		}
+	}()
+	start := int(uint32(rot) % shardCount)
+	stop := false
+	for i := 0; i < shardCount && !stop; i++ {
+		s := &m.shards[(start+i)&(shardCount-1)]
+		s.sorted.eachRot(rot, func(e *entry) bool {
+			stop = !fn(e.tuple, e.count, e.key)
+			return !stop
+		})
+	}
+}
+
 // IterSorted is IterAll without the key (compatibility surface).
 func (m *Multiset) IterSorted(fn func(t Tuple, n int) bool) {
 	m.IterAll(func(t Tuple, n int, _ string) bool { return fn(t, n) })

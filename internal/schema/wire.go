@@ -35,10 +35,12 @@ import (
 )
 
 // Wire format version. Minor bumps are additive; major bumps may break.
+// 1.1 added EngineMatrix to the engine enum — old 1.0 peers ignore specs and
+// responses mentioning it per the minor-version contract.
 const (
 	WireMajor   = 1
-	WireMinor   = 0
-	WireVersion = "1.0"
+	WireMinor   = 1
+	WireVersion = "1.1"
 )
 
 // CheckWireVersion validates an envelope's version field: missing or
@@ -68,6 +70,10 @@ const (
 	EngineAuto     = ""         // sequential unless Workers > 1
 	EngineSeq      = "seq"      // the deterministic sequential interpreter
 	EngineParallel = "parallel" // the work-stealing parallel runtime
+	// EngineMatrix is the bulk-synchronous sparse-matrix dataflow engine
+	// (wire minor 1.1, dataflow runs only): single-threaded ticks firing
+	// every enabled vertex per round. Gamma runs reject it at Validate.
+	EngineMatrix = "matrix"
 )
 
 // RunSpec is the serializable core of a run configuration: the knobs that
@@ -100,10 +106,10 @@ type RunSpec struct {
 // engine names and negative knobs.
 func (s RunSpec) Validate() error {
 	switch s.Engine {
-	case EngineAuto, EngineSeq, EngineParallel:
+	case EngineAuto, EngineSeq, EngineParallel, EngineMatrix:
 	default:
-		return rt.Mark(rt.ErrInvalid, fmt.Errorf("spec: unknown engine %q (want %q, %q or %q)",
-			s.Engine, EngineAuto, EngineSeq, EngineParallel))
+		return rt.Mark(rt.ErrInvalid, fmt.Errorf("spec: unknown engine %q (want %q, %q, %q or %q)",
+			s.Engine, EngineAuto, EngineSeq, EngineParallel, EngineMatrix))
 	}
 	if s.Workers < 0 {
 		return rt.Mark(rt.ErrInvalid, fmt.Errorf("spec: negative workers %d", s.Workers))
@@ -121,7 +127,9 @@ func (s RunSpec) Validate() error {
 // runtimes understand (0/1 = sequential, >1 = parallel).
 func (s RunSpec) EffectiveWorkers() int {
 	switch s.Engine {
-	case EngineSeq:
+	case EngineSeq, EngineMatrix:
+		// The matrix engine is single-threaded: its parallelism is the width
+		// of each tick's fire-vector, not a worker count.
 		return 1
 	case EngineParallel:
 		if s.Workers > 1 {
@@ -196,6 +204,9 @@ func (r *RunRequest) Validate() error {
 		}
 		if r.Graph != "" {
 			return rt.Mark(rt.ErrInvalid, fmt.Errorf("wire: kind %q does not take a graph", r.Kind))
+		}
+		if r.Spec.Engine == EngineMatrix {
+			return rt.Mark(rt.ErrInvalid, fmt.Errorf("wire: engine %q runs dataflow graphs only", EngineMatrix))
 		}
 	case KindDataflow:
 		if r.Graph == "" {

@@ -50,6 +50,69 @@ func TestWireGoldenExample1(t *testing.T) {
 	}
 }
 
+// TestWireGoldenMatrixRequest pins the 1.1 envelope selecting the matrix
+// engine — the additive enum value the minor bump introduced.
+func TestWireGoldenMatrixRequest(t *testing.T) {
+	req := NewGraphRequest("graph g\nconst c 1\nout c m\n",
+		RunSpec{Engine: EngineMatrix, MaxSteps: 500})
+	got, err := req.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "matrix_v1_1.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("matrix v1.1 envelope drifted from golden %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+	back, err := DecodeRunRequest(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *back != req {
+		t.Fatalf("golden round trip changed the request:\ngot  %+v\nwant %+v", *back, req)
+	}
+	if back.Spec.Engine != EngineMatrix {
+		t.Fatalf("engine lost in round trip: %q", back.Spec.Engine)
+	}
+}
+
+// TestOldClientDecodesMatrixMentions proves the minor-version contract for
+// the 1.1 bump: a peer that only knows 1.0 semantics still decodes envelopes
+// whose version is 1.1 and whose payloads mention the matrix engine —
+// CheckWireVersion gates on the major alone, and enum values in responses are
+// opaque strings to the decoder.
+func TestOldClientDecodesMatrixMentions(t *testing.T) {
+	resp := []byte(`{
+		"version": "1.1",
+		"id": "r-42",
+		"state": "failed",
+		"kind": "dataflow",
+		"error": {"code": "invalid", "message": "engine \"matrix\" runs dataflow graphs only"}
+	}`)
+	r, err := DecodeRunResponse(resp)
+	if err != nil {
+		t.Fatalf("1.0-era decode path rejected a 1.1 response: %v", err)
+	}
+	if r.State != StateFailed || r.Error == nil || !errors.Is(r.Error.Err(), rt.ErrInvalid) {
+		t.Fatalf("known fields mis-decoded: %+v", r)
+	}
+
+	// The engine enum is orthogonal to the envelope version: a request
+	// stamped 1.0 that selects matrix still validates on a 1.1 server.
+	req := []byte(`{"version": "1.0", "kind": "dataflow", "graph": "g", "spec": {"engine": "matrix"}}`)
+	if _, err := DecodeRunRequest(req); err != nil {
+		t.Fatalf("1.0-stamped matrix request rejected: %v", err)
+	}
+}
+
 func TestWireVersionChecks(t *testing.T) {
 	for _, v := range []string{"1.0", "1.1", "1.99"} {
 		if err := CheckWireVersion(v); err != nil {
@@ -105,6 +168,7 @@ func TestDecodeRejections(t *testing.T) {
 		{"dataflow without graph", `{"version": "1.0", "kind": "dataflow"}`, rt.ErrInvalid},
 		{"dataflow with program", `{"version": "1.0", "kind": "dataflow", "graph": "g", "program": "x"}`, rt.ErrInvalid},
 		{"bad engine", `{"version": "1.0", "kind": "dataflow", "graph": "g", "spec": {"engine": "quantum"}}`, rt.ErrInvalid},
+		{"gamma with matrix engine", `{"version": "1.1", "kind": "gamma", "program": "x", "spec": {"engine": "matrix"}}`, rt.ErrInvalid},
 		{"negative steps", `{"version": "1.0", "kind": "dataflow", "graph": "g", "spec": {"max_steps": -1}}`, rt.ErrInvalid},
 	}
 	for _, c := range cases {
@@ -124,6 +188,7 @@ func TestRunSpecEffectiveWorkers(t *testing.T) {
 		{RunSpec{}, func(w int) bool { return w == 0 }, "auto default sequential"},
 		{RunSpec{Workers: 8}, func(w int) bool { return w == 8 }, "auto explicit workers"},
 		{RunSpec{Engine: EngineSeq, Workers: 8}, func(w int) bool { return w == 1 }, "seq forces 1"},
+		{RunSpec{Engine: EngineMatrix, Workers: 8}, func(w int) bool { return w == 1 }, "matrix forces 1"},
 		{RunSpec{Engine: EngineParallel, Workers: 4}, func(w int) bool { return w == 4 }, "parallel explicit"},
 		{RunSpec{Engine: EngineParallel}, func(w int) bool { return w >= 2 }, "parallel default >= 2"},
 	}

@@ -470,6 +470,9 @@ func (s *Server) execute(r *Run) {
 			Workers:    r.Spec.EffectiveWorkers(),
 			MaxFirings: r.Spec.MaxSteps,
 		}
+		if r.Spec.Engine == schema.EngineMatrix {
+			opt.Engine = dataflow.EngineMatrix
+		}
 		dres, err := dataflow.RunContext(ctx, r.graph, opt)
 		wall := time.Since(start)
 		res := &schema.RunResult{WallMS: float64(wall.Nanoseconds()) / 1e6}

@@ -183,6 +183,51 @@ edge m sub:0 -> out
 	}
 }
 
+// TestMatrixEngineKind pins the wire-minor-1.1 engine end to end: a dataflow
+// submission selecting the matrix engine executes to the same output as the
+// default engine, and a Gamma submission selecting it bounces at admission.
+func TestMatrixEngineKind(t *testing.T) {
+	const graph = `graph ex1
+const x = 1
+const y = 5
+const k = 3
+const j = 2
+arith add +
+arith mul *
+arith sub -
+edge a x:0 -> add:0
+edge b y:0 -> add:1
+edge c k:0 -> mul:0
+edge d j:0 -> mul:1
+edge e add:0 -> sub:0
+edge f mul:0 -> sub:1
+edge m sub:0 -> out
+`
+	_, ts := newTestServer(t, Config{Pool: 1})
+	req := schema.NewGraphRequest(graph, schema.RunSpec{Engine: schema.EngineMatrix})
+	hres, resp := postRun(t, ts, req, "?wait=true", "")
+	if hres.StatusCode != http.StatusOK || resp.State != schema.StateDone {
+		t.Fatalf("matrix run: status %d state %s err %+v", hres.StatusCode, resp.State, resp.Error)
+	}
+	out := resp.Result.Outputs["m"]
+	if len(out) != 1 || !strings.HasPrefix(out[0], "0@") {
+		t.Fatalf("output m = %v, want one token 0@tag", out)
+	}
+	if resp.Result.Steps != 7 {
+		t.Errorf("steps = %d, want 7 (4 consts + 3 operators)", resp.Result.Steps)
+	}
+
+	greq := schema.NewGammaRequest(counterProgram, counterInit,
+		schema.RunSpec{Engine: schema.EngineMatrix, MaxSteps: 10})
+	ghres, gresp := postRun(t, ts, greq, "", "")
+	if ghres.StatusCode != http.StatusBadRequest {
+		t.Fatalf("gamma+matrix status = %d, want 400", ghres.StatusCode)
+	}
+	if gresp.Error == nil || gresp.Error.Code != rt.CodeInvalid {
+		t.Fatalf("gamma+matrix error = %+v, want code invalid", gresp.Error)
+	}
+}
+
 // TestCancelRun cancels a divergent run via DELETE and checks it lands in
 // the canceled state with the canceled wire code.
 func TestCancelRun(t *testing.T) {
