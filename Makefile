@@ -35,9 +35,10 @@ bench-compare:
 
 # Refresh the machine-readable matching-engine measurements (sequential
 # engines via e16, work-stealing parallel rows via e20, gammad service load
-# rows via e21, matrix dataflow engine rows via e22).
+# rows via e21, matrix dataflow engine rows via e22, service trace-overhead
+# rows via e23).
 snapshot:
-	$(GO) run ./cmd/gfbench -exp e16,e20,e21,e22 -bench-json BENCH_gamma.json
+	$(GO) run ./cmd/gfbench -exp e16,e20,e21,e22,e23 -bench-json BENCH_gamma.json
 
 # Observability demo: trace the paper's Fig. 1 program and emit a
 # Perfetto-loadable timeline (open trace.json at https://ui.perfetto.dev) plus
@@ -51,12 +52,15 @@ trace-demo:
 # dead-node tests under the race detector, plus the compiled-vs-interpreted
 # differential suites (kernel matcher, expression compiler, pure dataflow
 # ops, batched multiset commits, steal-scheduler determinism and batch-vs-
-# sequential equivalence, three-way dataflow engine differentials) —
-# DESIGN.md §9, §10, §12 and §14.
+# sequential equivalence, three-way dataflow engine differentials, and the
+# service-side traced-run differential: per-tenant/per-engine registry
+# rollups equal the global registry exactly under concurrent load) —
+# DESIGN.md §9, §10, §12, §14 and §15.
 stress:
-	$(GO) test -race -count=2 -run 'Cancel|Panic|Fault|Dead|Deadline|Wedge|Retr|Differential|KernelMatches|ApplyDelta|Steal|Batch' \
+	$(GO) test -race -count=2 -run 'Cancel|Panic|Fault|Dead|Deadline|Wedge|Retr|Differential|KernelMatches|ApplyDelta|Steal|Batch|Rollup' \
 		./internal/gamma/ ./internal/dataflow/ ./internal/dist/ ./internal/rt/ \
-		./internal/expr/ ./internal/multiset/ ./internal/equiv/ .
+		./internal/expr/ ./internal/multiset/ ./internal/equiv/ \
+		./internal/service/ ./internal/telemetry/ .
 
 check: vet fmt-check build race bench-smoke
 
@@ -68,10 +72,12 @@ check: vet fmt-check build race bench-smoke
 # steal scheduler is exercised both time-sliced on few cores and genuinely
 # concurrent; the bench smoke compares against the committed BENCH_gamma.json
 # snapshot within tolerance (step counts exact, probes and wall bounded).
-# The serving stack gates twice: gammad -selfcheck boots the server on a
+# The serving stack gates three ways: gammad -selfcheck boots the server on a
 # loopback port and drives the client-package smoke (lifecycle, taxonomy
-# over the wire, backpressure), and gfbench e21 puts it under closed-loop
-# load with the p99 collapse guard and the per-response oracle check.
+# over the wire, backpressure, trace/stats fetch, Prometheus exposition),
+# gfbench e21 puts it under closed-loop load with the p99 collapse guard and
+# the per-response oracle check, and gfbench e23 A/Bs traced against untraced
+# load with the trace-overhead ceilings (sampled-off 2%, sampled-on 10%).
 check-ci: vet fmt-check build
 	$(GO) test -race -timeout 5m ./...
 	$(GO) test -race -timeout 2m -count=2 -run 'Cancel|Panic|Fault|Dead' \
@@ -79,4 +85,4 @@ check-ci: vet fmt-check build
 	GOMAXPROCS=2 $(GO) test -race -timeout 2m -count=2 -run 'Steal|Batch|Differential' ./internal/gamma/
 	GOMAXPROCS=8 $(GO) test -race -timeout 2m -count=2 -run 'Steal|Batch|Differential' ./internal/gamma/
 	$(GO) run ./cmd/gammad -selfcheck
-	$(GO) run ./cmd/gfbench -exp e16,e20,e21,e22 -short -guard -baseline BENCH_gamma.json
+	$(GO) run ./cmd/gfbench -exp e16,e20,e21,e22,e23 -short -guard -baseline BENCH_gamma.json

@@ -28,8 +28,16 @@ type (
 	RunRequest  = schema.RunRequest
 	RunResponse = schema.RunResponse
 	RunResult   = schema.RunResult
+	RunStats    = schema.RunStats
 	Health      = schema.Health
 	WireError   = schema.WireError
+)
+
+// Trace formats accepted by Trace (wire minor 1.2).
+const (
+	TracePerfetto = "perfetto"
+	TraceJSONL    = "jsonl"
+	TraceDOT      = "dot"
 )
 
 // NewGammaRequest and NewGraphRequest build v1 envelopes.
@@ -112,6 +120,58 @@ func (c *Client) Wait(ctx context.Context, id string, interval time.Duration) (*
 		case <-tick.C:
 		}
 	}
+}
+
+// Stats fetches a terminal run's execution accounting (wire minor 1.2):
+// steps, wall and queue-wait times, and — when the run was traced — the
+// recorder's event/drop counts, private counters and the provenance firing
+// count (equal to Steps on a traced sequential run). 409 while the run still
+// executes surfaces as an error; poll Wait first.
+func (c *Client) Stats(ctx context.Context, id string) (*RunStats, error) {
+	hreq, err := http.NewRequestWithContext(ctx, "GET", c.BaseURL+"/v1/runs/"+id+"/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	body, hres, err := c.roundTrip(hreq)
+	if err != nil {
+		return nil, err
+	}
+	if hres.StatusCode != http.StatusOK {
+		return nil, c.statusErr(body, hres)
+	}
+	return schema.DecodeRunStats(body)
+}
+
+// Trace fetches a traced terminal run's trace (wire minor 1.2) in the given
+// format: TracePerfetto (default when empty), TraceJSONL or TraceDOT. The
+// bytes are the export verbatim — write them to a file and load them in the
+// matching viewer. 404 for untraced runs, 409 while the run executes.
+func (c *Client) Trace(ctx context.Context, id, format string) ([]byte, error) {
+	path := "/v1/runs/" + id + "/trace"
+	if format != "" {
+		path += "?format=" + format
+	}
+	hreq, err := http.NewRequestWithContext(ctx, "GET", c.BaseURL+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	body, hres, err := c.roundTrip(hreq)
+	if err != nil {
+		return nil, err
+	}
+	if hres.StatusCode != http.StatusOK {
+		return nil, c.statusErr(body, hres)
+	}
+	return body, nil
+}
+
+// statusErr reconstructs the taxonomy error a non-200 trace/stats response
+// carries (the body is a RunResponse error envelope).
+func (c *Client) statusErr(body []byte, hres *http.Response) error {
+	if resp, err := schema.DecodeRunResponse(body); err == nil && resp.Error != nil {
+		return resp.Error.Err()
+	}
+	return fmt.Errorf("gammad: status %d", hres.StatusCode)
 }
 
 // Health fetches the server's load snapshot.

@@ -51,6 +51,51 @@ func TestClientRoundTrip(t *testing.T) {
 	}
 }
 
+// TestClientTraceAndStats drives the 1.2 trace surface through the typed
+// client: a traced run's stats report firings equal to steps, all three
+// trace formats download, and the untraced/unknown failure modes
+// reconstruct taxonomy errors.
+func TestClientTraceAndStats(t *testing.T) {
+	c := newPair(t, service.Config{Pool: 2})
+	ctx := context.Background()
+
+	resp, err := c.Run(ctx, NewGammaRequest(
+		paper.Example1GammaListing, paper.Example1InitialMultiset,
+		RunSpec{Engine: schema.EngineSeq, MaxSteps: 10000, Trace: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats(ctx, resp.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Traced || st.Firings != st.Steps || st.Steps != resp.Result.Steps {
+		t.Fatalf("stats = %+v, want traced with firings == steps == %d", st, resp.Result.Steps)
+	}
+	for _, format := range []string{"", TracePerfetto, TraceJSONL, TraceDOT} {
+		data, err := c.Trace(ctx, resp.ID, format)
+		if err != nil || len(data) == 0 {
+			t.Errorf("Trace(%q) = %d bytes, %v", format, len(data), err)
+		}
+	}
+
+	// Untraced run: stats say traced=false, the trace itself is an error.
+	plain, err := c.Run(ctx, NewGammaRequest(
+		paper.Example1GammaListing, paper.Example1InitialMultiset, RunSpec{MaxSteps: 10000}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err := c.Stats(ctx, plain.ID); err != nil || st.Traced {
+		t.Errorf("untraced stats = %+v, %v", st, err)
+	}
+	if _, err := c.Trace(ctx, plain.ID, ""); err == nil {
+		t.Error("Trace of an untraced run succeeded")
+	}
+	if _, err := c.Trace(ctx, "r-999", ""); err == nil {
+		t.Error("Trace of an unknown run succeeded")
+	}
+}
+
 // TestClientBusy pins the 429 → BusyError mapping.
 func TestClientBusy(t *testing.T) {
 	c := newPair(t, service.Config{Pool: 1, Quota: service.Quota{MaxConcurrent: 1}})

@@ -6,21 +6,35 @@
 //
 //	gammad [-addr :8080] [-pool N] [-queue N] [-max-steps-cap N]
 //	       [-concurrent N] [-step-budget N] [-tenant key=conc,steps,budget]...
-//	       [-metrics-addr host:port] [-selfcheck]
+//	       [-trace-sample P] [-trace-events N] [-log json|text|off]
+//	       [-metrics-addr host:port] [-selfcheck [-remote-trace FILE]]
 //
 // API (see package internal/service):
 //
-//	POST   /v1/runs        submit (202; ?wait=true blocks for the result)
-//	GET    /v1/runs/{id}   poll
-//	DELETE /v1/runs/{id}   cancel
-//	GET    /v1/healthz     load snapshot
+//	POST   /v1/runs              submit (202; ?wait=true blocks for the result)
+//	GET    /v1/runs/{id}         poll
+//	DELETE /v1/runs/{id}         cancel
+//	GET    /v1/runs/{id}/trace   traced terminal run's trace (?format=perfetto|jsonl|dot)
+//	GET    /v1/runs/{id}/stats   terminal run's execution accounting
+//	GET    /v1/healthz           load snapshot
+//	GET    /metrics              registry snapshot (?format=prom for Prometheus)
+//	GET    /metrics/watch        SSE metrics stream
 //
 // Admission control rejects with 429 + Retry-After when the pending queue is
 // full or the tenant (API key) is over its concurrency or step-budget quota.
 //
+// Submissions with "trace": true in their spec are recorded (event rings +
+// firing provenance, sampled at -trace-sample) and their traces retained with
+// the terminal run. The server logs one structured record (-log json|text)
+// per admission, rejection and completion, keyed by run id, tenant and
+// engine. Metrics carry per-tenant and per-engine label series alongside the
+// globals, scrape-able at /metrics?format=prom.
+//
 // -selfcheck starts the server on a loopback port, drives a smoke test
-// through the client package (lifecycle, taxonomy mapping, backpressure) and
-// exits; it is the deployment health gate used by make check-ci.
+// through the client package (lifecycle, taxonomy mapping, backpressure,
+// trace fetch, Prometheus exposition) and exits; it is the deployment health
+// gate used by make check-ci. -remote-trace FILE additionally writes the
+// fetched Perfetto trace there for inspection.
 package main
 
 import (
@@ -28,6 +42,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -85,7 +101,11 @@ func main() {
 	concurrent := flag.Int("concurrent", 0, "default per-tenant concurrent-run quota (0 = unbounded)")
 	stepBudget := flag.Int64("step-budget", 0, "default per-tenant cumulative step budget (0 = unlimited)")
 	metricsAddr := flag.String("metrics-addr", "", "serve live service metrics JSON on this HTTP address")
+	traceSample := flag.Float64("trace-sample", 0, "fraction of trace-requesting runs actually traced (0 = all, <0 = none)")
+	traceEvents := flag.Int("trace-events", 0, "per-track event-ring capacity of traced runs (0 = 4096)")
+	logFormat := flag.String("log", "json", "structured log format: json, text or off")
 	selfcheck := flag.Bool("selfcheck", false, "start on a loopback port, run the client smoke test and exit")
+	remoteTrace := flag.String("remote-trace", "", "with -selfcheck: write the remotely fetched Perfetto trace to this file")
 	tenants := tenantFlags{}
 	flag.Var(tenants, "tenant", "per-API-key quota override key=concurrent,maxsteps,budget (repeatable)")
 	flag.Parse()
@@ -95,18 +115,34 @@ func main() {
 		os.Exit(cli.ExitUsage)
 	}
 
+	var logger *slog.Logger
+	switch *logFormat {
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	case "text":
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "off":
+		logger = nil // service.Config substitutes a discard logger
+	default:
+		fmt.Fprintf(os.Stderr, "gammad: unknown -log format %q (want json, text or off)\n", *logFormat)
+		os.Exit(cli.ExitUsage)
+	}
+
 	cfg := service.Config{
-		Pool:        *pool,
-		QueueDepth:  *queue,
-		Quota:       service.Quota{MaxConcurrent: *concurrent, StepBudget: *stepBudget},
-		Tenants:     tenants,
-		MaxStepsCap: *stepsCap,
-		Retain:      *retain,
-		MaxBody:     *maxBody,
+		Pool:          *pool,
+		QueueDepth:    *queue,
+		Quota:         service.Quota{MaxConcurrent: *concurrent, StepBudget: *stepBudget},
+		Tenants:       tenants,
+		MaxStepsCap:   *stepsCap,
+		Retain:        *retain,
+		MaxBody:       *maxBody,
+		TraceSample:   *traceSample,
+		TraceEventCap: *traceEvents,
+		Logger:        logger,
 	}
 
 	if *selfcheck {
-		if err := runSelfcheck(cfg); err != nil {
+		if err := runSelfcheck(cfg, *remoteTrace); err != nil {
 			cli.Exit("gammad", err)
 		}
 		fmt.Println("gammad selfcheck: PASS")
@@ -147,8 +183,10 @@ func main() {
 // runSelfcheck boots the service on a loopback port and exercises the whole
 // serving stack through the public client: submit/wait lifecycle with the
 // paper's Example 1, the error-taxonomy mapping on a truncated divergent
-// run, per-tenant backpressure, cancel, and the health endpoint.
-func runSelfcheck(cfg service.Config) error {
+// run, per-tenant backpressure, cancel, the health endpoint, a traced run's
+// trace/stats surfaces and the Prometheus exposition. remoteTrace, when
+// non-empty, receives the fetched Perfetto trace.
+func runSelfcheck(cfg service.Config, remoteTrace string) error {
 	// Selfcheck wants deterministic backpressure: one tenant slot.
 	cfg.Tenants = map[string]service.Quota{"selfcheck-quota": {MaxConcurrent: 1}}
 	s := service.New(cfg)
@@ -213,5 +251,72 @@ func runSelfcheck(cfg service.Config) error {
 	if _, err := qc.Wait(ctx, first.ID, 0); !errors.Is(err, rt.ErrCanceled) {
 		return fmt.Errorf("selfcheck cancel wait: err = %v, want ErrCanceled", err)
 	}
+
+	// 5. A traced run: the remote stats must hold firings == steps (the
+	// firing-history equivalence over the wire) and every trace format must
+	// download non-empty.
+	traced, err := c.Run(ctx, client.NewGammaRequest(
+		paper.Example1GammaListing, paper.Example1InitialMultiset,
+		client.RunSpec{Engine: schema.EngineSeq, MaxSteps: 10000, Trace: true}))
+	if err != nil {
+		return fmt.Errorf("selfcheck traced run: %w", err)
+	}
+	st, err := c.Stats(ctx, traced.ID)
+	if err != nil {
+		return fmt.Errorf("selfcheck stats: %w", err)
+	}
+	if !st.Traced || st.Firings != st.Steps || st.Steps != traced.Result.Steps {
+		return fmt.Errorf("selfcheck stats: %+v, want traced with firings == steps == %d",
+			st, traced.Result.Steps)
+	}
+	for _, format := range []string{client.TracePerfetto, client.TraceJSONL, client.TraceDOT} {
+		data, err := c.Trace(ctx, traced.ID, format)
+		if err != nil || len(data) == 0 {
+			return fmt.Errorf("selfcheck trace %s: %d bytes, %v", format, len(data), err)
+		}
+		if format == client.TracePerfetto && remoteTrace != "" {
+			if err := os.WriteFile(remoteTrace, data, 0o644); err != nil {
+				return fmt.Errorf("selfcheck -remote-trace: %w", err)
+			}
+			fmt.Fprintf(os.Stderr, "gammad: remote trace written to %s (%d bytes)\n", remoteTrace, len(data))
+		}
+	}
+
+	// 6. The Prometheus exposition serves with its Content-Type and carries
+	// the labeled service series; an unknown format is 406, not JSON.
+	promBody, promCT, err := httpGet(c.BaseURL + "/metrics?format=prom")
+	if err != nil {
+		return fmt.Errorf("selfcheck metrics: %w", err)
+	}
+	if !strings.HasPrefix(promCT, "text/plain") {
+		return fmt.Errorf("selfcheck metrics: Content-Type %q, want text/plain", promCT)
+	}
+	for _, want := range []string{"# TYPE service_done counter", `service_done{engine="seq"}`} {
+		if !strings.Contains(promBody, want) {
+			return fmt.Errorf("selfcheck metrics: exposition missing %q", want)
+		}
+	}
+	if resp, err := http.Get(c.BaseURL + "/metrics?format=avro"); err != nil {
+		return fmt.Errorf("selfcheck metrics 406: %w", err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusNotAcceptable {
+		return fmt.Errorf("selfcheck metrics 406: status %d", resp.StatusCode)
+	}
 	return nil
+}
+
+// httpGet fetches one URL, returning the body and Content-Type.
+func httpGet(url string) (string, string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", "", fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return string(body), resp.Header.Get("Content-Type"), nil
 }

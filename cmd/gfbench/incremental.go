@@ -45,7 +45,8 @@ type benchRecord struct {
 	BytesPerStep  float64 `json:"bytes_per_step"`
 	// TraceOverheadPct is the wall-clock cost of running with a full telemetry
 	// recorder attached, relative to the untraced run, in percent. Measured on
-	// the tournament n=10^4 reference rows only (see e19); 0 elsewhere.
+	// the tournament n=10^4 reference rows (see e19) and on the e23
+	// service-trace rows (best paired round vs the untraced mode); 0 elsewhere.
 	TraceOverheadPct float64 `json:"trace_overhead_pct,omitempty"`
 	// Ticks is the bulk-synchronous round count of the matrix dataflow engine
 	// on the e22 rows; 0 under the token-at-a-time engines.

@@ -1,0 +1,298 @@
+package main
+
+// e23: run-scoped tracing overhead at the service boundary (DESIGN.md §15).
+// The same closed-loop generator as e21 drives three gammad configurations
+// A/B/A: untraced requests (the baseline), requests that ask for a trace on a
+// server whose sampler is off (the cost of the knob alone — one atomic and a
+// branch at admission), and requests that ask for a trace on a server that
+// samples everything (recorder rings + firing provenance + terminal-run
+// retention). Rounds interleave the three modes in rotating order, so
+// whole-machine drift — the host is one shared core — charges no single mode;
+// overhead is the best paired round (minPairedPct), the e19 best-vs-best
+// methodology lifted to the HTTP path.
+//
+// With -guard the experiment gates make check-ci: sampled-off wall and p99
+// must sit within 2% of the untraced baseline in at least one round, sampled-on
+// within 10%. A fidelity check then confirms a sampled run's wire Stats report
+// firings == steps — the paper's firing-history equivalence (§III-C) surviving
+// the wire.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/client"
+	"repro/internal/gamma"
+	"repro/internal/gammalang"
+	"repro/internal/metrics"
+	"repro/internal/multiset"
+	"repro/internal/paper"
+	"repro/internal/schema"
+	"repro/internal/service"
+)
+
+// e23 guard ceilings: the knob alone must be free (within noise), the full
+// recorder bounded. Percentages of the untraced baseline p99.
+const (
+	guardTraceOffPct = 2.0
+	guardTraceOnPct  = 10.0
+)
+
+// traceMode is one e23 configuration: a dedicated in-process gammad (so the
+// retained rings of one mode cannot bloat another's run table) plus the
+// request shape driven at it.
+type traceMode struct {
+	name   string
+	cfg    service.Config
+	traced bool
+
+	c     *client.Client
+	close func()
+
+	wall  time.Duration   // total timed wall across rounds
+	lats  []time.Duration // pooled per-request latencies across rounds
+	walls []time.Duration // per-round wall times, index = round
+	p99s  []time.Duration // per-round p99, index = round
+}
+
+// bootTraceService starts mode's server on a loopback listener and wires its
+// typed client.
+func bootTraceService(m *traceMode) error {
+	srv := service.New(m.cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	hsrv := &http.Server{Handler: srv.Handler()}
+	go hsrv.Serve(ln) //nolint:errcheck // torn down with the listener
+	m.c = client.New("http://" + ln.Addr().String())
+	m.close = func() { hsrv.Close(); srv.Close() }
+	return nil
+}
+
+// traceRound drives one timed closed-loop round of requests against one mode
+// and pools the wall time and per-request latencies into it.
+func traceRound(m *traceMode, requests, clients int, oracle string, timed bool) error {
+	req := client.NewGammaRequest(paper.Example1GammaListing, paper.Example1InitialMultiset,
+		client.RunSpec{Engine: schema.EngineSeq, MaxSteps: 10000, Trace: m.traced})
+	start := time.Now()
+	lats, err := closedLoop(m.c, req, requests, clients, oracle)
+	wall := time.Since(start)
+	if err != nil {
+		return fmt.Errorf("e23 %s: %w", m.name, err)
+	}
+	if timed {
+		m.wall += wall
+		m.walls = append(m.walls, wall)
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		m.p99s = append(m.p99s, quantile(lats, 0.99))
+		m.lats = append(m.lats, lats...)
+	}
+	return nil
+}
+
+// minPairedPct is the guard statistic: the minimum over rounds of the
+// mode-vs-baseline ratio for the same round, as an overhead percentage. The
+// modes of one round run back to back, so pairing shares most of the round's
+// machine state; taking the minimum asks "was there any round where the mode
+// kept up?" — immune to one-off scheduler stalls (the p99 of a round on this
+// one-core host is the CFS quantum, not the recorder), while a systematic
+// per-request cost raises every round and cannot hide.
+func minPairedPct(mode, base []time.Duration) float64 {
+	best := 0.0
+	for r := range mode {
+		pct := 100 * (float64(mode[r])/float64(base[r]) - 1)
+		if r == 0 || pct < best {
+			best = pct
+		}
+	}
+	return best
+}
+
+// quantile reads the q-th latency quantile off a sorted pool.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	return sorted[int(float64(len(sorted))*q)]
+}
+
+// closedLoop is e21's generator in miniature: `clients` goroutines each burn
+// requests/clients synchronous runs back to back, every response checked
+// against the oracle multiset.
+func closedLoop(c *client.Client, req client.RunRequest, requests, clients int, oracle string) ([]time.Duration, error) {
+	perClient := requests / clients
+	type result struct {
+		lats []time.Duration
+		err  error
+	}
+	results := make(chan result, clients)
+	for ci := 0; ci < clients; ci++ {
+		go func(ci int) {
+			lats := make([]time.Duration, 0, perClient)
+			for i := 0; i < perClient; i++ {
+				t0 := time.Now()
+				resp, err := c.Run(context.Background(), req)
+				lats = append(lats, time.Since(t0))
+				if err == nil && (resp.State != schema.StateDone || resp.Result.Multiset != oracle) {
+					err = fmt.Errorf("response diverged from oracle: state %s, multiset %q, want %q",
+						resp.State, resp.Result.Multiset, oracle)
+				}
+				if err != nil {
+					results <- result{nil, fmt.Errorf("client %d request %d: %w", ci, i, err)}
+					return
+				}
+			}
+			results <- result{lats, nil}
+		}(ci)
+	}
+	var all []time.Duration
+	for ci := 0; ci < clients; ci++ {
+		r := <-results
+		if r.err != nil {
+			return nil, r.err
+		}
+		all = append(all, r.lats...)
+	}
+	return all, nil
+}
+
+func expE23() error {
+	// Each round is ~100ms of wall, so many interleaved rounds are cheap; the
+	// per-mode best p99 is then a clean-window estimate on a host whose tail
+	// is all scheduler stalls. Two clients keep the queue shallow — overhead
+	// is a per-request cost, not a saturation property.
+	requests, clients, rounds := 300, 2, 12
+	if benchShort {
+		requests, rounds = 150, 10
+	}
+
+	modes := []*traceMode{
+		{name: "untraced", traced: false,
+			cfg: service.Config{Pool: 4, QueueDepth: 256}},
+		{name: "sampled-off", traced: true,
+			cfg: service.Config{Pool: 4, QueueDepth: 256, TraceSample: -1}},
+		{name: "sampled-on", traced: true,
+			cfg: service.Config{Pool: 4, QueueDepth: 256, TraceSample: 1}},
+	}
+	for _, m := range modes {
+		if err := bootTraceService(m); err != nil {
+			return err
+		}
+		defer m.close()
+	}
+
+	oracle, steps, err := example1Oracle()
+	if err != nil {
+		return err
+	}
+
+	// Warm every mode (connection pools, JIT-ish first-request costs) before
+	// timing any, then pool latencies across rounds. With rounds × requests
+	// samples per mode, the pooled p99 sits inside the stall population that
+	// rotation spreads evenly over the modes — per-round p99 (2nd-worst of a
+	// 150-sample round) would be a coin flip on this host.
+	for _, m := range modes {
+		if err := traceRound(m, clients*4, clients, oracle, false); err != nil {
+			return err
+		}
+	}
+	for round := 0; round < rounds; round++ {
+		// Rotate the order every round: whichever mode runs first eats the
+		// round-start turbulence (GC from the previous round, scheduler
+		// migration), so a fixed order would charge it to one mode.
+		for mi := range modes {
+			m := modes[(round+mi)%len(modes)]
+			runtime.GC()
+			if err := traceRound(m, requests, clients, oracle, true); err != nil {
+				return err
+			}
+		}
+	}
+
+	t := metrics.NewTable("service trace overhead, traced vs untraced closed-loop load (e23)",
+		"mode", "requests", "clients", "p50", "p99", "ovh(wall)", "ovh(p99)")
+	for _, m := range modes {
+		sort.Slice(m.lats, func(i, j int) bool { return m.lats[i] < m.lats[j] })
+	}
+	for _, m := range modes {
+		p50, p99 := quantile(m.lats, 0.50), quantile(m.lats, 0.99)
+		wallPct := minPairedPct(m.walls, modes[0].walls)
+		p99Pct := minPairedPct(m.p99s, modes[0].p99s)
+		overWall, overP99 := "baseline", ""
+		rec := benchRecord{
+			Workload: "service-trace", N: 4, Engine: m.name,
+			Workers: clients, Steps: steps,
+			WallNS: m.wall.Nanoseconds(),
+			RPS:    float64(len(m.lats)) / m.wall.Seconds(),
+			P50NS:  p50.Nanoseconds(), P99NS: p99.Nanoseconds(),
+		}
+		if m != modes[0] {
+			overWall = fmt.Sprintf("%+.1f%%", wallPct)
+			overP99 = fmt.Sprintf("%+.1f%%", p99Pct)
+			rec.TraceOverheadPct = wallPct
+		}
+		t.Row(m.name, len(m.lats), clients, fmtDur(p50), fmtDur(p99), overWall, overP99)
+		benchRecords = append(benchRecords, rec)
+		ceiling := 0.0
+		switch m.name {
+		case "sampled-off":
+			ceiling = guardTraceOffPct
+		case "sampled-on":
+			ceiling = guardTraceOnPct
+		}
+		if benchGuard && ceiling > 0 && (wallPct > ceiling || p99Pct > ceiling) {
+			return fmt.Errorf("e23 guard: %s overhead wall %+.1f%% / p99 %+.1f%% above the %.0f%% ceiling in every round",
+				m.name, wallPct, p99Pct, ceiling)
+		}
+	}
+	fmt.Print(t)
+
+	// Fidelity: one sampled run fetched back over the wire must report
+	// firings == steps — the trace the service retained IS the firing history
+	// the equivalence argument is about.
+	on := modes[2]
+	resp, err := on.c.Run(context.Background(), client.NewGammaRequest(
+		paper.Example1GammaListing, paper.Example1InitialMultiset,
+		client.RunSpec{Engine: schema.EngineSeq, MaxSteps: 10000, Trace: true}))
+	if err != nil {
+		return err
+	}
+	st, err := on.c.Stats(context.Background(), resp.ID)
+	if err != nil {
+		return err
+	}
+	if !st.Traced || st.Firings != st.Steps || st.Steps != steps {
+		return fmt.Errorf("e23: traced run stats = %+v, want firings == steps == %d", st, steps)
+	}
+	trace, err := on.c.Trace(context.Background(), resp.ID, client.TraceJSONL)
+	if err != nil || len(trace) == 0 {
+		return fmt.Errorf("e23: trace fetch = %d bytes, %v", len(trace), err)
+	}
+	fmt.Printf("fidelity: traced run %s reports firings=%d == steps=%d; jsonl trace %d bytes\n",
+		resp.ID, st.Firings, st.Steps, len(trace))
+	fmt.Println("claim: asking for a trace costs nothing until the sampler says yes, and a sampled")
+	fmt.Println("       run's retained trace is the §III-C firing history, queryable per tenant")
+	return nil
+}
+
+// example1Oracle runs Fig. 1 in-process and returns the stable state every
+// service response must reproduce, plus its step count.
+func example1Oracle() (string, int64, error) {
+	prog, err := gammalang.ParseProgram("fig1", paper.Example1GammaListing)
+	if err != nil {
+		return "", 0, err
+	}
+	m, err := multiset.Parse(paper.Example1InitialMultiset)
+	if err != nil {
+		return "", 0, err
+	}
+	st, err := gamma.Run(prog, m, gamma.Options{MaxSteps: 10000})
+	if err != nil {
+		return "", 0, err
+	}
+	return m.String(), st.Steps, nil
+}

@@ -36,11 +36,14 @@ import (
 
 // Wire format version. Minor bumps are additive; major bumps may break.
 // 1.1 added EngineMatrix to the engine enum — old 1.0 peers ignore specs and
-// responses mentioning it per the minor-version contract.
+// responses mentioning it per the minor-version contract. 1.2 added the
+// RunSpec.Trace knob and the RunStats payload of GET /v1/runs/{id}/stats; a
+// 1.1 server ignores Trace (the run simply goes untraced) and a 1.1 client
+// never asks for stats, so both directions stay additive.
 const (
 	WireMajor   = 1
-	WireMinor   = 1
-	WireVersion = "1.1"
+	WireMinor   = 2
+	WireVersion = "1.2"
 )
 
 // CheckWireVersion validates an envelope's version field: missing or
@@ -100,6 +103,12 @@ type RunSpec struct {
 	// TimeoutMS bounds the run's wall-clock time in milliseconds; 0 means no
 	// deadline. Expiry reports rt.ErrDeadline.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Trace asks the service to record the run's firing history (wire minor
+	// 1.2): event rings plus firing provenance, retained with the terminal run
+	// and served at GET /v1/runs/{id}/trace and /stats. Subject to the
+	// server's sampling rate — a traced=false in the run's stats means the
+	// sampler skipped it. Older servers ignore the field entirely.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Validate reports rt.ErrInvalid for specs no engine can execute: unknown
@@ -368,4 +377,52 @@ func DecodeHealth(data []byte) (*Health, error) {
 		return nil, err
 	}
 	return &h, nil
+}
+
+// RunStats is the payload of GET /v1/runs/{id}/stats (wire minor 1.2): the
+// run's execution accounting plus, when the run was traced, the recorder-side
+// view of the same execution. Firings is counted by the provenance tracer on
+// the engine's commit path, so on a traced sequential run it must equal Steps
+// exactly — the wire form of the paper's firing-history equivalence, and the
+// cross-check the service test suite holds.
+type RunStats struct {
+	Version string `json:"version"`
+	ID      string `json:"id"`
+	State   string `json:"state"`
+	Kind    string `json:"kind"`
+	// Tenant and Engine are the run's label-dimension coordinates in the
+	// service registry (the engine resolved from the spec, not the raw
+	// Engine field, so EngineAuto reports what actually ran).
+	Tenant string `json:"tenant,omitempty"`
+	Engine string `json:"engine,omitempty"`
+	// Traced reports whether the sampler recorded this run; the trace and
+	// firing fields below are only meaningful when it did.
+	Traced bool `json:"traced"`
+	// Steps and WallMS mirror the RunResult accounting; QueueWaitMS is the
+	// admission-to-start latency the wall time excludes.
+	Steps       int64   `json:"steps"`
+	WallMS      float64 `json:"wall_ms"`
+	QueueWaitMS float64 `json:"queue_wait_ms"`
+	// TraceEvents and TraceDropped size the retained event rings: events still
+	// buffered and events the rings overwrote (telemetry.dropped_events).
+	TraceEvents  int64 `json:"trace_events,omitempty"`
+	TraceDropped int64 `json:"trace_dropped,omitempty"`
+	// Firings is the provenance tracer's committed-firing count.
+	Firings int64 `json:"firings,omitempty"`
+	// Counters is the traced run's private registry snapshot (gamma.steps,
+	// probe/conflict counts, ...), absent on untraced runs.
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// DecodeRunStats unmarshals a stats payload with the same version rules as
+// the run envelopes.
+func DecodeRunStats(data []byte) (*RunStats, error) {
+	var s RunStats
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, rt.Mark(rt.ErrParse, fmt.Errorf("wire: %w", err))
+	}
+	if err := CheckWireVersion(s.Version); err != nil {
+		return nil, err
+	}
+	return &s, nil
 }

@@ -2,6 +2,7 @@ package schema
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"flag"
 	"os"
@@ -81,6 +82,84 @@ func TestWireGoldenMatrixRequest(t *testing.T) {
 	}
 	if back.Spec.Engine != EngineMatrix {
 		t.Fatalf("engine lost in round trip: %q", back.Spec.Engine)
+	}
+}
+
+// TestWireGoldenTraceRequest pins the 1.2 envelope asking for a traced run —
+// the additive knob the 1.2 minor bump introduced.
+func TestWireGoldenTraceRequest(t *testing.T) {
+	req := NewGammaRequest(paper.Example1GammaListing, paper.Example1InitialMultiset,
+		RunSpec{Engine: EngineSeq, MaxSteps: 10000, Trace: true})
+	got, err := req.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "trace_v1_2.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("trace v1.2 envelope drifted from golden %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+	back, err := DecodeRunRequest(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *back != req {
+		t.Fatalf("golden round trip changed the request:\ngot  %+v\nwant %+v", *back, req)
+	}
+	if !back.Spec.Trace {
+		t.Fatal("trace knob lost in round trip")
+	}
+}
+
+// TestOldServerIgnoresTrace proves the 1.2 minor contract in the backward
+// direction: the Trace field is invisible to a decoder that does not know it
+// (json ignores unknown fields), and a 1.1-stamped envelope carrying it still
+// validates here.
+func TestOldServerIgnoresTrace(t *testing.T) {
+	req := []byte(`{"version": "1.1", "kind": "dataflow", "graph": "g", "spec": {"trace": true}}`)
+	r, err := DecodeRunRequest(req)
+	if err != nil {
+		t.Fatalf("1.1-stamped traced request rejected: %v", err)
+	}
+	if !r.Spec.Trace {
+		t.Fatal("trace knob dropped on decode")
+	}
+}
+
+// TestRunStatsRoundTrip checks the 1.2 stats payload decodes with the usual
+// version gate and keeps its fields.
+func TestRunStatsRoundTrip(t *testing.T) {
+	s := RunStats{
+		Version: WireVersion, ID: "r-7", State: StateDone, Kind: KindGamma,
+		Tenant: "alice", Engine: EngineSeq, Traced: true,
+		Steps: 12, WallMS: 1.5, QueueWaitMS: 0.2,
+		TraceEvents: 12, TraceDropped: 0, Firings: 12,
+		Counters: map[string]int64{"gamma.steps": 12},
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeRunStats(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Firings != 12 || back.Steps != 12 || !back.Traced || back.Counters["gamma.steps"] != 12 {
+		t.Fatalf("stats mis-decoded: %+v", back)
+	}
+	if _, err := DecodeRunStats([]byte(`{"version": "2.0", "id": "x"}`)); !errors.Is(err, rt.ErrInvalid) {
+		t.Fatalf("major-2 stats accepted: %v", err)
+	}
+	if _, err := DecodeRunStats([]byte(`{`)); !errors.Is(err, rt.ErrParse) {
+		t.Fatal("broken stats JSON not ErrParse")
 	}
 }
 

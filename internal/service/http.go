@@ -11,26 +11,38 @@ import (
 	"repro/internal/cli"
 	"repro/internal/rt"
 	"repro/internal/schema"
+	"repro/internal/telemetry"
 )
 
 // Handler returns the service's HTTP API:
 //
-//	POST   /v1/runs        submit a schema.RunRequest; 202 + RunResponse
-//	                       (?wait=true blocks for the terminal state)
-//	GET    /v1/runs/{id}   poll a run; 200 + RunResponse
-//	DELETE /v1/runs/{id}   cancel a run; 202 + RunResponse
-//	GET    /v1/healthz     load snapshot; 200 + schema.Health
+//	POST   /v1/runs              submit a schema.RunRequest; 202 + RunResponse
+//	                             (?wait=true blocks for the terminal state)
+//	GET    /v1/runs/{id}         poll a run; 200 + RunResponse
+//	DELETE /v1/runs/{id}         cancel a run; 202 + RunResponse
+//	GET    /v1/runs/{id}/trace   a traced terminal run's trace;
+//	                             ?format=perfetto (default) | jsonl | dot
+//	GET    /v1/runs/{id}/stats   a terminal run's schema.RunStats
+//	GET    /v1/healthz           load snapshot; 200 + schema.Health
+//	GET    /metrics              registry snapshot; ?format=prom for the
+//	                             Prometheus text exposition
+//	GET    /metrics/watch        SSE stream of registry snapshots
 //
 // Tenancy comes from the Authorization bearer token or X-API-Key header;
 // absent both, the request is accounted to AnonymousTenant. Admission
 // rejections are 429 with Retry-After; terminal errors map through
-// cli.HTTPStatus (the same taxonomy the CLI maps to exit codes).
+// cli.HTTPStatus (the same taxonomy the CLI maps to exit codes). A trace ask
+// for an untraced run is 404, for a still-executing run 409.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/runs/{id}/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	mux.Handle("GET /metrics", telemetry.MetricsHandler(s.reg))
+	mux.Handle("GET /metrics/watch", telemetry.WatchHandler(s.reg))
 	return mux
 }
 
@@ -70,8 +82,11 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 		return
 	}
 	status := cli.HTTPStatus(err)
-	if errors.Is(err, ErrUnknownRun) {
+	switch {
+	case errors.Is(err, ErrUnknownRun), errors.Is(err, ErrNotTraced):
 		status = http.StatusNotFound
+	case errors.Is(err, ErrRunActive):
+		status = http.StatusConflict
 	}
 	writeJSON(w, status, &schema.RunResponse{
 		Version: schema.WireVersion,
@@ -139,4 +154,46 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Health())
+}
+
+// traceContentTypes maps each trace export format to its Content-Type.
+var traceContentTypes = map[telemetry.Format]string{
+	telemetry.FormatPerfetto: "application/json; charset=utf-8",
+	telemetry.FormatJSONL:    "application/jsonl; charset=utf-8",
+	telemetry.FormatDOT:      "text/vnd.graphviz; charset=utf-8",
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	format := telemetry.FormatPerfetto
+	if q := r.URL.Query().Get("format"); q != "" {
+		var err error
+		if format, err = telemetry.ParseFormat(q); err != nil {
+			s.writeError(w, rt.Mark(rt.ErrInvalid, err))
+			return
+		}
+	}
+	id := r.PathValue("id")
+	// Probe before writing: WriteTrace streams straight to the response, so
+	// its errors must be found while the status line is still unsent.
+	if run, err := s.Lookup(id); err != nil {
+		s.writeError(w, err)
+		return
+	} else if _, _, _, err := run.terminalSnapshot(); err != nil {
+		s.writeError(w, err)
+		return
+	} else if !run.Traced {
+		s.writeError(w, ErrNotTraced)
+		return
+	}
+	w.Header().Set("Content-Type", traceContentTypes[format])
+	s.WriteTrace(w, id, format) //nolint:errcheck // headers sent; client gone
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Stats(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
 }

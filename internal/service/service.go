@@ -32,6 +32,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -89,8 +91,25 @@ type Config struct {
 	MaxBody int64
 	// Registry receives the service's counters, gauges and histograms; nil
 	// allocates a private one. Share it with telemetry.ServeMetrics to
-	// expose the pool on -metrics-addr.
+	// expose the pool on -metrics-addr. The service additionally accounts
+	// every event into the registry's "tenant" and "engine" label dimensions
+	// (Registry.Labeled), each rolling up to the global series exactly.
 	Registry *telemetry.Registry
+	// TraceEventCap is the per-track ring capacity of a traced run's
+	// recorder; <= 0 means 4096. Together with Retain it bounds the trace
+	// memory: at most Retain terminal runs hold rings at once.
+	TraceEventCap int
+	// TraceSample is the fraction of trace-requesting runs actually traced:
+	// 0 means every one (the default), values in (0, 1) sample
+	// deterministically (the i-th requesting run is traced iff the scaled
+	// counter crosses an integer), negative disables tracing entirely. A
+	// skipped run still completes normally with traced=false in its stats.
+	TraceSample float64
+	// Logger receives the service's structured log: one record per
+	// admission, rejection and completion, each carrying the run id, tenant
+	// and engine so records correlate with the trace and metrics surfaces.
+	// nil discards.
+	Logger *slog.Logger
 }
 
 func (c *Config) fill() {
@@ -111,6 +130,20 @@ func (c *Config) fill() {
 	}
 	if c.Registry == nil {
 		c.Registry = telemetry.NewRegistry()
+	}
+	if c.TraceEventCap <= 0 {
+		c.TraceEventCap = 4096
+	}
+	switch {
+	case c.TraceSample == 0:
+		c.TraceSample = 1
+	case c.TraceSample < 0:
+		c.TraceSample = 0
+	case c.TraceSample > 1:
+		c.TraceSample = 1
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 }
 
@@ -134,6 +167,16 @@ func (e *TooBusyError) Error() string {
 // or evicted after Config.Retain newer terminal runs).
 var ErrUnknownRun = errors.New("service: unknown run id")
 
+// ErrNotTraced reports a trace request for a run that was not traced: the
+// submission did not set Spec.Trace, or the sampler skipped it. 404 on the
+// wire — the stats endpoint's traced field tells the two apart.
+var ErrNotTraced = errors.New("service: run was not traced")
+
+// ErrRunActive reports a trace request for a run that has not reached a
+// terminal state: the event rings are single-writer and only readable after
+// the run returns. 409 on the wire; poll the run and retry.
+var ErrRunActive = errors.New("service: run still executing; trace available at terminal state")
+
 // ErrClosed reports a submission to a server that has been Closed.
 var ErrClosed = errors.New("service: server closed")
 
@@ -155,20 +198,31 @@ type Run struct {
 	// Spec is the submitted spec; MaxSteps holds the effective (clamped)
 	// per-run cap.
 	Spec schema.RunSpec
+	// Engine is the resolved engine label ("seq", "parallel" or "matrix") —
+	// what actually runs, with EngineAuto resolved, and the run's coordinate
+	// in the registry's engine dimension.
+	Engine string
+	// Traced reports whether the sampler granted this run's Spec.Trace ask;
+	// when set, rec and prov observe the execution and are retained with the
+	// terminal run for /trace and /stats.
+	Traced bool
 
 	plan  *gamma.Plan
 	init  *multiset.Multiset
 	graph *dataflow.Graph
+	rec   *telemetry.Recorder
+	prov  *telemetry.Provenance
 
 	ctx      context.Context
 	cancel   context.CancelFunc
 	enqueued time.Time
 	done     chan struct{}
 
-	mu     sync.Mutex
-	state  string
-	result *schema.RunResult
-	err    error
+	mu        sync.Mutex
+	state     string
+	result    *schema.RunResult
+	err       error
+	queueWait time.Duration
 }
 
 // Done is closed when the run reaches a terminal state.
@@ -205,12 +259,14 @@ func (r *Run) Err() error {
 type Server struct {
 	cfg Config
 	reg *telemetry.Registry
+	log *slog.Logger
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	queue      chan *Run
 	wg         sync.WaitGroup
 	nRunning   atomic.Int64
+	traceSeq   atomic.Int64 // trace-requesting submissions, for the sampler
 
 	mu       sync.Mutex
 	closed   bool
@@ -219,11 +275,47 @@ type Server struct {
 	terminal []string // terminal run ids in completion order, for eviction
 	tenants  map[string]*tenantState
 
-	cSubmitted, cDone, cFailed, cCanceled  *telemetry.Counter
-	cRejQueue, cRejConcurrency, cRejBudget *telemetry.Counter
-	cSteps                                 *telemetry.Counter
-	gPending, gRunning                     *telemetry.Gauge
-	hQueueWait, hRunWall, hRunSteps        *telemetry.Histogram
+	gPending, gRunning *telemetry.Gauge
+}
+
+// count and observe account one event into the global registry and, when the
+// run's label coordinates are known, into the tenant and engine children —
+// three independent accountings per event, each child dimension summing to
+// the global exactly (telemetry.Registry.CheckRollup; the service test suite
+// and make stress hold the invariant under -race). Gauges stay global-only:
+// they are instantaneous, so their rollup would only hold at quiescence.
+func (s *Server) count(name string, n int64, tenant, engine string) {
+	s.reg.Counter(name).Add(n)
+	if tenant != "" {
+		s.reg.Labeled("tenant", tenant).Counter(name).Add(n)
+	}
+	if engine != "" {
+		s.reg.Labeled("engine", engine).Counter(name).Add(n)
+	}
+}
+
+func (s *Server) observe(name string, v int64, tenant, engine string) {
+	s.reg.Histogram(name).Observe(v)
+	if tenant != "" {
+		s.reg.Labeled("tenant", tenant).Histogram(name).Observe(v)
+	}
+	if engine != "" {
+		s.reg.Labeled("engine", engine).Histogram(name).Observe(v)
+	}
+}
+
+// engineLabel resolves a spec to the engine that will actually execute it —
+// the registry's engine dimension and the stats payload report this, not the
+// raw Engine field, so EngineAuto runs are attributed to seq or parallel.
+func engineLabel(spec schema.RunSpec) string {
+	switch spec.Engine {
+	case schema.EngineSeq, schema.EngineParallel, schema.EngineMatrix:
+		return spec.Engine
+	}
+	if spec.EffectiveWorkers() > 1 {
+		return schema.EngineParallel
+	}
+	return schema.EngineSeq
 }
 
 // New starts a server: Config.Pool executor goroutines draining the pending
@@ -234,25 +326,15 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:        cfg,
 		reg:        cfg.Registry,
+		log:        cfg.Logger,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		queue:      make(chan *Run, cfg.QueueDepth),
 		runs:       make(map[string]*Run),
 		tenants:    make(map[string]*tenantState),
 	}
-	s.cSubmitted = s.reg.Counter("service.submitted")
-	s.cDone = s.reg.Counter("service.done")
-	s.cFailed = s.reg.Counter("service.failed")
-	s.cCanceled = s.reg.Counter("service.canceled")
-	s.cRejQueue = s.reg.Counter("service.rejected.queue")
-	s.cRejConcurrency = s.reg.Counter("service.rejected.concurrency")
-	s.cRejBudget = s.reg.Counter("service.rejected.budget")
-	s.cSteps = s.reg.Counter("service.steps")
 	s.gPending = s.reg.Gauge("service.pending")
 	s.gRunning = s.reg.Gauge("service.running")
-	s.hQueueWait = s.reg.Histogram("service.queue_wait_ns")
-	s.hRunWall = s.reg.Histogram("service.run_wall_ns")
-	s.hRunSteps = s.reg.Histogram("service.run_steps")
 	for i := 0; i < cfg.Pool; i++ {
 		s.wg.Add(1)
 		go s.executor()
@@ -307,7 +389,8 @@ func (s *Server) Submit(req *schema.RunRequest, tenant string) (*Run, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
-	r := &Run{Tenant: tenant, Kind: req.Kind, Spec: req.Spec, done: make(chan struct{}), state: schema.StatePending}
+	r := &Run{Tenant: tenant, Kind: req.Kind, Spec: req.Spec, Engine: engineLabel(req.Spec),
+		done: make(chan struct{}), state: schema.StatePending}
 	switch req.Kind {
 	case schema.KindGamma:
 		f, err := gammalang.ParseFile(req.Program)
@@ -348,13 +431,13 @@ func (s *Server) Submit(req *schema.RunRequest, tenant string) (*Run, error) {
 	}
 	if q.MaxConcurrent > 0 && ts.inflight >= q.MaxConcurrent {
 		s.mu.Unlock()
-		s.cRejConcurrency.Inc()
-		return nil, &TooBusyError{Reason: "concurrency quota", Tenant: tenant, RetryAfter: time.Second}
+		return nil, s.reject("service.rejected.concurrency",
+			&TooBusyError{Reason: "concurrency quota", Tenant: tenant, RetryAfter: time.Second}, r)
 	}
 	if q.StepBudget > 0 && ts.stepsUsed >= q.StepBudget {
 		s.mu.Unlock()
-		s.cRejBudget.Inc()
-		return nil, &TooBusyError{Reason: "step budget", Tenant: tenant, RetryAfter: time.Minute}
+		return nil, s.reject("service.rejected.budget",
+			&TooBusyError{Reason: "step budget", Tenant: tenant, RetryAfter: time.Minute}, r)
 	}
 	// Effective per-run cap: the spec's ask clamped to the tenant's per-run
 	// cap (default Config.MaxStepsCap), and to what remains of a cumulative
@@ -383,16 +466,50 @@ func (s *Server) Submit(req *schema.RunRequest, tenant string) (*Run, error) {
 	case s.queue <- r:
 	default:
 		s.mu.Unlock()
-		s.cRejQueue.Inc()
-		return nil, &TooBusyError{Reason: "queue full", Tenant: tenant, RetryAfter: time.Second}
+		return nil, s.reject("service.rejected.queue",
+			&TooBusyError{Reason: "queue full", Tenant: tenant, RetryAfter: time.Second}, r)
 	}
 	ts.inflight++
 	s.runs[r.ID] = r
 	s.mu.Unlock()
 
-	s.cSubmitted.Inc()
+	// Tracing is decided at admission so the decision is stable for the
+	// run's whole life: Spec.Trace asks, the sampler grants. The recorder and
+	// provenance tracer are private to the run (its stats counters are the
+	// run's own, not the server's) and ride the Run into the terminal ring.
+	if req.Spec.Trace && s.sampleTrace() {
+		r.Traced = true
+		r.rec = telemetry.New(s.cfg.TraceEventCap)
+		r.prov = telemetry.NewProvenance()
+	}
+
+	s.count("service.submitted", 1, tenant, r.Engine)
 	s.gPending.Set(int64(len(s.queue)))
+	s.log.Info("run admitted",
+		"run", r.ID, "tenant", tenant, "kind", r.Kind, "engine", r.Engine,
+		"traced", r.Traced, "max_steps", r.Spec.MaxSteps)
 	return r, nil
+}
+
+// reject accounts and logs one admission rejection, returning busy.
+func (s *Server) reject(counter string, busy *TooBusyError, r *Run) error {
+	s.count(counter, 1, busy.Tenant, r.Engine)
+	s.log.Warn("run rejected",
+		"tenant", busy.Tenant, "kind", r.Kind, "engine", r.Engine,
+		"reason", busy.Reason, "retry_after", busy.RetryAfter)
+	return busy
+}
+
+// sampleTrace is the deterministic trace sampler: with rate p, the i-th
+// trace-requesting submission is traced iff the scaled counter ⌊(i+1)p⌋
+// crosses an integer — exactly ⌊np⌋ of the first n requesters, no RNG.
+func (s *Server) sampleTrace() bool {
+	p := s.cfg.TraceSample
+	if p <= 0 {
+		return false
+	}
+	i := s.traceSeq.Add(1) - 1
+	return int64(float64(i+1)*p) > int64(float64(i)*p)
 }
 
 // Lookup returns a run by id.
@@ -432,7 +549,8 @@ func (s *Server) executor() {
 // execute runs one submission to its terminal state.
 func (s *Server) execute(r *Run) {
 	s.gPending.Set(int64(len(s.queue)))
-	s.hQueueWait.Observe(time.Since(r.enqueued).Nanoseconds())
+	wait := time.Since(r.enqueued)
+	s.observe("service.queue_wait_ns", wait.Nanoseconds(), r.Tenant, r.Engine)
 
 	// A cancellation that arrived while pending wins before any work.
 	if r.ctx.Err() != nil {
@@ -441,6 +559,7 @@ func (s *Server) execute(r *Run) {
 	}
 	r.mu.Lock()
 	r.state = schema.StateRunning
+	r.queueWait = wait
 	r.mu.Unlock()
 	s.gRunning.Set(s.nRunning.Add(1))
 	defer func() { s.gRunning.Set(s.nRunning.Add(-1)) }()
@@ -455,6 +574,11 @@ func (s *Server) execute(r *Run) {
 			Workers:  r.Spec.EffectiveWorkers(),
 			Seed:     r.Spec.Seed,
 			MaxSteps: r.Spec.MaxSteps,
+		}
+		if r.Traced {
+			opt.Recorder = r.rec
+			opt.Tracer = r.prov
+			opt.TrackLabel = r.ID
 		}
 		st, err := r.plan.RunContext(ctx, r.init, opt)
 		wall := time.Since(start)
@@ -472,6 +596,10 @@ func (s *Server) execute(r *Run) {
 		}
 		if r.Spec.Engine == schema.EngineMatrix {
 			opt.Engine = dataflow.EngineMatrix
+		}
+		if r.Traced {
+			opt.Recorder = r.rec
+			opt.Tracer = r.prov
 		}
 		dres, err := dataflow.RunContext(ctx, r.graph, opt)
 		wall := time.Since(start)
@@ -517,18 +645,36 @@ func (s *Server) finish(r *Run, res *schema.RunResult, err error, steps int64, w
 
 	switch state {
 	case schema.StateDone:
-		s.cDone.Inc()
+		s.count("service.done", 1, r.Tenant, r.Engine)
 	case schema.StateCanceled:
-		s.cCanceled.Inc()
+		s.count("service.canceled", 1, r.Tenant, r.Engine)
 	default:
-		s.cFailed.Inc()
+		s.count("service.failed", 1, r.Tenant, r.Engine)
 	}
 	if steps > 0 {
-		s.cSteps.Add(steps)
-		s.hRunSteps.Observe(steps)
+		s.count("service.steps", steps, r.Tenant, r.Engine)
+		s.observe("service.run_steps", steps, r.Tenant, r.Engine)
 	}
 	if wall != nil {
-		s.hRunWall.Observe(wall.Nanoseconds())
+		s.observe("service.run_wall_ns", wall.Nanoseconds(), r.Tenant, r.Engine)
+	}
+
+	attrs := []any{
+		"run", r.ID, "tenant", r.Tenant, "kind", r.Kind, "engine", r.Engine,
+		"state", state, "steps", steps, "traced", r.Traced,
+	}
+	if wall != nil {
+		attrs = append(attrs, "wall_ms", float64(wall.Nanoseconds())/1e6)
+	}
+	switch state {
+	case schema.StateFailed:
+		// rt.ErrNode wraps reaction/vertex panics the runtimes recovered;
+		// logging it here is the service's panic path.
+		s.log.Error("run failed", append(attrs, "error", err)...)
+	case schema.StateCanceled:
+		s.log.Info("run canceled", append(attrs, "error", err)...)
+	default:
+		s.log.Info("run finished", attrs...)
 	}
 
 	s.mu.Lock()
@@ -559,7 +705,87 @@ func (s *Server) Health() *schema.Health {
 		QueueDepth: s.cfg.QueueDepth,
 		Pending:    len(s.queue),
 		Running:    int(s.nRunning.Load()),
-		Completed:  s.cDone.Value() + s.cFailed.Value() + s.cCanceled.Value(),
+		Completed: s.reg.CounterValue("service.done") +
+			s.reg.CounterValue("service.failed") +
+			s.reg.CounterValue("service.canceled"),
+	}
+}
+
+// terminalSnapshot returns the run's terminal state, result and queue wait,
+// or ErrRunActive while the run is still pending/running. The trace surfaces
+// gate on this: the recorder's rings are single-writer and must not be read
+// concurrently with the engine.
+func (r *Run) terminalSnapshot() (state string, res *schema.RunResult, wait time.Duration, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !schema.TerminalState(r.state) {
+		return "", nil, 0, ErrRunActive
+	}
+	return r.state, r.result, r.queueWait, nil
+}
+
+// Stats renders a terminal run's execution accounting as the wire RunStats
+// payload: the response-envelope numbers plus, when the run was traced, the
+// recorder-side view (buffered events, drops, the private registry's
+// counters) and the provenance tracer's firing count. On a traced sequential
+// run Firings equals Steps exactly — the firing-history equivalence on the
+// wire.
+func (s *Server) Stats(id string) (*schema.RunStats, error) {
+	r, err := s.Lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	state, res, wait, err := r.terminalSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	st := &schema.RunStats{
+		Version:     schema.WireVersion,
+		ID:          r.ID,
+		State:       state,
+		Kind:        r.Kind,
+		Tenant:      r.Tenant,
+		Engine:      r.Engine,
+		Traced:      r.Traced,
+		QueueWaitMS: float64(wait.Nanoseconds()) / 1e6,
+	}
+	if res != nil {
+		st.Steps = res.Steps
+		st.WallMS = res.WallMS
+	}
+	if r.Traced {
+		st.Firings = int64(r.prov.Firings())
+		for _, te := range r.rec.Snapshot() {
+			st.TraceEvents += int64(len(te.Events))
+			st.TraceDropped += te.Dropped
+		}
+		st.Counters = r.rec.Metrics.Snapshot().Counters
+	}
+	return st, nil
+}
+
+// WriteTrace renders a terminal run's retained trace in the given format:
+// FormatPerfetto and FormatJSONL export the event rings, FormatDOT the
+// firing-provenance DAG. ErrNotTraced when the run was not traced,
+// ErrRunActive before the terminal state.
+func (s *Server) WriteTrace(w io.Writer, id string, format telemetry.Format) error {
+	r, err := s.Lookup(id)
+	if err != nil {
+		return err
+	}
+	if _, _, _, err := r.terminalSnapshot(); err != nil {
+		return err
+	}
+	if !r.Traced {
+		return ErrNotTraced
+	}
+	switch format {
+	case telemetry.FormatDOT:
+		return r.prov.WriteDOT(w)
+	case telemetry.FormatJSONL:
+		return telemetry.WriteJSONL(w, r.rec)
+	default:
+		return telemetry.WritePerfetto(w, r.rec)
 	}
 }
 

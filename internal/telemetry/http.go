@@ -5,29 +5,103 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 	"time"
 )
 
-// ServeMetrics starts an expvar-style HTTP endpoint serving live JSON
-// snapshots of the registry at /metrics (and /, for curl convenience) on
-// addr (e.g. "localhost:6060" or ":0" for an ephemeral port). It returns the
-// bound address and a close function; the server runs until closed.
-// Snapshots read only atomics, so serving during a run is safe.
+// MetricsHandler serves registry snapshots at one endpoint in two formats:
+//
+//	?format=json (default)  the indented Snapshot JSON
+//	?format=prom            Prometheus text exposition (scrape-able)
+//
+// Content-Type follows the format; an unknown ?format= is 406 Not Acceptable
+// (it used to silently fall back to JSON, which made scrape misconfiguration
+// invisible). Snapshots read only atomics, so serving during a run is safe.
+func MetricsHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch format := r.URL.Query().Get("format"); format {
+		case "", "json":
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(reg.Snapshot()) //nolint:errcheck // client gone
+		case "prom", "prometheus":
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			WritePrometheus(w, reg) //nolint:errcheck // client gone
+		default:
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.WriteHeader(http.StatusNotAcceptable)
+			fmt.Fprintf(w, "unknown metrics format %q (want json or prom)\n", format)
+		}
+	})
+}
+
+// WatchHandler streams registry snapshots as Server-Sent Events: one `data:`
+// line of compact Snapshot JSON per tick until the client disconnects. The
+// tick defaults to 1s; ?interval_ms= overrides it (clamped to ≥ 50ms so a
+// dashboard cannot busy-loop the server). The first event is sent
+// immediately, so a one-shot consumer need not wait a full interval.
+func WatchHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		flusher, ok := w.(http.Flusher)
+		if !ok {
+			http.Error(w, "streaming unsupported", http.StatusNotImplemented)
+			return
+		}
+		interval := time.Second
+		if ms, err := strconv.Atoi(r.URL.Query().Get("interval_ms")); err == nil && ms > 0 {
+			if ms < 50 {
+				ms = 50
+			}
+			interval = time.Duration(ms) * time.Millisecond
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.Header().Set("Connection", "keep-alive")
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			data, err := json.Marshal(reg.Snapshot())
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
+				return
+			}
+			flusher.Flush()
+			select {
+			case <-r.Context().Done():
+				return
+			case <-tick.C:
+			}
+		}
+	})
+}
+
+// MetricsMux is the standard metrics surface: the format-dispatching
+// snapshot handler at /metrics (and /, for curl convenience) plus the SSE
+// stream at /metrics/watch. Mount it on a dedicated port via ServeMetrics
+// or merge the routes into a service mux.
+func MetricsMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	h := MetricsHandler(reg)
+	mux.Handle("/metrics", h)
+	mux.Handle("/metrics/watch", WatchHandler(reg))
+	mux.Handle("/", h)
+	return mux
+}
+
+// ServeMetrics starts an HTTP endpoint serving live registry snapshots at
+// /metrics (JSON by default, Prometheus text exposition with ?format=prom)
+// and an SSE stream at /metrics/watch, on addr (e.g. "localhost:6060" or
+// ":0" for an ephemeral port). It returns the bound address and a close
+// function; the server runs until closed.
 func ServeMetrics(addr string, reg *Registry) (string, func(), error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("telemetry: metrics listener: %w", err)
 	}
-	mux := http.NewServeMux()
-	handler := func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(reg.Snapshot())
-	}
-	mux.HandleFunc("/metrics", handler)
-	mux.HandleFunc("/", handler)
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Handler: MetricsMux(reg), ReadHeaderTimeout: 5 * time.Second}
 	go srv.Serve(ln)
 	return ln.Addr().String(), func() { srv.Close() }, nil
 }

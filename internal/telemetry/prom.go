@@ -1,0 +1,204 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// The Prometheus exporter renders a Registry in the text exposition format
+// (version 0.0.4): counters and gauges as single samples, the power-of-two
+// histograms as classic cumulative `_bucket{le="..."}` series with `_sum`
+// and `_count`, and one label dimension's children as `{dim="val"}` labeled
+// samples next to the unlabeled global series. Output is deterministic
+// (instruments and labels sorted by name) so a fixed registry snapshot can
+// be golden-pinned byte for byte.
+//
+// Instrument names keep the registry's dotted convention with dots mapped to
+// underscores ("gamma.steps" → "gamma_steps"); histogram values stay in the
+// registry's unit (nanoseconds by convention, which the `_ns` suffix of the
+// existing names already declares).
+
+// promName sanitizes a registry instrument name into a Prometheus metric
+// name: [a-zA-Z0-9_:] only, leading digit escaped.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if i == 0 && r >= '0' && r <= '9' {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabel renders one {dim="val"} label pair, escaping per the exposition
+// format; empty dim renders no labels.
+func promLabel(dim, val string) string {
+	if dim == "" {
+		return ""
+	}
+	esc := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(val)
+	return fmt.Sprintf(`{%s=%q}`, promName(dim), esc)
+}
+
+// promSeries is one labeled instance of an instrument: the global series has
+// an empty dim.
+type promSeries struct {
+	dim, val string
+	reg      *Registry
+}
+
+// promSeriesOf lists the global registry plus every child of every label
+// dimension, in deterministic order.
+func promSeriesOf(r *Registry) []promSeries {
+	series := []promSeries{{reg: r}}
+	r.mu.Lock()
+	dims := make([]string, 0, len(r.children))
+	for dim := range r.children {
+		dims = append(dims, dim)
+	}
+	sort.Strings(dims)
+	for _, dim := range dims {
+		vals := make([]string, 0, len(r.children[dim]))
+		for v := range r.children[dim] {
+			vals = append(vals, v)
+		}
+		sort.Strings(vals)
+		for _, v := range vals {
+			series = append(series, promSeries{dim: dim, val: v, reg: r.children[dim][v]})
+		}
+	}
+	r.mu.Unlock()
+	return series
+}
+
+// histLE is the inclusive upper bound of power-of-two bucket i (values v
+// with bits.Len64(v) == i): 0 for bucket 0, 2^i - 1 above.
+func histLE(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	return int64(1)<<uint(i) - 1
+}
+
+// WritePrometheus renders the registry (and one level of labeled children)
+// in the Prometheus text exposition format.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	series := promSeriesOf(r)
+	var b strings.Builder
+
+	union := func(pick func(*Registry) []string) []string {
+		seen := make(map[string]bool)
+		var names []string
+		for _, s := range series {
+			for _, n := range pick(s.reg) {
+				if !seen[n] {
+					seen[n] = true
+					names = append(names, n)
+				}
+			}
+		}
+		sort.Strings(names)
+		return names
+	}
+	counterNames := union(func(reg *Registry) []string {
+		reg.mu.Lock()
+		defer reg.mu.Unlock()
+		return sortedKeys(reg.counts)
+	})
+	gaugeNames := union(func(reg *Registry) []string {
+		reg.mu.Lock()
+		defer reg.mu.Unlock()
+		return sortedKeys(reg.gauges)
+	})
+	histNames := union(func(reg *Registry) []string {
+		reg.mu.Lock()
+		defer reg.mu.Unlock()
+		return sortedKeys(reg.hists)
+	})
+
+	for _, name := range counterNames {
+		pn := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s counter\n", pn)
+		for _, s := range series {
+			s.reg.mu.Lock()
+			c, ok := s.reg.counts[name]
+			s.reg.mu.Unlock()
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&b, "%s%s %d\n", pn, promLabel(s.dim, s.val), c.Value())
+		}
+	}
+	for _, name := range gaugeNames {
+		pn := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n", pn)
+		fmt.Fprintf(&b, "# TYPE %s_max gauge\n", pn)
+		for _, s := range series {
+			s.reg.mu.Lock()
+			g, ok := s.reg.gauges[name]
+			s.reg.mu.Unlock()
+			if !ok {
+				continue
+			}
+			lbl := promLabel(s.dim, s.val)
+			fmt.Fprintf(&b, "%s%s %d\n", pn, lbl, g.Value())
+			fmt.Fprintf(&b, "%s_max%s %d\n", pn, lbl, g.Max())
+		}
+	}
+	for _, name := range histNames {
+		pn := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", pn)
+		for _, s := range series {
+			s.reg.mu.Lock()
+			h, ok := s.reg.hists[name]
+			s.reg.mu.Unlock()
+			if !ok {
+				continue
+			}
+			writePromHistogram(&b, pn, s.dim, s.val, h)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writePromHistogram renders one histogram instance: cumulative buckets up
+// to the highest non-empty band, then +Inf, _sum and _count.
+func writePromHistogram(b *strings.Builder, pn, dim, val string, h *Histogram) {
+	top := -1
+	for i := 0; i < histBuckets; i++ {
+		if h.buckets[i].Load() > 0 {
+			top = i
+		}
+	}
+	cum := int64(0)
+	for i := 0; i <= top; i++ {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(b, "%s_bucket%s %d\n", pn, bucketLabel(dim, val, fmt.Sprintf("%d", histLE(i))), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket%s %d\n", pn, bucketLabel(dim, val, "+Inf"), h.Count())
+	lbl := promLabel(dim, val)
+	fmt.Fprintf(b, "%s_sum%s %d\n", pn, lbl, h.Sum())
+	fmt.Fprintf(b, "%s_count%s %d\n", pn, lbl, h.Count())
+}
+
+// bucketLabel merges the le label with an optional dimension label.
+func bucketLabel(dim, val, le string) string {
+	if dim == "" {
+		return fmt.Sprintf(`{le=%q}`, le)
+	}
+	esc := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(val)
+	return fmt.Sprintf(`{%s=%q,le=%q}`, promName(dim), esc, le)
+}

@@ -1,0 +1,55 @@
+package telemetry_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// promFixture builds the fixed registry snapshot the Prometheus golden pins:
+// deterministic values across every instrument kind and a tenant dimension.
+func promFixture() *telemetry.Registry {
+	reg := telemetry.NewRegistry()
+	reg.Counter("gamma.steps").Add(42)
+	reg.Counter("service.submitted").Add(7)
+	reg.Gauge("service.pending").Set(3)
+	reg.Gauge("service.pending").Set(2)
+	h := reg.Histogram("service.run_wall_ns")
+	for _, v := range []int64{0, 1, 5, 900, 1023, 4096} {
+		h.Observe(v)
+	}
+	alice := reg.Labeled("tenant", "alice")
+	alice.Counter("service.submitted").Add(4)
+	alice.Histogram("service.run_wall_ns").Observe(900)
+	bob := reg.Labeled("tenant", "bob")
+	bob.Counter("service.submitted").Add(3)
+	return reg
+}
+
+// TestPrometheusGolden pins the text exposition of a fixed registry byte for
+// byte, like the Fig. 1 provenance DOT golden: scrape configs parse this
+// surface, so it must never drift by accident. Regenerate deliberately with
+// -update.
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := telemetry.WritePrometheus(&buf, promFixture()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "registry_prom.txt")
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Prometheus exposition drifted from golden %s.\n--- got ---\n%s\n--- want ---\n%s\n(run with -update to regenerate)",
+			path, buf.Bytes(), want)
+	}
+}

@@ -129,11 +129,22 @@ func (h *Histogram) Quantile(q float64) int64 {
 // Registry is a name-indexed store of counters, gauges and histograms.
 // Instruments are created on first use and live for the registry's lifetime;
 // hot paths resolve them once and hold the pointer.
+//
+// A registry additionally owns label dimensions: Labeled(dim, val) returns a
+// child registry scoped to one label value (a tenant, an engine). Children
+// are full registries with their own instruments; writers account the same
+// event into the global instrument AND the labeled child's same-named one,
+// two independent accountings the CheckRollup differential holds to exact
+// equality — the same discipline the telSink/Stats cross-check uses. (A
+// chained write-through design was rejected: one event recorded under two
+// dimensions would double-count the parent, and a trivially-true rollup
+// checks nothing.)
 type Registry struct {
-	mu     sync.Mutex
-	counts map[string]*Counter
-	gauges map[string]*Gauge
-	hists  map[string]*Histogram
+	mu       sync.Mutex
+	counts   map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	children map[string]map[string]*Registry // dimension → label value → child
 }
 
 // NewRegistry returns an empty registry.
@@ -143,6 +154,103 @@ func NewRegistry() *Registry {
 		gauges: make(map[string]*Gauge),
 		hists:  make(map[string]*Histogram),
 	}
+}
+
+// Labeled returns the child registry for one value of a label dimension,
+// e.g. r.Labeled("tenant", "alice"), creating it on first use. Children are
+// ordinary registries (they may nest further, though nothing does today);
+// Snapshot and the Prometheus exposition render their instruments with a
+// {dim="val"} label.
+func (r *Registry) Labeled(dim, val string) *Registry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.children == nil {
+		r.children = make(map[string]map[string]*Registry)
+	}
+	byVal := r.children[dim]
+	if byVal == nil {
+		byVal = make(map[string]*Registry)
+		r.children[dim] = byVal
+	}
+	c, ok := byVal[val]
+	if !ok {
+		c = NewRegistry()
+		byVal[val] = c
+	}
+	return c
+}
+
+// childrenOf copies the child map of one dimension (nil when the dimension
+// was never labeled).
+func (r *Registry) childrenOf(dim string) map[string]*Registry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	byVal := r.children[dim]
+	if byVal == nil {
+		return nil
+	}
+	out := make(map[string]*Registry, len(byVal))
+	for v, c := range byVal {
+		out[v] = c
+	}
+	return out
+}
+
+// CheckRollup verifies the label-rollup invariant of one dimension: for
+// every counter and histogram name that appears in any child, the sum over
+// the children equals the parent's same-named instrument exactly (counters
+// by value; histograms by count, sum and every power-of-two bucket). Gauges
+// are instantaneous and excluded — their rollup only holds at quiescence.
+// Writers that account each event into exactly one child per dimension plus
+// the global instrument satisfy the invariant by construction; a missed or
+// doubled write surfaces here.
+func (r *Registry) CheckRollup(dim string) error {
+	children := r.childrenOf(dim)
+	counterSums := make(map[string]int64)
+	type histSum struct {
+		count, sum int64
+		buckets    [histBuckets]int64
+	}
+	histSums := make(map[string]*histSum)
+	for _, c := range children {
+		c.mu.Lock()
+		for name, ctr := range c.counts {
+			counterSums[name] += ctr.Value()
+		}
+		for name, h := range c.hists {
+			hs := histSums[name]
+			if hs == nil {
+				hs = &histSum{}
+				histSums[name] = hs
+			}
+			hs.count += h.Count()
+			hs.sum += h.Sum()
+			for i := range hs.buckets {
+				hs.buckets[i] += h.buckets[i].Load()
+			}
+		}
+		c.mu.Unlock()
+	}
+	for _, name := range sortedKeys(counterSums) {
+		if got, want := counterSums[name], r.CounterValue(name); got != want {
+			return fmt.Errorf("telemetry: rollup %s: counter %s: children sum to %d, global %d", dim, name, got, want)
+		}
+	}
+	for _, name := range sortedKeys(histSums) {
+		hs := histSums[name]
+		g := r.Histogram(name)
+		if hs.count != g.Count() || hs.sum != g.Sum() {
+			return fmt.Errorf("telemetry: rollup %s: histogram %s: children (count %d, sum %d), global (count %d, sum %d)",
+				dim, name, hs.count, hs.sum, g.Count(), g.Sum())
+		}
+		for i := range hs.buckets {
+			if got, want := hs.buckets[i], g.buckets[i].Load(); got != want {
+				return fmt.Errorf("telemetry: rollup %s: histogram %s bucket %d: children sum to %d, global %d",
+					dim, name, i, got, want)
+			}
+		}
+	}
+	return nil
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -210,18 +318,20 @@ type GaugeSnapshot struct {
 }
 
 // Snapshot is a point-in-time copy of every instrument, JSON-marshalable —
-// the payload of the -metrics-addr HTTP endpoint.
+// the payload of the -metrics-addr HTTP endpoint. Children holds the label
+// dimensions (dimension → label value → that child's snapshot); absent when
+// the registry has none (additive, so pre-label consumers are unaffected).
 type Snapshot struct {
-	Counters   map[string]int64         `json:"counters"`
-	Gauges     map[string]GaugeSnapshot `json:"gauges"`
-	Histograms map[string]HistSnapshot  `json:"histograms"`
+	Counters   map[string]int64               `json:"counters"`
+	Gauges     map[string]GaugeSnapshot       `json:"gauges"`
+	Histograms map[string]HistSnapshot        `json:"histograms"`
+	Children   map[string]map[string]Snapshot `json:"children,omitempty"`
 }
 
 // Snapshot captures every instrument's current value. Safe to call while the
 // observed run is still executing.
 func (r *Registry) Snapshot() Snapshot {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	s := Snapshot{
 		Counters:   make(map[string]int64, len(r.counts)),
 		Gauges:     make(map[string]GaugeSnapshot, len(r.gauges)),
@@ -238,6 +348,30 @@ func (r *Registry) Snapshot() Snapshot {
 			Count: h.Count(), SumNS: h.Sum(), Mean: h.Mean(),
 			P50: h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99),
 			Max: h.Max(),
+		}
+	}
+	// Copy the child structure under the lock, snapshot the children outside
+	// it — a child's Snapshot takes its own lock and must not nest in ours.
+	var dims map[string]map[string]*Registry
+	if len(r.children) > 0 {
+		dims = make(map[string]map[string]*Registry, len(r.children))
+		for dim, byVal := range r.children {
+			vals := make(map[string]*Registry, len(byVal))
+			for v, c := range byVal {
+				vals[v] = c
+			}
+			dims[dim] = vals
+		}
+	}
+	r.mu.Unlock()
+	if dims != nil {
+		s.Children = make(map[string]map[string]Snapshot, len(dims))
+		for dim, byVal := range dims {
+			vals := make(map[string]Snapshot, len(byVal))
+			for v, c := range byVal {
+				vals[v] = c.Snapshot()
+			}
+			s.Children[dim] = vals
 		}
 	}
 	return s

@@ -114,6 +114,10 @@ type ringEvent struct {
 // DefaultEventCap is the per-track ring capacity when New is given 0.
 const DefaultEventCap = 1 << 14
 
+// ringInitial is the first allocation of a track's event ring; rings double
+// from here toward the recorder's cap as events arrive.
+const ringInitial = 64
+
 // Recorder owns the event tracks and the metrics registry of one observed
 // run (or several, when reused across dist rounds).
 type Recorder struct {
@@ -125,6 +129,12 @@ type Recorder struct {
 	Verbose bool
 	// Metrics is the recorder's registry; never nil.
 	Metrics *Registry
+
+	// cDropped is the registry's telemetry.dropped_events counter: every
+	// event the rings overwrote or discarded bumps it, so silent trace loss
+	// is visible wherever the registry is (ServeMetrics, the -metrics table,
+	// the service stats endpoint) instead of staying a private field.
+	cDropped *Counter
 
 	mu     sync.Mutex
 	tracks []*Track
@@ -141,13 +151,19 @@ func New(eventCap int) *Recorder {
 	case eventCap < 0:
 		eventCap = 0
 	}
-	return &Recorder{
+	r := &Recorder{
 		start:   time.Now(),
 		cap:     eventCap,
 		Metrics: NewRegistry(),
 		byName:  make(map[string]*Track),
 	}
+	r.cDropped = r.Metrics.Counter("telemetry.dropped_events")
+	return r
 }
+
+// Dropped totals the events every track overwrote or discarded — the same
+// number the telemetry.dropped_events registry counter carries.
+func (r *Recorder) Dropped() int64 { return r.cDropped.Value() }
 
 // Track returns the track with the given name, creating it on first use.
 // Names follow the "<runtime-or-node>/w<worker>" convention; each track
@@ -160,9 +176,6 @@ func (r *Recorder) Track(name string) *Track {
 		return t
 	}
 	t := &Track{name: name, rec: r}
-	if r.cap > 0 {
-		t.buf = make([]ringEvent, r.cap)
-	}
 	r.tracks = append(r.tracks, t)
 	r.byName[name] = t
 	return t
@@ -189,12 +202,31 @@ type Track struct {
 func (t *Track) Name() string { return t.name }
 
 func (t *Track) append(e ringEvent) {
-	if len(t.buf) == 0 {
+	if t.rec.cap == 0 {
 		t.dropped++
+		t.rec.cDropped.Inc()
 		return
+	}
+	if t.total >= int64(len(t.buf)) && len(t.buf) < t.rec.cap {
+		// The ring starts empty and doubles toward cap as events arrive, so a
+		// short traced run costs a short buffer — eager full-cap rings turned
+		// every 3-step service run into a quarter-megabyte allocation (e23).
+		// Before the first wrap head == total, so the old buffer is already
+		// oldest-first and the next write slot is its former length.
+		n := 2 * len(t.buf)
+		if n == 0 {
+			n = ringInitial
+		}
+		if n > t.rec.cap {
+			n = t.rec.cap
+		}
+		buf := make([]ringEvent, n)
+		t.head = copy(buf, t.buf)
+		t.buf = buf
 	}
 	if t.total >= int64(len(t.buf)) {
 		t.dropped++
+		t.rec.cDropped.Inc()
 	}
 	t.buf[t.head] = e
 	t.head++
