@@ -38,7 +38,7 @@ bench-compare:
 # rows via e21, matrix dataflow engine rows via e22, service trace-overhead
 # rows via e23).
 snapshot:
-	$(GO) run ./cmd/gfbench -exp e16,e20,e21,e22,e23 -bench-json BENCH_gamma.json
+	$(GO) run ./cmd/gfbench -exp e16,e20,e21,e22,e23,e24 -bench-json BENCH_gamma.json
 
 # Observability demo: trace the paper's Fig. 1 program and emit a
 # Perfetto-loadable timeline (open trace.json at https://ui.perfetto.dev) plus
@@ -52,15 +52,17 @@ trace-demo:
 # dead-node tests under the race detector, plus the compiled-vs-interpreted
 # differential suites (kernel matcher, expression compiler, pure dataflow
 # ops, batched multiset commits, steal-scheduler determinism and batch-vs-
-# sequential equivalence, three-way dataflow engine differentials, and the
+# sequential equivalence, three-way dataflow engine differentials, the
 # service-side traced-run differential: per-tenant/per-engine registry
-# rollups equal the global registry exactly under concurrent load) —
-# DESIGN.md §9, §10, §12, §14 and §15.
+# rollups equal the global registry exactly under concurrent load, and the
+# record/replay differentials: a parallel run's commit-order schedule must
+# replay sequentially to the byte-identical final state) — DESIGN.md §9,
+# §10, §12, §14, §15 and §16.
 stress:
-	$(GO) test -race -count=2 -run 'Cancel|Panic|Fault|Dead|Deadline|Wedge|Retr|Differential|KernelMatches|ApplyDelta|Steal|Batch|Rollup' \
+	$(GO) test -race -count=2 -run 'Cancel|Panic|Fault|Dead|Deadline|Wedge|Retr|Differential|KernelMatches|ApplyDelta|Steal|Batch|Rollup|Replay' \
 		./internal/gamma/ ./internal/dataflow/ ./internal/dist/ ./internal/rt/ \
 		./internal/expr/ ./internal/multiset/ ./internal/equiv/ \
-		./internal/service/ ./internal/telemetry/ .
+		./internal/service/ ./internal/telemetry/ ./internal/replay/ .
 
 check: vet fmt-check build race bench-smoke
 
@@ -74,15 +76,20 @@ check: vet fmt-check build race bench-smoke
 # snapshot within tolerance (step counts exact, probes and wall bounded).
 # The serving stack gates three ways: gammad -selfcheck boots the server on a
 # loopback port and drives the client-package smoke (lifecycle, taxonomy
-# over the wire, backpressure, trace/stats fetch, Prometheus exposition),
-# gfbench e21 puts it under closed-loop load with the p99 collapse guard and
-# the per-response oracle check, and gfbench e23 A/Bs traced against untraced
-# load with the trace-overhead ceilings (sampled-off 2%, sampled-on 10%).
+# over the wire, backpressure, trace/stats fetch, schedule replay, Prometheus
+# exposition), gfbench e21 puts it under closed-loop load with the p99
+# collapse guard and the per-response oracle check, gfbench e23 A/Bs traced
+# against untraced load with the trace-overhead ceilings (sampled-off 2%,
+# sampled-on 10%), and gfbench e24 guards the schedule recorder (≤10% on the
+# reference workload). Record/replay gates twice more: the byte-pinned
+# Fig. 1/Fig. 2 golden replays, and the parallel-record → sequential-replay
+# differentials under the race detector.
 check-ci: vet fmt-check build
 	$(GO) test -race -timeout 5m ./...
 	$(GO) test -race -timeout 2m -count=2 -run 'Cancel|Panic|Fault|Dead' \
 		./internal/gamma/ ./internal/dataflow/ ./internal/dist/
 	GOMAXPROCS=2 $(GO) test -race -timeout 2m -count=2 -run 'Steal|Batch|Differential' ./internal/gamma/
 	GOMAXPROCS=8 $(GO) test -race -timeout 2m -count=2 -run 'Steal|Batch|Differential' ./internal/gamma/
+	$(GO) test -race -timeout 2m -count=2 -run 'Golden|Replay' ./internal/replay/ ./internal/service/ ./cmd/gammarun/ ./cmd/dfrun/
 	$(GO) run ./cmd/gammad -selfcheck
-	$(GO) run ./cmd/gfbench -exp e16,e20,e21,e22,e23 -short -guard -baseline BENCH_gamma.json
+	$(GO) run ./cmd/gfbench -exp e16,e20,e21,e22,e23,e24 -short -guard -baseline BENCH_gamma.json

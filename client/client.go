@@ -24,26 +24,37 @@ import (
 
 // Aliases re-export the wire types so callers need only this package.
 type (
-	RunSpec     = schema.RunSpec
-	RunRequest  = schema.RunRequest
-	RunResponse = schema.RunResponse
-	RunResult   = schema.RunResult
-	RunStats    = schema.RunStats
-	Health      = schema.Health
-	WireError   = schema.WireError
+	RunSpec        = schema.RunSpec
+	RunRequest     = schema.RunRequest
+	RunResponse    = schema.RunResponse
+	RunResult      = schema.RunResult
+	RunStats       = schema.RunStats
+	Health         = schema.Health
+	WireError      = schema.WireError
+	ReplayRequest  = schema.ReplayRequest
+	ReplayResponse = schema.ReplayResponse
+	WireDivergence = schema.WireDivergence
 )
 
-// Trace formats accepted by Trace (wire minor 1.2).
+// Trace formats accepted by Trace and TraceTo (wire minor 1.2; TraceSchedule
+// is minor 1.3).
 const (
 	TracePerfetto = "perfetto"
 	TraceJSONL    = "jsonl"
 	TraceDOT      = "dot"
+	// TraceSchedule is the executable replay schedule: feed it back through
+	// Replay to re-execute the recorded run deterministically.
+	TraceSchedule = "schedule"
 )
 
-// NewGammaRequest and NewGraphRequest build v1 envelopes.
+// NewGammaRequest and NewGraphRequest build v1 run envelopes;
+// NewGammaReplayRequest and NewGraphReplayRequest build the 1.3 replay
+// envelopes for Replay.
 var (
-	NewGammaRequest = schema.NewGammaRequest
-	NewGraphRequest = schema.NewGraphRequest
+	NewGammaRequest       = schema.NewGammaRequest
+	NewGraphRequest       = schema.NewGraphRequest
+	NewGammaReplayRequest = schema.NewGammaReplayRequest
+	NewGraphReplayRequest = schema.NewGraphReplayRequest
 )
 
 // BusyError is the client-side face of an admission-control rejection
@@ -143,18 +154,70 @@ func (c *Client) Stats(ctx context.Context, id string) (*RunStats, error) {
 }
 
 // Trace fetches a traced terminal run's trace (wire minor 1.2) in the given
-// format: TracePerfetto (default when empty), TraceJSONL or TraceDOT. The
-// bytes are the export verbatim — write them to a file and load them in the
-// matching viewer. 404 for untraced runs, 409 while the run executes.
+// format: TracePerfetto (default when empty), TraceJSONL, TraceDOT or
+// TraceSchedule. The bytes are the export verbatim — write them to a file
+// and load them in the matching viewer. 404 for untraced runs, 409 while the
+// run executes.
 func (c *Client) Trace(ctx context.Context, id, format string) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := c.TraceTo(ctx, id, format, &buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// TraceTo streams a traced terminal run's trace straight into w — the
+// export never lives wholly in client memory, which is what a CLI piping a
+// large JSONL trace to a file wants. Same formats and error surface as
+// Trace. Nothing is written to w on a non-200 response.
+func (c *Client) TraceTo(ctx context.Context, id, format string, w io.Writer) error {
 	path := "/v1/runs/" + id + "/trace"
 	if format != "" {
 		path += "?format=" + format
 	}
 	hreq, err := http.NewRequestWithContext(ctx, "GET", c.BaseURL+path, nil)
 	if err != nil {
+		return err
+	}
+	if c.APIKey != "" {
+		hreq.Header.Set("Authorization", "Bearer "+c.APIKey)
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	hres, err := hc.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer hres.Body.Close()
+	if hres.StatusCode != http.StatusOK {
+		body, err := io.ReadAll(hres.Body)
+		if err != nil {
+			return err
+		}
+		return c.statusErr(body, hres)
+	}
+	_, err = io.Copy(w, hres.Body)
+	return err
+}
+
+// Replay submits a recorded schedule for sequential re-execution against a
+// program and initial state (wire minor 1.3): fetch a traced run's schedule
+// with Trace(id, TraceSchedule), then replay it here. The response carries
+// either the confirmed stable state or a structured Divergence naming the
+// first step whose consumed elements or products differ; only unusable
+// submissions error.
+func (c *Client) Replay(ctx context.Context, req ReplayRequest) (*ReplayResponse, error) {
+	payload, err := req.Encode()
+	if err != nil {
 		return nil, err
 	}
+	hreq, err := http.NewRequestWithContext(ctx, "POST", c.BaseURL+"/v1/replay", bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
 	body, hres, err := c.roundTrip(hreq)
 	if err != nil {
 		return nil, err
@@ -162,7 +225,7 @@ func (c *Client) Trace(ctx context.Context, id, format string) ([]byte, error) {
 	if hres.StatusCode != http.StatusOK {
 		return nil, c.statusErr(body, hres)
 	}
-	return body, nil
+	return schema.DecodeReplayResponse(body)
 }
 
 // statusErr reconstructs the taxonomy error a non-200 trace/stats response

@@ -1,9 +1,11 @@
 package client
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -93,6 +95,66 @@ func TestClientTraceAndStats(t *testing.T) {
 	}
 	if _, err := c.Trace(ctx, "r-999", ""); err == nil {
 		t.Error("Trace of an unknown run succeeded")
+	}
+}
+
+// TestClientReplay drives the 1.3 replay surface end to end through the
+// typed client: TraceTo streams the schedule export byte-identically to
+// Trace, Replay confirms the recorded run stable against the same program,
+// and a corrupted schedule comes back as a structured divergence, not an
+// error.
+func TestClientReplay(t *testing.T) {
+	c := newPair(t, service.Config{Pool: 2})
+	ctx := context.Background()
+
+	program := paper.Example1GammaListing
+	init := paper.Example1InitialMultiset
+	resp, err := c.Run(ctx, NewGammaRequest(program, init,
+		RunSpec{Engine: schema.EngineSeq, MaxSteps: 10000, Trace: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sched, err := c.Trace(ctx, resp.ID, TraceSchedule)
+	if err != nil || len(sched) == 0 {
+		t.Fatalf("Trace(schedule) = %d bytes, %v", len(sched), err)
+	}
+	var streamed bytes.Buffer
+	if err := c.TraceTo(ctx, resp.ID, TraceSchedule, &streamed); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(streamed.Bytes(), sched) {
+		t.Errorf("TraceTo streamed %d bytes != Trace's %d", streamed.Len(), len(sched))
+	}
+	if err := c.TraceTo(ctx, "r-999", TraceSchedule, &streamed); err == nil {
+		t.Error("TraceTo of an unknown run succeeded")
+	}
+
+	rep, err := c.Replay(ctx, NewGammaReplayRequest(program, init, string(sched)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Divergence != nil || !rep.Stable {
+		t.Fatalf("faithful replay: %+v", rep)
+	}
+	if rep.Multiset != resp.Result.Multiset || int64(rep.Steps) != resp.Result.Steps {
+		t.Errorf("replay state (%d steps, %q) != run (%d, %q)",
+			rep.Steps, rep.Multiset, resp.Result.Steps, resp.Result.Multiset)
+	}
+
+	// Corrupt one produced key: the divergence report crosses the wire typed.
+	corrupt := strings.Replace(string(sched), `"produced":["`, `"produced":["9999`, 1)
+	rep, err = c.Replay(ctx, NewGammaReplayRequest(program, init, corrupt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Divergence == nil || rep.Divergence.Step == 0 || rep.Divergence.Reason == "" {
+		t.Fatalf("corrupted replay divergence = %+v", rep.Divergence)
+	}
+
+	// An unparseable schedule is an error, not a divergence.
+	if _, err := c.Replay(ctx, NewGammaReplayRequest(program, init, "junk\n")); !errors.Is(err, rt.ErrParse) {
+		t.Errorf("junk schedule err = %v, want ErrParse", err)
 	}
 }
 

@@ -10,6 +10,12 @@
 // The run is bounded by -timeout and canceled by SIGINT/SIGTERM; exit codes
 // follow the shared taxonomy of package internal/cli (3 parse/invalid,
 // 4 firing budget, 5 canceled/deadline, 6 PE panic, ...).
+//
+// Record and replay: -trace sched.jsonl -trace-format schedule records the
+// run's committed firing order as an executable schedule; -replay
+// sched.jsonl re-executes that schedule step for step against the graph and
+// prints a divergence report (exit 3) when the graph no longer reproduces
+// the recording.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"repro/internal/dataflow"
 	"repro/internal/dfir"
 	"repro/internal/profile"
+	"repro/internal/replay"
 	"repro/internal/rt"
 	"repro/internal/schema"
 	"repro/internal/telemetry"
@@ -37,6 +44,7 @@ func main() {
 	compile := flag.Bool("compile", false, "treat the input as von Neumann source, not .dfir")
 	prof := flag.Bool("profile", false, "print work/span/parallelism of the execution")
 	timeout := flag.Duration("timeout", 0, "abort the run after this long, e.g. 30s (0 = no deadline)")
+	replayFile := flag.String("replay", "", "replay a recorded schedule (from -trace-format schedule) instead of running")
 	var tel cli.TelemetryFlags
 	tel.Register(flag.CommandLine)
 	flag.Parse()
@@ -45,16 +53,78 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(cli.ExitUsage)
 	}
+	tel.ScheduleKind = replay.KindDataflow
 	if err := tel.Start(nil); err != nil {
 		cli.Exit("dfrun", err)
 	}
 	ctx, stop := cli.Context(*timeout)
-	err := run(ctx, flag.Arg(0), &tel, *engine, *workers, *maxFirings, *dot, *compile, *prof)
+	var err error
+	if *replayFile != "" {
+		err = replayRun(flag.Arg(0), *replayFile, *compile)
+	} else {
+		err = run(ctx, flag.Arg(0), &tel, *engine, *workers, *maxFirings, *dot, *compile, *prof)
+	}
 	stop()
 	if terr := tel.Finish(); err == nil {
 		err = terr
 	}
 	cli.Exit("dfrun", err)
+}
+
+// loadGraph reads and parses the input the way run does: .dfir by default,
+// von Neumann source with -compile.
+func loadGraph(path string, compile bool) (*dataflow.Graph, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if compile {
+		return compiler.Compile(path, string(src))
+	}
+	g, err := dfir.Unmarshal(string(src))
+	if err != nil {
+		return nil, rt.Mark(rt.ErrParse, err)
+	}
+	return g, nil
+}
+
+// replayRun re-executes a recorded schedule against the graph, step for
+// step, printing the replayed outputs on success and the divergence report
+// on the first step the graph no longer reproduces.
+func replayRun(path, schedPath string, compile bool) error {
+	g, err := loadGraph(path, compile)
+	if err != nil {
+		return err
+	}
+	sf, err := os.Open(schedPath)
+	if err != nil {
+		return err
+	}
+	sched, err := replay.Parse(sf)
+	sf.Close()
+	if err != nil {
+		return err
+	}
+	res, err := replay.ReplayDataflow(g, sched)
+	if err != nil {
+		return err
+	}
+	if res.Divergence != nil {
+		fmt.Fprintln(os.Stderr, res.Divergence)
+		return rt.Mark(rt.ErrInvalid, fmt.Errorf("replay diverged at step %d (%s)", res.Divergence.Step, res.Divergence.Reason))
+	}
+	labels := make([]string, 0, len(res.Outputs))
+	for l := range res.Outputs {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		for _, tv := range res.Outputs[l] {
+			fmt.Printf("%s = %s (tag %d)\n", l, tv.Val, tv.Tag)
+		}
+	}
+	fmt.Printf("replayed steps=%d pending=%d stable=%v\n", res.Steps, res.Pending, res.Stable)
+	return nil
 }
 
 func run(ctx context.Context, path string, tel *cli.TelemetryFlags, engine string, workers int, maxFirings int64, dot string, compile, prof bool) error {
@@ -64,17 +134,7 @@ func run(ctx context.Context, path string, tel *cli.TelemetryFlags, engine strin
 	if err := spec.Validate(); err != nil {
 		return err
 	}
-	src, err := os.ReadFile(path)
-	if err != nil {
-		return err
-	}
-	var g *dataflow.Graph
-	if compile {
-		g, err = compiler.Compile(path, string(src))
-	} else {
-		g, err = dfir.Unmarshal(string(src))
-		err = rt.Mark(rt.ErrParse, err)
-	}
+	g, err := loadGraph(path, compile)
 	if err != nil {
 		return err
 	}
@@ -84,6 +144,9 @@ func run(ctx context.Context, path string, tel *cli.TelemetryFlags, engine strin
 		}
 	}
 	opt := dataflow.Options{Workers: spec.EffectiveWorkers(), MaxFirings: maxFirings, Recorder: tel.Recorder()}
+	if s := tel.Schedule(); s != nil {
+		opt.Schedule = s
+	}
 	if spec.Engine == schema.EngineMatrix {
 		opt.Engine = dataflow.EngineMatrix
 	}

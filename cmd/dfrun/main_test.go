@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/cli"
+	"repro/internal/replay"
 	"repro/internal/rt"
 )
 
@@ -79,6 +80,45 @@ func TestRunErrors(t *testing.T) {
 	good := writeTemp(t, "g.dfir", fig1ish)
 	if err := run(context.Background(), good, &cli.TelemetryFlags{}, "", 1, 0, "/no/such/dir/out.dot", false, false); err == nil {
 		t.Error("unwritable DOT path should error")
+	}
+}
+
+// TestRecordReplayLoop drives the CLI's record/replay surface: a parallel
+// graph run recorded with -trace-format schedule replays clean against the
+// same graph, and a tampered schedule diverges with exit-3 classification.
+func TestRecordReplayLoop(t *testing.T) {
+	path := writeTemp(t, "g.dfir", fig1ish)
+	sched := filepath.Join(t.TempDir(), "sched.jsonl")
+	tel := &cli.TelemetryFlags{Trace: sched, TraceFormat: "schedule", ScheduleKind: replay.KindDataflow}
+	if err := tel.Start(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), path, tel, "", 4, 1000, "", false, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := tel.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := replayRun(path, sched, false); err != nil {
+		t.Fatalf("faithful replay: %v", err)
+	}
+
+	raw, err := os.ReadFile(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(bad, []byte(strings.Replace(string(raw), `"name":"add"`, `"name":"sub"`, 1)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := replayRun(path, bad, false); !errors.Is(err, rt.ErrInvalid) {
+		t.Errorf("divergent replay err = %v, want ErrInvalid", err)
+	}
+
+	garbage := writeTemp(t, "junk.jsonl", "junk\n")
+	if err := replayRun(path, garbage, false); !errors.Is(err, rt.ErrParse) {
+		t.Errorf("junk schedule err = %v, want ErrParse", err)
 	}
 }
 

@@ -7,18 +7,26 @@
 //	gammad [-addr :8080] [-pool N] [-queue N] [-max-steps-cap N]
 //	       [-concurrent N] [-step-budget N] [-tenant key=conc,steps,budget]...
 //	       [-trace-sample P] [-trace-events N] [-log json|text|off]
-//	       [-metrics-addr host:port] [-selfcheck [-remote-trace FILE]]
+//	       [-metrics-addr host:port] [-pprof] [-selfcheck [-remote-trace FILE]]
 //
 // API (see package internal/service):
 //
 //	POST   /v1/runs              submit (202; ?wait=true blocks for the result)
 //	GET    /v1/runs/{id}         poll
 //	DELETE /v1/runs/{id}         cancel
-//	GET    /v1/runs/{id}/trace   traced terminal run's trace (?format=perfetto|jsonl|dot)
+//	GET    /v1/runs/{id}/trace   traced terminal run's trace
+//	                             (?format=perfetto|jsonl|dot|schedule)
+//	POST   /v1/replay            re-execute a recorded schedule; the response
+//	                             is the confirmed stable state or a divergence
 //	GET    /v1/runs/{id}/stats   terminal run's execution accounting
 //	GET    /v1/healthz           load snapshot
 //	GET    /metrics              registry snapshot (?format=prom for Prometheus)
 //	GET    /metrics/watch        SSE metrics stream
+//
+// -pprof additionally mounts the net/http/pprof introspection handlers under
+// /debug/pprof/ on the -metrics-addr endpoint (never on the public API
+// port): goroutine dumps, CPU and heap profiles of the live server. It
+// requires -metrics-addr.
 //
 // Admission control rejects with 429 + Retry-After when the pending queue is
 // full or the tenant (API key) is over its concurrency or step-budget quota.
@@ -101,6 +109,7 @@ func main() {
 	concurrent := flag.Int("concurrent", 0, "default per-tenant concurrent-run quota (0 = unbounded)")
 	stepBudget := flag.Int64("step-budget", 0, "default per-tenant cumulative step budget (0 = unlimited)")
 	metricsAddr := flag.String("metrics-addr", "", "serve live service metrics JSON on this HTTP address")
+	pprofFlag := flag.Bool("pprof", false, "also serve /debug/pprof/ on the -metrics-addr endpoint")
 	traceSample := flag.Float64("trace-sample", 0, "fraction of trace-requesting runs actually traced (0 = all, <0 = none)")
 	traceEvents := flag.Int("trace-events", 0, "per-track event-ring capacity of traced runs (0 = 4096)")
 	logFormat := flag.String("log", "json", "structured log format: json, text or off")
@@ -149,16 +158,28 @@ func main() {
 		return
 	}
 
+	if *pprofFlag && *metricsAddr == "" {
+		fmt.Fprintln(os.Stderr, "gammad: -pprof requires -metrics-addr (the handlers mount on the metrics endpoint)")
+		os.Exit(cli.ExitUsage)
+	}
+
 	s := service.New(cfg)
 	defer s.Close()
 
 	if *metricsAddr != "" {
-		bound, closeSrv, err := telemetry.ServeMetrics(*metricsAddr, s.Registry())
+		mux := telemetry.MetricsMux(s.Registry())
+		if *pprofFlag {
+			telemetry.MountPprof(mux)
+		}
+		bound, closeSrv, err := telemetry.ServeMux(*metricsAddr, mux)
 		if err != nil {
 			cli.Exit("gammad", err)
 		}
 		defer closeSrv()
 		fmt.Fprintf(os.Stderr, "gammad: metrics on http://%s/metrics\n", bound)
+		if *pprofFlag {
+			fmt.Fprintf(os.Stderr, "gammad: pprof on http://%s/debug/pprof/\n", bound)
+		}
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -184,8 +205,9 @@ func main() {
 // serving stack through the public client: submit/wait lifecycle with the
 // paper's Example 1, the error-taxonomy mapping on a truncated divergent
 // run, per-tenant backpressure, cancel, the health endpoint, a traced run's
-// trace/stats surfaces and the Prometheus exposition. remoteTrace, when
-// non-empty, receives the fetched Perfetto trace.
+// trace/stats surfaces (all four formats), the record→replay loop with a
+// divergence probe, and the Prometheus exposition. remoteTrace, when
+// non-empty, receives the fetched Perfetto trace, streamed via TraceTo.
 func runSelfcheck(cfg service.Config, remoteTrace string) error {
 	// Selfcheck wants deterministic backpressure: one tenant slot.
 	cfg.Tenants = map[string]service.Quota{"selfcheck-quota": {MaxConcurrent: 1}}
@@ -269,17 +291,57 @@ func runSelfcheck(cfg service.Config, remoteTrace string) error {
 		return fmt.Errorf("selfcheck stats: %+v, want traced with firings == steps == %d",
 			st, traced.Result.Steps)
 	}
-	for _, format := range []string{client.TracePerfetto, client.TraceJSONL, client.TraceDOT} {
+	for _, format := range []string{client.TracePerfetto, client.TraceJSONL, client.TraceDOT, client.TraceSchedule} {
 		data, err := c.Trace(ctx, traced.ID, format)
 		if err != nil || len(data) == 0 {
 			return fmt.Errorf("selfcheck trace %s: %d bytes, %v", format, len(data), err)
 		}
-		if format == client.TracePerfetto && remoteTrace != "" {
-			if err := os.WriteFile(remoteTrace, data, 0o644); err != nil {
-				return fmt.Errorf("selfcheck -remote-trace: %w", err)
-			}
-			fmt.Fprintf(os.Stderr, "gammad: remote trace written to %s (%d bytes)\n", remoteTrace, len(data))
+	}
+	if remoteTrace != "" {
+		// TraceTo streams straight into the file — the export never lives
+		// wholly in client memory.
+		f, err := os.Create(remoteTrace)
+		if err != nil {
+			return fmt.Errorf("selfcheck -remote-trace: %w", err)
 		}
+		err = c.TraceTo(ctx, traced.ID, client.TracePerfetto, f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("selfcheck -remote-trace: %w", err)
+		}
+		fi, err := os.Stat(remoteTrace)
+		if err != nil || fi.Size() == 0 {
+			return fmt.Errorf("selfcheck -remote-trace: empty trace file (%v)", err)
+		}
+		fmt.Fprintf(os.Stderr, "gammad: remote trace written to %s (%d bytes)\n", remoteTrace, fi.Size())
+	}
+
+	// 5b. Record → replay over the wire: the traced run's schedule, replayed
+	// against the same program and initial multiset, must confirm the exact
+	// recorded answer; a corrupted product must come back as a structured
+	// divergence naming the tampered step.
+	sched, err := c.Trace(ctx, traced.ID, client.TraceSchedule)
+	if err != nil {
+		return fmt.Errorf("selfcheck schedule fetch: %w", err)
+	}
+	rep, err := c.Replay(ctx, client.NewGammaReplayRequest(
+		paper.Example1GammaListing, paper.Example1InitialMultiset, string(sched)))
+	if err != nil {
+		return fmt.Errorf("selfcheck replay: %w", err)
+	}
+	if rep.Divergence != nil || !rep.Stable || rep.Multiset != traced.Result.Multiset {
+		return fmt.Errorf("selfcheck replay: %+v, want stable %q", rep, traced.Result.Multiset)
+	}
+	corrupt := strings.Replace(string(sched), `"produced":["`, `"produced":["9999`, 1)
+	rep, err = c.Replay(ctx, client.NewGammaReplayRequest(
+		paper.Example1GammaListing, paper.Example1InitialMultiset, corrupt))
+	if err != nil {
+		return fmt.Errorf("selfcheck replay divergence: %w", err)
+	}
+	if rep.Divergence == nil || rep.Divergence.Step == 0 {
+		return fmt.Errorf("selfcheck replay divergence: corrupted schedule replayed clean (%+v)", rep)
 	}
 
 	// 6. The Prometheus exposition serves with its Content-Type and carries

@@ -12,6 +12,12 @@
 // The run is bounded by -timeout and canceled by SIGINT/SIGTERM; exit codes
 // follow the shared taxonomy of package internal/cli (3 parse/invalid,
 // 4 step budget, 5 canceled/deadline, 6 worker panic, ...).
+//
+// Record and replay: -trace sched.jsonl -trace-format schedule records the
+// run's committed firing order as an executable schedule;
+// -replay sched.jsonl re-executes that schedule step for step against the
+// file's program and initial multiset, verifying each firing reproduces the
+// recording, and prints a divergence report (exit 3) when it does not.
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"repro/internal/gammalang"
 	"repro/internal/multiset"
 	"repro/internal/profile"
+	"repro/internal/replay"
 	"repro/internal/rt"
 	"repro/internal/schema"
 	"repro/internal/telemetry"
@@ -38,6 +45,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort the run after this long, e.g. 30s (0 = no deadline)")
 	fullScan := flag.Bool("fullscan", false, "disable the incremental matching engine (probe every reaction after every firing)")
 	initSet := flag.String("init", "", "initial multiset, e.g. \"{[1,'A1'],[5,'B1']}\" (overrides the file's init)")
+	replayFile := flag.String("replay", "", "replay a recorded schedule (from -trace-format schedule) instead of running")
 	stats := flag.Bool("stats", false, "print per-reaction firing counts")
 	typecheck := flag.Bool("typecheck", false, "infer a Structured-Gamma-style schema, check the program and print it")
 	prof := flag.Bool("profile", false, "print work/span/parallelism of the execution")
@@ -58,19 +66,84 @@ func main() {
 	if err != nil {
 		cli.Exit("gammarun", err)
 	}
+	tel.ScheduleKind = replay.KindGamma
 	if err := tel.Start(multiset.PrettyKey); err != nil {
 		profStop()
 		cli.Exit("gammarun", err)
 	}
 	ctx, stop := cli.Context(*timeout)
 	opt := gamma.Options{Workers: *workers, Seed: *seed, MaxSteps: *maxSteps, FullScan: *fullScan, Recorder: tel.Recorder()}
-	err = run(ctx, flag.Arg(0), opt, &tel, *initSet, *stats, *typecheck, *prof)
+	if s := tel.Schedule(); s != nil {
+		opt.Schedule = s
+	}
+	if *replayFile != "" {
+		err = replayRun(flag.Arg(0), *replayFile, *initSet)
+	} else {
+		err = run(ctx, flag.Arg(0), opt, &tel, *initSet, *stats, *typecheck, *prof)
+	}
 	stop()
 	if terr := tel.Finish(); err == nil {
 		err = terr
 	}
 	profStop()
 	cli.Exit("gammarun", err)
+}
+
+// replayRun re-executes a recorded schedule against the program and initial
+// multiset of path, step for step. A staged composition replays against the
+// union of its stages' reactions — the schedule's firing order already
+// respects the stage boundaries it was recorded under.
+func replayRun(path, schedPath, initSet string) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	file, err := gammalang.ParseFile(string(src))
+	if err != nil {
+		return err
+	}
+	m := file.Init
+	if initSet != "" {
+		m, err = multiset.Parse(initSet)
+		if err != nil {
+			return rt.Mark(rt.ErrParse, err)
+		}
+	}
+	if m == nil {
+		return fmt.Errorf("no initial multiset: declare init {...} in the file or pass -init")
+	}
+	plan, err := file.Plan(path)
+	if err != nil {
+		return err
+	}
+	var reactions []*gamma.Reaction
+	for _, stage := range plan.Stages {
+		reactions = append(reactions, stage.Reactions...)
+	}
+	prog, err := gamma.NewProgram(path, reactions...)
+	if err != nil {
+		return err
+	}
+	sf, err := os.Open(schedPath)
+	if err != nil {
+		return err
+	}
+	sched, err := replay.Parse(sf)
+	sf.Close()
+	if err != nil {
+		return err
+	}
+	res, err := replay.ReplayGamma(prog, m, sched)
+	if err != nil {
+		return err
+	}
+	if res.Divergence != nil {
+		fmt.Fprintln(os.Stderr, res.Divergence)
+		return rt.Mark(rt.ErrInvalid, fmt.Errorf("replay diverged at step %d (%s)", res.Divergence.Step, res.Divergence.Reason))
+	}
+	fmt.Println(res.Final)
+	fmt.Printf("replayed steps=%d stable=%v\n", res.Steps, res.Stable)
+	return nil
 }
 
 func run(ctx context.Context, path string, opt gamma.Options, tel *cli.TelemetryFlags, initSet string, stats, typecheck, prof bool) error {

@@ -5,10 +5,12 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/cli"
 	"repro/internal/gamma"
+	"repro/internal/replay"
 	"repro/internal/rt"
 )
 
@@ -64,6 +66,54 @@ R = replace [x, 'a'] by [x + 1, 'a']
 `)
 	if err := run(context.Background(), diverge, gamma.Options{Workers: 1, MaxSteps: 10}, &cli.TelemetryFlags{}, "", false, false, false); err == nil {
 		t.Error("diverging program should hit maxsteps")
+	}
+}
+
+// TestRecordReplayLoop drives the CLI's record/replay surface: a parallel
+// run recorded with -trace-format schedule replays clean against the same
+// file, and a schedule naming an unknown reaction diverges with exit-3
+// classification.
+func TestRecordReplayLoop(t *testing.T) {
+	path := writeTemp(t, "ex1.gamma", `
+init {[2,'A1'],[3,'A2'],[5,'B1'],[1,'B2']}
+R1 = replace [a,'A1'], [b,'B1'] by [a+b,'C1']
+R2 = replace [a,'A2'], [b,'B2'] by [a+b,'C2']
+`)
+	sched := filepath.Join(t.TempDir(), "sched.jsonl")
+	tel := &cli.TelemetryFlags{Trace: sched, TraceFormat: "schedule", ScheduleKind: replay.KindGamma}
+	if err := tel.Start(nil); err != nil {
+		t.Fatal(err)
+	}
+	opt := gamma.Options{Workers: 4, Seed: 2, MaxSteps: 1000, Schedule: tel.Schedule()}
+	if err := run(context.Background(), path, opt, tel, "", false, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := tel.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := replayRun(path, sched, ""); err != nil {
+		t.Fatalf("faithful replay: %v", err)
+	}
+
+	raw, err := os.ReadFile(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(bad, []byte(strings.Replace(string(raw), `"name":"R1"`, `"name":"RX"`, 1)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := replayRun(path, bad, ""); !errors.Is(err, rt.ErrInvalid) {
+		t.Errorf("divergent replay err = %v, want ErrInvalid", err)
+	}
+
+	if err := replayRun(path, "/nonexistent.jsonl", ""); err == nil {
+		t.Error("missing schedule should error")
+	}
+	garbage := writeTemp(t, "junk.jsonl", "junk\n")
+	if err := replayRun(path, garbage, ""); !errors.Is(err, rt.ErrParse) {
+		t.Errorf("junk schedule err = %v, want ErrParse", err)
 	}
 }
 

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	gfbench [-exp e1|e3|e4|e5|e7|e8|e9|e11|e12|e13|e14|e15|e16|e17|e19|e20|e21|e22|e23|all] [-bench-json BENCH_gamma.json]
+//	gfbench [-exp e1|e3|e4|e5|e7|e8|e9|e11|e12|e13|e14|e15|e16|e17|e19|e20|e21|e22|e23|e24|all] [-bench-json BENCH_gamma.json]
 package main
 
 import (
@@ -42,6 +42,7 @@ var experiments = []struct {
 	{"e21", "gammad service under closed-loop load: rps, p50/p99, leakage check (DESIGN.md §13)", expE21},
 	{"e22", "bulk-synchronous matrix dataflow engine vs PE pool on wide graphs (DESIGN.md §14)", expE22},
 	{"e23", "service trace overhead: traced vs untraced closed-loop load + wire fidelity (DESIGN.md §15)", expE23},
+	{"e24", "executable schedules: recording overhead + parallel-record/sequential-replay determinism (DESIGN.md §16)", expE24},
 }
 
 // benchTel carries the -trace/-metrics flags; e19's traced Fig. 1 run exports
@@ -57,8 +58,8 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	blockProfile := flag.String("blockprofile", "", "write a goroutine blocking profile to this file at exit")
 	mutexProfile := flag.String("mutexprofile", "", "write a mutex contention profile to this file at exit")
-	flag.BoolVar(&benchShort, "short", false, "e16/e20/e22/e23: restrict to the smallest workloads (CI smoke)")
-	flag.BoolVar(&benchGuard, "guard", false, "e16: fail unless incremental wall < fullscan at n=10^4; e20: fail on parallel overhead collapse or matcher candidate pathology; e22: fail on matrix engine overhead collapse; e23: fail on trace-overhead ceilings (sampled-off >2%, sampled-on >10% of untraced p99)")
+	flag.BoolVar(&benchShort, "short", false, "e16/e20/e22/e23/e24: restrict to the smallest workloads (CI smoke)")
+	flag.BoolVar(&benchGuard, "guard", false, "e16: fail unless incremental wall < fullscan at n=10^4; e20: fail on parallel overhead collapse or matcher candidate pathology; e22: fail on matrix engine overhead collapse; e23: fail on trace-overhead ceilings (sampled-off >2%, sampled-on >10% of untraced p99); e24: fail if schedule recording costs >10%")
 	baseline := flag.String("baseline", "", "compare this run's e16/e20 measurements against a prior BENCH_gamma.json and fail outside tolerance")
 	benchTel.Register(flag.CommandLine)
 	flag.Parse()

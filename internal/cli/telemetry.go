@@ -5,30 +5,42 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/replay"
+	"repro/internal/rt"
 	"repro/internal/telemetry"
 )
 
 // TelemetryFlags bundles the observability flags shared by the cmd/ binaries
-// (-trace, -trace-format, -metrics, -metrics-addr) and their lifecycle: flag
-// registration, recorder construction, the live metrics endpoint, and the
-// end-of-run export. A command that registers the flags but whose user passes
-// none of them gets a nil Recorder — the runtimes' disabled fast path.
+// (-trace, -trace-format, -metrics, -metrics-addr, -pprof) and their
+// lifecycle: flag registration, recorder construction, the live metrics
+// endpoint, and the end-of-run export. A command that registers the flags but
+// whose user passes none of them gets a nil Recorder — the runtimes' disabled
+// fast path.
 type TelemetryFlags struct {
 	// Trace is the output file of the execution trace; empty disables it.
 	Trace string
 	// TraceFormat selects the trace export: "perfetto" (Chrome trace-event
 	// JSON for ui.perfetto.dev), "dot" (Graphviz provenance DAG of the firing
-	// dependencies — on a Gamma run, the paper's dataflow graph) or "jsonl".
+	// dependencies — on a Gamma run, the paper's dataflow graph), "jsonl", or
+	// "schedule" (the executable replay schedule of internal/replay).
 	TraceFormat string
 	// Metrics prints the registry as a table on stdout after the run.
 	Metrics bool
 	// MetricsAddr serves live registry snapshots as JSON over HTTP for the
 	// duration of the run; empty disables the endpoint.
 	MetricsAddr string
+	// Pprof mounts the net/http/pprof introspection handlers under
+	// /debug/pprof/ on the metrics endpoint; requires MetricsAddr.
+	Pprof bool
+	// ScheduleKind names what the "schedule" trace format records —
+	// replay.KindGamma or replay.KindDataflow. The command sets it before
+	// Start; it is not a flag.
+	ScheduleKind string
 
 	format   telemetry.Format
 	rec      *telemetry.Recorder
 	prov     *telemetry.Provenance
+	sched    *replay.Recorder
 	closeSrv func()
 }
 
@@ -36,9 +48,10 @@ type TelemetryFlags struct {
 // cmd/ binaries).
 func (t *TelemetryFlags) Register(fs *flag.FlagSet) {
 	fs.StringVar(&t.Trace, "trace", "", "write an execution trace to this file (see -trace-format)")
-	fs.StringVar(&t.TraceFormat, "trace-format", "perfetto", "trace format: perfetto, dot (provenance DAG) or jsonl")
+	fs.StringVar(&t.TraceFormat, "trace-format", "perfetto", "trace format: perfetto, dot (provenance DAG), jsonl or schedule (replayable)")
 	fs.BoolVar(&t.Metrics, "metrics", false, "print the telemetry metrics table after the run")
 	fs.StringVar(&t.MetricsAddr, "metrics-addr", "", "serve live metrics JSON on this HTTP address during the run (e.g. localhost:6060)")
+	fs.BoolVar(&t.Pprof, "pprof", false, "also serve /debug/pprof/ on the -metrics-addr endpoint")
 }
 
 // Enabled reports whether any telemetry output was requested.
@@ -49,7 +62,8 @@ func (t *TelemetryFlags) Enabled() bool {
 // Start validates the flags and builds the collectors: the recorder (nil when
 // nothing was requested, keeping the runtimes on their fast path), the
 // provenance tracer for the dot format (labeler renders element keys; nil
-// keeps them raw), and the live metrics endpoint. Call Finish before exiting.
+// keeps them raw), the schedule recorder for the schedule format, and the
+// live metrics endpoint. Call Finish before exiting.
 func (t *TelemetryFlags) Start(labeler func(string) string) error {
 	if t.Trace != "" {
 		f, err := telemetry.ParseFormat(t.TraceFormat)
@@ -57,6 +71,9 @@ func (t *TelemetryFlags) Start(labeler func(string) string) error {
 			return err
 		}
 		t.format = f
+	}
+	if t.Pprof && t.MetricsAddr == "" {
+		return rt.Mark(rt.ErrInvalid, fmt.Errorf("telemetry: -pprof requires -metrics-addr (the handlers mount on the metrics endpoint)"))
 	}
 	if !t.Enabled() {
 		return nil
@@ -66,13 +83,27 @@ func (t *TelemetryFlags) Start(labeler func(string) string) error {
 		t.prov = telemetry.NewProvenance()
 		t.prov.Labeler = labeler
 	}
+	if t.format == telemetry.FormatSchedule {
+		kind := t.ScheduleKind
+		if kind == "" {
+			kind = replay.KindGamma
+		}
+		t.sched = replay.NewRecorder(kind, t.Trace)
+	}
 	if t.MetricsAddr != "" {
-		addr, closeSrv, err := telemetry.ServeMetrics(t.MetricsAddr, t.rec.Metrics)
+		mux := telemetry.MetricsMux(t.rec.Metrics)
+		if t.Pprof {
+			telemetry.MountPprof(mux)
+		}
+		addr, closeSrv, err := telemetry.ServeMux(t.MetricsAddr, mux)
 		if err != nil {
 			return err
 		}
 		t.closeSrv = closeSrv
 		fmt.Fprintf(os.Stderr, "metrics: serving on http://%s/metrics\n", addr)
+		if t.Pprof {
+			fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof/\n", addr)
+		}
 	}
 	return nil
 }
@@ -85,10 +116,16 @@ func (t *TelemetryFlags) Recorder() *telemetry.Recorder { return t.rec }
 // telemetry.MultiTracer); non-nil only for the dot trace format.
 func (t *TelemetryFlags) Provenance() *telemetry.Provenance { return t.prov }
 
+// Schedule is the schedule recorder to pass as Options.Schedule; non-nil
+// only for the schedule trace format. (The runtime option is an interface,
+// so assign it through a nil check — a typed nil would defeat the runtimes'
+// disabled fast path.)
+func (t *TelemetryFlags) Schedule() *replay.Recorder { return t.sched }
+
 // Finish stops the metrics endpoint, writes the trace file in the selected
 // format and prints the metrics table. Safe to call when telemetry is
 // disabled, and on error paths — a partial run's trace is often exactly what
-// is wanted.
+// is wanted (for the schedule format it is the replayable committed prefix).
 func (t *TelemetryFlags) Finish() error {
 	if t.closeSrv != nil {
 		t.closeSrv()
@@ -109,6 +146,8 @@ func (t *TelemetryFlags) Finish() error {
 			err = t.prov.WriteDOT(f)
 		case telemetry.FormatJSONL:
 			err = telemetry.WriteJSONL(f, t.rec)
+		case telemetry.FormatSchedule:
+			err = t.sched.Schedule().Encode(f)
 		}
 		if cerr := f.Close(); err == nil {
 			err = cerr

@@ -89,6 +89,18 @@ type Tracer interface {
 	RecordFiring(name string, consumed, produced []string)
 }
 
+// ScheduleRecorder receives every vertex firing together with a commit
+// sequence number — the executable-schedule form of a Tracer. Numbers are
+// drawn before a firing's output tokens become visible to any consumer, so
+// sorting the records by seq yields a sequential firing order that is a
+// valid linearization even of the parallel PE pool (package replay
+// re-executes it step for step). The engine hands over ownership of the key
+// slices — implementations may retain them without copying. Implementations
+// must be safe for concurrent use when Workers > 1.
+type ScheduleRecorder interface {
+	RecordStep(seq uint64, name string, consumed, produced []string)
+}
+
 // EngineMatrix selects the bulk-synchronous sparse-matrix engine (matrix.go)
 // via Options.Engine. The string equals schema.EngineMatrix so specs pass
 // through the facade and service unchanged.
@@ -128,6 +140,10 @@ type Options struct {
 	// counters mirroring the Result fields increment for increment. Nil
 	// costs one branch per record site on the hot paths.
 	Recorder *telemetry.Recorder
+	// Schedule, when set, receives every firing with its commit sequence
+	// number, turning the run into an executable schedule (see package
+	// replay). Nil costs one branch per firing.
+	Schedule ScheduleRecorder
 }
 
 // Run executes the graph until no token is in flight and returns the outputs.
@@ -225,6 +241,12 @@ func tokenKey(g *Graph, t Token) string {
 	return fmt.Sprintf("%s@%d", g.Edges[t.Edge].Label, t.Tag)
 }
 
+// TokenKey renders the trace/schedule name of a token: "label@tag", the
+// token's edge label and iteration tag. Unlike a multiset fingerprint the
+// key does not encode the value, which is why dataflow replay re-executes
+// the graph instead of reconstructing tokens from keys.
+func TokenKey(g *Graph, t Token) string { return tokenKey(g, t) }
+
 // traceFiring reports one firing to the tracer, if any.
 func traceFiring(g *Graph, opt Options, name string, consumed []string, out []Token) {
 	if opt.Tracer == nil {
@@ -235,6 +257,34 @@ func traceFiring(g *Graph, opt Options, name string, consumed []string, out []To
 		produced[i] = tokenKey(g, t)
 	}
 	opt.Tracer.RecordFiring(name, consumed, produced)
+}
+
+// recordStep reports one firing, with its commit sequence number, to the
+// schedule recorder. Consumed keys are in input-port order (store.deliver
+// returns them that way), which is what lets replay rebuild the operand
+// vector positionally.
+func recordStep(g *Graph, opt Options, seq *atomic.Uint64, name string, consumed []string, out []Token) {
+	if opt.Schedule == nil {
+		return
+	}
+	produced := make([]string, len(out))
+	for i, t := range out {
+		produced[i] = tokenKey(g, t)
+	}
+	opt.Schedule.RecordStep(seq.Add(1), name, consumed, produced)
+}
+
+// needKeys reports whether token keys must be materialized on delivery: both
+// the tracer and the schedule recorder consume them.
+func needKeys(opt Options) bool { return opt.Tracer != nil || opt.Schedule != nil }
+
+// ReplayFire computes one vertex activation outside an engine: the replay
+// verifier's way to re-execute a recorded firing. Pure vertices run through
+// the interpreted evaluator (no memo, no work factor), routing vertices move
+// their operand; the returned tokens are the activation's emissions in port
+// fan-out order.
+func ReplayFire(g *Graph, n *Node, tag int64, operands []value.Value) ([]Token, error) {
+	return fire(g, n, tag, operands, nil, Options{}, newResult(1))
 }
 
 // workSink defeats any optimization of the WorkFactor spin loop.
@@ -389,8 +439,10 @@ func emitAll(g *Graph, n *Node, port int, v value.Value, tag int64) []Token {
 	return toks
 }
 
-// initialTokens fires every const vertex once with tag 0.
-func initialTokens(g *Graph, opt Options, res *Result, ts *dfSink) []Token {
+// initialTokens fires every const vertex once with tag 0. seq numbers the
+// const firings before any token is routed, so every schedule starts with
+// the graph's constants in node order.
+func initialTokens(g *Graph, opt Options, res *Result, ts *dfSink, seq *atomic.Uint64) []Token {
 	var toks []Token
 	for _, n := range g.Nodes {
 		if n.Kind != KindConst {
@@ -399,6 +451,7 @@ func initialTokens(g *Graph, opt Options, res *Result, ts *dfSink) []Token {
 		t0 := ts.begin()
 		out, _ := fire(g, n, 0, nil, nil, opt, res) // const firing cannot fail
 		traceFiring(g, opt, n.Name, nil, out)
+		recordStep(g, opt, seq, n.Name, nil, out)
 		toks = append(toks, out...)
 		res.Firings++
 		res.PerNode[n.Name]++
@@ -457,7 +510,8 @@ func runSequential(ctx context.Context, g *Graph, opt Options) (res *Result, err
 	}
 	ops := compilePureOps(g)
 	ts := newDFSink(opt, g, 0)
-	queue := initialTokens(g, opt, res, ts)
+	var seq atomic.Uint64
+	queue := initialTokens(g, opt, res, ts, &seq)
 	for len(queue) > 0 {
 		tok := queue[0]
 		queue = queue[1:]
@@ -468,7 +522,7 @@ func runSequential(ctx context.Context, g *Graph, opt Options) (res *Result, err
 		}
 		n := g.Nodes[e.To]
 		key := ""
-		if opt.Tracer != nil {
+		if needKeys(opt) {
 			key = tokenKey(g, tok)
 		}
 		operands, keys, ready := stores[e.To].deliver(n, e.ToPort, tok.Tag, tok.Val, key)
@@ -491,6 +545,7 @@ func runSequential(ctx context.Context, g *Graph, opt Options) (res *Result, err
 			return res, err
 		}
 		traceFiring(g, opt, n.Name, keys, out)
+		recordStep(g, opt, &seq, n.Name, keys, out)
 		res.Firings++
 		res.PerNode[n.Name]++
 		if ts != nil {

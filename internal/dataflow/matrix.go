@@ -142,6 +142,11 @@ func runMatrix(ctx context.Context, g *Graph, opt Options) (res *Result, err err
 	ops := compilePureOps(g)
 	ts := newDFSink(opt, g, 0)
 	traced := opt.Tracer != nil
+	// keyed widens the tracer's key materialization to the schedule recorder;
+	// schedSeq numbers firings in tick order (the engine is single-threaded,
+	// so a plain counter is already a linearization).
+	keyed := needKeys(opt)
+	var schedSeq uint64
 
 	stores := make([]store, len(g.Nodes))
 	for i := range stores {
@@ -160,7 +165,7 @@ func runMatrix(ctx context.Context, g *Graph, opt Options) (res *Result, err err
 	var (
 		fires []matFiring
 		vals  []value.Value
-		keys  []string // consumed-token keys, tracer runs only
+		keys  []string // consumed-token keys, tracer/schedule runs only
 	)
 
 	// inflight counts emitted-but-unconsumed tokens: +fanout per firing,
@@ -180,8 +185,15 @@ func runMatrix(ctx context.Context, g *Graph, opt Options) (res *Result, err err
 		site = n.Name
 		t0 := ts.begin()
 		emitted := mp.emit(cur, n, 0, n.Init, 0)
-		if traced {
-			opt.Tracer.RecordFiring(n.Name, nil, mp.producedKeys(g, n, 0, 0))
+		if keyed {
+			pk := mp.producedKeys(g, n, 0, 0)
+			if traced {
+				opt.Tracer.RecordFiring(n.Name, nil, pk)
+			}
+			if opt.Schedule != nil {
+				schedSeq++
+				opt.Schedule.RecordStep(schedSeq, n.Name, nil, pk)
+			}
 		}
 		res.Firings++
 		res.PerNode[n.Name]++
@@ -197,7 +209,7 @@ func runMatrix(ctx context.Context, g *Graph, opt Options) (res *Result, err err
 		// absorbed as outputs here.
 		fires = fires[:0]
 		vals = vals[:0]
-		if traced {
+		if keyed {
 			keys = keys[:0]
 		}
 		for ei := range cur {
@@ -220,7 +232,7 @@ func runMatrix(ctx context.Context, g *Graph, opt Options) (res *Result, err err
 			st := stores[to]
 			for _, tk := range q {
 				key := ""
-				if traced {
+				if keyed {
 					key = fmt.Sprintf("%s@%d", g.Edges[ei].Label, tk.tag)
 				}
 				w, ok := st[tk.tag]
@@ -243,7 +255,7 @@ func runMatrix(ctx context.Context, g *Graph, opt Options) (res *Result, err err
 				empty := true
 				for i := range w.ports {
 					vals = append(vals, w.ports[i][0].val)
-					if traced {
+					if keyed {
 						keys = append(keys, w.ports[i][0].key)
 					}
 					w.ports[i] = w.ports[i][1:]
@@ -287,9 +299,16 @@ func runMatrix(ctx context.Context, g *Graph, opt Options) (res *Result, err err
 				return res, ferr
 			}
 			emitted := mp.emit(next, n, port, v, outTag)
-			if traced {
+			if keyed {
 				consumed := append([]string(nil), keys[f.off:f.off+f.nops]...)
-				opt.Tracer.RecordFiring(n.Name, consumed, mp.producedKeys(g, n, port, outTag))
+				pk := mp.producedKeys(g, n, port, outTag)
+				if traced {
+					opt.Tracer.RecordFiring(n.Name, consumed, pk)
+				}
+				if opt.Schedule != nil {
+					schedSeq++
+					opt.Schedule.RecordStep(schedSeq, n.Name, consumed, pk)
+				}
 			}
 			res.Firings++
 			res.PerNode[n.Name]++

@@ -64,7 +64,7 @@ func runParallel(ctx context.Context, g *Graph, opt Options) (*Result, error) {
 	// Inject the const tokens. Count them first so the in-flight counter
 	// cannot transiently hit zero between sends.
 	seed := newResult(workers)
-	toks := initialTokens(g, opt, seed, newDFSink(opt, g, -1))
+	toks := initialTokens(g, opt, seed, newDFSink(opt, g, -1), &eng.sched)
 	if len(toks) == 0 {
 		eng.shutdown()
 	} else {
@@ -102,9 +102,14 @@ type parEngine struct {
 	boxes    []*mailbox
 	inflight atomic.Int64
 	firings  atomic.Int64
-	err      atomic.Value // error
-	done     chan struct{}
-	closed   sync.Once
+	// sched numbers firings for Options.Schedule. A firing's number is drawn
+	// before its output tokens are routed, and a consumer's firing starts
+	// after popping those tokens from a mailbox (a mutex handoff), so the
+	// numbers linearize the PE pool's nondeterministic interleaving.
+	sched  atomic.Uint64
+	err    atomic.Value // error
+	done   chan struct{}
+	closed sync.Once
 }
 
 func (e *parEngine) shutdown() {
@@ -185,7 +190,7 @@ func (e *parEngine) process(pe int, tok Token, stores []store, res *Result, ts *
 	}
 	n := e.g.Nodes[edge.To]
 	key := ""
-	if e.opt.Tracer != nil {
+	if needKeys(e.opt) {
 		key = tokenKey(e.g, tok)
 	}
 	operands, keys, ready := stores[edge.To].deliver(n, edge.ToPort, tok.Tag, tok.Val, key)
@@ -207,6 +212,9 @@ func (e *parEngine) process(pe int, tok Token, stores []store, res *Result, ts *
 		return
 	}
 	traceFiring(e.g, e.opt, n.Name, keys, out)
+	// Recorded before the outputs are routed below: the seq precedes the
+	// tokens' visibility to any consumer, so the numbers linearize.
+	recordStep(e.g, e.opt, &e.sched, n.Name, keys, out)
 	res.Firings++
 	res.PerNode[n.Name]++
 	if ts != nil {

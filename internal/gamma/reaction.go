@@ -214,6 +214,34 @@ func (r *Reaction) selectBranch(env expr.Env) (int, error) {
 	return -1, nil
 }
 
+// ReplayFiring re-executes one recorded firing of r: chosen must hold the
+// consumed tuples in pattern order (the order the schedule recorder emits);
+// each is matched against its pattern with consistent bindings, the first
+// enabled branch is selected, and its products are returned. A replay engine
+// compares them against the recorded products to verify that the reaction's
+// kernel still reproduces the original execution. Errors name the failing
+// pattern or report that no branch is enabled — both are divergences, not
+// program bugs.
+func (r *Reaction) ReplayFiring(chosen []multiset.Tuple) ([]multiset.Tuple, error) {
+	if len(chosen) != len(r.Patterns) {
+		return nil, fmt.Errorf("gamma: reaction %s consumes %d elements, schedule step has %d", r.Name, len(r.Patterns), len(chosen))
+	}
+	env := make(expr.MapEnv)
+	for i, p := range r.Patterns {
+		if _, ok := p.match(chosen[i], env); !ok {
+			return nil, fmt.Errorf("gamma: reaction %s: element %s does not match pattern %s", r.Name, chosen[i], p)
+		}
+	}
+	branch, err := r.selectBranch(env)
+	if err != nil {
+		return nil, err
+	}
+	if branch < 0 {
+		return nil, fmt.Errorf("gamma: reaction %s: no branch enabled for the recorded elements", r.Name)
+	}
+	return r.produce(branch, env)
+}
+
 // produce instantiates the products of branch idx under env.
 func (r *Reaction) produce(idx int, env expr.Env) ([]multiset.Tuple, error) {
 	b := r.Branches[idx]

@@ -46,6 +46,29 @@ type Tracer interface {
 	RecordFiring(name string, consumed, produced []string)
 }
 
+// ScheduleRecorder receives every committed reaction firing together with
+// its commit sequence number — the executable-schedule form of a Tracer.
+// Sequence numbers are drawn inside the multiset's commit critical sections,
+// so sorting the records by seq yields a sequential firing order that is a
+// valid linearization even of a nondeterministic parallel run (package
+// replay re-executes it step for step). The engine hands over ownership of
+// the key slices — implementations may retain them without copying.
+// Implementations must be safe for concurrent use when Workers > 1.
+type ScheduleRecorder interface {
+	RecordStep(seq uint64, name string, consumed, produced []string)
+}
+
+// TupleScheduleRecorder is the optional fast path of ScheduleRecorder: a
+// recorder that accepts the firing's raw tuples and renders the keys itself
+// (package replay's Recorder batches the text into one buffer, so recording
+// allocates nothing per firing). The tuples are only borrowed for the call —
+// implementations must extract what they need before returning, and the
+// engine must not mutate them during it. Same concurrency contract as
+// ScheduleRecorder.
+type TupleScheduleRecorder interface {
+	RecordStepTuples(seq uint64, name string, consumed, produced []multiset.Tuple)
+}
+
 // Options configures an execution.
 type Options struct {
 	// Workers is the number of concurrent reaction executors. 0 or 1 selects
@@ -89,6 +112,10 @@ type Options struct {
 	// "gamma"); dist sets it per node so a cluster trace shows one track
 	// group per node.
 	TrackLabel string
+	// Schedule, when set, receives every committed firing with its commit
+	// sequence number, turning the run into an executable schedule (see
+	// package replay). Nil costs one branch per commit.
+	Schedule ScheduleRecorder
 }
 
 // traceFiring reports one committed reaction application to the tracer.
@@ -105,6 +132,55 @@ func traceFiring(opt Options, name string, consumed, produced []multiset.Tuple) 
 		pk[i] = t.Key()
 	}
 	opt.Tracer.RecordFiring(name, ck, pk)
+}
+
+// recordStep reports one committed reaction application, with its commit
+// sequence number, to the schedule recorder. Consumed keys are emitted in
+// pattern order (s.chosen is pattern-ordered), which is what lets replay
+// re-match them positionally.
+func recordStep(opt Options, seq uint64, name string, consumed, produced []multiset.Tuple) {
+	if opt.Schedule == nil {
+		return
+	}
+	if tr, ok := opt.Schedule.(TupleScheduleRecorder); ok {
+		tr.RecordStepTuples(seq, name, consumed, produced)
+		return
+	}
+	ck, pk := renderStepKeys(consumed, produced)
+	opt.Schedule.RecordStep(seq, name, ck, pk)
+}
+
+// renderStepKeys renders every tuple key of one firing into a single backing
+// string: one allocation for the text and one for the headers regardless of
+// arity. The recorder retains what it is handed (see ScheduleRecorder), so
+// the commit path must produce fresh memory anyway — this is the cheapest
+// fresh form. The two slices share the header array read-only; capacities
+// are pinned so neither can append into the other.
+func renderStepKeys(consumed, produced []multiset.Tuple) (ck, pk []string) {
+	n := len(consumed) + len(produced)
+	if n == 0 {
+		return nil, nil
+	}
+	var bufArr [96]byte
+	var offArr [8]int
+	buf, offs := bufArr[:0], offArr[:0]
+	for _, t := range consumed {
+		buf = t.AppendKey(buf)
+		offs = append(offs, len(buf))
+	}
+	for _, t := range produced {
+		buf = t.AppendKey(buf)
+		offs = append(offs, len(buf))
+	}
+	s := string(buf)
+	keys := make([]string, n)
+	prev := 0
+	for i, end := range offs {
+		keys[i] = s[prev:end]
+		prev = end
+	}
+	c := len(consumed)
+	return keys[:c:c], keys[c:]
 }
 
 // Stats reports what an execution did.
@@ -448,8 +524,15 @@ func runSequential(ctx context.Context, p *Program, m *multiset.Multiset, opt Op
 				k.putSearcher(s)
 				return stats, fmt.Errorf("gamma: matched elements vanished in sequential run of %s", r.Name)
 			}
+			var seq uint64
+			if opt.Schedule != nil {
+				// Between claim and insert: the number precedes the products
+				// becoming visible, so it linearizes (see multiset.commitSeq).
+				seq = m.NextCommitSeq()
+			}
 			m.AddAll(products)
 			traceFiring(opt, r.Name, s.chosen, products)
+			recordStep(opt, seq, r.Name, s.chosen, products)
 			k.putSearcher(s)
 			stats.Steps++
 			stats.Fired[r.Name]++
@@ -465,7 +548,14 @@ func runSequential(ctx context.Context, p *Program, m *multiset.Multiset, opt Op
 		// Incremental commit: the firing's consume+produce lands as one
 		// batched delta under a single lock acquisition per shard, and the
 		// returned label symbols drive the subscription wakeups directly.
-		ok, syms := m.ApplyDelta(s.chosen, s.keys, products, symsBuf[:0])
+		var ok bool
+		var seq uint64
+		var syms []symtab.Sym
+		if opt.Schedule != nil {
+			ok, seq, syms = m.ApplyDeltaSeq(s.chosen, s.keys, products, symsBuf[:0])
+		} else {
+			ok, syms = m.ApplyDelta(s.chosen, s.keys, products, symsBuf[:0])
+		}
 		symsBuf = syms
 		if !ok {
 			// Unreachable single-threaded; defensive.
@@ -473,6 +563,7 @@ func runSequential(ctx context.Context, p *Program, m *multiset.Multiset, opt Op
 			return stats, fmt.Errorf("gamma: matched elements vanished in sequential run of %s", r.Name)
 		}
 		traceFiring(opt, r.Name, s.chosen, products)
+		recordStep(opt, seq, r.Name, s.chosen, products)
 		k.putSearcher(s)
 		stats.Steps++
 		stats.Fired[r.Name]++
@@ -766,8 +857,16 @@ func tryFire(ctx context.Context, p *Program, m *multiset.Multiset, opt Options,
 			runtime.Gosched()
 			return false, false
 		}
+		var seq uint64
+		if opt.Schedule != nil {
+			// Between claim and insert: the number precedes the products
+			// becoming visible to concurrent claims, so across workers the
+			// numbers linearize (see multiset.commitSeq).
+			seq = m.NextCommitSeq()
+		}
 		m.AddAll(products)
 		traceFiring(opt, r.Name, s.chosen, products)
+		recordStep(opt, seq, r.Name, s.chosen, products)
 		k.putSearcher(s)
 		stats.Steps++
 		stats.Fired[r.Name]++
@@ -800,6 +899,7 @@ type batchWorker struct {
 	view    multiset.View
 	deltas  []multiset.Delta
 	applied []bool
+	seqs    []uint64
 	symsBuf []symtab.Sym
 	consume []multiset.Tuple
 	keys    []string
@@ -918,7 +1018,16 @@ func tryFireBatch(ctx context.Context, p *Program, m *multiset.Multiset, opt Opt
 			bw.applied = make([]bool, matched)
 		}
 		applied := bw.applied[:matched]
-		n, syms := m.ApplyDeltas(bw.deltas, applied, bw.symsBuf[:0])
+		var n int
+		var syms []symtab.Sym
+		if opt.Schedule != nil {
+			if cap(bw.seqs) < matched {
+				bw.seqs = make([]uint64, matched)
+			}
+			n, syms = m.ApplyDeltasSeq(bw.deltas, applied, bw.seqs[:matched], bw.symsBuf[:0])
+		} else {
+			n, syms = m.ApplyDeltas(bw.deltas, applied, bw.symsBuf[:0])
+		}
 		bw.symsBuf = syms
 		if failedN := matched - n; failedN > 0 {
 			stats.Conflicts += int64(failedN)
@@ -942,10 +1051,13 @@ func tryFireBatch(ctx context.Context, p *Program, m *multiset.Multiset, opt Opt
 			runtime.Gosched()
 			return false, false
 		}
-		if opt.Tracer != nil {
+		if opt.Tracer != nil || opt.Schedule != nil {
 			for i := range bw.deltas {
 				if applied[i] {
 					traceFiring(opt, r.Name, bw.deltas[i].Consume, bw.deltas[i].Produce)
+					if opt.Schedule != nil {
+						recordStep(opt, bw.seqs[i], r.Name, bw.deltas[i].Consume, bw.deltas[i].Produce)
+					}
 				}
 			}
 		}

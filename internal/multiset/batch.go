@@ -26,6 +26,20 @@ type Delta struct {
 // (the 500-seed property test in batch_test.go pins the equivalence). It
 // returns the number of deltas applied and the extended syms.
 func (m *Multiset) ApplyDeltas(ds []Delta, applied []bool, syms []symtab.Sym) (int, []symtab.Sym) {
+	return m.applyDeltas(ds, applied, nil, syms)
+}
+
+// ApplyDeltasSeq is ApplyDeltas that additionally records each applied
+// delta's commit sequence number into seqs (which must have len(ds) entries;
+// skipped deltas leave their slot untouched). Numbers are drawn in delta
+// order while the shard locks are held, so across concurrent batches they
+// form a valid sequential linearization of the parallel execution — the
+// property the replay recorder sorts on.
+func (m *Multiset) ApplyDeltasSeq(ds []Delta, applied []bool, seqs []uint64, syms []symtab.Sym) (int, []symtab.Sym) {
+	return m.applyDeltas(ds, applied, seqs, syms)
+}
+
+func (m *Multiset) applyDeltas(ds []Delta, applied []bool, seqs []uint64, syms []symtab.Sym) (int, []symtab.Sym) {
 	if len(ds) == 0 {
 		return 0, syms
 	}
@@ -46,6 +60,9 @@ func (m *Multiset) ApplyDeltas(ds []Delta, applied []bool, syms []symtab.Sym) (i
 		pe := ps + len(ds[i].Produce)
 		ok := m.claimRangeLocked(cs, ce, d)
 		if ok {
+			if seqs != nil {
+				seqs[i] = m.commitSeq.Add(1)
+			}
 			m.applyRangeLocked(ds[i].Produce, d, cs, ce, ps, pe)
 			size += int64(len(ds[i].Produce)) - int64(len(ds[i].Consume))
 			n++

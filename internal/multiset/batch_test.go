@@ -2,6 +2,8 @@ package multiset
 
 import (
 	"math/rand"
+	"sort"
+	"sync"
 	"testing"
 
 	"repro/internal/symtab"
@@ -227,4 +229,96 @@ func TestViewOutsideShardSetPanics(t *testing.T) {
 		}
 	}()
 	v.EachSym(other, 0, func(Tuple, int, string) bool { return true })
+}
+
+// TestApplyDeltaSeqLinearizes pins the property the replay recorder is built
+// on: commit sequence numbers drawn inside the locked commit region
+// (ApplyDeltaSeq and batched ApplyDeltasSeq, racing across workers) are
+// unique, and re-applying the commits sequentially in seq order against a
+// clone of the initial multiset succeeds at every step and reproduces the
+// concurrent execution's final multiset exactly.
+func TestApplyDeltaSeqLinearizes(t *testing.T) {
+	const tokens = 400
+	const workers = 4
+	init := New()
+	for i := 0; i < tokens; i++ {
+		init.Add(Tuple{value.Int(int64(i)), value.Str("T")})
+	}
+	m := init.Clone()
+
+	type commit struct {
+		seq     uint64
+		consume Tuple
+		produce Tuple
+	}
+	var mu sync.Mutex
+	var commits []commit
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			var won []commit
+			// Every worker fights for every token; each token is consumed
+			// exactly once machine-wide. Even workers commit through the
+			// batched path, odd workers one delta at a time.
+			perm := rng.Perm(tokens)
+			if w%2 == 0 {
+				const span = 8
+				for at := 0; at < len(perm); at += span {
+					end := min(at+span, len(perm))
+					ds := make([]Delta, 0, end-at)
+					for _, i := range perm[at:end] {
+						ds = append(ds, Delta{
+							Consume: []Tuple{{value.Int(int64(i)), value.Str("T")}},
+							Produce: []Tuple{{value.Int(int64(i)), value.Str("D")}},
+						})
+					}
+					applied := make([]bool, len(ds))
+					seqs := make([]uint64, len(ds))
+					m.ApplyDeltasSeq(ds, applied, seqs, nil)
+					for i, ok := range applied {
+						if ok {
+							won = append(won, commit{seqs[i], ds[i].Consume[0], ds[i].Produce[0]})
+						}
+					}
+				}
+			} else {
+				for _, i := range perm {
+					consume := Tuple{value.Int(int64(i)), value.Str("T")}
+					produce := Tuple{value.Int(int64(i)), value.Str("D")}
+					ok, seq, _ := m.ApplyDeltaSeq([]Tuple{consume}, nil, []Tuple{produce}, nil)
+					if ok {
+						won = append(won, commit{seq, consume, produce})
+					}
+				}
+			}
+			mu.Lock()
+			commits = append(commits, won...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+
+	if len(commits) != tokens {
+		t.Fatalf("commits = %d, want %d (each token consumed exactly once)", len(commits), tokens)
+	}
+	seen := make(map[uint64]bool, len(commits))
+	for _, c := range commits {
+		if seen[c.seq] {
+			t.Fatalf("commit seq %d drawn twice", c.seq)
+		}
+		seen[c.seq] = true
+	}
+	sort.Slice(commits, func(i, j int) bool { return commits[i].seq < commits[j].seq })
+	replayed := init.Clone()
+	for i, c := range commits {
+		if ok, _ := replayed.ApplyDelta([]Tuple{c.consume}, nil, []Tuple{c.produce}, nil); !ok {
+			t.Fatalf("linearized step %d (seq %d) failed to claim %v", i+1, c.seq, c.consume)
+		}
+	}
+	if !replayed.Equal(m) {
+		t.Fatal("sequential replay of the seq-ordered commits differs from the concurrent final multiset")
+	}
 }

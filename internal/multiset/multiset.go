@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/symtab"
 )
@@ -105,7 +106,22 @@ type Multiset struct {
 	shards [shardCount]shard
 	size   int64 // total element count incl. multiplicity, guarded by sizeMu
 	sizeMu sync.Mutex
+	// commitSeq numbers committed writes. A sequence number taken while the
+	// writer still holds the locks of every shard it touched (or, for the
+	// two-phase TryRemoveAll/AddAll path, after the claim succeeded but
+	// before the products became visible) is a valid linearization of the
+	// execution: a firing that consumes another firing's product must take
+	// that product's shard lock after the producer released it, so the
+	// producer's number is always the smaller one. Replay recorders sort on
+	// it to turn a nondeterministic parallel run into a sequential schedule.
+	commitSeq atomic.Uint64
 }
+
+// NextCommitSeq draws the next commit sequence number. Writers that commit
+// through the two-phase TryRemoveAll/AddAll path call it between the claim
+// and the insert; the batched commit paths assign numbers internally via
+// ApplyDeltaSeq/ApplyDeltasSeq.
+func (m *Multiset) NextCommitSeq() uint64 { return m.commitSeq.Add(1) }
 
 // New returns an empty multiset, optionally pre-populated with tuples.
 func New(tuples ...Tuple) *Multiset {
@@ -544,6 +560,18 @@ func (m *Multiset) TryRemoveAll(ts []Tuple) bool {
 // extended slice — the delta that drives the incremental reaction scheduler.
 // On a failed claim nothing is modified and syms is returned unchanged.
 func (m *Multiset) ApplyDelta(consume []Tuple, ckeys []string, produce []Tuple, syms []symtab.Sym) (bool, []symtab.Sym) {
+	ok, _, syms := m.applyDelta(consume, ckeys, produce, syms, false)
+	return ok, syms
+}
+
+// ApplyDeltaSeq is ApplyDelta that additionally returns the firing's commit
+// sequence number, drawn while the shard locks are still held — the property
+// that makes the numbers a valid linearization (see commitSeq).
+func (m *Multiset) ApplyDeltaSeq(consume []Tuple, ckeys []string, produce []Tuple, syms []symtab.Sym) (bool, uint64, []symtab.Sym) {
+	return m.applyDelta(consume, ckeys, produce, syms, true)
+}
+
+func (m *Multiset) applyDelta(consume []Tuple, ckeys []string, produce []Tuple, syms []symtab.Sym, wantSeq bool) (bool, uint64, []symtab.Sym) {
 	d := deltaPool.Get().(*deltaScratch)
 	defer deltaPool.Put(d)
 	d.reset()
@@ -552,15 +580,19 @@ func (m *Multiset) ApplyDelta(consume []Tuple, ckeys []string, produce []Tuple, 
 	d.stageProduce(produce, &involved)
 	m.lockShards(&involved)
 	ok := m.claimRangeLocked(0, len(consume), d)
+	var seq uint64
 	if ok {
+		if wantSeq {
+			seq = m.commitSeq.Add(1)
+		}
 		m.applyRangeLocked(produce, d, 0, len(consume), 0, len(produce))
 	}
 	m.unlockShards(&involved)
 	if !ok {
-		return false, syms
+		return false, 0, syms
 	}
 	m.addSize(int64(len(produce)) - int64(len(consume)))
-	return true, appendSymsDedup(syms, d.psyms)
+	return true, seq, appendSymsDedup(syms, d.psyms)
 }
 
 // Count returns the multiplicity of t.

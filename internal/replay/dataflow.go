@@ -1,0 +1,226 @@
+package replay
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/dataflow"
+	"repro/internal/rt"
+	"repro/internal/value"
+)
+
+// DataflowResult is the outcome of replaying a dataflow schedule.
+type DataflowResult struct {
+	// Steps replayed successfully before divergence.
+	Steps int
+	// Outputs collects the values the replay emitted on terminal edges,
+	// keyed by edge label and sorted by tag — comparable to
+	// dataflow.Result.Outputs from the recorded run.
+	Outputs map[string][]dataflow.TaggedValue
+	// Pending counts tokens still waiting on edges after the last step —
+	// the replay analogue of dataflow.Result.Pending.
+	Pending int
+	// Stable reports whether no vertex has a complete operand set for any
+	// tag among the leftover tokens. Only computed when Divergence is nil.
+	Stable bool
+	// Divergence is non-nil when some step could not be reproduced.
+	Divergence *Divergence
+}
+
+// Output returns the last value the replay emitted on a terminal edge,
+// mirroring dataflow.Result.Output.
+func (r *DataflowResult) Output(label string) (value.Value, bool) {
+	vs := r.Outputs[label]
+	if len(vs) == 0 {
+		return value.Value{}, false
+	}
+	return vs[len(vs)-1].Val, true
+}
+
+// tokenQueue holds the values in flight on one (edge, tag) in production
+// order; the schedule's linearization makes FIFO per key exactly the order
+// the recorded run's matching stores saw.
+type tokenQueue struct {
+	vals []value.Value
+}
+
+// ReplayDataflow re-executes a recorded dataflow schedule step for step
+// against graph g: each step pops its consumed tokens (by key, FIFO) from
+// the in-flight pool, re-fires the named vertex on their values, and checks
+// the emitted tokens' keys against the recording. Token keys name an edge
+// and a tag but not a value, so — unlike gamma replay, which verifies full
+// element fingerprints — value divergence surfaces either downstream as a
+// missing/extra firing or in the returned Outputs; structural divergence
+// (different firings, different edges, different tags) is caught at the
+// first divergent step.
+//
+// Errors are reserved for unusable inputs (wrong schedule kind, malformed
+// keys); divergences are results, not errors.
+func ReplayDataflow(g *dataflow.Graph, s *Schedule) (*DataflowResult, error) {
+	if s.Kind != KindDataflow {
+		return nil, rt.Mark(rt.ErrInvalid, fmt.Errorf("replay: schedule kind %q cannot replay a dataflow graph", s.Kind))
+	}
+	if err := g.Validate(); err != nil {
+		return nil, rt.Mark(rt.ErrInvalid, err)
+	}
+	res := &DataflowResult{Outputs: make(map[string][]dataflow.TaggedValue)}
+	avail := make(map[string]*tokenQueue)
+	for i := range s.Steps {
+		st := &s.Steps[i]
+		div, err := replayDataflowStep(g, s, i, st, avail, res)
+		if err != nil {
+			return nil, err
+		}
+		if div != nil {
+			res.Divergence = div
+			return res, nil
+		}
+		res.Steps++
+	}
+	for _, vs := range res.Outputs {
+		sort.SliceStable(vs, func(i, j int) bool { return vs[i].Tag < vs[j].Tag })
+	}
+	res.Pending, res.Stable = dataflowQuiescence(g, avail)
+	return res, nil
+}
+
+func replayDataflowStep(g *dataflow.Graph, s *Schedule, idx int, st *Step, avail map[string]*tokenQueue, res *DataflowResult) (*Divergence, error) {
+	n := g.NodeByName(st.Name)
+	if n == nil {
+		return &Divergence{
+			Step: st.Step, Seq: st.Seq, Name: st.Name,
+			Reason:    ReasonUnknownNode,
+			Detail:    fmt.Sprintf("graph %s has no vertex %s", g.Name, st.Name),
+			Ancestors: ancestors(s, idx),
+		}, nil
+	}
+	// Pop the consumed tokens. Keys are recorded in input-port order, so the
+	// popped values form the operand vector positionally.
+	var tag int64
+	operands := make([]value.Value, len(st.Consumed))
+	for j, key := range st.Consumed {
+		kTag, err := keyTag(key)
+		if err != nil {
+			return nil, err
+		}
+		if j == 0 {
+			tag = kTag
+		}
+		q := avail[key]
+		if q == nil || len(q.vals) == 0 {
+			return &Divergence{
+				Step: st.Step, Seq: st.Seq, Name: st.Name,
+				Reason:    ReasonConsumedMissing,
+				Missing:   []string{key},
+				Ancestors: ancestors(s, idx),
+			}, nil
+		}
+		operands[j] = q.vals[0]
+		q.vals = q.vals[1:]
+	}
+	restore := func() {
+		// Push the popped operands back at the front, preserving FIFO order,
+		// so the returned state is the pre-step state.
+		for j := len(st.Consumed) - 1; j >= 0; j-- {
+			key := st.Consumed[j]
+			q := avail[key]
+			if q == nil {
+				q = &tokenQueue{}
+				avail[key] = q
+			}
+			q.vals = append([]value.Value{operands[j]}, q.vals...)
+		}
+	}
+	out, err := dataflow.ReplayFire(g, n, tag, operands)
+	if err != nil {
+		restore()
+		return &Divergence{
+			Step: st.Step, Seq: st.Seq, Name: st.Name,
+			Reason:    ReasonKernelError,
+			Detail:    err.Error(),
+			Ancestors: ancestors(s, idx),
+		}, nil
+	}
+	actual := make([]string, len(out))
+	for j, t := range out {
+		actual[j] = dataflow.TokenKey(g, t)
+	}
+	if expected := sortedKeys(st.Produced); !keysEqual(expected, sortedKeys(actual)) {
+		restore()
+		return &Divergence{
+			Step: st.Step, Seq: st.Seq, Name: st.Name,
+			Reason:    ReasonProductMismatch,
+			Expected:  expected,
+			Actual:    sortedKeys(actual),
+			Ancestors: ancestors(s, idx),
+		}, nil
+	}
+	for j, t := range out {
+		e := g.Edges[t.Edge]
+		if e.To == dataflow.NoNode {
+			res.Outputs[e.Label] = append(res.Outputs[e.Label], dataflow.TaggedValue{Tag: t.Tag, Val: t.Val})
+			continue
+		}
+		key := actual[j]
+		q := avail[key]
+		if q == nil {
+			q = &tokenQueue{}
+			avail[key] = q
+		}
+		q.vals = append(q.vals, t.Val)
+	}
+	return nil, nil
+}
+
+// keyTag extracts the iteration tag from a "label@tag" token key.
+func keyTag(key string) (int64, error) {
+	at := strings.LastIndexByte(key, '@')
+	if at < 0 {
+		return 0, rt.Mark(rt.ErrParse, fmt.Errorf("replay: token key %q has no tag", key))
+	}
+	tag, err := strconv.ParseInt(key[at+1:], 10, 64)
+	if err != nil {
+		return 0, rt.Mark(rt.ErrParse, fmt.Errorf("replay: token key %q: %w", key, err))
+	}
+	return tag, nil
+}
+
+// dataflowQuiescence inspects the leftover in-flight tokens: the total count
+// (Pending) and whether any vertex has a token on every input port for some
+// single tag — if so the replayed state is not stable (the recorded run
+// stopped early, e.g. a canceled run's committed prefix).
+func dataflowQuiescence(g *dataflow.Graph, avail map[string]*tokenQueue) (pending int, stable bool) {
+	type nodeTag struct {
+		node dataflow.NodeID
+		tag  int64
+	}
+	covered := make(map[nodeTag]map[int]bool)
+	for key, q := range avail {
+		if len(q.vals) == 0 {
+			continue
+		}
+		pending += len(q.vals)
+		at := strings.LastIndexByte(key, '@')
+		e := g.EdgeByLabel(key[:at])
+		if e == nil || e.To == dataflow.NoNode {
+			continue
+		}
+		tag, err := strconv.ParseInt(key[at+1:], 10, 64)
+		if err != nil {
+			continue
+		}
+		nt := nodeTag{node: e.To, tag: tag}
+		if covered[nt] == nil {
+			covered[nt] = make(map[int]bool)
+		}
+		covered[nt][e.ToPort] = true
+	}
+	for nt, ports := range covered {
+		if len(ports) == g.Nodes[nt.node].InArity() {
+			return pending, false
+		}
+	}
+	return pending, true
+}

@@ -1,0 +1,138 @@
+package replay
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/multiset"
+)
+
+// Divergence reasons. A divergence is not an error in the replay machinery:
+// it is the finding — the first step at which the present program, replayed
+// over the recorded schedule, stops reproducing the recorded execution.
+const (
+	// ReasonUnknownReaction — the schedule names a reaction the program
+	// does not contain (program edited since recording).
+	ReasonUnknownReaction = "unknown-reaction"
+	// ReasonUnknownNode — the dataflow analogue: no vertex with the
+	// recorded name.
+	ReasonUnknownNode = "unknown-node"
+	// ReasonConsumedMissing — elements/tokens the recorded firing consumed
+	// are not present at this point of the replay (an earlier divergence in
+	// state, or a spliced schedule).
+	ReasonConsumedMissing = "consumed-missing"
+	// ReasonKernelError — re-executing the firing failed: the recorded
+	// elements no longer match the reaction's patterns, no branch is
+	// enabled, or the kernel returned an error.
+	ReasonKernelError = "kernel-error"
+	// ReasonProductMismatch — the kernel fired but produced a different
+	// multiset of elements than the recording.
+	ReasonProductMismatch = "product-mismatch"
+)
+
+// Divergence pinpoints the first schedule step the replay could not
+// reproduce. Expected/Actual are sorted key multisets of the recorded vs.
+// re-executed products; Missing lists consumed keys absent from the replay
+// state; Ancestors are the schedule steps (1-based) whose products the
+// divergent firing transitively consumed — the provenance slice to inspect
+// when diagnosing where replayed state first drifted.
+type Divergence struct {
+	Step      int      `json:"step"`
+	Seq       uint64   `json:"seq,omitempty"`
+	Name      string   `json:"name"`
+	Reason    string   `json:"reason"`
+	Missing   []string `json:"missing,omitempty"`
+	Expected  []string `json:"expected,omitempty"`
+	Actual    []string `json:"actual,omitempty"`
+	Ancestors []int    `json:"ancestors,omitempty"`
+	Detail    string   `json:"detail,omitempty"`
+}
+
+// String renders a one-paragraph human-readable report.
+func (d *Divergence) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "replay diverged at step %d (%s): %s", d.Step, d.Name, d.Reason)
+	if d.Detail != "" {
+		fmt.Fprintf(&b, ": %s", d.Detail)
+	}
+	if len(d.Missing) > 0 {
+		fmt.Fprintf(&b, "\n  missing: %s", prettyKeys(d.Missing))
+	}
+	if len(d.Expected) > 0 || len(d.Actual) > 0 {
+		fmt.Fprintf(&b, "\n  expected products: %s\n  actual products:   %s",
+			prettyKeys(d.Expected), prettyKeys(d.Actual))
+	}
+	if len(d.Ancestors) > 0 {
+		fmt.Fprintf(&b, "\n  ancestor steps: %v", d.Ancestors)
+	}
+	return b.String()
+}
+
+func prettyKeys(keys []string) string {
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = multiset.PrettyKey(k)
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// ancestors walks the schedule backwards from step index idx (0-based) and
+// collects the steps whose products the divergent firing transitively
+// consumed: for each consumed key, the latest earlier step producing that
+// key is its parent. Returns 1-based step numbers, sorted. Keys produced by
+// no earlier step come from the initial state and contribute nothing.
+func ancestors(s *Schedule, idx int) []int {
+	seen := make(map[int]bool)
+	var visit func(i int)
+	visit = func(i int) {
+		for _, key := range s.Steps[i].Consumed {
+			for j := i - 1; j >= 0; j-- {
+				if produced(s.Steps[j].Produced, key) {
+					if !seen[j] {
+						seen[j] = true
+						visit(j)
+					}
+					break
+				}
+			}
+		}
+	}
+	visit(idx)
+	out := make([]int, 0, len(seen))
+	for j := range seen {
+		out = append(out, s.Steps[j].Step)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func produced(keys []string, key string) bool {
+	for _, k := range keys {
+		if k == key {
+			return true
+		}
+	}
+	return false
+}
+
+// sortedKeys returns a sorted copy, the canonical multiset-of-keys form the
+// product comparison uses.
+func sortedKeys(keys []string) []string {
+	out := append([]string(nil), keys...)
+	sort.Strings(out)
+	return out
+}
+
+// keysEqual reports whether two key multisets are equal after sorting.
+func keysEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

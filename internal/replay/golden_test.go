@@ -1,0 +1,79 @@
+package replay
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dataflow"
+	"repro/internal/paper"
+	"repro/internal/value"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the schedule golden files from this build's recorder")
+
+// goldenSchedule records a deterministic sequential execution of g, pins its
+// schedule byte for byte against testdata, and replays the *golden file*
+// (not the fresh recording) to verify this build still reproduces the
+// execution recorded when the file was pinned.
+func goldenSchedule(t *testing.T, g *dataflow.Graph, file string) *DataflowResult {
+	t.Helper()
+	rec := NewRecorder(KindDataflow, g.Name)
+	if _, err := dataflow.Run(g, dataflow.Options{Schedule: rec}); err != nil {
+		t.Fatalf("recorded run: %v", err)
+	}
+	got := rec.Schedule().Bytes()
+	path := filepath.Join("testdata", file)
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("schedule drifted from golden %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+	sched, err := Parse(bytes.NewReader(want))
+	if err != nil {
+		t.Fatalf("golden parse: %v", err)
+	}
+	res, err := ReplayDataflow(g, sched)
+	if err != nil {
+		t.Fatalf("golden replay: %v", err)
+	}
+	if res.Divergence != nil {
+		t.Fatalf("golden replay diverged: %v", res.Divergence)
+	}
+	if !res.Stable {
+		t.Error("golden replay did not reach a stable state")
+	}
+	return res
+}
+
+// TestGoldenReplayFig1 pins the Fig. 1 execution schedule and checks its
+// replay still computes m = (1+5) - (3*2).
+func TestGoldenReplayFig1(t *testing.T) {
+	res := goldenSchedule(t, paper.Fig1Graph(), "fig1_schedule.jsonl")
+	v, ok := res.Output("m")
+	if !ok || !value.Equal(v, value.Int(paper.Example1M)) {
+		t.Errorf("replayed m = %v, want %d", v, paper.Example1M)
+	}
+}
+
+// TestGoldenReplayFig2 pins the Fig. 2 (Example 2 loop) execution schedule —
+// the observable variant, whose xout edge exposes the accumulator — and
+// checks its replay still computes the iterative x + y*z.
+func TestGoldenReplayFig2(t *testing.T) {
+	g := paper.Fig2GraphObservable(paper.Example2X, paper.Example2Y, paper.Example2Z)
+	res := goldenSchedule(t, g, "fig2_schedule.jsonl")
+	v, ok := res.Output("xout")
+	want := paper.Example2Result(paper.Example2X, paper.Example2Y, paper.Example2Z)
+	if !ok || !value.Equal(v, value.Int(want)) {
+		t.Errorf("replayed xout = %v, want %d", v, want)
+	}
+}

@@ -1,0 +1,476 @@
+package replay
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/dataflow"
+	"repro/internal/gamma"
+	"repro/internal/gammalang"
+	"repro/internal/multiset"
+	"repro/internal/paper"
+	"repro/internal/rt"
+	"repro/internal/value"
+)
+
+func example1() (*gamma.Program, *multiset.Multiset) {
+	p, err := gammalang.ParseProgram("ex1", paper.Example1GammaListing)
+	if err != nil {
+		panic(err)
+	}
+	m, err := multiset.Parse(paper.Example1InitialMultiset)
+	if err != nil {
+		panic(err)
+	}
+	return p, m
+}
+
+// recordGamma runs p over a clone of init with a schedule recorder attached
+// and returns the linearized schedule plus the final multiset.
+func recordGamma(t *testing.T, p *gamma.Program, init *multiset.Multiset, opt gamma.Options) (*Schedule, *multiset.Multiset) {
+	t.Helper()
+	rec := NewRecorder(KindGamma, p.Name)
+	opt.Schedule = rec
+	m := init.Clone()
+	if _, err := gamma.Run(p, m, opt); err != nil {
+		t.Fatalf("recorded run: %v", err)
+	}
+	return rec.Schedule(), m
+}
+
+func TestScheduleRoundTrip(t *testing.T) {
+	rec := NewRecorder(KindGamma, "ex1")
+	rec.RecordStep(2, "R2", []string{"01\x1f3'A1'"}, []string{"02\x1f3'B2'"})
+	rec.RecordStep(1, "R1", []string{"01\x1f3'A1'", "05\x1f3'B1'"}, nil)
+	rec.RecordStep(3, "R3", nil, []string{"3true"})
+	s := rec.Schedule()
+	if s.Steps[0].Name != "R1" || s.Steps[0].Step != 1 {
+		t.Fatalf("linearization: want R1 first, got %+v", s.Steps[0])
+	}
+	got := s.Bytes()
+	back, err := Parse(bytes.NewReader(got))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if again := back.Bytes(); !bytes.Equal(got, again) {
+		t.Fatalf("round trip not byte-identical:\n%s\nvs\n%s", got, again)
+	}
+}
+
+func TestScheduleParseRejects(t *testing.T) {
+	s := &Schedule{Kind: KindGamma, Name: "x", Steps: []Step{{Step: 1, Seq: 1, Name: "R1"}}}
+	good := string(s.Bytes())
+	cases := map[string]string{
+		"empty":       "",
+		"bad header":  "not json\n",
+		"bad version": strings.Replace(good, `"schedule":"v1"`, `"schedule":"v9"`, 1),
+		"bad kind":    strings.Replace(good, `"kind":"gamma"`, `"kind":"quantum"`, 1),
+		"truncated":   strings.SplitAfter(good, "\n")[0],
+		"renumbered":  strings.Replace(good, `"step":1`, `"step":7`, 1),
+	}
+	for name, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); !errors.Is(err, rt.ErrParse) {
+			t.Errorf("%s: want rt.ErrParse, got %v", name, err)
+		}
+	}
+}
+
+// FuzzScheduleRoundTrip checks the canonicality invariant: anything Parse
+// accepts re-encodes and re-parses to the same document, byte for byte.
+func FuzzScheduleRoundTrip(f *testing.F) {
+	p, init := example1()
+	sched, _ := recordGammaF(f, p, init)
+	f.Add(sched.Bytes())
+	f.Add([]byte(`{"schedule":"v1","kind":"dataflow","steps":1}` + "\n" + `{"step":1,"seq":4,"name":"n","consumed":["A1@0"],"produced":["B1@1"]}` + "\n"))
+	f.Add([]byte(`{"schedule":"v1","kind":"gamma","steps":0}` + "\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		enc := s.Bytes()
+		back, err := Parse(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatalf("canonical form failed to parse: %v\n%s", err, enc)
+		}
+		if again := back.Bytes(); !bytes.Equal(enc, again) {
+			t.Fatalf("canonical form not a fixed point:\n%s\nvs\n%s", enc, again)
+		}
+	})
+}
+
+func recordGammaF(f *testing.F, p *gamma.Program, init *multiset.Multiset) (*Schedule, *multiset.Multiset) {
+	rec := NewRecorder(KindGamma, p.Name)
+	m := init.Clone()
+	if _, err := gamma.Run(p, m, gamma.Options{Schedule: rec}); err != nil {
+		f.Fatalf("recorded run: %v", err)
+	}
+	return rec.Schedule(), m
+}
+
+func TestKeyTupleRoundTrip(t *testing.T) {
+	tuples := []multiset.Tuple{
+		{value.Int(1), value.Str("A1")},
+		{value.Int(-42), value.Float(2.0), value.Float(1.5e300)},
+		{value.Bool(true), value.Bool(false), value.Str("")},
+		{value.Str("with spaces and @ and \x1e")},
+		{value.Int(0)},
+	}
+	for _, tu := range tuples {
+		back, err := KeyTuple(tu.Key())
+		if err != nil {
+			t.Fatalf("KeyTuple(%q): %v", tu.Key(), err)
+		}
+		if back.Key() != tu.Key() {
+			t.Fatalf("round trip changed key: %q -> %q", tu.Key(), back.Key())
+		}
+	}
+	for _, bad := range []string{"", "\x1f", "9zzz", "5x"} {
+		if _, err := KeyTuple(bad); !errors.Is(err, rt.ErrParse) {
+			t.Errorf("KeyTuple(%q): want rt.ErrParse, got %v", bad, err)
+		}
+	}
+}
+
+// TestReplayGammaSequential verifies the base invariant: a sequential run's
+// schedule replays against the same initial multiset to the identical final
+// state, stable, with the same firing count.
+func TestReplayGammaSequential(t *testing.T) {
+	p, init := example1()
+	sched, final := recordGamma(t, p, init, gamma.Options{})
+	res, err := ReplayGamma(p, init.Clone(), sched)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if res.Divergence != nil {
+		t.Fatalf("unexpected divergence: %v", res.Divergence)
+	}
+	if !res.Stable {
+		t.Error("replayed state is not stable")
+	}
+	if res.Steps != len(sched.Steps) {
+		t.Errorf("replayed %d of %d steps", res.Steps, len(sched.Steps))
+	}
+	if !res.Final.Equal(final) {
+		t.Errorf("final multiset diverged:\nreplay %s\nrecord %s", res.Final, final)
+	}
+}
+
+// TestReplayGammaParallelDifferential is the record→replay differential at
+// the heart of the schedule format: a nondeterministic parallel execution,
+// recorded in commit order, must replay *sequentially* to the byte-identical
+// final multiset and firing count. Run under -race by make stress.
+func TestReplayGammaParallelDifferential(t *testing.T) {
+	p, init := example1()
+	for seed := int64(1); seed <= 4; seed++ {
+		sched, final := recordGamma(t, p, init, gamma.Options{Workers: 4, Seed: seed})
+		res, err := ReplayGamma(p, init.Clone(), sched)
+		if err != nil {
+			t.Fatalf("seed %d: replay: %v", seed, err)
+		}
+		if res.Divergence != nil {
+			t.Fatalf("seed %d: parallel schedule diverged on sequential replay: %v", seed, res.Divergence)
+		}
+		if !res.Stable {
+			t.Errorf("seed %d: replayed state not stable", seed)
+		}
+		if got, want := res.Final.String(), final.String(); got != want {
+			t.Errorf("seed %d: final multiset diverged:\nreplay %s\nrecord %s", seed, got, want)
+		}
+		if res.Steps != len(sched.Steps) {
+			t.Errorf("seed %d: replayed %d of %d firings", seed, res.Steps, len(sched.Steps))
+		}
+	}
+}
+
+// TestReplayDivergenceInjectedMutation corrupts a single recorded product
+// and checks the divergence report names exactly the first divergent step.
+func TestReplayDivergenceInjectedMutation(t *testing.T) {
+	p, init := example1()
+	sched, _ := recordGamma(t, p, init, gamma.Options{})
+	// Mutate the last step that produced anything: late steps have real
+	// ancestor chains through the earlier products they consumed.
+	target := -1
+	for i := len(sched.Steps) - 1; i >= 0; i-- {
+		if len(sched.Steps[i].Produced) > 0 {
+			target = i
+			break
+		}
+	}
+	if target < 0 {
+		t.Fatal("no producing step in schedule")
+	}
+	sched.Steps[target].Produced[0] = multiset.Tuple{value.Int(999), value.Str("XX")}.Key()
+	res, err := ReplayGamma(p, init.Clone(), sched)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	d := res.Divergence
+	if d == nil {
+		t.Fatal("mutation not detected")
+	}
+	if d.Step != sched.Steps[target].Step {
+		t.Errorf("divergence at step %d, want %d", d.Step, sched.Steps[target].Step)
+	}
+	if d.Reason != ReasonProductMismatch {
+		t.Errorf("reason %q, want %q", d.Reason, ReasonProductMismatch)
+	}
+	if len(d.Expected) == 0 || len(d.Actual) == 0 {
+		t.Errorf("report missing expected/actual products: %+v", d)
+	}
+	if res.Steps != target {
+		t.Errorf("replayed %d clean steps, want %d", res.Steps, target)
+	}
+	if s := d.String(); !strings.Contains(s, ReasonProductMismatch) {
+		t.Errorf("String() lacks reason: %s", s)
+	}
+}
+
+// TestReplayDivergenceReasons exercises the remaining gamma divergence
+// classes: unknown reaction, missing consumed elements, and a kernel that no
+// longer accepts the recorded elements.
+func TestReplayDivergenceReasons(t *testing.T) {
+	p, init := example1()
+	sched, _ := recordGamma(t, p, init, gamma.Options{})
+
+	renamed := *sched
+	renamed.Steps = append([]Step(nil), sched.Steps...)
+	renamed.Steps[0].Name = "R99"
+	res, err := ReplayGamma(p, init.Clone(), &renamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Divergence == nil || res.Divergence.Reason != ReasonUnknownReaction {
+		t.Errorf("renamed reaction: got %+v", res.Divergence)
+	}
+
+	// Replaying against the *final* multiset: step 1's consumed elements are
+	// long gone.
+	_, final := recordGamma(t, p, init, gamma.Options{})
+	if len(sched.Steps) > 0 && len(sched.Steps[0].Consumed) > 0 {
+		res, err = ReplayGamma(p, final.Clone(), sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Divergence == nil || res.Divergence.Reason != ReasonConsumedMissing {
+			t.Errorf("wrong initial state: got %+v", res.Divergence)
+		}
+		if len(res.Divergence.Missing) == 0 {
+			t.Error("consumed-missing report lists nothing missing")
+		}
+	}
+
+	// An element that no longer matches the reaction's patterns.
+	mismatched := *sched
+	mismatched.Steps = append([]Step(nil), sched.Steps...)
+	st := mismatched.Steps[0]
+	st.Consumed = append([]string(nil), st.Consumed...)
+	alien := multiset.Tuple{value.Str("alien"), value.Str("alien"), value.Str("alien"), value.Str("alien")}
+	st.Consumed[0] = alien.Key()
+	mismatched.Steps[0] = st
+	withAlien := init.Clone()
+	withAlien.Add(alien)
+	res, err = ReplayGamma(p, withAlien, &mismatched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Divergence == nil || res.Divergence.Reason != ReasonKernelError {
+		t.Errorf("pattern mismatch: got %+v", res.Divergence)
+	}
+}
+
+// TestReplayPartialScheduleFromFault verifies that the committed prefix of a
+// run stopped mid-flight by an injected fault replays cleanly: every
+// recorded firing was really committed, so the schedule is a valid (just
+// incomplete) execution.
+func TestReplayPartialScheduleFromFault(t *testing.T) {
+	p, err := gammalang.ParseProgram("ex2", paper.Example2GammaListing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init, err := multiset.Parse(paper.Example2InitialMultiset(9, 4, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fired atomic.Int64
+	boom := errors.New("injected fault")
+	rec := NewRecorder(KindGamma, "ex2-partial")
+	m := init.Clone()
+	_, err = gamma.Run(p, m, gamma.Options{
+		Workers:  4,
+		Seed:     7,
+		Schedule: rec,
+		FaultInjector: func(site string, worker int) error {
+			if fired.Add(1) > 5 {
+				return boom
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("run did not fail with the injected fault: %v", err)
+	}
+	sched := rec.Schedule()
+	res, rerr := ReplayGamma(p, init.Clone(), sched)
+	if rerr != nil {
+		t.Fatalf("replay: %v", rerr)
+	}
+	if res.Divergence != nil {
+		t.Fatalf("committed prefix diverged: %v", res.Divergence)
+	}
+	if res.Steps != len(sched.Steps) {
+		t.Errorf("replayed %d of %d committed firings", res.Steps, len(sched.Steps))
+	}
+}
+
+// recordDataflow runs g with a schedule recorder and returns the schedule
+// and the recorded result.
+func recordDataflow(t *testing.T, g *dataflow.Graph, opt dataflow.Options) (*Schedule, *dataflow.Result) {
+	t.Helper()
+	rec := NewRecorder(KindDataflow, g.Name)
+	opt.Schedule = rec
+	res, err := dataflow.Run(g, opt)
+	if err != nil {
+		t.Fatalf("recorded run: %v", err)
+	}
+	return rec.Schedule(), res
+}
+
+func sameOutputs(a, b map[string][]dataflow.TaggedValue) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("output labels differ: %d vs %d", len(a), len(b))
+	}
+	for label, avs := range a {
+		bvs := b[label]
+		if len(avs) != len(bvs) {
+			return fmt.Errorf("%s: %d vs %d tokens", label, len(avs), len(bvs))
+		}
+		for i := range avs {
+			if avs[i].Tag != bvs[i].Tag || !value.Equal(avs[i].Val, bvs[i].Val) {
+				return fmt.Errorf("%s[%d]: %v@%d vs %v@%d", label, i, avs[i].Val, avs[i].Tag, bvs[i].Val, bvs[i].Tag)
+			}
+		}
+	}
+	return nil
+}
+
+// TestReplayDataflowFig1 replays a recorded Fig. 1 execution and checks the
+// replay reproduces the recorded outputs, firing for firing.
+func TestReplayDataflowFig1(t *testing.T) {
+	g := paper.Fig1Graph()
+	sched, rec := recordDataflow(t, g, dataflow.Options{})
+	res, err := ReplayDataflow(g, sched)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if res.Divergence != nil {
+		t.Fatalf("unexpected divergence: %v", res.Divergence)
+	}
+	if !res.Stable {
+		t.Error("replayed state not stable")
+	}
+	if int64(res.Steps) != rec.Firings {
+		t.Errorf("replayed %d steps, recorded %d firings", res.Steps, rec.Firings)
+	}
+	if res.Pending != rec.Pending {
+		t.Errorf("pending %d, recorded %d", res.Pending, rec.Pending)
+	}
+	if err := sameOutputs(res.Outputs, rec.Outputs); err != nil {
+		t.Errorf("outputs diverged: %v", err)
+	}
+	if v, ok := res.Outputs["m"]; !ok || len(v) == 0 || !value.Equal(v[len(v)-1].Val, value.Int(paper.Example1M)) {
+		t.Errorf("Fig. 1 output m: got %v, want %d", v, paper.Example1M)
+	}
+}
+
+// TestReplayDataflowParallelDifferential: a parallel PE-pool execution of
+// Fig. 2, recorded in commit order, replays sequentially to the same
+// outputs. Run under -race by make stress.
+func TestReplayDataflowParallelDifferential(t *testing.T) {
+	g := paper.Fig2Graph()
+	sched, rec := recordDataflow(t, g, dataflow.Options{Workers: 4})
+	res, err := ReplayDataflow(g, sched)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if res.Divergence != nil {
+		t.Fatalf("parallel schedule diverged on sequential replay: %v", res.Divergence)
+	}
+	if int64(res.Steps) != rec.Firings {
+		t.Errorf("replayed %d steps, recorded %d firings", res.Steps, rec.Firings)
+	}
+	if err := sameOutputs(res.Outputs, rec.Outputs); err != nil {
+		t.Errorf("outputs diverged: %v", err)
+	}
+	if res.Pending != rec.Pending {
+		t.Errorf("pending %d, recorded %d", res.Pending, rec.Pending)
+	}
+}
+
+// TestReplayDataflowDivergence: renaming a vertex and dropping a token both
+// produce structured reports.
+func TestReplayDataflowDivergence(t *testing.T) {
+	g := paper.Fig1Graph()
+	sched, _ := recordDataflow(t, g, dataflow.Options{})
+
+	renamed := *sched
+	renamed.Steps = append([]Step(nil), sched.Steps...)
+	renamed.Steps[0].Name = "no-such-vertex"
+	res, err := ReplayDataflow(g, &renamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Divergence == nil || res.Divergence.Reason != ReasonUnknownNode {
+		t.Errorf("renamed vertex: got %+v", res.Divergence)
+	}
+
+	// Drop the first consuming step: its products never materialize, so the
+	// first later step consuming them reports missing tokens with the
+	// ancestor chain pointing back through the recorded provenance.
+	firstConsumer := -1
+	for i, st := range sched.Steps {
+		if len(st.Consumed) > 0 {
+			firstConsumer = i
+			break
+		}
+	}
+	if firstConsumer < 0 {
+		t.Fatal("no consuming step")
+	}
+	cut := *sched
+	cut.Steps = append([]Step(nil), sched.Steps...)
+	cut.Steps = append(cut.Steps[:firstConsumer], cut.Steps[firstConsumer+1:]...)
+	for i := range cut.Steps {
+		cut.Steps[i].Step = i + 1
+	}
+	res, err = ReplayDataflow(g, &cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Divergence == nil || res.Divergence.Reason != ReasonConsumedMissing {
+		t.Errorf("dropped firing: got %+v", res.Divergence)
+	}
+}
+
+// TestAncestors checks the provenance slice: the divergent step's ancestors
+// are exactly the earlier steps whose products it transitively consumed.
+func TestAncestors(t *testing.T) {
+	s := &Schedule{Kind: KindGamma, Steps: []Step{
+		{Step: 1, Seq: 1, Name: "A", Produced: []string{"k1"}},
+		{Step: 2, Seq: 2, Name: "B", Produced: []string{"k2"}},
+		{Step: 3, Seq: 3, Name: "C", Consumed: []string{"k1"}, Produced: []string{"k3"}},
+		{Step: 4, Seq: 4, Name: "D", Consumed: []string{"k3", "kInit"}},
+	}}
+	got := ancestors(s, 3)
+	want := []int{1, 3}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("ancestors = %v, want %v", got, want)
+	}
+	if got := ancestors(s, 0); len(got) != 0 {
+		t.Errorf("step 1 has ancestors %v", got)
+	}
+}

@@ -1,0 +1,307 @@
+// Package replay turns execution traces into executable schedules: a
+// recorded firing sequence that can be re-executed step for step against a
+// fresh initial state, verifying at every step that the recorded elements
+// exist and that the program's kernels still reproduce the recorded
+// products. A schedule is simultaneously a debugger (replay to the first
+// divergent step), a regression oracle (golden-replay the paper's Fig. 1 and
+// Fig. 2 runs), and the strongest cross-engine differential: a
+// nondeterministic parallel execution, recorded in commit order, replays
+// sequentially to the identical final state (§III-C firing-history
+// equivalence made executable).
+//
+// The schedule format is line-oriented JSON: one header object naming the
+// format version and execution kind, then one object per firing in
+// linearized order. Export → Parse → export round-trips byte-identically,
+// so schedules can be pinned as goldens.
+package replay
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/multiset"
+	"repro/internal/rt"
+)
+
+// FormatVersion identifies the schedule file format. Parse rejects other
+// versions; bump on incompatible changes.
+const FormatVersion = "v1"
+
+// Execution kinds a schedule can record.
+const (
+	KindGamma    = "gamma"
+	KindDataflow = "dataflow"
+)
+
+// header is the first line of a schedule document.
+type header struct {
+	Schedule string `json:"schedule"`
+	Kind     string `json:"kind"`
+	Name     string `json:"name,omitempty"`
+	Steps    int    `json:"steps"`
+}
+
+// Step is one recorded firing: the reaction or vertex that fired, the keys
+// of the elements/tokens it consumed (in pattern/port order) and produced
+// (in template/fan-out order), and the commit sequence number the engines
+// drew inside the commit critical section. Step numbers are 1-based and
+// dense in linearized (seq-sorted) order.
+type Step struct {
+	Step     int      `json:"step"`
+	Seq      uint64   `json:"seq"`
+	Name     string   `json:"name"`
+	Consumed []string `json:"consumed,omitempty"`
+	Produced []string `json:"produced,omitempty"`
+}
+
+// Schedule is an executable firing sequence.
+type Schedule struct {
+	Kind  string
+	Name  string
+	Steps []Step
+}
+
+// Encode writes the schedule in its canonical line-oriented JSON form.
+func (s *Schedule) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	h := header{Schedule: FormatVersion, Kind: s.Kind, Name: s.Name, Steps: len(s.Steps)}
+	if err := encodeLine(bw, h); err != nil {
+		return err
+	}
+	for i := range s.Steps {
+		if err := encodeLine(bw, s.Steps[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func encodeLine(w *bufio.Writer, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	return w.WriteByte('\n')
+}
+
+// Bytes renders the schedule as Encode would write it.
+func (s *Schedule) Bytes() []byte {
+	var b sliceWriter
+	_ = s.Encode(&b) // cannot fail: the sink never errors
+	return b
+}
+
+type sliceWriter []byte
+
+func (b *sliceWriter) Write(p []byte) (int, error) {
+	*b = append(*b, p...)
+	return len(p), nil
+}
+
+// maxLine bounds one schedule line; reactions consuming thousands of
+// elements per firing do not exist in this system.
+const maxLine = 1 << 22
+
+// Parse reads a schedule document, validating the header, the format
+// version, and that step numbers are dense and the step count matches the
+// header — a truncated or spliced file fails here rather than replaying a
+// silently shortened run. Errors are rt.ErrParse.
+func Parse(r io.Reader) (*Schedule, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxLine)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, rt.Mark(rt.ErrParse, err)
+		}
+		return nil, rt.Mark(rt.ErrParse, fmt.Errorf("replay: empty schedule"))
+	}
+	var h header
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+		return nil, rt.Mark(rt.ErrParse, fmt.Errorf("replay: schedule header: %w", err))
+	}
+	if h.Schedule != FormatVersion {
+		return nil, rt.Mark(rt.ErrParse, fmt.Errorf("replay: schedule format %q, this build reads %q", h.Schedule, FormatVersion))
+	}
+	if h.Kind != KindGamma && h.Kind != KindDataflow {
+		return nil, rt.Mark(rt.ErrParse, fmt.Errorf("replay: unknown schedule kind %q", h.Kind))
+	}
+	s := &Schedule{Kind: h.Kind, Name: h.Name, Steps: make([]Step, 0, h.Steps)}
+	for sc.Scan() {
+		var st Step
+		if err := json.Unmarshal(sc.Bytes(), &st); err != nil {
+			return nil, rt.Mark(rt.ErrParse, fmt.Errorf("replay: schedule step %d: %w", len(s.Steps)+1, err))
+		}
+		if st.Step != len(s.Steps)+1 {
+			return nil, rt.Mark(rt.ErrParse, fmt.Errorf("replay: schedule step numbered %d at position %d", st.Step, len(s.Steps)+1))
+		}
+		s.Steps = append(s.Steps, st)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, rt.Mark(rt.ErrParse, err)
+	}
+	if len(s.Steps) != h.Steps {
+		return nil, rt.Mark(rt.ErrParse, fmt.Errorf("replay: schedule header promises %d steps, found %d (truncated?)", h.Steps, len(s.Steps)))
+	}
+	return s, nil
+}
+
+// Recorder collects firing records from a run and linearizes them into a
+// Schedule. It implements gamma.ScheduleRecorder and dataflow.ScheduleRecorder
+// (the RecordStep shape both engines call with commit-ordered sequence
+// numbers) and is safe for concurrent use.
+type Recorder struct {
+	mu    sync.Mutex
+	kind  string
+	name  string
+	steps []Step
+	// Raw-tuple fast path (RecordStepTuples): key text accumulates in buf
+	// and is materialized into strings only when Schedule() runs, so the
+	// per-firing commit cost is a few appends into pointer-free memory — no
+	// allocation, and nothing for the garbage collector to scan or for the
+	// write barrier to track. Reaction names are interned through nameIdx so
+	// rawStep needs no string pointer.
+	names   []string
+	nameIdx map[string]uint32
+	raw     []rawStep
+	buf     []byte
+	offs    []uint32
+}
+
+// rawStep is one RecordStepTuples record: 16 pointer-free bytes. Its keys
+// are buf[...] spans whose end offsets sit in offs (nc consumed ends, then
+// np produced ends); name indexes Recorder.names.
+type rawStep struct {
+	seq    uint64
+	name   uint32
+	nc, np uint16
+}
+
+// NewRecorder returns an empty recorder for an execution of the given kind
+// (KindGamma or KindDataflow); name labels the schedule (program or run id).
+func NewRecorder(kind, name string) *Recorder {
+	return &Recorder{kind: kind, name: name}
+}
+
+// RecordStep implements the engines' ScheduleRecorder interfaces. The
+// recorder retains the key slices without copying: callers hand over
+// ownership and must not mutate them afterwards. Both engines render fresh
+// keys per firing, so taking ownership keeps the commit-path cost to the
+// rendering itself plus one locked append.
+func (r *Recorder) RecordStep(seq uint64, name string, consumed, produced []string) {
+	st := Step{Seq: seq, Name: name, Consumed: consumed, Produced: produced}
+	r.mu.Lock()
+	r.steps = append(r.steps, st)
+	r.mu.Unlock()
+}
+
+// RecordStepTuples implements gamma.TupleScheduleRecorder, the engine's
+// allocation-free recording fast path: the firing's tuples are fingerprinted
+// straight into the recorder's byte buffer (multiset.Tuple.AppendKey) and
+// key strings are materialized only when Schedule() runs. Amortized, a
+// firing costs three pointer-free appends under the lock.
+func (r *Recorder) RecordStepTuples(seq uint64, name string, consumed, produced []multiset.Tuple) {
+	if len(consumed) > 1<<16-1 || len(produced) > 1<<16-1 {
+		// Arity overflows rawStep's packed counts; take the string path.
+		// Unreachable for real programs (pattern and kernel arities are
+		// small), kept so the packing is not a silent correctness cliff.
+		ck := make([]string, len(consumed))
+		for i, t := range consumed {
+			ck[i] = t.Key()
+		}
+		pk := make([]string, len(produced))
+		for i, t := range produced {
+			pk[i] = t.Key()
+		}
+		r.RecordStep(seq, name, ck, pk)
+		return
+	}
+	r.mu.Lock()
+	ni, ok := r.nameIdx[name]
+	if !ok {
+		if r.nameIdx == nil {
+			r.nameIdx = make(map[string]uint32)
+		}
+		ni = uint32(len(r.names))
+		r.names = append(r.names, name)
+		r.nameIdx[name] = ni
+	}
+	// Grow the raw stores by hand: doubling with a chunky floor keeps the
+	// cumulative allocation at ~2x the final size, where the runtime's
+	// large-slice growth factor would make it ~5x — on a hot workload the
+	// recording overhead is garbage-collector work, so allocated bytes are
+	// the cost that matters.
+	if cap(r.buf)-len(r.buf) < 4096 {
+		nb := make([]byte, len(r.buf), max(2*cap(r.buf), 1<<16))
+		copy(nb, r.buf)
+		r.buf = nb
+	}
+	if n := len(r.offs) + len(consumed) + len(produced); n > cap(r.offs) {
+		no := make([]uint32, len(r.offs), max(2*cap(r.offs), 1<<13))
+		copy(no, r.offs)
+		r.offs = no
+	}
+	if len(r.raw) == cap(r.raw) {
+		nr := make([]rawStep, len(r.raw), max(2*cap(r.raw), 1<<12))
+		copy(nr, r.raw)
+		r.raw = nr
+	}
+	for _, t := range consumed {
+		r.buf = t.AppendKey(r.buf)
+		r.offs = append(r.offs, uint32(len(r.buf)))
+	}
+	for _, t := range produced {
+		r.buf = t.AppendKey(r.buf)
+		r.offs = append(r.offs, uint32(len(r.buf)))
+	}
+	r.raw = append(r.raw, rawStep{seq: seq, name: ni, nc: uint16(len(consumed)), np: uint16(len(produced))})
+	r.mu.Unlock()
+}
+
+// Len reports the number of firings recorded so far.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.steps) + len(r.raw)
+}
+
+// Schedule linearizes the recorded firings: sorted by commit sequence
+// number (record order breaking ties, for engines whose seq restarts — the
+// numbers within one run are unique) and densely renumbered. The recorder
+// is left unchanged and can keep recording.
+func (r *Recorder) Schedule() *Schedule {
+	r.mu.Lock()
+	steps := append([]Step(nil), r.steps...)
+	// Materialize the raw-tuple records: one string conversion covers every
+	// key recorded through the fast path, with the keys sliced out of it.
+	text := string(r.buf)
+	off, prev := 0, uint32(0)
+	keyRun := func(n int) []string {
+		if n == 0 {
+			return nil
+		}
+		ks := make([]string, n)
+		for i := range ks {
+			ks[i] = text[prev:r.offs[off]]
+			prev = r.offs[off]
+			off++
+		}
+		return ks
+	}
+	for _, rs := range r.raw {
+		steps = append(steps, Step{Seq: rs.seq, Name: r.names[rs.name],
+			Consumed: keyRun(int(rs.nc)), Produced: keyRun(int(rs.np))})
+	}
+	r.mu.Unlock()
+	sort.SliceStable(steps, func(i, j int) bool { return steps[i].Seq < steps[j].Seq })
+	for i := range steps {
+		steps[i].Step = i + 1
+	}
+	return &Schedule{Kind: r.kind, Name: r.name, Steps: steps}
+}

@@ -39,11 +39,14 @@ import (
 // responses mentioning it per the minor-version contract. 1.2 added the
 // RunSpec.Trace knob and the RunStats payload of GET /v1/runs/{id}/stats; a
 // 1.1 server ignores Trace (the run simply goes untraced) and a 1.1 client
-// never asks for stats, so both directions stay additive.
+// never asks for stats, so both directions stay additive. 1.3 added the
+// schedule trace format (?format=schedule on the trace endpoint) and the
+// POST /v1/replay envelopes (ReplayRequest/ReplayResponse); older servers
+// 404 the endpoint and reject the format, older clients never call either.
 const (
 	WireMajor   = 1
-	WireMinor   = 2
-	WireVersion = "1.2"
+	WireMinor   = 3
+	WireVersion = "1.3"
 )
 
 // CheckWireVersion validates an envelope's version field: missing or
@@ -377,6 +380,147 @@ func DecodeHealth(data []byte) (*Health, error) {
 		return nil, err
 	}
 	return &h, nil
+}
+
+// ReplayRequest is the submission envelope of POST /v1/replay (wire minor
+// 1.3): a recorded schedule plus the program and initial state to replay it
+// against. The replay is self-contained — it does not reference a stored
+// run id, because the service consumes a run's initial multiset during
+// execution; carrying program+init+schedule also lets a client replay a
+// recording made anywhere (another server, a local gammarun) against this
+// build's kernels.
+type ReplayRequest struct {
+	Version string `json:"version"`
+	// Kind selects the model and must match the schedule document's own
+	// kind header: KindGamma or KindDataflow.
+	Kind string `json:"kind"`
+	// Program and Init are the Gamma source and initial multiset literal
+	// (KindGamma).
+	Program string `json:"program,omitempty"`
+	Init    string `json:"init,omitempty"`
+	// Graph is the dataflow graph in dfir text (KindDataflow).
+	Graph string `json:"graph,omitempty"`
+	// Schedule is the schedule document (the line-oriented JSON of
+	// internal/replay, as exported by GET /v1/runs/{id}/trace?format=schedule).
+	Schedule string `json:"schedule"`
+}
+
+// NewGammaReplayRequest builds a v1 Gamma replay submission.
+func NewGammaReplayRequest(program, init, schedule string) ReplayRequest {
+	return ReplayRequest{Version: WireVersion, Kind: KindGamma, Program: program, Init: init, Schedule: schedule}
+}
+
+// NewGraphReplayRequest builds a v1 dataflow replay submission.
+func NewGraphReplayRequest(graph, schedule string) ReplayRequest {
+	return ReplayRequest{Version: WireVersion, Kind: KindDataflow, Graph: graph, Schedule: schedule}
+}
+
+// Validate checks the envelope shape with the same rules as RunRequest plus
+// a non-empty schedule; the schedule document itself is parsed at execution
+// time (rt.ErrParse).
+func (r *ReplayRequest) Validate() error {
+	if err := CheckWireVersion(r.Version); err != nil {
+		return err
+	}
+	switch r.Kind {
+	case KindGamma:
+		if r.Program == "" {
+			return rt.Mark(rt.ErrInvalid, fmt.Errorf("wire: replay kind %q needs a program", r.Kind))
+		}
+		if r.Graph != "" {
+			return rt.Mark(rt.ErrInvalid, fmt.Errorf("wire: replay kind %q does not take a graph", r.Kind))
+		}
+	case KindDataflow:
+		if r.Graph == "" {
+			return rt.Mark(rt.ErrInvalid, fmt.Errorf("wire: replay kind %q needs a graph", r.Kind))
+		}
+		if r.Program != "" || r.Init != "" {
+			return rt.Mark(rt.ErrInvalid, fmt.Errorf("wire: replay kind %q does not take a program/init", r.Kind))
+		}
+	case "":
+		return rt.Mark(rt.ErrInvalid, fmt.Errorf("wire: missing kind (want %q or %q)", KindGamma, KindDataflow))
+	default:
+		return rt.Mark(rt.ErrInvalid, fmt.Errorf("wire: unknown kind %q (want %q or %q)", r.Kind, KindGamma, KindDataflow))
+	}
+	if r.Schedule == "" {
+		return rt.Mark(rt.ErrInvalid, fmt.Errorf("wire: replay needs a schedule"))
+	}
+	return nil
+}
+
+// Encode marshals the envelope in the canonical indented form.
+func (r ReplayRequest) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// DecodeReplayRequest unmarshals and validates a replay submission.
+func DecodeReplayRequest(data []byte) (*ReplayRequest, error) {
+	var r ReplayRequest
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, rt.Mark(rt.ErrParse, fmt.Errorf("wire: %w", err))
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// WireDivergence is the wire mirror of a replay divergence report
+// (internal/replay.Divergence): the first schedule step the replay could
+// not reproduce, with the recorded-vs-reexecuted delta and the provenance
+// ancestors of the divergent firing.
+type WireDivergence struct {
+	Step      int      `json:"step"`
+	Seq       uint64   `json:"seq,omitempty"`
+	Name      string   `json:"name"`
+	Reason    string   `json:"reason"`
+	Missing   []string `json:"missing,omitempty"`
+	Expected  []string `json:"expected,omitempty"`
+	Actual    []string `json:"actual,omitempty"`
+	Ancestors []int    `json:"ancestors,omitempty"`
+	Detail    string   `json:"detail,omitempty"`
+}
+
+// ReplayResponse is the result envelope of POST /v1/replay: either a
+// confirmed replay (Divergence nil, Stable reporting whether the replayed
+// state is a fixed point) or the divergence report.
+type ReplayResponse struct {
+	Version string `json:"version"`
+	Kind    string `json:"kind"`
+	// Steps counts the schedule steps replayed cleanly.
+	Steps int `json:"steps"`
+	// Stable reports whether the replayed final state admits no further
+	// firing; false on divergence and on partial (e.g. canceled-run)
+	// schedules.
+	Stable bool `json:"stable"`
+	// Multiset is a Gamma replay's final multiset literal (on divergence,
+	// the state just before the divergent step).
+	Multiset string `json:"multiset,omitempty"`
+	// Outputs and Pending mirror the dataflow RunResult accounting for a
+	// dataflow replay.
+	Outputs map[string][]string `json:"outputs,omitempty"`
+	Pending int                 `json:"pending,omitempty"`
+	// Divergence is present when the replay stopped reproducing the record.
+	Divergence *WireDivergence `json:"divergence,omitempty"`
+	// Error is present on rejected or failed submissions.
+	Error *WireError `json:"error,omitempty"`
+}
+
+// DecodeReplayResponse unmarshals a replay response with the same version
+// rules as the run envelopes.
+func DecodeReplayResponse(data []byte) (*ReplayResponse, error) {
+	var r ReplayResponse
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, rt.Mark(rt.ErrParse, fmt.Errorf("wire: %w", err))
+	}
+	if err := CheckWireVersion(r.Version); err != nil {
+		return nil, err
+	}
+	return &r, nil
 }
 
 // RunStats is the payload of GET /v1/runs/{id}/stats (wire minor 1.2): the

@@ -119,6 +119,93 @@ func TestWireGoldenTraceRequest(t *testing.T) {
 	}
 }
 
+// TestWireGoldenReplayRequest pins the 1.3 replay envelope — the schedule-
+// carrying submission of POST /v1/replay the 1.3 minor bump introduced.
+func TestWireGoldenReplayRequest(t *testing.T) {
+	schedule := `{"schedule":"v1","kind":"gamma","name":"ex1","steps":1}` + "\n" +
+		`{"step":1,"seq":1,"name":"R1","consumed":["01\u001f3'A1'","05\u001f3'B1'"],"produced":["06\u001f3'B2'"]}` + "\n"
+	req := NewGammaReplayRequest(paper.Example1GammaListing, paper.Example1InitialMultiset, schedule)
+	got, err := req.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "replay_v1_3.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("replay v1.3 envelope drifted from golden %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+	back, err := DecodeReplayRequest(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *back != req {
+		t.Fatalf("golden round trip changed the request:\ngot  %+v\nwant %+v", *back, req)
+	}
+}
+
+// TestReplayRequestValidate exercises the replay envelope's shape rules.
+func TestReplayRequestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+		want error
+	}{
+		{"gamma without program", `{"version": "1.3", "kind": "gamma", "schedule": "s"}`, rt.ErrInvalid},
+		{"gamma with graph", `{"version": "1.3", "kind": "gamma", "program": "x", "graph": "g", "schedule": "s"}`, rt.ErrInvalid},
+		{"dataflow without graph", `{"version": "1.3", "kind": "dataflow", "schedule": "s"}`, rt.ErrInvalid},
+		{"dataflow with program", `{"version": "1.3", "kind": "dataflow", "graph": "g", "program": "x", "schedule": "s"}`, rt.ErrInvalid},
+		{"missing schedule", `{"version": "1.3", "kind": "dataflow", "graph": "g"}`, rt.ErrInvalid},
+		{"missing kind", `{"version": "1.3", "schedule": "s"}`, rt.ErrInvalid},
+		{"major 2", `{"version": "2.0", "kind": "gamma", "program": "x", "schedule": "s"}`, rt.ErrInvalid},
+		{"not json", `{`, rt.ErrParse},
+	}
+	for _, c := range cases {
+		if _, err := DecodeReplayRequest([]byte(c.data)); !errors.Is(err, c.want) {
+			t.Errorf("%s: DecodeReplayRequest = %v, want %v", c.name, err, c.want)
+		}
+	}
+	good := `{"version": "1.2", "kind": "dataflow", "graph": "g", "schedule": "s", "future": true}`
+	if _, err := DecodeReplayRequest([]byte(good)); err != nil {
+		t.Errorf("older-stamped replay request with unknown fields rejected: %v", err)
+	}
+}
+
+// TestReplayResponseRoundTrip checks the divergence report survives the wire.
+func TestReplayResponseRoundTrip(t *testing.T) {
+	resp := ReplayResponse{
+		Version: WireVersion, Kind: KindGamma, Steps: 4, Stable: false,
+		Multiset: "{[1, 'A1']}",
+		Divergence: &WireDivergence{
+			Step: 5, Seq: 5, Name: "R3", Reason: "product-mismatch",
+			Expected: []string{"06\x1f3'B2'"}, Actual: []string{"07\x1f3'B2'"},
+			Ancestors: []int{1, 3},
+		},
+	}
+	data, err := json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeReplayResponse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := back.Divergence
+	if d == nil || d.Step != 5 || d.Reason != "product-mismatch" || len(d.Ancestors) != 2 {
+		t.Fatalf("divergence mis-decoded: %+v", d)
+	}
+	if _, err := DecodeReplayResponse([]byte(`{"version": "2.0"}`)); !errors.Is(err, rt.ErrInvalid) {
+		t.Fatal("major-2 replay response accepted")
+	}
+}
+
 // TestOldServerIgnoresTrace proves the 1.2 minor contract in the backward
 // direction: the Trace field is invisible to a decoder that does not know it
 // (json ignores unknown fields), and a 1.1-stamped envelope carrying it still

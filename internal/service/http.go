@@ -21,7 +21,10 @@ import (
 //	GET    /v1/runs/{id}         poll a run; 200 + RunResponse
 //	DELETE /v1/runs/{id}         cancel a run; 202 + RunResponse
 //	GET    /v1/runs/{id}/trace   a traced terminal run's trace;
-//	                             ?format=perfetto (default) | jsonl | dot
+//	                             ?format=perfetto (default) | jsonl | dot |
+//	                             schedule (the executable replay schedule)
+//	POST   /v1/replay            re-execute a schema.ReplayRequest schedule;
+//	                             200 + ReplayResponse (divergence inside)
 //	GET    /v1/runs/{id}/stats   a terminal run's schema.RunStats
 //	GET    /v1/healthz           load snapshot; 200 + schema.Health
 //	GET    /metrics              registry snapshot; ?format=prom for the
@@ -39,6 +42,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("POST /v1/replay", s.handleReplay)
 	mux.HandleFunc("GET /v1/runs/{id}/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
 	mux.Handle("GET /metrics", telemetry.MetricsHandler(s.reg))
@@ -161,6 +165,31 @@ var traceContentTypes = map[telemetry.Format]string{
 	telemetry.FormatPerfetto: "application/json; charset=utf-8",
 	telemetry.FormatJSONL:    "application/jsonl; charset=utf-8",
 	telemetry.FormatDOT:      "text/vnd.graphviz; charset=utf-8",
+	telemetry.FormatSchedule: "application/jsonl; charset=utf-8",
+}
+
+func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeError(w, rt.Mark(rt.ErrInvalid, fmt.Errorf("service: request body over %d bytes", tooBig.Limit)))
+			return
+		}
+		s.writeError(w, rt.Mark(rt.ErrParse, err))
+		return
+	}
+	req, err := schema.DecodeReplayRequest(raw)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	resp, err := s.Replay(req, tenantOf(r))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,6 +44,7 @@ import (
 	"repro/internal/gamma"
 	"repro/internal/gammalang"
 	"repro/internal/multiset"
+	"repro/internal/replay"
 	"repro/internal/rt"
 	"repro/internal/schema"
 	"repro/internal/telemetry"
@@ -212,6 +214,7 @@ type Run struct {
 	graph *dataflow.Graph
 	rec   *telemetry.Recorder
 	prov  *telemetry.Provenance
+	sched *replay.Recorder
 
 	ctx      context.Context
 	cancel   context.CancelFunc
@@ -278,12 +281,16 @@ type Server struct {
 	gPending, gRunning *telemetry.Gauge
 }
 
-// count and observe account one event into the global registry and, when the
-// run's label coordinates are known, into the tenant and engine children —
-// three independent accountings per event, each child dimension summing to
-// the global exactly (telemetry.Registry.CheckRollup; the service test suite
-// and make stress hold the invariant under -race). Gauges stay global-only:
-// they are instantaneous, so their rollup would only hold at quiescence.
+// count, observe and gaugeAdd account one event into the global registry
+// and, when the run's label coordinates are known, into the tenant and
+// engine children — three independent accountings per event, each child
+// dimension summing to the global exactly (telemetry.Registry.CheckRollup;
+// the service test suite and make stress hold the invariant under -race).
+// The Set-based load gauges (service.pending, service.running) stay
+// global-only; the occupancy gauges written through gaugeAdd
+// (service.queue_depth, service.executors_busy) move by +1/-1 deltas, so
+// their per-label values sum to the global at quiescence and CheckRollup
+// covers them.
 func (s *Server) count(name string, n int64, tenant, engine string) {
 	s.reg.Counter(name).Add(n)
 	if tenant != "" {
@@ -301,6 +308,16 @@ func (s *Server) observe(name string, v int64, tenant, engine string) {
 	}
 	if engine != "" {
 		s.reg.Labeled("engine", engine).Histogram(name).Observe(v)
+	}
+}
+
+func (s *Server) gaugeAdd(name string, n int64, tenant, engine string) {
+	s.reg.Gauge(name).Add(n)
+	if tenant != "" {
+		s.reg.Labeled("tenant", tenant).Gauge(name).Add(n)
+	}
+	if engine != "" {
+		s.reg.Labeled("engine", engine).Gauge(name).Add(n)
 	}
 }
 
@@ -355,6 +372,7 @@ func (s *Server) Close() {
 	for {
 		select {
 		case r := <-s.queue:
+			s.gaugeAdd("service.queue_depth", -1, r.Tenant, r.Engine)
 			s.finish(r, nil, rt.ErrCanceled, 0, nil)
 		default:
 			return
@@ -481,9 +499,17 @@ func (s *Server) Submit(req *schema.RunRequest, tenant string) (*Run, error) {
 		r.Traced = true
 		r.rec = telemetry.New(s.cfg.TraceEventCap)
 		r.prov = telemetry.NewProvenance()
+		// The schedule recorder rides along with the trace: every traced run
+		// is replayable (GET /trace?format=schedule → POST /v1/replay).
+		kind := replay.KindGamma
+		if r.Kind == schema.KindDataflow {
+			kind = replay.KindDataflow
+		}
+		r.sched = replay.NewRecorder(kind, r.ID)
 	}
 
 	s.count("service.submitted", 1, tenant, r.Engine)
+	s.gaugeAdd("service.queue_depth", 1, tenant, r.Engine)
 	s.gPending.Set(int64(len(s.queue)))
 	s.log.Info("run admitted",
 		"run", r.ID, "tenant", tenant, "kind", r.Kind, "engine", r.Engine,
@@ -548,6 +574,7 @@ func (s *Server) executor() {
 
 // execute runs one submission to its terminal state.
 func (s *Server) execute(r *Run) {
+	s.gaugeAdd("service.queue_depth", -1, r.Tenant, r.Engine)
 	s.gPending.Set(int64(len(s.queue)))
 	wait := time.Since(r.enqueued)
 	s.observe("service.queue_wait_ns", wait.Nanoseconds(), r.Tenant, r.Engine)
@@ -561,8 +588,12 @@ func (s *Server) execute(r *Run) {
 	r.state = schema.StateRunning
 	r.queueWait = wait
 	r.mu.Unlock()
+	s.gaugeAdd("service.executors_busy", 1, r.Tenant, r.Engine)
 	s.gRunning.Set(s.nRunning.Add(1))
-	defer func() { s.gRunning.Set(s.nRunning.Add(-1)) }()
+	defer func() {
+		s.gRunning.Set(s.nRunning.Add(-1))
+		s.gaugeAdd("service.executors_busy", -1, r.Tenant, r.Engine)
+	}()
 
 	ctx, cancel := r.Spec.Context(r.ctx)
 	defer cancel()
@@ -579,6 +610,7 @@ func (s *Server) execute(r *Run) {
 			opt.Recorder = r.rec
 			opt.Tracer = r.prov
 			opt.TrackLabel = r.ID
+			opt.Schedule = r.sched
 		}
 		st, err := r.plan.RunContext(ctx, r.init, opt)
 		wall := time.Since(start)
@@ -600,6 +632,7 @@ func (s *Server) execute(r *Run) {
 		if r.Traced {
 			opt.Recorder = r.rec
 			opt.Tracer = r.prov
+			opt.Schedule = r.sched
 		}
 		dres, err := dataflow.RunContext(ctx, r.graph, opt)
 		wall := time.Since(start)
@@ -766,8 +799,9 @@ func (s *Server) Stats(id string) (*schema.RunStats, error) {
 
 // WriteTrace renders a terminal run's retained trace in the given format:
 // FormatPerfetto and FormatJSONL export the event rings, FormatDOT the
-// firing-provenance DAG. ErrNotTraced when the run was not traced,
-// ErrRunActive before the terminal state.
+// firing-provenance DAG, FormatSchedule the executable schedule (wire minor
+// 1.3) a client can POST back to /v1/replay. ErrNotTraced when the run was
+// not traced, ErrRunActive before the terminal state.
 func (s *Server) WriteTrace(w io.Writer, id string, format telemetry.Format) error {
 	r, err := s.Lookup(id)
 	if err != nil {
@@ -784,9 +818,114 @@ func (s *Server) WriteTrace(w io.Writer, id string, format telemetry.Format) err
 		return r.prov.WriteDOT(w)
 	case telemetry.FormatJSONL:
 		return telemetry.WriteJSONL(w, r.rec)
+	case telemetry.FormatSchedule:
+		return r.sched.Schedule().Encode(w)
 	default:
 		return telemetry.WritePerfetto(w, r.rec)
 	}
+}
+
+// wireDivergence converts a replay divergence report to its wire mirror.
+func wireDivergence(d *replay.Divergence) *schema.WireDivergence {
+	if d == nil {
+		return nil
+	}
+	return &schema.WireDivergence{
+		Step: d.Step, Seq: d.Seq, Name: d.Name, Reason: d.Reason,
+		Missing: d.Missing, Expected: d.Expected, Actual: d.Actual,
+		Ancestors: d.Ancestors, Detail: d.Detail,
+	}
+}
+
+// Replay re-executes a recorded schedule against the submitted program and
+// initial state (POST /v1/replay, wire minor 1.3). The replay runs
+// synchronously on the caller's goroutine — its cost is bounded by the
+// schedule length, which MaxBody already caps — and does not occupy an
+// executor slot or a run id. The response carries either the confirmed
+// stable state or the divergence report; only unusable submissions (parse
+// and validation failures) return an error.
+func (s *Server) Replay(req *schema.ReplayRequest, tenant string) (*schema.ReplayResponse, error) {
+	if tenant == "" {
+		tenant = AnonymousTenant
+	}
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	sched, err := replay.Parse(strings.NewReader(req.Schedule))
+	if err != nil {
+		return nil, err
+	}
+	resp := &schema.ReplayResponse{Version: schema.WireVersion, Kind: req.Kind}
+	switch req.Kind {
+	case schema.KindGamma:
+		f, err := gammalang.ParseFile(req.Program)
+		if err != nil {
+			return nil, err
+		}
+		init := f.Init
+		if req.Init != "" {
+			if init, err = multiset.Parse(req.Init); err != nil {
+				return nil, rt.Mark(rt.ErrParse, err)
+			}
+		}
+		if init == nil {
+			init = multiset.New()
+		}
+		plan, err := f.Plan("replay")
+		if err != nil {
+			return nil, rt.Mark(rt.ErrInvalid, err)
+		}
+		// A staged plan replays against the union of its stages' reactions
+		// (names are the schedule's identifiers and the recorded order
+		// already respects stage boundaries); ReplayGamma checks stability
+		// against the union, which at the recorded final state coincides
+		// with the last stage's stability for the programs the service runs.
+		var reactions []*gamma.Reaction
+		for _, stage := range plan.Stages {
+			reactions = append(reactions, stage.Reactions...)
+		}
+		prog, err := gamma.NewProgram("replay", reactions...)
+		if err != nil {
+			return nil, rt.Mark(rt.ErrInvalid, err)
+		}
+		res, err := replay.ReplayGamma(prog, init, sched)
+		if err != nil {
+			return nil, err
+		}
+		resp.Steps = res.Steps
+		resp.Stable = res.Stable
+		resp.Multiset = res.Final.String()
+		resp.Divergence = wireDivergence(res.Divergence)
+	case schema.KindDataflow:
+		g, err := dfir.Unmarshal(req.Graph)
+		if err != nil {
+			return nil, rt.Mark(rt.ErrParse, err)
+		}
+		res, err := replay.ReplayDataflow(g, sched)
+		if err != nil {
+			return nil, err
+		}
+		resp.Steps = res.Steps
+		resp.Stable = res.Stable
+		resp.Pending = res.Pending
+		resp.Outputs = make(map[string][]string, len(res.Outputs))
+		for label, series := range res.Outputs {
+			out := make([]string, len(series))
+			for i, tv := range series {
+				out[i] = fmt.Sprintf("%s@%d", tv.Val, tv.Tag)
+			}
+			resp.Outputs[label] = out
+		}
+		resp.Divergence = wireDivergence(res.Divergence)
+	}
+	s.count("service.replays", 1, tenant, "")
+	if resp.Divergence != nil {
+		s.count("service.replays.diverged", 1, tenant, "")
+	}
+	s.log.Info("replay executed",
+		"tenant", tenant, "kind", req.Kind, "steps", resp.Steps,
+		"stable", resp.Stable, "diverged", resp.Divergence != nil)
+	return resp, nil
 }
 
 // Registry exposes the server's telemetry registry (for -metrics-addr).

@@ -144,13 +144,16 @@ const (
 	FormatPerfetto Format = "perfetto"
 	FormatDOT      Format = "dot"
 	FormatJSONL    Format = "jsonl"
+	// FormatSchedule is the executable-schedule export (package replay):
+	// the run's firings in commit order, replayable step for step.
+	FormatSchedule Format = "schedule"
 )
 
 // ParseFormat validates a -trace-format flag value.
 func ParseFormat(s string) (Format, error) {
 	switch Format(s) {
-	case FormatPerfetto, FormatDOT, FormatJSONL:
+	case FormatPerfetto, FormatDOT, FormatJSONL, FormatSchedule:
 		return Format(s), nil
 	}
-	return "", fmt.Errorf("telemetry: unknown trace format %q (want perfetto, dot or jsonl)", s)
+	return "", fmt.Errorf("telemetry: unknown trace format %q (want perfetto, dot, jsonl or schedule)", s)
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 )
@@ -91,17 +92,37 @@ func MetricsMux(reg *Registry) *http.ServeMux {
 	return mux
 }
 
+// MountPprof attaches the standard net/http/pprof handlers under /debug/
+// pprof/ on mux — the runtime introspection surface (goroutine dumps, CPU
+// and heap profiles, mutex/block contention) for a live gammad or metrics
+// endpoint. Callers gate the mount behind a flag: the profiles expose
+// internals and cost CPU while sampling, so they are opt-in, never default.
+func MountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
 // ServeMetrics starts an HTTP endpoint serving live registry snapshots at
 // /metrics (JSON by default, Prometheus text exposition with ?format=prom)
 // and an SSE stream at /metrics/watch, on addr (e.g. "localhost:6060" or
 // ":0" for an ephemeral port). It returns the bound address and a close
 // function; the server runs until closed.
 func ServeMetrics(addr string, reg *Registry) (string, func(), error) {
+	return ServeMux(addr, MetricsMux(reg))
+}
+
+// ServeMux serves an already-assembled mux the way ServeMetrics does — the
+// entry point for callers that first extend the standard metrics mux, e.g.
+// with MountPprof behind a flag.
+func ServeMux(addr string, mux *http.ServeMux) (string, func(), error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("telemetry: metrics listener: %w", err)
 	}
-	srv := &http.Server{Handler: MetricsMux(reg), ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go srv.Serve(ln)
 	return ln.Addr().String(), func() { srv.Close() }, nil
 }

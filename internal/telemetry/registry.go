@@ -41,6 +41,20 @@ func (g *Gauge) Set(n int64) {
 	}
 }
 
+// Add moves the gauge by a delta — the form used for occupancy-style gauges
+// (queue depth, busy executors) written as +1/-1 pairs from concurrent
+// paths, where Set would lose updates. The high-water mark tracks the value
+// after the move.
+func (g *Gauge) Add(n int64) {
+	v := g.v.Add(n)
+	for {
+		m := g.max.Load()
+		if v <= m || g.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
 // Value reads the last set value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
@@ -197,16 +211,19 @@ func (r *Registry) childrenOf(dim string) map[string]*Registry {
 }
 
 // CheckRollup verifies the label-rollup invariant of one dimension: for
-// every counter and histogram name that appears in any child, the sum over
-// the children equals the parent's same-named instrument exactly (counters
-// by value; histograms by count, sum and every power-of-two bucket). Gauges
-// are instantaneous and excluded — their rollup only holds at quiescence.
-// Writers that account each event into exactly one child per dimension plus
-// the global instrument satisfy the invariant by construction; a missed or
-// doubled write surfaces here.
+// every counter, gauge and histogram name that appears in any child, the
+// sum over the children equals the parent's same-named instrument exactly
+// (counters and gauges by value; histograms by count, sum and every
+// power-of-two bucket). Gauge high-water marks are excluded — children peak
+// at different moments, so maxima do not sum — and gauge values only hold
+// at quiescence, where the callers run the check. Writers that account each
+// event into exactly one child per dimension plus the global instrument
+// satisfy the invariant by construction; a missed or doubled write surfaces
+// here.
 func (r *Registry) CheckRollup(dim string) error {
 	children := r.childrenOf(dim)
 	counterSums := make(map[string]int64)
+	gaugeSums := make(map[string]int64)
 	type histSum struct {
 		count, sum int64
 		buckets    [histBuckets]int64
@@ -216,6 +233,9 @@ func (r *Registry) CheckRollup(dim string) error {
 		c.mu.Lock()
 		for name, ctr := range c.counts {
 			counterSums[name] += ctr.Value()
+		}
+		for name, g := range c.gauges {
+			gaugeSums[name] += g.Value()
 		}
 		for name, h := range c.hists {
 			hs := histSums[name]
@@ -234,6 +254,11 @@ func (r *Registry) CheckRollup(dim string) error {
 	for _, name := range sortedKeys(counterSums) {
 		if got, want := counterSums[name], r.CounterValue(name); got != want {
 			return fmt.Errorf("telemetry: rollup %s: counter %s: children sum to %d, global %d", dim, name, got, want)
+		}
+	}
+	for _, name := range sortedKeys(gaugeSums) {
+		if got, want := gaugeSums[name], r.Gauge(name).Value(); got != want {
+			return fmt.Errorf("telemetry: rollup %s: gauge %s: children sum to %d, global %d", dim, name, got, want)
 		}
 	}
 	for _, name := range sortedKeys(histSums) {

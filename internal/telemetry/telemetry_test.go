@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
@@ -199,13 +200,55 @@ func TestMultiTracer(t *testing.T) {
 }
 
 func TestParseFormat(t *testing.T) {
-	for _, ok := range []string{"perfetto", "dot", "jsonl"} {
+	for _, ok := range []string{"perfetto", "dot", "jsonl", "schedule"} {
 		if f, err := ParseFormat(ok); err != nil || string(f) != ok {
 			t.Errorf("ParseFormat(%q) = %q, %v", ok, f, err)
 		}
 	}
 	if _, err := ParseFormat("svg"); err == nil {
 		t.Error("unknown format must error")
+	}
+}
+
+// TestMountPprof pins the opt-in introspection surface: a bare metrics mux
+// serves 404 under /debug/pprof/, a mounted one serves the index and the
+// goroutine profile.
+func TestMountPprof(t *testing.T) {
+	reg := NewRegistry()
+	bare := httptest.NewServer(MetricsMux(reg))
+	defer bare.Close()
+	// The bare mux's catch-all answers any path with the metrics snapshot, so
+	// the gate check is on the payload: no profile may come back unmounted.
+	res, err := http.Get(bare.URL + "/debug/pprof/goroutine?debug=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if bytes.Contains(body, []byte("goroutine profile")) {
+		t.Error("unmounted mux serves pprof — the flag gate is broken")
+	}
+
+	mux := MetricsMux(reg)
+	MountPprof(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/goroutine?debug=1"} {
+		res, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(res.Body)
+		res.Body.Close()
+		if res.StatusCode != http.StatusOK || len(body) == 0 {
+			t.Errorf("GET %s: status %d, %d bytes", path, res.StatusCode, len(body))
+		}
+	}
+	// The metrics surface still serves beside it.
+	if res, err := http.Get(ts.URL + "/metrics"); err != nil || res.StatusCode != http.StatusOK {
+		t.Errorf("metrics beside pprof: %v, %v", res, err)
+	} else {
+		res.Body.Close()
 	}
 }
 
